@@ -1,0 +1,372 @@
+package fdnull_test
+
+// Benchmarks backing the complexity claims of the paper; every table of
+// EXPERIMENTS.md cites the benchmark that regenerates it.
+//
+//	TEST-FDs (Figure 3, Theorem 2/3):   BenchmarkTestFDs_*
+//	Additional Assumptions (Figure 3):  BenchmarkTestFDs_BucketSort, _Presorted
+//	NS-rules / chase (Section 6):       BenchmarkChase_*
+//	Proposition 1 vs the definition:    BenchmarkEvaluate_*
+//	Closure / implication substrate:    BenchmarkClosure, BenchmarkImplies
+//	System C model checking:            BenchmarkSystemC_Infers
+//	Normalization:                      BenchmarkThreeNFSynthesize, BenchmarkLossless
+
+import (
+	"fmt"
+	"testing"
+
+	fdnull "fdnull"
+	"fdnull/internal/chase"
+	"fdnull/internal/eval"
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/systemc"
+	"fdnull/internal/testfds"
+	"fdnull/internal/workload"
+)
+
+// benchSizes are the n-sweep used by the scaling benchmarks.
+var benchSizes = []int{250, 1000, 4000}
+
+func employeesBench(n int) (*schema.Scheme, []fd.FD, *relation.Relation) {
+	return workload.Employees(n, 8, 0.1, int64(n))
+}
+
+func BenchmarkTestFDs_Sorted(b *testing.B) {
+	for _, n := range benchSizes {
+		_, fds, r := employeesBench(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ok, _ := testfds.Check(r, fds, testfds.Weak, testfds.Sorted); !ok {
+					b.Fatal("workload must be satisfiable")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTestFDs_BucketSort(b *testing.B) {
+	for _, n := range benchSizes {
+		_, fds, r := employeesBench(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ok, _ := testfds.Check(r, fds, testfds.Weak, testfds.Bucket); !ok {
+					b.Fatal("workload must be satisfiable")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTestFDs_Pairwise(b *testing.B) {
+	for _, n := range benchSizes {
+		_, fds, r := employeesBench(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ok, _ := testfds.Check(r, fds, testfds.Weak, testfds.Pairwise); !ok {
+					b.Fatal("workload must be satisfiable")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTestFDs_StrongConvention(b *testing.B) {
+	for _, n := range benchSizes {
+		_, fds, r := employeesBench(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				testfds.Check(r, fds, testfds.Strong, testfds.Sorted)
+			}
+		})
+	}
+}
+
+func BenchmarkTestFDs_Presorted(b *testing.B) {
+	// Figure 3's "Additional Assumptions": one key FD, relation already
+	// grouped on the key — linear scan.
+	for _, n := range benchSizes {
+		s, _, r := employeesBench(n)
+		key := fd.MustParse(s, "E# -> SL,D#,CT")
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if ok, _ := testfds.CheckPresorted(r, key, testfds.Weak); !ok {
+					b.Fatal("workload must be satisfiable")
+				}
+			}
+		})
+	}
+}
+
+func chaseWorkload(n int) (*relation.Relation, []fd.FD) {
+	cfg := workload.Config{Seed: int64(n) + 1, Tuples: n, Attrs: 4,
+		DomainSize: n, NullDensity: 0.3, GroupBias: 0.6, SharedMarkRate: 0.2}
+	s := cfg.Scheme()
+	return cfg.Instance(s), workload.ChainFDs(s)
+}
+
+func BenchmarkChase_Naive(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		r, fds := chaseWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Run(r, fds, chase.Options{Mode: chase.Extended, Engine: chase.Naive}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkChase_Congruence(b *testing.B) {
+	for _, n := range []int{100, 400, 1600} {
+		r, fds := chaseWorkload(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := chase.Run(r, fds, chase.Options{Mode: chase.Extended, Engine: chase.Congruence}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWeaklySatisfiable(b *testing.B) {
+	// Theorem 4(b) end-to-end: chase + nothing test.
+	for _, n := range benchSizes {
+		_, fds, r := employeesBench(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := chase.WeaklySatisfiable(r, fds)
+				if err != nil || !ok {
+					b.Fatal("workload must be weakly satisfiable")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEvaluate_Proposition1(b *testing.B) {
+	// The polynomial classifier on a tuple with one null in X.
+	s, f, r := fig2R4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Evaluate(f, r, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = s
+}
+
+func BenchmarkEvaluate_Definition(b *testing.B) {
+	// The exponential least-extension definition on the same input — the
+	// ablation for Proposition 1.
+	s, f, r := fig2R4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Value(f, r, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = s
+}
+
+// fig2R4 builds a larger F2-style instance: one nulled tuple against a
+// block of complete tuples.
+func fig2R4() (*schema.Scheme, fd.FD, *relation.Relation) {
+	s := schema.MustNew("R", []string{"A", "B", "C"}, []*schema.Domain{
+		schema.IntDomain("domA", "a", 8),
+		schema.IntDomain("domB", "b", 8),
+		schema.IntDomain("domC", "c", 64),
+	})
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.New(s)
+	r.MustInsertRow("-", "b1", "c1")
+	k := 2
+	for a := 1; a <= 8; a++ {
+		r.MustInsertRow(fmt.Sprintf("a%d", a), "b1", fmt.Sprintf("c%d", k))
+		k++
+	}
+	return s, f, r
+}
+
+func BenchmarkClosure(b *testing.B) {
+	for _, nf := range []int{8, 32, 128} {
+		s := workload.Config{Tuples: 1, Attrs: 16, DomainSize: 2}.Scheme()
+		fds := workload.RandomFDs(s, nf, 3, int64(nf))
+		x := schema.NewAttrSet(0, 1)
+		b.Run(fmt.Sprintf("F=%d", nf), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fd.Closure(x, fds)
+			}
+		})
+	}
+}
+
+func BenchmarkImplies(b *testing.B) {
+	s := workload.Config{Tuples: 1, Attrs: 16, DomainSize: 2}.Scheme()
+	fds := workload.RandomFDs(s, 64, 3, 7)
+	goal := fd.New(schema.NewAttrSet(0), schema.NewAttrSet(5))
+	for i := 0; i < b.N; i++ {
+		fd.Implies(fds, goal)
+	}
+}
+
+func BenchmarkSystemC_Infers(b *testing.B) {
+	// Exhaustive 3^v model checking — the price of the semantic route the
+	// paper's Lemma 2 replaces with the rule closure.
+	for _, vars := range []int{4, 6, 8} {
+		s := workload.Config{Tuples: 1, Attrs: vars, DomainSize: 2}.Scheme()
+		fds := workload.ChainFDs(s)
+		ims := systemc.ImplsFromFDs(s, fds)
+		goal := systemc.ImplFromFD(s, fd.New(schema.NewAttrSet(0), schema.NewAttrSet(schema.Attr(vars-1))))
+		b.Run(fmt.Sprintf("vars=%d", vars), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !systemc.Infers(ims, goal) {
+					b.Fatal("chain goal must be inferred")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSystemC_InfersByRules(b *testing.B) {
+	// The rule-closure decision (Lemma 2's point: same answers, cheap).
+	for _, vars := range []int{4, 6, 8} {
+		s := workload.Config{Tuples: 1, Attrs: vars, DomainSize: 2}.Scheme()
+		fds := workload.ChainFDs(s)
+		ims := systemc.ImplsFromFDs(s, fds)
+		goal := systemc.ImplFromFD(s, fd.New(schema.NewAttrSet(0), schema.NewAttrSet(schema.Attr(vars-1))))
+		b.Run(fmt.Sprintf("vars=%d", vars), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !systemc.InfersByRules(ims, goal) {
+					b.Fatal("chain goal must be inferred")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkThreeNFSynthesize(b *testing.B) {
+	for _, p := range []int{6, 10, 14} {
+		s := workload.Config{Tuples: 1, Attrs: p, DomainSize: 2}.Scheme()
+		fds := workload.RandomFDs(s, p, 2, int64(p))
+		all := s.All()
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fdnull.ThreeNFSynthesize(all, fds)
+			}
+		})
+	}
+}
+
+func BenchmarkLossless(b *testing.B) {
+	s := workload.Config{Tuples: 1, Attrs: 10, DomainSize: 2}.Scheme()
+	fds := workload.ChainFDs(s)
+	comps := fdnull.ThreeNFSynthesize(s.All(), fds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := fdnull.Lossless(s.All(), comps, fds)
+		if err != nil || !ok {
+			b.Fatal("synthesis must be lossless")
+		}
+	}
+}
+
+func BenchmarkQuerySelect(b *testing.B) {
+	// Three-valued selection over an incomplete instance (Section 2
+	// semantics), per instance size.
+	for _, n := range benchSizes {
+		s, _, r := employeesBench(n)
+		p := fdnull.OrPred{
+			P: fdnull.Eq{Attr: s.MustAttr("CT"), Const: "full"},
+			Q: fdnull.NotPred{P: fdnull.Eq{Attr: s.MustAttr("D#"), Const: "d1"}},
+		}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := fdnull.Select(r, p)
+				if len(res.Sure)+len(res.Maybe) == 0 {
+					b.Fatal("selection should match something")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreInsert(b *testing.B) {
+	// Guarded insert cost: each accepted mutation re-chases the instance,
+	// so the per-insert cost grows with store size — the price of the
+	// weak-satisfiability invariant.
+	for _, n := range []int{100, 400} {
+		b.Run(fmt.Sprintf("prefill=%d", n), func(b *testing.B) {
+			s, fds, seed := employeesBench(n)
+			st := fdnull.NewStore(s, fds, fdnull.StoreOptions{})
+			for i := 0; i < seed.Len(); i++ {
+				if err := st.Insert(seed.Tuple(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			fresh := seed.Clone()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				row := relation.Tuple{
+					fdnull.Const(fmt.Sprintf("e%d", n+1)),
+					fresh.FreshNull(),
+					fdnull.Const("d1"),
+					fresh.FreshNull(),
+				}
+				if err := st.Insert(row); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if err := st.Delete(st.Len() - 1); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+func BenchmarkDiscover(b *testing.B) {
+	// FD mining cost per instance size (strong convention, determinants
+	// up to 2 attributes).
+	for _, n := range []int{100, 400, 1600} {
+		_, _, r := employeesBench(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fds, err := fdnull.DiscoverFDs(r, fdnull.DiscoverOptions{MaxLHS: 2})
+				if err != nil || len(fds) == 0 {
+					b.Fatalf("discovery failed: %v (%d fds)", err, len(fds))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCompletions(b *testing.B) {
+	// AP(t, R) enumeration cost per extra null (the exponential the
+	// paper's Proposition 1 avoids).
+	dom := schema.IntDomain("d", "v", 8)
+	for _, nulls := range []int{1, 2, 3} {
+		s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+		t := make(relation.Tuple, 3)
+		for i := range t {
+			if i < nulls {
+				t[i] = fdnull.NullValue(i + 1)
+			} else {
+				t[i] = fdnull.Const("v1")
+			}
+		}
+		b.Run(fmt.Sprintf("nulls=%d", nulls), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := relation.TupleCompletions(s, t, s.All()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

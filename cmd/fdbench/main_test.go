@@ -1,0 +1,111 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"E1", "E5", "E10", "E14"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-exp", "E99"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown experiment should exit 2, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "E99") {
+		t.Error("error should name the unknown id")
+	}
+}
+
+// TestFigureExperiments runs the figure reproductions (they self-verify
+// and return errors on mismatch with the paper).
+func TestFigureExperiments(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E1,E2,E3,E4,E5"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"strong satisfiability (semantics): true",
+		"false [F2]",
+		"plain system order-dependent: true",
+		"Church-Rosser (Theorem 4a): true",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestValidationExperiments runs the random-agreement sweeps in quick
+// mode; any semantic disagreement fails the experiment.
+func TestValidationExperiments(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E6,E7,E8"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "confirmed") {
+		t.Error("validations should print confirmations")
+	}
+}
+
+// TestStoryExperiments runs E11-E13 in quick mode.
+func TestStoryExperiments(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E11,E12,E13"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "weak-only margin") {
+		t.Error("E11 table missing")
+	}
+	if !strings.Contains(out.String(), "F2 rate") {
+		t.Error("E12 table missing")
+	}
+	if !strings.Contains(out.String(), "lossless=true") {
+		t.Error("E13 report missing")
+	}
+}
+
+// TestComplexitySweeps runs the timing sweeps in quick mode: the point is
+// not the timings but that the harness self-checks (algorithm agreement,
+// satisfiable workloads) without error.
+func TestComplexitySweeps(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E9,E10,E14"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"pairwise/sorted", "naive/congr", "presorted"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &table{header: []string{"col", "value"}}
+	tb.add("a", "1")
+	tb.add("longer", "22")
+	var b strings.Builder
+	tb.write(&b)
+	out := b.String()
+	if !strings.Contains(out, "col") || !strings.Contains(out, "longer") {
+		t.Errorf("table rendering:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected header+separator+2 rows, got %d lines", len(lines))
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+// normalize_exp.go implements E13: the normalization-with-nulls pipeline.
+
+import (
+	"fmt"
+	"io"
+
+	"fdnull/internal/chase"
+	"fdnull/internal/fd"
+	"fdnull/internal/normalize"
+	"fdnull/internal/schema"
+	"fdnull/internal/testfds"
+	"fdnull/internal/workload"
+)
+
+func runE13(w io.Writer, quick bool) error {
+	n := 60
+	if quick {
+		n = 20
+	}
+	s, fds, r := workload.Employees(n, 6, 0.15, 13)
+	fmt.Fprintf(w, "scheme %s, F = %s, %d employees, %d nulls\n\n",
+		s, fd.FormatSet(s, fds), r.Len(), r.NullCount())
+
+	// 1. The scheme violates BCNF/3NF (the D# -> CT transitive FD).
+	okB, violB := normalize.IsBCNF(s.All(), fds)
+	ok3, viol3 := normalize.Is3NF(s.All(), fds)
+	fmt.Fprintf(w, "BCNF: %v", okB)
+	if violB != nil {
+		fmt.Fprintf(w, " (violating FD: %s)", violB.FD.Format(s))
+	}
+	fmt.Fprintf(w, "\n3NF:  %v", ok3)
+	if viol3 != nil {
+		fmt.Fprintf(w, " (violating FD: %s)", viol3.FD.Format(s))
+	}
+	fmt.Fprintln(w)
+
+	// 2. Decompose both ways; verify lossless join and preservation.
+	bcnf := normalize.BCNFDecompose(s.All(), fds)
+	tnf := normalize.ThreeNFSynthesize(s.All(), fds)
+	report := func(name string, comps []schema.AttrSet) error {
+		lossless, err := normalize.Lossless(s.All(), comps, fds)
+		if err != nil {
+			return err
+		}
+		preserved := normalize.DependencyPreserving(fds, comps)
+		names := make([]string, len(comps))
+		for i, c := range comps {
+			names[i] = "{" + s.FormatSet(c) + "}"
+		}
+		fmt.Fprintf(w, "%s: %v  lossless=%v dependency-preserving=%v\n",
+			name, names, lossless, preserved)
+		if !lossless {
+			return fmt.Errorf("%s decomposition must be lossless", name)
+		}
+		return nil
+	}
+	if err := report("BCNF", bcnf); err != nil {
+		return err
+	}
+	if err := report("3NF ", tnf); err != nil {
+		return err
+	}
+
+	// 3. Project the instance, pad back to a universal instance with
+	// nulls, chase, and verify weak satisfiability plus recovery.
+	frags, err := normalize.ProjectInstance(r, tnf)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, fr := range frags {
+		total += fr.Len()
+	}
+	u, err := normalize.PadToUniversal(s, frags, tnf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nprojected into %d fragments (%d tuples total), padded back: %d universal tuples, %d nulls\n",
+		len(frags), total, u.Len(), u.NullCount())
+	okW, res, err := chase.WeaklySatisfiable(u, fds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "padded universal instance weakly satisfiable: %v\n", okW)
+	if !okW {
+		return fmt.Errorf("reassembly must be weakly satisfiable")
+	}
+	if okT, _ := testfds.Check(res.Relation, fds, testfds.Weak, testfds.Sorted); !okT {
+		return fmt.Errorf("TEST-FDs must accept the chased reassembly")
+	}
+	// Recovery: every original tuple must be approximated by some chased
+	// universal tuple.
+	recovered := 0
+	for ti := 0; ti < r.Len(); ti++ {
+		orig := r.Tuple(ti)
+		for ui := 0; ui < res.Relation.Len(); ui++ {
+			cand := res.Relation.Tuple(ui)
+			match := true
+			for a := 0; a < s.Arity(); a++ {
+				if cand[a].IsNothing() ||
+					(cand[a].IsConst() && orig[a].IsConst() && cand[a].Const() != orig[a].Const()) {
+					match = false
+					break
+				}
+			}
+			if match {
+				recovered++
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "original tuples recoverable from the chased reassembly: %d/%d\n", recovered, r.Len())
+	fmt.Fprintln(w, "paper (Sections 1, 7): nulls fill the gaps of the universal instance; the weakened")
+	fmt.Fprintln(w, "universal relation assumption asks only weak satisfiability — demonstrated")
+	if recovered != r.Len() {
+		return fmt.Errorf("recovery incomplete: %d/%d", recovered, r.Len())
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const input = `
+domain d = v1 v2 v3 v4 v5 v6
+scheme R(A:d, B:d, C:d)
+fd A -> B
+row v1 v2 v3
+row v1 - v4
+row v2 -7 v5
+row v2 -8 v6
+`
+
+func TestChaseSubstitutesAndReportsNECs(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(nil, strings.NewReader(input), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "minimally incomplete instance") {
+		t.Errorf("missing result header:\n%s", got)
+	}
+	// The null of tuple 2 must be bound to v2; the two marked nulls must
+	// form a NEC class.
+	if !strings.Contains(got, "null-equality classes") {
+		t.Errorf("missing NEC report:\n%s", got)
+	}
+	if !strings.Contains(got, "[7 8]") {
+		t.Errorf("marks 7 and 8 should form a class:\n%s", got)
+	}
+	if !strings.Contains(got, "weakly satisfiable: yes") {
+		t.Errorf("should be weakly satisfiable:\n%s", got)
+	}
+}
+
+func TestChaseDetectsContradiction(t *testing.T) {
+	bad := `
+domain d = v1 v2 v3
+scheme R(A:d, B:d)
+fd A -> B
+row v1 v2
+row v1 v3
+`
+	var out, errOut strings.Builder
+	code := run(nil, strings.NewReader(bad), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1)", code)
+	}
+	if !strings.Contains(out.String(), "weakly satisfiable: NO") {
+		t.Errorf("should report the contradiction:\n%s", out.String())
+	}
+}
+
+func TestChasePlainModeReportsStuck(t *testing.T) {
+	bad := `
+domain d = v1 v2 v3
+scheme R(A:d, B:d)
+fd A -> B
+row v1 v2
+row v1 v3
+`
+	var out, errOut strings.Builder
+	code := run([]string{"-mode", "plain", "-engine", "naive"}, strings.NewReader(bad), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("plain mode exit %d", code)
+	}
+	if !strings.Contains(out.String(), "stuck classical conflict") {
+		t.Errorf("plain mode should report the stuck pair:\n%s", out.String())
+	}
+}
+
+func TestChaseFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-mode", "bogus"}, strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Errorf("bad mode should exit 2, got %d", code)
+	}
+	if code := run([]string{"-engine", "bogus"}, strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Errorf("bad engine should exit 2, got %d", code)
+	}
+	if code := run([]string{"-mode", "plain", "-engine", "congruence"}, strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Errorf("plain+congruence should exit 2, got %d", code)
+	}
+	if code := run([]string{"-f", "/nonexistent"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Errorf("missing file should exit 2, got %d", code)
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const satisfiable = `
+domain d = v1 v2 v3 v4 v5 v6
+scheme R(A:d, B:d, C:d)
+fd A -> B
+fd B -> C
+row v1 v2 -
+row v1 - v3
+`
+
+const contradictory = `
+domain da = a1 a2 a3
+domain db = b1 b2 b3
+domain dc = c1 c2 c3
+scheme R(A:da, B:db, C:dc)
+fd A -> B
+fd B -> C
+row a1 - c1
+row a1 - c2
+`
+
+func TestRunSatisfiable(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(nil, strings.NewReader(satisfiable), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"per-tuple verdicts", "strong satisfiability", "weak satisfiability (Theorem 4b, extended chase): true"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunContradictory(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(nil, strings.NewReader(contradictory), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1), stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "weak satisfiability (Theorem 4b, extended chase): false") {
+		t.Errorf("should report unsatisfiability:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "!") {
+		t.Errorf("should print the poisoned cells:\n%s", out.String())
+	}
+}
+
+func TestRunBadInput(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, strings.NewReader("junk"), &out, &errOut); code != 2 {
+		t.Errorf("bad input should exit 2, got %d", code)
+	}
+	if code := run([]string{"-algo", "nonsense"}, strings.NewReader(satisfiable), &out, &errOut); code != 2 {
+		t.Errorf("bad algo should exit 2, got %d", code)
+	}
+	if code := run([]string{"-f", "/nonexistent/file"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Errorf("missing file should exit 2, got %d", code)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"sorted", "bucket", "pairwise"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-algo", algo}, strings.NewReader(satisfiable), &out, &errOut); code != 0 {
+			t.Errorf("algo %s: exit %d", algo, code)
+		}
+	}
+}
+
+func TestRunNothingCells(t *testing.T) {
+	in := `
+domain d = v1 v2
+scheme R(A:d, B:d)
+fd A -> B
+row v1 !
+row v1 v2
+`
+	var out, errOut strings.Builder
+	code := run(nil, strings.NewReader(in), &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d (want 1: inconsistent), stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "per-tuple verdicts unavailable") {
+		t.Errorf("should explain missing verdicts:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "weak satisfiability (Theorem 4b, extended chase): false") {
+		t.Errorf("should still decide satisfiability:\n%s", out.String())
+	}
+}
+
+func TestRunNoFDs(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run(nil, strings.NewReader("domain d = x\nscheme R(A:d)\nrow x\n"), &out, &errOut)
+	if code != 0 || !strings.Contains(out.String(), "no FDs declared") {
+		t.Errorf("no-FD input: exit %d\n%s", code, out.String())
+	}
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const input = `
+domain emp = e1 e2 e3
+domain dep = d1 d2
+domain ct  = full part
+scheme R(E#:emp, D#:dep, CT:ct)
+fd E# -> D#
+row e1 d1 full
+row e2 d1 full
+row e3 d2 -
+`
+
+func TestDiscoverCLI(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-cover"}, strings.NewReader(input), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "E# -> ") {
+		t.Errorf("E# is a key; some E#-determined FD expected:\n%s", got)
+	}
+	if !strings.Contains(got, "declared E# -> D#: implied") {
+		t.Errorf("declared FD should be confirmed:\n%s", got)
+	}
+}
+
+func TestDiscoverCLIWeakFindsMore(t *testing.T) {
+	var strongOut, weakOut, errOut strings.Builder
+	if code := run([]string{"-conv", "strong"}, strings.NewReader(input), &strongOut, &errOut); code != 0 {
+		t.Fatal(errOut.String())
+	}
+	if code := run([]string{"-conv", "weak"}, strings.NewReader(input), &weakOut, &errOut); code != 0 {
+		t.Fatal(errOut.String())
+	}
+	count := func(s string) int { return strings.Count(s, "\n  ") + strings.Count(s, "  ") }
+	if count(weakOut.String()) < count(strongOut.String()) {
+		t.Errorf("weak discovery must find at least as many FDs\nstrong:\n%s\nweak:\n%s",
+			strongOut.String(), weakOut.String())
+	}
+}
+
+func TestDiscoverCLIValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-conv", "bogus"}, strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Error("bad convention should exit 2")
+	}
+	if code := run(nil, strings.NewReader("junk"), &out, &errOut); code != 2 {
+		t.Error("bad input should exit 2")
+	}
+	if code := run([]string{"-f", "/nonexistent"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Error("missing file should exit 2")
+	}
+}

@@ -1,0 +1,90 @@
+// Command fdquery evaluates a three-valued selection over a relation with
+// nulls, using the least-extension semantics of Section 2 of the paper.
+// It partitions the tuples into certain answers (the predicate is true
+// under every completion) and possible answers (true under some).
+//
+// Usage:
+//
+//	fdquery -where 'MS = married' [-f file] [-chase]
+//	fdquery -where 'MS in (married, single) and D# = d1' -f emp.txt
+//
+// With -chase the instance is first brought to its minimally incomplete
+// form under the file's FDs, so forced nulls are substituted before the
+// query runs — queries then see everything the dependencies imply.
+//
+// Exit status: 0 on success (even with an empty answer), 2 on errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fdnull/internal/chase"
+	"fdnull/internal/query"
+	"fdnull/internal/relio"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdquery", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("f", "", "input file (default stdin)")
+	where := fs.String("where", "", "predicate, e.g. 'A = x and B in (y, z)'")
+	doChase := fs.Bool("chase", false, "chase to the minimally incomplete instance first")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *where == "" {
+		fmt.Fprintln(stderr, "fdquery: -where is required")
+		return 2
+	}
+	in := stdin
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintf(stderr, "fdquery: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	parsed, err := relio.Parse(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdquery: %v\n", err)
+		return 2
+	}
+	r := parsed.Relation
+	if *doChase {
+		res, err := chase.Run(r, parsed.FDs, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
+		if err != nil {
+			fmt.Fprintf(stderr, "fdquery: %v\n", err)
+			return 2
+		}
+		if !res.Consistent {
+			fmt.Fprintln(stderr, "fdquery: the instance is not weakly satisfiable; query answers would be meaningless")
+			return 2
+		}
+		r = res.Relation
+	}
+	pred, err := query.ParsePred(parsed.Scheme, *where)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdquery: %v\n", err)
+		return 2
+	}
+	res := query.Select(r, pred)
+	fmt.Fprintf(stdout, "predicate: %s\n", pred)
+	fmt.Fprintf(stdout, "\ncertain answers (%d):\n", len(res.Sure))
+	for _, i := range res.Sure {
+		fmt.Fprintf(stdout, "  t%-3d %s\n", i+1, r.Tuple(i))
+	}
+	fmt.Fprintf(stdout, "\npossible answers (%d):\n", len(res.Maybe))
+	for _, i := range res.Maybe {
+		fmt.Fprintf(stdout, "  t%-3d %s\n", i+1, r.Tuple(i))
+	}
+	return 0
+}

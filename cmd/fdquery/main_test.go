@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const input = `
+domain emp = e1 e2 e3
+domain dep = d1 d2
+domain ms  = married single
+scheme R(E#:emp, D#:dep, MS:ms)
+fd E# -> D#,MS
+row e1 d1 married
+row e2 d1 -
+row e3 d2 single
+`
+
+func TestQueryCertainAndPossible(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-where", "MS = married"}, strings.NewReader(input), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "certain answers (1)") {
+		t.Errorf("e1 is certainly married:\n%s", got)
+	}
+	if !strings.Contains(got, "possible answers (1)") {
+		t.Errorf("e2 is possibly married:\n%s", got)
+	}
+}
+
+func TestQueryLeastExtension(t *testing.T) {
+	// The Section 2 transformation: the domain-covering set makes the
+	// null tuple a certain answer.
+	var out, errOut strings.Builder
+	code := run([]string{"-where", "MS in (married, single)"}, strings.NewReader(input), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "certain answers (3)") {
+		t.Errorf("every tuple is certainly married-or-single:\n%s", out.String())
+	}
+}
+
+func TestQueryWithChase(t *testing.T) {
+	// After the chase, e2 inherits nothing here (no FD forces MS), but
+	// the run must succeed and keep both partitions.
+	var out, errOut strings.Builder
+	code := run([]string{"-chase", "-where", "D# = d1"}, strings.NewReader(input), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "certain answers (2)") {
+		t.Errorf("e1 and e2 are certainly in d1:\n%s", out.String())
+	}
+}
+
+func TestQueryChaseRejectsInconsistent(t *testing.T) {
+	bad := `
+domain d = x y
+scheme R(A:d, B:d)
+fd A -> B
+row x x
+row x y
+`
+	var out, errOut strings.Builder
+	if code := run([]string{"-chase", "-where", "A = x"}, strings.NewReader(bad), &out, &errOut); code != 2 {
+		t.Errorf("inconsistent instance with -chase should exit 2, got %d", code)
+	}
+}
+
+func TestQueryFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Error("-where is required")
+	}
+	if code := run([]string{"-where", "ZZ = 1"}, strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Error("bad predicate should exit 2")
+	}
+	if code := run([]string{"-where", "MS = married", "-f", "/nonexistent"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Error("missing file should exit 2")
+	}
+	if code := run([]string{"-where", "MS = married"}, strings.NewReader("junk"), &out, &errOut); code != 2 {
+		t.Error("bad input should exit 2")
+	}
+}

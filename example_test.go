@@ -1,0 +1,93 @@
+package fdnull_test
+
+import (
+	"fmt"
+
+	fdnull "fdnull"
+)
+
+// The paper's Figure 2 r4: both completions of the null determinant are
+// present with disagreeing consequents, so the dependency is false by
+// domain exhaustion — Proposition 1's case [F2].
+func ExampleEvaluate() {
+	domA, _ := fdnull.NewDomain("domA", "a1", "a2") // |dom(A)| = 2
+	s, _ := fdnull.NewScheme("R", []string{"A", "B", "C"},
+		[]*fdnull.Domain{domA, fdnull.IntDomain("b", "b", 4), fdnull.IntDomain("c", "c", 4)})
+	r := fdnull.MustFromRows(s,
+		[]string{"-", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+		[]string{"a2", "b1", "c3"})
+	f := fdnull.MustParseFD(s, "A,B -> C")
+	v, _ := fdnull.Evaluate(f, r, 0)
+	fmt.Println(v)
+	// Output: false [F2]
+}
+
+// The NS-rules substitute exactly the nulls the dependencies force: with
+// A → B and two tuples sharing A, the unknown B must equal the known one.
+func ExampleChase() {
+	s := fdnull.UniformScheme("R", []string{"A", "B"}, fdnull.IntDomain("d", "v", 9))
+	r := fdnull.MustFromRows(s,
+		[]string{"v1", "v2"},
+		[]string{"v1", "-"})
+	fds := fdnull.MustParseFDs(s, "A -> B")
+	res, _ := fdnull.Chase(r, fds, fdnull.ChaseOptions{Mode: fdnull.Extended, Engine: fdnull.Congruence})
+	fmt.Print(res.Relation)
+	// Output:
+	// A   B
+	// v1  v2
+	// v1  v2
+}
+
+// Weak satisfiability is decided polynomially by the extended chase
+// (Theorem 4b): the Section 6 example is rejected because its two FDs
+// admit no common completion.
+func ExampleWeaklySatisfiable() {
+	s := fdnull.UniformScheme("R", []string{"A", "B", "C"}, fdnull.IntDomain("d", "v", 9))
+	r := fdnull.MustFromRows(s,
+		[]string{"v1", "-", "v1"},
+		[]string{"v1", "-", "v2"})
+	fds := fdnull.MustParseFDs(s, "A -> B; B -> C")
+	ok, _, _ := fdnull.WeaklySatisfiable(r, fds)
+	fmt.Println(ok)
+	// Output: false
+}
+
+// Armstrong derivations are first-class, checkable proof objects.
+func ExampleDerive() {
+	s := fdnull.UniformScheme("R", []string{"A", "B", "C"}, fdnull.IntDomain("d", "v", 2))
+	fds := fdnull.MustParseFDs(s, "A -> B; B -> C")
+	d, ok := fdnull.Derive(fds, fdnull.MustParseFD(s, "A -> C"))
+	fmt.Println(ok, d.Verify() == nil, len(d.Steps) > 0)
+	// Output: true true true
+}
+
+// The Section 2 query example: "Is John married?" is unknown on a null,
+// but "Is John married or single?" is true — the least extension sees
+// that every substitution answers yes.
+func ExampleSelect() {
+	ms, _ := fdnull.NewDomain("marital", "married", "single")
+	s, _ := fdnull.NewScheme("R", []string{"name", "ms"},
+		[]*fdnull.Domain{fdnull.IntDomain("n", "p", 4), ms})
+	r := fdnull.MustFromRows(s, []string{"p1", "-"})
+	a := s.MustAttr("ms")
+	q := fdnull.Eq{Attr: a, Const: "married"}
+	qp := fdnull.In{Attr: a, Values: []string{"married", "single"}}
+	fmt.Println(q.Eval(s, r.Tuple(0)), qp.Eval(s, r.Tuple(0)))
+	// Output: unknown true
+}
+
+// TEST-FDs under the strong convention (Theorem 2): a null that could be
+// substituted to disagree makes strong satisfaction fail, with a witness
+// pair.
+func ExampleTestFDs() {
+	s := fdnull.UniformScheme("R", []string{"A", "B"}, fdnull.IntDomain("d", "v", 9))
+	r := fdnull.MustFromRows(s,
+		[]string{"v1", "-"},
+		[]string{"v1", "v2"})
+	fds := fdnull.MustParseFDs(s, "A -> B")
+	okStrong, viol := fdnull.TestFDs(r, fds, fdnull.StrongConvention, fdnull.SortedScan)
+	okWeak, _ := fdnull.TestFDs(r, fds, fdnull.WeakConvention, fdnull.SortedScan)
+	fmt.Println(okStrong, viol.T1, viol.T2, okWeak)
+	// Output: false 0 1 true
+}

@@ -1,0 +1,66 @@
+// Logic: the System C side of the paper (Section 5).
+//
+// This program shows the non-truth-functional evaluation scheme V, the
+// correspondence between FDs over two-tuple relations with nulls and
+// implicational statements, and the difference between strong and weak
+// logical inference — the logical face of the paper's Section 6 example.
+package main
+
+import (
+	"fmt"
+
+	fdnull "fdnull"
+)
+
+func main() {
+	// 1. Rule 1 in action: p ∨ ¬p is true even when p is unknown.
+	p := fdnull.CVar("p")
+	excluded := fdnull.COr{Q: p, S: fdnull.CNot{Q: p}}
+	a := fdnull.Assignment{"p": fdnull.Unknown}
+	fmt.Printf("V(p ∨ ¬p) with p unknown: %s   (rule 1: two-valued tautologies are true)\n",
+		fdnull.EvalC(excluded, a))
+	contradiction := fdnull.CAnd{Q: p, S: fdnull.CNot{Q: p}}
+	fmt.Printf("V(p ∧ ¬p) with p unknown: %s   (not a tautology: Kleene rules apply)\n",
+		fdnull.EvalC(contradiction, a))
+	fmt.Printf("V(∇p) with p unknown:     %s   (rule 5: \"necessarily true\")\n\n",
+		fdnull.EvalC(fdnull.CNec{Q: p}, a))
+
+	// 2. FDs as implicational statements. The Lemma 3 encoding reads a
+	// two-tuple relation as an assignment: equal constants ⇒ true,
+	// distinct ⇒ false, any null ⇒ unknown.
+	s := fdnull.UniformScheme("R", []string{"A", "B", "C"},
+		fdnull.IntDomain("d", "v", 4))
+	f := fdnull.MustParseFD(s, "A,B -> C")
+	im := fdnull.ImplFromFD(s, f)
+	fmt.Printf("FD %s  ⇝  implicational statement %s\n", f.Format(s), im)
+	t1 := fdnull.Tuple{fdnull.Const("v1"), fdnull.Const("v2"), fdnull.NullValue(1)}
+	t2 := fdnull.Tuple{fdnull.Const("v1"), fdnull.Const("v2"), fdnull.Const("v3")}
+	asg := fdnull.AssignmentFromPair(s, t1, t2)
+	fmt.Printf("two tuples %s and %s induce %s\n", t1, t2, fdnull.FormatAssignment(asg))
+	fmt.Printf("V(%s) = %s — exactly the FD's truth value on the pair (Lemma 3)\n\n",
+		im, im.Eval(asg))
+
+	// 3. Inference. Armstrong's rules, System C inference, and checkable
+	// Armstrong proofs all agree (Theorem 1).
+	fds := fdnull.MustParseFDs(s, "A -> B; B -> C")
+	goal := fdnull.MustParseFD(s, "A -> C")
+	ims := []fdnull.Impl{fdnull.ImplFromFD(s, fds[0]), fdnull.ImplFromFD(s, fds[1])}
+	goalIm := fdnull.ImplFromFD(s, goal)
+	fmt.Printf("F = {%s}, goal %s\n", fdnull.FormatFDs(s, fds), goal.Format(s))
+	fmt.Printf("Armstrong implication: %v\n", fdnull.Implies(fds, goal))
+	fmt.Printf("System C inference:    %v\n", fdnull.Infers(ims, goalIm))
+	if d, ok := fdnull.Derive(fds, goal); ok {
+		fmt.Println("Armstrong proof:")
+		fmt.Print(d.Format(s))
+	}
+
+	// 4. Weak inference is weaker: transitivity fails. With A=true,
+	// B=unknown, C=false both premises are non-false yet the conclusion
+	// is false — the logical face of the Section 6 example.
+	fmt.Printf("\nweak inference of %s: %v (transitivity fails under weak satisfaction)\n",
+		goalIm, fdnull.WeakInfers(ims, goalIm))
+	witness := fdnull.Assignment{"A": fdnull.True, "B": fdnull.Unknown, "C": fdnull.False}
+	fmt.Printf("witness %s: premises %s, %s; conclusion %s\n",
+		fdnull.FormatAssignment(witness),
+		ims[0].Eval(witness), ims[1].Eval(witness), goalIm.Eval(witness))
+}

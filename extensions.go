@@ -1,0 +1,124 @@
+package fdnull
+
+import (
+	"io"
+
+	"fdnull/internal/chase"
+	"fdnull/internal/discover"
+	"fdnull/internal/fd"
+	"fdnull/internal/query"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/store"
+	"fdnull/internal/workload"
+)
+
+// This file re-exports the two extension layers the paper sketches beyond
+// its core results: three-valued query evaluation under the
+// least-extension rule (Section 2), and modification operations guarded
+// by weak satisfiability (the concluding remarks' "internal vs external
+// acquisition" programme), plus the Section 4 X-side substitution rules.
+
+// ---- Queries (Section 2 semantics) ----
+
+// Pred is a three-valued selection predicate.
+type Pred = query.Pred
+
+// The predicate atoms and connectives.
+type (
+	// Eq is the atom attr = const.
+	Eq = query.Eq
+	// In is the atom attr ∈ values — the paper's "married or single"
+	// example evaluates to true on a null through this atom.
+	In = query.In
+	// EqAttr is the atom attr1 = attr2; same-marked nulls compare true.
+	EqAttr = query.EqAttr
+	// NotPred negates a predicate (strong Kleene).
+	NotPred = query.Not
+	// AndPred conjoins predicates (strong Kleene).
+	AndPred = query.And
+	// OrPred disjoins predicates (strong Kleene).
+	OrPred = query.Or
+)
+
+// SelectResult partitions a selection into certain and possible answers.
+type SelectResult = query.Result
+
+// Select evaluates a predicate three-valuedly on every tuple: Sure lists
+// tuples in the answer under every completion, Maybe under some.
+func Select(r *relation.Relation, p Pred) SelectResult { return query.Select(r, p) }
+
+// ParsePred parses the CLI predicate language, e.g.
+// "MS in (married, single) and not D# = d2".
+func ParsePred(s *schema.Scheme, input string) (Pred, error) {
+	return query.ParsePred(s, input)
+}
+
+// ---- X-side substitutions (Section 4 conditions (1) and (2)) ----
+
+// XSubstitution records one application of a Section 4 X-side rule.
+type XSubstitution = chase.XSubstitution
+
+// ApplyXSubstitutions applies the domain-dependent left-hand-side
+// substitution rules once; iterate until no substitutions are returned.
+func ApplyXSubstitutions(r *relation.Relation, fds []fd.FD) (*relation.Relation, []XSubstitution, error) {
+	return chase.ApplyXSubstitutions(r, fds)
+}
+
+// ---- Constraint-maintaining store (modification operations) ----
+
+// Store is a relation instance guarded by FDs under weak satisfiability:
+// mutations that admit no completion are rejected with a chase witness,
+// and the NS-rules substitute forced nulls after every accepted change.
+type Store = store.Store
+
+// StoreOptions configure a Store.
+type StoreOptions = store.Options
+
+// InconsistencyError is returned for mutations the dependencies forbid.
+type InconsistencyError = store.InconsistencyError
+
+// NewStore creates an empty guarded store.
+func NewStore(s *schema.Scheme, fds []fd.FD, opts StoreOptions) *Store {
+	return store.New(s, fds, opts)
+}
+
+// LoadStore reads a store persisted with Store.Save (the relio text
+// format), re-chasing and rejecting inconsistent files.
+func LoadStore(r io.Reader, opts StoreOptions) (*Store, error) {
+	return store.Load(r, opts)
+}
+
+// ---- Dependency discovery ----
+
+// DiscoverOptions bound the FD-discovery lattice search.
+type DiscoverOptions = discover.Options
+
+// DiscoverFDs mines the minimal functional dependencies holding in an
+// instance with nulls: under the strong convention the *certain*
+// dependencies (holding in every completion), under the weak convention
+// the dependencies consistent with the data.
+func DiscoverFDs(r *relation.Relation, opts DiscoverOptions) ([]fd.FD, error) {
+	return discover.Run(r, opts)
+}
+
+// DiscoverCover mines dependencies and reduces them to a minimal cover.
+func DiscoverCover(r *relation.Relation, opts DiscoverOptions) ([]fd.FD, error) {
+	return discover.Cover(r, opts)
+}
+
+// ---- Witnesses and adversarial fixtures ----
+
+// CounterexampleWitness returns the two-tuple witness refuting F ⊨ g, or
+// false when g is implied — the constructive completeness direction of
+// Theorem 1. Materialize it with Witness.Build or Witness.BuildWithNulls.
+func CounterexampleWitness(fds []fd.FD, g fd.FD, all schema.AttrSet) (fd.Witness, bool) {
+	return fd.CounterexampleWitness(fds, g, all)
+}
+
+// ArmstrongRelation builds an instance over a fresh p-attribute scheme
+// that satisfies a functional dependency exactly when F implies it — the
+// universal adversarial fixture for FD checkers.
+func ArmstrongRelation(p int, fds []fd.FD) (*schema.Scheme, *relation.Relation, error) {
+	return workload.ArmstrongRelation(p, fds)
+}

@@ -1,0 +1,85 @@
+package fdnull_test
+
+// Large-scale integration test: the full pipeline at a size two orders of
+// magnitude beyond the unit fixtures. Guarded by -short.
+
+import (
+	"testing"
+
+	fdnull "fdnull"
+	"fdnull/internal/chase"
+	"fdnull/internal/testfds"
+	"fdnull/internal/workload"
+)
+
+func TestLargeScalePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale pipeline skipped in -short mode")
+	}
+	const n = 8000
+	s, fds, r := workload.Employees(n, 50, 0.15, 777)
+	if r.Len() != n {
+		t.Fatalf("generator produced %d tuples", r.Len())
+	}
+
+	// 1. TEST-FDs, all algorithms except the quadratic one, must agree.
+	okSorted, _ := testfds.Check(r, fds, testfds.Weak, testfds.Sorted)
+	okBucket, _ := testfds.Check(r, fds, testfds.Weak, testfds.Bucket)
+	if !okSorted || !okBucket {
+		t.Fatal("employee workload must pass the weak test")
+	}
+
+	// 2. The chase terminates within the theoretical pass bound and
+	// stays consistent; all forced contract types get substituted.
+	res, err := chase.Run(r, fds, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("workload must be weakly satisfiable")
+	}
+	bound := r.Len()*s.Arity() + 1
+	if res.Passes > bound {
+		t.Fatalf("passes %d exceed bound %d", res.Passes, bound)
+	}
+	if res.Relation.NullCount() >= r.NullCount() {
+		t.Error("the chase should have substituted some forced nulls")
+	}
+
+	// 3. The chased instance is a fixpoint and still passes TEST-FDs.
+	res2, err := chase.Run(res.Relation, fds, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Applications != 0 {
+		t.Error("chase output must be a fixpoint")
+	}
+	if ok, _ := testfds.Check(res.Relation, fds, testfds.Weak, testfds.Sorted); !ok {
+		t.Error("chased instance must pass the weak test")
+	}
+
+	// 4. Normalization pipeline at scale: decompose, project, pad, chase.
+	comps := fdnull.ThreeNFSynthesize(s.All(), fds)
+	lossless, err := fdnull.Lossless(s.All(), comps, fds)
+	if err != nil || !lossless {
+		t.Fatalf("3NF synthesis must be lossless: %v %v", lossless, err)
+	}
+	frags, err := fdnull.ProjectInstance(res.Relation, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := fdnull.PadToUniversal(s, frags, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okU, _, err := fdnull.WeaklySatisfiable(u, fds)
+	if err != nil || !okU {
+		t.Fatalf("padded reassembly must be weakly satisfiable: %v %v", okU, err)
+	}
+
+	// 5. Three-valued selection over the chased instance.
+	sel := fdnull.Select(res.Relation, fdnull.Eq{Attr: s.MustAttr("CT"), Const: "full"})
+	if len(sel.Sure) == 0 {
+		t.Error("some employees certainly have full contracts")
+	}
+}

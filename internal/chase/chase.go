@@ -1,0 +1,481 @@
+// Package chase implements Section 6 of the paper: Null-Equality
+// Constraints (Definition 1), the Null-Substitution rules (Definition 2),
+// minimally incomplete instances, and the extended rule system with the
+// `nothing` (inconsistent) element that makes the rules a finite
+// Church–Rosser system (Theorem 4, proved via congruence closure in
+// [Graham 80] / [Downey–Sethi–Tarjan 80]).
+//
+// # Symbols and classes
+//
+// Every cell of the instance denotes a symbol: a constant, or a marked
+// null. The chase maintains a union-find over symbols:
+//
+//   - applying NS-rule (a) — one side null, the other a constant — unions
+//     the null's class with the constant's class (the substitution);
+//   - applying NS-rule (b) — both sides null — unions the two null classes
+//     (introducing the NEC t_i[Y] := t_j[Y]);
+//   - in the extended system, two *distinct constants* forced together
+//     poison the class: every member cell becomes `nothing`, and — exactly
+//     as the paper specifies — so does every other occurrence of those
+//     constants ("the replacement with nothing of all constants that are
+//     equal to them").
+//
+// The plain system of Definition 2 never merges distinct constants, and is
+// *not* confluent: the order of rule application can matter (the paper's
+// Figure 5 example, reproduced in the tests). The extended system is
+// confluent; Theorem 4(b) reduces weak satisfiability of F in r to the
+// absence of `nothing` in the unique normal form.
+package chase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// Mode selects the rule system.
+type Mode int
+
+const (
+	// Plain is Definition 2 exactly: NS-rules fire only when at least one
+	// of the Y-cells is null. Not confluent.
+	Plain Mode = iota
+	// Extended additionally merges distinct constants into `nothing`
+	// (Section 6's extension before Theorem 4). Confluent.
+	Extended
+)
+
+func (m Mode) String() string {
+	if m == Plain {
+		return "plain"
+	}
+	return "extended"
+}
+
+// Engine selects the implementation strategy.
+type Engine int
+
+const (
+	// Naive applies rules pairwise in passes, in a deterministic
+	// (configurable) order — the paper's O(|F|·n³·p) analysis.
+	Naive Engine = iota
+	// Congruence buckets tuples by X-signature each pass — the
+	// congruence-closure strategy of [Downey–Sethi–Tarjan 80] that Theorem
+	// 4 builds on, O(|F|·n·log(|F|·n))-flavored on our workloads.
+	Congruence
+)
+
+func (e Engine) String() string {
+	if e == Naive {
+		return "naive"
+	}
+	return "congruence"
+}
+
+// Result reports the outcome of a chase.
+type Result struct {
+	// Relation is the resolved instance: substituted nulls are written
+	// back, surviving nulls are renamed to canonical marks (the smallest
+	// mark of their NEC class, so same-class nulls share a mark), and
+	// poisoned cells hold `nothing`.
+	Relation *relation.Relation
+	// NECs lists the nontrivial equivalence classes of surviving null
+	// marks (original marks, ascending within a class).
+	NECs [][]int
+	// Consistent reports the absence of `nothing` — per Theorem 4(b),
+	// under Extended mode this decides weak satisfiability of F in r.
+	Consistent bool
+	// Passes is the number of full sweeps executed.
+	Passes int
+	// Applications counts individual NS-rule firings (class merges).
+	Applications int
+	// Stuck lists classical conflicts the Plain system could not act on:
+	// pairs of tuples agreeing on X with distinct constant Y-values.
+	// Always empty in Extended mode (those merge into nothing instead).
+	Stuck []Conflict
+}
+
+// Conflict records a classical FD violation between two tuples.
+type Conflict struct {
+	FD     fd.FD
+	T1, T2 int
+	Attr   schema.Attr
+}
+
+func (c Conflict) String() string {
+	return fmt.Sprintf("tuples %d,%d conflict on attribute %d", c.T1, c.T2, c.Attr)
+}
+
+// Options configure a chase run.
+type Options struct {
+	Mode   Mode
+	Engine Engine
+	// RuleOrder permutes the FD list for the Naive engine; nil means
+	// given order. Exists to exhibit the Plain system's order dependence.
+	RuleOrder []int
+	// MaxPasses bounds the sweeps as a safety net; 0 means the
+	// theoretical bound n·p+1 (every pass must merge at least one class).
+	MaxPasses int
+}
+
+// Run chases r with the NS-rules for fds and returns the fixpoint. The
+// input relation is not modified.
+func Run(r *relation.Relation, fds []fd.FD, opts Options) (*Result, error) {
+	c, err := newChaser(r, fds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.run()
+}
+
+// WeaklySatisfiable decides weak satisfiability of fds in r through
+// Theorem 4(b): chase with the extended rules and test for nothing.
+//
+// Like the paper's Section 6 machinery, the decision is made over symbols,
+// i.e. under the assumption that attribute domains are large enough that a
+// surviving null can always be completed with a fresh value ("in a
+// carefully designed database we would expect the domain ... to be
+// sufficiently large", Section 4). On very small domains an instance can
+// be unsatisfiable through [F2]-style domain exhaustion even though the
+// chase finds no contradiction; the paper calls that test "domain and
+// state-dependent, thus having an unacceptable complexity" and excludes
+// it. eval.WeakSatisfied is the (exponential) domain-aware ground truth.
+func WeaklySatisfiable(r *relation.Relation, fds []fd.FD) (bool, *Result, error) {
+	res, err := Run(r, fds, Options{Mode: Extended, Engine: Congruence})
+	if err != nil {
+		return false, nil, err
+	}
+	return res.Consistent, res, nil
+}
+
+// MinimallyIncomplete reports whether no NS-rule applies to r (the
+// fixpoint test): r is already minimally incomplete with respect to fds.
+func MinimallyIncomplete(r *relation.Relation, fds []fd.FD, mode Mode) (bool, error) {
+	res, err := Run(r, fds, Options{Mode: mode, Engine: Naive})
+	if err != nil {
+		return false, err
+	}
+	return res.Applications == 0, nil
+}
+
+// chaser is the working state of one run.
+type chaser struct {
+	r    *relation.Relation
+	fds  []fd.FD
+	opts Options
+
+	// symbol ids: constants and null marks get dense ids.
+	constID map[string]int
+	markID  map[int]int
+	symbols []symbol
+
+	// cells[i][a] is the symbol id of cell (i, a); -1 for input `nothing`.
+	cells [][]int
+
+	// union-find over symbol ids.
+	parent []int
+	rank   []int
+	info   []classInfo
+
+	applications int
+	stuck        []Conflict
+}
+
+type symbol struct {
+	isConst bool
+	c       string
+	mark    int
+}
+
+type classInfo struct {
+	hasConst bool
+	c        string
+	minMark  int // smallest member mark; valid when the class has nulls
+	hasMark  bool
+	poisoned bool
+}
+
+func newChaser(r *relation.Relation, fds []fd.FD, opts Options) (*chaser, error) {
+	c := &chaser{
+		r:       r,
+		fds:     fds,
+		opts:    opts,
+		constID: map[string]int{},
+		markID:  map[int]int{},
+	}
+	if opts.Engine == Congruence && opts.Mode == Plain {
+		return nil, fmt.Errorf("chase: the congruence engine implements the extended (Church-Rosser) system only; the plain system is order-dependent and needs the naive engine")
+	}
+	if opts.RuleOrder != nil {
+		if len(opts.RuleOrder) != len(fds) {
+			return nil, fmt.Errorf("chase: RuleOrder has %d entries for %d FDs", len(opts.RuleOrder), len(fds))
+		}
+		perm := make([]fd.FD, len(fds))
+		seen := make([]bool, len(fds))
+		for i, j := range opts.RuleOrder {
+			if j < 0 || j >= len(fds) || seen[j] {
+				return nil, fmt.Errorf("chase: RuleOrder is not a permutation")
+			}
+			seen[j] = true
+			perm[i] = fds[j]
+		}
+		c.fds = perm
+	}
+	p := r.Scheme().Arity()
+	c.cells = make([][]int, r.Len())
+	for i, t := range r.Tuples() {
+		c.cells[i] = make([]int, p)
+		for a := 0; a < p; a++ {
+			v := t[a]
+			switch {
+			case v.IsConst():
+				c.cells[i][a] = c.internConst(v.Const())
+			case v.IsNull():
+				c.cells[i][a] = c.internMark(v.Mark())
+			default:
+				// Input nothing: a fresh poisoned class.
+				id := c.addSymbol(symbol{}, classInfo{poisoned: true})
+				c.cells[i][a] = id
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *chaser) internConst(s string) int {
+	if id, ok := c.constID[s]; ok {
+		return id
+	}
+	id := c.addSymbol(symbol{isConst: true, c: s}, classInfo{hasConst: true, c: s})
+	c.constID[s] = id
+	return id
+}
+
+func (c *chaser) internMark(m int) int {
+	if id, ok := c.markID[m]; ok {
+		return id
+	}
+	id := c.addSymbol(symbol{mark: m}, classInfo{minMark: m, hasMark: true})
+	c.markID[m] = id
+	return id
+}
+
+func (c *chaser) addSymbol(s symbol, ci classInfo) int {
+	id := len(c.symbols)
+	c.symbols = append(c.symbols, s)
+	c.parent = append(c.parent, id)
+	c.rank = append(c.rank, 0)
+	c.info = append(c.info, ci)
+	return id
+}
+
+func (c *chaser) find(x int) int {
+	for c.parent[x] != x {
+		c.parent[x] = c.parent[c.parent[x]]
+		x = c.parent[x]
+	}
+	return x
+}
+
+// union merges the classes of a and b, combining class info; reports
+// whether a merge happened and whether it poisoned the class.
+func (c *chaser) union(a, b int) bool {
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return false
+	}
+	if c.rank[ra] < c.rank[rb] {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
+	if c.rank[ra] == c.rank[rb] {
+		c.rank[ra]++
+	}
+	ia, ib := &c.info[ra], c.info[rb]
+	if ib.poisoned {
+		ia.poisoned = true
+	}
+	if ib.hasConst {
+		if ia.hasConst && ia.c != ib.c {
+			ia.poisoned = true
+		} else {
+			ia.hasConst = true
+			ia.c = ib.c
+		}
+	}
+	if ib.hasMark && (!ia.hasMark || ib.minMark < ia.minMark) {
+		ia.hasMark = true
+		ia.minMark = ib.minMark
+	}
+	c.applications++
+	return true
+}
+
+func (c *chaser) run() (*Result, error) {
+	maxPasses := c.opts.MaxPasses
+	if maxPasses == 0 {
+		maxPasses = c.r.Len()*c.r.Scheme().Arity() + 1
+	}
+	passes := 0
+	for passes < maxPasses {
+		passes++
+		var changed bool
+		if c.opts.Engine == Congruence {
+			changed = c.passCongruence()
+		} else {
+			changed = c.passNaive()
+		}
+		if !changed {
+			break
+		}
+	}
+	return c.result(passes), nil
+}
+
+// passNaive applies every rule to every tuple pair once, in order. Stuck
+// conflicts are re-derived each sweep so the final (fixpoint) sweep leaves
+// exactly one occurrence of each.
+func (c *chaser) passNaive() bool {
+	changed := false
+	c.stuck = c.stuck[:0]
+	n := c.r.Len()
+	for _, f := range c.fds {
+		xAttrs := f.X.Attrs()
+		yAttrs := f.Y.Attrs()
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if !c.equalOn(i, j, xAttrs) {
+					continue
+				}
+				for _, a := range yAttrs {
+					if c.applyY(f, i, j, a) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// equalOn reports t_i[X] = t_j[X] under the current classes: every pair of
+// cells is in the same class (equal constants, a null bound to the same
+// constant, or nulls related by NECs). Poisoned classes compare equal to
+// themselves only, which keeps rule application monotone.
+func (c *chaser) equalOn(i, j int, attrs []schema.Attr) bool {
+	for _, a := range attrs {
+		if c.find(c.cells[i][a]) != c.find(c.cells[j][a]) {
+			return false
+		}
+	}
+	return true
+}
+
+// applyY fires the NS-rule on attribute a of tuples i and j. Returns true
+// if the class structure changed.
+func (c *chaser) applyY(f fd.FD, i, j int, a schema.Attr) bool {
+	ra, rb := c.find(c.cells[i][a]), c.find(c.cells[j][a])
+	if ra == rb {
+		return false
+	}
+	ia, ib := c.info[ra], c.info[rb]
+	if c.opts.Mode == Plain {
+		if ia.hasConst && ib.hasConst {
+			// Distinct constants: Definition 2 has no applicable rule; the
+			// pair is a classical conflict the plain system cannot touch.
+			c.stuck = append(c.stuck, Conflict{FD: f, T1: i, T2: j, Attr: a})
+			return false
+		}
+		if ia.poisoned || ib.poisoned {
+			return false
+		}
+	}
+	return c.union(ra, rb)
+}
+
+// passCongruence buckets tuples by the class signature of their X-cells
+// and unions the Y-cells of each bucket.
+func (c *chaser) passCongruence() bool {
+	changed := false
+	n := c.r.Len()
+	for _, f := range c.fds {
+		xAttrs := f.X.Attrs()
+		yAttrs := f.Y.Attrs()
+		buckets := make(map[string]int, n) // signature -> first tuple index
+		var sig strings.Builder
+		for i := 0; i < n; i++ {
+			sig.Reset()
+			for _, a := range xAttrs {
+				fmt.Fprintf(&sig, "%d,", c.find(c.cells[i][a]))
+			}
+			key := sig.String()
+			first, ok := buckets[key]
+			if !ok {
+				buckets[key] = i
+				continue
+			}
+			for _, a := range yAttrs {
+				if c.union(c.cells[first][a], c.cells[i][a]) {
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// result materializes the resolved relation and class report.
+func (c *chaser) result(passes int) *Result {
+	s := c.r.Scheme()
+	out := relation.New(s)
+	consistent := true
+	for i := 0; i < c.r.Len(); i++ {
+		t := make(relation.Tuple, s.Arity())
+		for a := 0; a < s.Arity(); a++ {
+			root := c.find(c.cells[i][a])
+			ci := c.info[root]
+			switch {
+			case ci.poisoned:
+				t[a] = value.NewNothing()
+				consistent = false
+			case ci.hasConst:
+				t[a] = value.NewConst(ci.c)
+			default:
+				t[a] = value.NewNull(ci.minMark)
+			}
+		}
+		out.InsertUnchecked(t)
+	}
+	// Collect surviving NEC classes: original marks grouped by root, for
+	// roots that remained unbound nulls, classes of size ≥ 2.
+	groups := map[int][]int{}
+	for m, id := range c.markID {
+		root := c.find(id)
+		ci := c.info[root]
+		if ci.poisoned || ci.hasConst {
+			continue
+		}
+		groups[root] = append(groups[root], m)
+	}
+	var necs [][]int
+	for _, ms := range groups {
+		if len(ms) >= 2 {
+			sort.Ints(ms)
+			necs = append(necs, ms)
+		}
+	}
+	sort.Slice(necs, func(i, j int) bool { return necs[i][0] < necs[j][0] })
+	return &Result{
+		Relation:     out,
+		NECs:         necs,
+		Consistent:   consistent,
+		Passes:       passes,
+		Applications: c.applications,
+		Stuck:        c.stuck,
+	}
+}

@@ -1,0 +1,200 @@
+package chase
+
+import (
+	"testing"
+
+	"fdnull/internal/eval"
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+)
+
+func xsubScheme() *schema.Scheme {
+	return schema.MustNew("R", []string{"A", "B", "C"}, []*schema.Domain{
+		schema.MustDomain("domA", "a1", "a2", "a3"),
+		schema.IntDomain("domB", "b", 4),
+		schema.IntDomain("domC", "c", 4),
+	})
+}
+
+func TestXSubCondition1(t *testing.T) {
+	// All completions of t[A] appear; exactly one agrees on C ⇒ the null
+	// is substituted with that completion's A-value.
+	s := xsubScheme()
+	fds := []fd.FD{fd.MustParse(s, "A,B -> C")}
+	r := relation.MustFromRows(s,
+		[]string{"-", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+		[]string{"a2", "b1", "c1"}, // the unique agreeing completion
+		[]string{"a3", "b1", "c3"})
+	out, subs, err := ApplyXSubstitutions(r, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Condition != 1 || subs[0].Value != "a2" {
+		t.Fatalf("subs = %v, want one condition-1 substitution with a2", subs)
+	}
+	got := out.Tuple(0)[0]
+	if !got.IsConst() || got.Const() != "a2" {
+		t.Errorf("A = %v, want a2", got)
+	}
+	// The substitution is the only consistent one: the FD must now be
+	// true on the tuple where it was unknown before.
+	before, err := eval.Evaluate(fds[0], r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := eval.Evaluate(fds[0], out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Truth != tvl.Unknown || after.Truth != tvl.True {
+		t.Errorf("before=%v after=%v, want unknown -> true", before, after)
+	}
+}
+
+func TestXSubCondition2(t *testing.T) {
+	// All completions but one appear, and all disagree on C ⇒ the null
+	// must be the missing value.
+	s := xsubScheme()
+	fds := []fd.FD{fd.MustParse(s, "A,B -> C")}
+	r := relation.MustFromRows(s,
+		[]string{"-", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+		[]string{"a2", "b1", "c3"}) // a3 missing; both present disagree with c1
+	out, subs, err := ApplyXSubstitutions(r, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Condition != 2 || subs[0].Value != "a3" {
+		t.Fatalf("subs = %v, want one condition-2 substitution with a3", subs)
+	}
+	if got := out.Tuple(0)[0]; !got.IsConst() || got.Const() != "a3" {
+		t.Errorf("A = %v, want a3", got)
+	}
+	after, err := eval.Evaluate(fds[0], out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Truth != tvl.True {
+		t.Errorf("after substitution the FD should be true, got %v", after)
+	}
+}
+
+func TestXSubNoRule(t *testing.T) {
+	s := xsubScheme()
+	fds := []fd.FD{fd.MustParse(s, "A,B -> C")}
+	cases := []*relation.Relation{
+		// Two agreeing completions: condition (1) needs exactly one.
+		relation.MustFromRows(s,
+			[]string{"-", "b1", "c1"},
+			[]string{"a1", "b1", "c1"},
+			[]string{"a2", "b1", "c1"},
+			[]string{"a3", "b1", "c2"}),
+		// Not all completions present and more than one missing.
+		relation.MustFromRows(s,
+			[]string{"-", "b1", "c1"},
+			[]string{"a1", "b1", "c2"}),
+		// Null in Y too: outside the rule's premises.
+		relation.MustFromRows(s,
+			[]string{"-", "b1", "-"},
+			[]string{"a1", "b1", "c2"},
+			[]string{"a2", "b1", "c3"}),
+		// A present completion agrees ⇒ condition (2) blocked, and all
+		// present ⇒ condition (1) needs the agree count to be one; here
+		// it is two.
+		relation.MustFromRows(s,
+			[]string{"-", "b1", "c1"},
+			[]string{"a1", "b1", "c1"},
+			[]string{"a2", "b1", "c1"},
+			[]string{"a3", "b1", "c1"}),
+	}
+	for i, r := range cases {
+		out, subs, err := ApplyXSubstitutions(r, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subs) != 0 {
+			t.Errorf("case %d: unexpected substitutions %v", i, subs)
+		}
+		if !relation.Equal(out, r) {
+			t.Errorf("case %d: instance changed without substitutions", i)
+		}
+	}
+}
+
+func TestXSubSharedMarkBlocked(t *testing.T) {
+	// A shared mark means the substitution would leak to another cell;
+	// the rule must not fire.
+	s := xsubScheme()
+	fds := []fd.FD{fd.MustParse(s, "A,B -> C")}
+	r := relation.New(s)
+	r.MustInsertRow("-9", "b1", "c1")
+	r.MustInsertRow("a1", "b1", "c2")
+	r.MustInsertRow("a2", "b1", "c3")
+	// Another occurrence of mark 9 elsewhere.
+	r.MustInsertRow("-9", "b2", "c1")
+	_, subs, err := ApplyXSubstitutions(r, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 0 {
+		t.Errorf("shared-mark substitution must be blocked, got %v", subs)
+	}
+}
+
+func TestXSubCondition2BlockedByNullY(t *testing.T) {
+	// Condition (2) requires every present completion to have a non-null
+	// Y disagreeing; a null Y among them blocks the rule.
+	s := xsubScheme()
+	fds := []fd.FD{fd.MustParse(s, "A,B -> C")}
+	r := relation.MustFromRows(s,
+		[]string{"-", "b1", "c1"},
+		[]string{"a1", "b1", "-"},
+		[]string{"a2", "b1", "c3"})
+	_, subs, err := ApplyXSubstitutions(r, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 0 {
+		t.Errorf("null-Y completion must block condition 2, got %v", subs)
+	}
+}
+
+func TestXSubIterateToFixpoint(t *testing.T) {
+	// Two substitutable tuples; iterating reaches a fixpoint with no
+	// further rules.
+	s := xsubScheme()
+	fds := []fd.FD{fd.MustParse(s, "A,B -> C")}
+	r := relation.MustFromRows(s,
+		[]string{"-", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+		[]string{"a2", "b1", "c1"},
+		[]string{"a3", "b1", "c3"},
+		[]string{"-", "b2", "c4"},
+		[]string{"a1", "b2", "c1"},
+		[]string{"a2", "b2", "c2"}) // a3 missing for b2; both disagree with c4
+	cur := r
+	rounds := 0
+	for {
+		out, subs, err := ApplyXSubstitutions(cur, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(subs) == 0 {
+			break
+		}
+		cur = out
+		rounds++
+		if rounds > 5 {
+			t.Fatal("X-substitution did not reach a fixpoint")
+		}
+	}
+	if cur.NullCount() != 0 {
+		t.Errorf("all X-nulls should be resolved:\n%s", cur)
+	}
+	if rounds == 0 {
+		t.Error("expected at least one substitution round")
+	}
+}

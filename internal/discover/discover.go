@@ -1,0 +1,129 @@
+// Package discover mines the functional dependencies holding in a
+// relation instance with nulls — the inverse of satisfiability checking.
+//
+// Discovery runs a level-wise lattice search per determined attribute:
+// for each A, candidate determinant sets X ⊆ R−{A} are tested in order of
+// size, and supersets of accepted determinants are pruned (only *minimal*
+// FDs are reported). Each candidate test is one TEST-FDs scan, so the two
+// conventions of Theorems 2 and 3 yield two discovery flavors:
+//
+//   - Strong: X → A passes the strong convention — it holds under every
+//     completion of the nulls (certain dependencies);
+//   - Weak: X → A passes the weak convention — no pair of tuples
+//     definitely violates it (dependencies consistent with the data; on
+//     minimally incomplete instances this is the paper's weak
+//     satisfiability per FD).
+//
+// Every strongly-discovered FD is also weakly discovered (the strong
+// convention flags strictly more comparisons as conflicting).
+//
+// A classical exactness property ties discovery to the rest of the
+// library: discovering on an Armstrong relation of F (workload package)
+// recovers a cover equivalent to F.
+package discover
+
+import (
+	"fmt"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/testfds"
+)
+
+// Options bound the search.
+type Options struct {
+	// MaxLHS caps determinant size; 0 means p−1 (exhaustive).
+	MaxLHS int
+	// Convention selects certain (Strong) or consistent (Weak)
+	// dependencies.
+	Convention testfds.Convention
+}
+
+// Run returns the minimal FDs X → A holding in r under the convention,
+// for every attribute A and every minimal determinant X with
+// |X| ≤ MaxLHS. The result is deterministic: attributes ascending,
+// determinants in ascending size then bitmask order.
+func Run(r *relation.Relation, opts Options) ([]fd.FD, error) {
+	s := r.Scheme()
+	p := s.Arity()
+	maxLHS := opts.MaxLHS
+	if maxLHS <= 0 || maxLHS > p-1 {
+		maxLHS = p - 1
+	}
+	if p > 24 {
+		return nil, fmt.Errorf("discover: %d attributes exceed the lattice-search budget", p)
+	}
+	var out []fd.FD
+	for a := schema.Attr(0); int(a) < p; a++ {
+		rest := s.All().Remove(a)
+		target := schema.NewAttrSet(a)
+		// Level-wise search with minimality pruning.
+		var accepted []schema.AttrSet
+		level := []schema.AttrSet{0}
+		for size := 1; size <= maxLHS; size++ {
+			next := expand(level, rest)
+			level = level[:0]
+			for _, x := range next {
+				if supersetOfAny(x, accepted) {
+					continue // a smaller determinant exists; not minimal
+				}
+				candidate := fd.New(x, target)
+				if ok, _ := testfds.Check(r, []fd.FD{candidate}, opts.Convention, testfds.Sorted); ok {
+					accepted = append(accepted, x)
+					out = append(out, candidate)
+				} else {
+					level = append(level, x) // extend failed candidates only
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// expand grows each set by one attribute from pool, deduplicating and
+// keeping ascending bitmask order.
+func expand(level []schema.AttrSet, pool schema.AttrSet) []schema.AttrSet {
+	seen := map[schema.AttrSet]bool{}
+	var out []schema.AttrSet
+	for _, x := range level {
+		for _, a := range pool.Diff(x).Attrs() {
+			// Only extend with attributes above the current maximum to
+			// enumerate each set once (combinations, not permutations).
+			if !x.Empty() && a <= maxAttr(x) {
+				continue
+			}
+			nx := x.Add(a)
+			if !seen[nx] {
+				seen[nx] = true
+				out = append(out, nx)
+			}
+		}
+	}
+	return out
+}
+
+func maxAttr(x schema.AttrSet) schema.Attr {
+	attrs := x.Attrs()
+	return attrs[len(attrs)-1]
+}
+
+func supersetOfAny(x schema.AttrSet, accepted []schema.AttrSet) bool {
+	for _, a := range accepted {
+		if a.SubsetOf(x) {
+			return true
+		}
+	}
+	return false
+}
+
+// Cover runs discovery and reduces the result to a minimal cover —
+// convenient when the instance is an Armstrong-style fixture and the
+// caller wants the generating dependencies back.
+func Cover(r *relation.Relation, opts Options) ([]fd.FD, error) {
+	fds, err := Run(r, opts)
+	if err != nil {
+		return nil, err
+	}
+	return fd.MinimalCover(fds), nil
+}

@@ -1,0 +1,177 @@
+package discover
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/testfds"
+	"fdnull/internal/workload"
+)
+
+func TestDiscoverOnCompleteInstance(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 6)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	r := relation.MustFromRows(s,
+		[]string{"v1", "v1", "v2"},
+		[]string{"v2", "v1", "v2"},
+		[]string{"v3", "v2", "v4"})
+	// B determines C here (pairs with equal B have equal C); A determines
+	// everything (unique).
+	fds, err := Run(r, Options{Convention: testfds.Strong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"A -> B", "A -> C", "B -> C", "C -> B"}
+	for _, w := range want {
+		g := fd.MustParse(s, w)
+		if !fd.Implies(fds, g) {
+			t.Errorf("discovered set should imply %s; got %s", w, fd.FormatSet(s, fds))
+		}
+	}
+	if fd.Implies(fds, fd.MustParse(s, "B -> A")) {
+		t.Errorf("B does not determine A; got %s", fd.FormatSet(s, fds))
+	}
+}
+
+func TestDiscoverMinimality(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 6)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	r := relation.MustFromRows(s,
+		[]string{"v1", "v1", "v1"},
+		[]string{"v2", "v2", "v1"},
+		[]string{"v3", "v3", "v2"})
+	fds, err := Run(r, Options{Convention: testfds.Strong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A -> C holds, so A,B -> C must not be reported (not minimal).
+	for _, f := range fds {
+		if f.X.Len() > 1 {
+			// Check no proper subset also passes.
+			for _, a := range f.X.Attrs() {
+				sub := fd.New(f.X.Remove(a), f.Y)
+				if sub.X.Empty() {
+					continue
+				}
+				if ok, _ := testfds.Check(r, []fd.FD{sub}, testfds.Strong, testfds.Sorted); ok {
+					t.Errorf("non-minimal FD reported: %s (subset %s passes)",
+						f.Format(s), sub.Format(s))
+				}
+			}
+		}
+	}
+}
+
+// TestDiscoverRecoversArmstrong is the exactness loop: generate the
+// Armstrong relation of F, discover, and check cover-equivalence with F.
+func TestDiscoverRecoversArmstrong(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const p = 4
+	all := schema.AttrSet(1)<<p - 1
+	for trial := 0; trial < 40; trial++ {
+		var fds []fd.FD
+		for i := 0; i < rng.Intn(3); i++ {
+			x := schema.AttrSet(rng.Intn(int(all)) + 1)
+			y := schema.AttrSet(rng.Intn(int(all)) + 1).Diff(x)
+			if y.Empty() {
+				continue
+			}
+			fds = append(fds, fd.New(x, y))
+		}
+		_, r, err := workload.ArmstrongRelation(p, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Cover(r, Options{Convention: testfds.Strong})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fd.Equivalent(got, fds) {
+			t.Fatalf("trial %d: discovery on the Armstrong relation of %v returned inequivalent %v",
+				trial, fds, got)
+		}
+	}
+}
+
+func TestDiscoverStrongSubsetOfWeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dom := schema.IntDomain("d", "v", 4)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	for trial := 0; trial < 60; trial++ {
+		r := relation.New(s)
+		for i := 0; i < 2+rng.Intn(4); i++ {
+			row := make([]string, 3)
+			for j := range row {
+				if rng.Intn(4) == 0 {
+					row[j] = "-"
+				} else {
+					row[j] = dom.Values[rng.Intn(dom.Size())]
+				}
+			}
+			_ = r.InsertRow(row...)
+		}
+		if r.Len() == 0 {
+			continue
+		}
+		strong, err := Run(r, Options{Convention: testfds.Strong})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weak, err := Run(r, Options{Convention: testfds.Weak})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range strong {
+			if !fd.Implies(weak, f) {
+				t.Fatalf("trial %d: strongly-discovered %v not implied by weakly-discovered set\n%s",
+					trial, f, r)
+			}
+		}
+	}
+}
+
+func TestDiscoverMaxLHS(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 8)
+	s := schema.Uniform("R", []string{"A", "B", "C", "D"}, dom)
+	r := relation.MustFromRows(s,
+		[]string{"v1", "v1", "v1", "v1"},
+		[]string{"v1", "v2", "v1", "v2"},
+		[]string{"v2", "v1", "v1", "v3"},
+		[]string{"v2", "v2", "v2", "v4"})
+	fds, err := Run(r, Options{MaxLHS: 1, Convention: testfds.Strong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fds {
+		if f.X.Len() > 1 {
+			t.Errorf("MaxLHS=1 violated by %v", f)
+		}
+	}
+	// A,B determines D in this instance, so raising the cap must add it.
+	fds2, err := Run(r, Options{MaxLHS: 2, Convention: testfds.Strong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fd.Implies(fds2, fd.MustParse(s, "A,B -> D")) {
+		t.Errorf("two-attribute determinant missed: %s", fd.FormatSet(s, fds2))
+	}
+}
+
+func TestDiscoverValidation(t *testing.T) {
+	wide := schema.Uniform("W", make25(), schema.IntDomain("d", "v", 2))
+	r := relation.New(wide)
+	if _, err := Run(r, Options{}); err == nil {
+		t.Error("oversized schemes must be rejected")
+	}
+}
+
+func make25() []string {
+	out := make([]string, 25)
+	for i := range out {
+		out[i] = string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	return out
+}

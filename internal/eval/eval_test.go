@@ -1,0 +1,505 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+)
+
+// fig2Scheme builds R(A, B, C) with |dom(A)| = 2, as Figure 2 stipulates
+// for instance r4.
+func fig2Scheme() *schema.Scheme {
+	return schema.MustNew("R", []string{"A", "B", "C"}, []*schema.Domain{
+		schema.MustDomain("domA", "a1", "a2"),
+		schema.IntDomain("domB", "b", 3),
+		schema.IntDomain("domC", "c", 3),
+	})
+}
+
+func TestFigure2_R1_T2(t *testing.T) {
+	// r1: t1 = (a1, b1, -); no other tuple shares t1[AB] ⇒ true by [T2].
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "b1", "-"},
+		[]string{"a1", "b2", "c1"},
+	)
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.True || v.Case != CaseT2 {
+		t.Errorf("f(t1,r1) = %v, want true [T2]", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestFigure2_R2_T3(t *testing.T) {
+	// r2: t1 = (a1, -, c1); the only completion of t1[AB] present agrees
+	// on C ⇒ true by [T3].
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "-", "c1"},
+		[]string{"a1", "b1", "c1"},
+	)
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.True || v.Case != CaseT3 {
+		t.Errorf("f(t1,r2) = %v, want true [T3]", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestFigure2_R3_T3_NoCompletionPresent(t *testing.T) {
+	// r3: t1 = (a1, -, c1) and no tuple's AB-value completes t1[AB]
+	// ⇒ true by [T3] (first disjunct).
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "-", "c1"},
+		[]string{"a2", "b1", "c2"},
+	)
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.True || v.Case != CaseT3 {
+		t.Errorf("f(t1,r3) = %v, want true [T3]", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestFigure2_R4_F2(t *testing.T) {
+	// r4: t1 = (-, b1, c1) with dom(A) = {a1, a2}; both completions
+	// (a1,b1) and (a2,b1) appear in r with C-values ≠ c1 ⇒ false by [F2]:
+	// the domain is exhausted and t1[C] is unique among the completions.
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"-", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+		[]string{"a2", "b1", "c3"},
+	)
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.False || v.Case != CaseF2 {
+		t.Errorf("f(t1,r4) = %v, want false [F2]", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestT1AndF1(t *testing.T) {
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+		[]string{"a2", "b1", "c1"},
+	)
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.False || v.Case != CaseF1 {
+		t.Errorf("conflicting complete tuples: %v, want false [F1]", v)
+	}
+	v, err = Classify(f, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.True || v.Case != CaseT1 {
+		t.Errorf("unique complete tuple: %v, want true [T1]", v)
+	}
+}
+
+func TestNullInY_NotUnique_Unknown(t *testing.T) {
+	// Section 4's discussion: t[X] appears elsewhere, t[Y] is null — the
+	// substitution can go either way ⇒ unknown.
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "b1", "-"},
+		[]string{"a1", "b1", "c1"},
+	)
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.Unknown || v.Case != CaseUnknown {
+		t.Errorf("null RHS with match: %v, want unknown", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestNullInY_MatchesDisagree_False(t *testing.T) {
+	// Two matches with different C-values: no substitution of the null can
+	// agree with both ⇒ false.
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "b1", "-"},
+		[]string{"a1", "b1", "c1"},
+	)
+	// A second match with a different C forces the FD false for every
+	// substitution — but note it also makes the FD false classically
+	// between tuples 1 and 2, which is fine for a per-tuple check.
+	r.MustInsertRow("a1", "b1", "c2")
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.False {
+		t.Errorf("null RHS with disagreeing matches: %v, want false", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestSingletonDomainForcedTrue(t *testing.T) {
+	// With |dom(C)| = 1 the null substitution is forced to the matching
+	// value ⇒ true.
+	s := schema.MustNew("R", []string{"A", "C"}, []*schema.Domain{
+		schema.IntDomain("domA", "a", 2),
+		schema.MustDomain("domC", "only"),
+	})
+	f := fd.MustParse(s, "A -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "-"},
+		[]string{"a1", "only"},
+	)
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.True {
+		t.Errorf("singleton domain: %v, want true", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestNullInX_PartialCoverage_Unknown(t *testing.T) {
+	// Only one of dom(A)'s two completions appears, and it disagrees on C:
+	// substituting the other value escapes ⇒ unknown.
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"-", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+	)
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.Unknown {
+		t.Errorf("partial coverage: %v, want unknown", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestNullOnBothSides(t *testing.T) {
+	// t = (-, b1, -) alone in r: unique for every completion ⇒ true.
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s, []string{"-", "b1", "-"})
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Truth != tvl.True {
+		t.Errorf("lone tuple with nulls both sides: %v, want true", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestSharedMarkAcrossXY(t *testing.T) {
+	// t[B] and t[C] share a mark: the same unknown value. f: A,B -> C.
+	// Completing B fixes C too.
+	s := schema.Uniform("R", []string{"A", "B", "C"},
+		schema.MustDomain("d", "v1", "v2"))
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"v1", "-9", "-9"},
+		[]string{"v1", "v1", "v1"},
+	)
+	v, err := Classify(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestClassifyRejectsNullyRest(t *testing.T) {
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "b1", "c1"},
+		[]string{"a1", "-", "c2"},
+	)
+	if _, err := Classify(f, r, 0); err == nil {
+		t.Error("Classify must reject nulls outside the classified tuple")
+	}
+	// Evaluate handles it by iterating the rest's completions.
+	v, err := Evaluate(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestClassifyRejectsNothing(t *testing.T) {
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s, []string{"a1", "!", "c1"})
+	if _, err := Classify(f, r, 0); err == nil {
+		t.Error("Classify must reject the inconsistent element")
+	}
+	if _, err := Value(f, r, 0); err == nil {
+		t.Error("Value must reject the inconsistent element")
+	}
+}
+
+func TestEvaluateSharedMarkAcrossTuples(t *testing.T) {
+	// The same mark in two tuples co-varies; Evaluate must route through
+	// the full enumeration.
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "-7", "c1"},
+		[]string{"a1", "-7", "c2"},
+	)
+	v, err := Evaluate(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same B whatever the substitution, and C differs ⇒ false.
+	if v.Truth != tvl.False {
+		t.Errorf("co-varying marks: %v, want false", v)
+	}
+	assertMatchesValue(t, f, r, 0, v.Truth)
+}
+
+func TestStrongWeakHolds(t *testing.T) {
+	s := fig2Scheme()
+	f := fd.MustParse(s, "A,B -> C")
+	complete := relation.MustFromRows(s,
+		[]string{"a1", "b1", "c1"},
+		[]string{"a2", "b1", "c2"},
+	)
+	if ok, err := StrongHolds(f, complete); err != nil || !ok {
+		t.Errorf("StrongHolds on satisfying complete instance: %v, %v", ok, err)
+	}
+	withNull := relation.MustFromRows(s,
+		[]string{"a1", "b1", "-"},
+		[]string{"a1", "b1", "c1"},
+	)
+	if ok, _ := StrongHolds(f, withNull); ok {
+		t.Error("unknown tuple must break strong satisfaction")
+	}
+	if ok, err := WeakHolds(f, withNull); err != nil || !ok {
+		t.Errorf("WeakHolds should accept unknown: %v, %v", ok, err)
+	}
+	violated := relation.MustFromRows(s,
+		[]string{"a1", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+	)
+	if ok, _ := WeakHolds(f, violated); ok {
+		t.Error("classical violation must break weak satisfaction")
+	}
+}
+
+func TestSection6Interaction(t *testing.T) {
+	// The Section 6 opening example: f1: A→B, f2: B→C, and an instance
+	// where each FD weakly holds on its own but the pair has no common
+	// satisfying completion.
+	//
+	//   A   B   C
+	//   a1  -   c1
+	//   a1  -   c2
+	//
+	// For B→C to hold the two unknown B-values must differ; then A→B is
+	// false. So: each weakly holds individually, the set is not weakly
+	// satisfiable.
+	s := fig2Scheme()
+	f1 := fd.MustParse(s, "A -> B")
+	f2 := fd.MustParse(s, "B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "-", "c1"},
+		[]string{"a1", "-", "c2"},
+	)
+	each, err := EachWeaklyHolds([]fd.FD{f1, f2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !each {
+		t.Error("each FD should weakly hold individually")
+	}
+	set, err := WeakSatisfied([]fd.FD{f1, f2}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set {
+		t.Error("the set must NOT be weakly satisfiable (Section 6 example)")
+	}
+}
+
+func TestStrongSatisfiedSet(t *testing.T) {
+	s := fig2Scheme()
+	fds := fd.MustParseSet(s, "A -> B; B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "b1", "c1"},
+		[]string{"a2", "b2", "c2"},
+	)
+	if ok, err := StrongSatisfied(fds, r); err != nil || !ok {
+		t.Errorf("StrongSatisfied: %v, %v", ok, err)
+	}
+	r2 := relation.MustFromRows(s,
+		[]string{"a1", "b1", "c1"},
+		[]string{"a1", "b2", "c2"},
+	)
+	if ok, _ := StrongSatisfied(fds, r2); ok {
+		t.Error("violated set must not be strongly satisfied")
+	}
+}
+
+func TestWeakSatisfiedWithNothing(t *testing.T) {
+	s := fig2Scheme()
+	fds := fd.MustParseSet(s, "A -> B")
+	r := relation.MustFromRows(s, []string{"a1", "!", "c1"})
+	ok, err := WeakSatisfied(fds, r)
+	if err != nil || ok {
+		t.Errorf("instance with nothing: ok=%v err=%v, want false,nil", ok, err)
+	}
+}
+
+func TestReport(t *testing.T) {
+	s := fig2Scheme()
+	fds := fd.MustParseSet(s, "A -> B; B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "b1", "-"},
+		[]string{"a2", "b1", "c1"},
+	)
+	rep, err := Report(fds, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep) != 2 || len(rep[0]) != 2 {
+		t.Fatalf("report shape %dx%d", len(rep), len(rep[0]))
+	}
+	if rep[1][0].Truth != tvl.Unknown {
+		t.Errorf("B->C on tuple 0 should be unknown, got %v", rep[1][0])
+	}
+}
+
+// assertMatchesValue cross-checks a classification against the
+// least-extension ground truth.
+func assertMatchesValue(t *testing.T, f fd.FD, r *relation.Relation, ti int, got tvl.T) {
+	t.Helper()
+	want, err := Value(f, r, ti)
+	if err != nil {
+		t.Fatalf("Value: %v", err)
+	}
+	if got != want {
+		t.Errorf("classifier says %v but least-extension definition says %v\n%s", got, want, r)
+	}
+}
+
+// TestProposition1_RandomAgreement is the mechanized proof obligation of
+// Proposition 1: on random instances the polynomial classifier must agree
+// with the exponential least-extension definition.
+func TestProposition1_RandomAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260612))
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	f := fd.MustParse(s, "A,B -> C")
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(4)
+		r := relation.New(s)
+		mark := 1
+		for i := 0; i < n; i++ {
+			row := make([]string, 3)
+			for j := range row {
+				if rng.Intn(4) == 0 {
+					row[j] = "-"
+					mark++
+				} else {
+					row[j] = dom.Values[rng.Intn(dom.Size())]
+				}
+			}
+			// Instances are sets; skip duplicates.
+			if err := r.InsertRow(row...); err != nil {
+				continue
+			}
+		}
+		if r.Len() == 0 {
+			continue
+		}
+		for ti := 0; ti < r.Len(); ti++ {
+			got, err := Evaluate(f, r, ti)
+			if err != nil {
+				t.Fatalf("trial %d: Evaluate: %v", trial, err)
+			}
+			want, err := Value(f, r, ti)
+			if err != nil {
+				t.Fatalf("trial %d: Value: %v", trial, err)
+			}
+			if got.Truth != want {
+				t.Fatalf("trial %d tuple %d: Evaluate=%v Value=%v\n%s",
+					trial, ti, got.Truth, want, r)
+			}
+		}
+	}
+}
+
+// TestProposition1_MarkedNullAgreement repeats the agreement check with
+// shared marks within and across tuples.
+func TestProposition1_MarkedNullAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	dom := schema.IntDomain("d", "v", 2)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	f := fd.MustParse(s, "A -> B,C")
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(3)
+		r := relation.New(s)
+		for i := 0; i < n; i++ {
+			row := make([]string, 3)
+			for j := range row {
+				switch rng.Intn(5) {
+				case 0:
+					row[j] = "-1" // shared mark 1
+				case 1:
+					row[j] = "-2" // shared mark 2
+				default:
+					row[j] = dom.Values[rng.Intn(dom.Size())]
+				}
+			}
+			if err := r.InsertRow(row...); err != nil {
+				continue
+			}
+		}
+		if r.Len() == 0 {
+			continue
+		}
+		for ti := 0; ti < r.Len(); ti++ {
+			got, err := Evaluate(f, r, ti)
+			if err != nil {
+				t.Fatalf("trial %d: Evaluate: %v", trial, err)
+			}
+			want, err := Value(f, r, ti)
+			if err != nil {
+				t.Fatalf("trial %d: Value: %v", trial, err)
+			}
+			if got.Truth != want {
+				t.Fatalf("trial %d tuple %d: Evaluate=%v Value=%v\n%s",
+					trial, ti, got.Truth, want, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// TestImplicationSoundOnInstances is the semantic face of Theorem 1's
+// soundness direction, on arbitrary (not just two-tuple) instances: if F
+// is strongly satisfied in r and F ⊨ f by Armstrong closure, then f
+// strongly holds in r.
+func TestImplicationSoundOnInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	fdPool := [][]fd.FD{
+		fd.MustParseSet(s, "A -> B; B -> C"),
+		fd.MustParseSet(s, "A -> B,C"),
+		fd.MustParseSet(s, "A,B -> C"),
+	}
+	goals := []fd.FD{
+		fd.MustParse(s, "A -> C"),
+		fd.MustParse(s, "A,B -> C"),
+		fd.MustParse(s, "A -> B"),
+	}
+	checked := 0
+	for trial := 0; trial < 400; trial++ {
+		fds := fdPool[rng.Intn(len(fdPool))]
+		r := relation.New(s)
+		n := 1 + rng.Intn(3)
+		nulls := 0
+		for i := 0; i < n; i++ {
+			row := make([]string, 3)
+			for j := range row {
+				if rng.Intn(4) == 0 && nulls < 4 {
+					nulls++
+					row[j] = "-"
+				} else {
+					row[j] = dom.Values[rng.Intn(dom.Size())]
+				}
+			}
+			_ = r.InsertRow(row...)
+		}
+		if r.Len() == 0 {
+			continue
+		}
+		sat, err := StrongSatisfied(fds, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sat {
+			continue
+		}
+		for _, g := range goals {
+			if !fd.Implies(fds, g) {
+				continue
+			}
+			holds, err := StrongHolds(g, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !holds {
+				t.Fatalf("trial %d: F strongly satisfied, F ⊨ %s, but the goal fails:\nF = %s\n%s",
+					trial, g.Format(s), fd.FormatSet(s, fds), r)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no implication instances exercised")
+	}
+}
+
+// TestCounterexampleWitnessesWithNulls is the completeness direction made
+// constructive over nulls: for random non-implied goals, the two-tuple
+// witness built by fd.CounterexampleWitness — including its null-bearing
+// variant — strongly satisfies F while failing the goal.
+func TestCounterexampleWitnessesWithNulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B", "C", "D"}, dom)
+	for trial := 0; trial < 200; trial++ {
+		var fds []fd.FD
+		for i := 0; i < rng.Intn(4); i++ {
+			x := schema.AttrSet(rng.Intn(15) + 1)
+			y := schema.AttrSet(rng.Intn(15) + 1)
+			fds = append(fds, fd.New(x, y))
+		}
+		g := fd.New(schema.AttrSet(rng.Intn(15)+1), schema.AttrSet(rng.Intn(15)+1))
+		w, ok := fd.CounterexampleWitness(fds, g, s.All())
+		if !ok {
+			continue
+		}
+		for _, build := range []func() ([][]string, error){
+			func() ([][]string, error) { return w.Build(s) },
+			func() ([][]string, error) { return w.BuildWithNulls(s, fds) },
+		} {
+			rows, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := relation.FromRows(s, rows...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sat, err := StrongSatisfied(fds, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sat {
+				t.Fatalf("trial %d: witness must strongly satisfy F = %s:\n%s",
+					trial, fd.FormatSet(s, fds), r)
+			}
+			holds, err := StrongHolds(g, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if holds {
+				t.Fatalf("trial %d: witness must refute the goal %s:\n%s",
+					trial, g.Format(s), r)
+			}
+		}
+	}
+}
+
+// TestStrongImpliesWeak: per-tuple, truth dominates non-falsity; at the
+// set level, strong satisfaction implies weak satisfiability.
+func TestStrongImpliesWeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	fds := fd.MustParseSet(s, "A -> B; B -> C")
+	for trial := 0; trial < 200; trial++ {
+		r := relation.New(s)
+		n := 1 + rng.Intn(3)
+		nulls := 0
+		for i := 0; i < n; i++ {
+			row := make([]string, 3)
+			for j := range row {
+				if rng.Intn(4) == 0 && nulls < 4 {
+					nulls++
+					row[j] = "-"
+				} else {
+					row[j] = dom.Values[rng.Intn(dom.Size())]
+				}
+			}
+			_ = r.InsertRow(row...)
+		}
+		if r.Len() == 0 {
+			continue
+		}
+		strong, err := StrongSatisfied(fds, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strong {
+			continue
+		}
+		weak, err := WeakSatisfied(fds, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !weak {
+			t.Fatalf("trial %d: strong but not weak:\n%s", trial, r)
+		}
+	}
+}
+
+// TestCompleteInstanceCollapse: on null-free instances the three-valued
+// semantics collapses to the classical one — strong, weak, and classical
+// satisfaction coincide, and every verdict is two-valued.
+func TestCompleteInstanceCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	fds := fd.MustParseSet(s, "A -> B; B -> C")
+	for trial := 0; trial < 200; trial++ {
+		r := relation.New(s)
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			_ = r.InsertRow(
+				dom.Values[rng.Intn(dom.Size())],
+				dom.Values[rng.Intn(dom.Size())],
+				dom.Values[rng.Intn(dom.Size())])
+		}
+		if r.Len() == 0 {
+			continue
+		}
+		classical := true
+		for _, f := range fds {
+			if !classicalHolds(f, r) {
+				classical = false
+				break
+			}
+		}
+		strong, err := StrongSatisfied(fds, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weak, err := WeakSatisfied(fds, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strong != classical || weak != classical {
+			t.Fatalf("trial %d: classical=%v strong=%v weak=%v\n%s",
+				trial, classical, strong, weak, r)
+		}
+		for _, f := range fds {
+			for ti := 0; ti < r.Len(); ti++ {
+				v, err := Evaluate(f, r, ti)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Truth.IsUnknown() {
+					t.Fatalf("trial %d: unknown verdict on a complete instance", trial)
+				}
+				if v.Case != CaseT1 && v.Case != CaseF1 {
+					t.Fatalf("trial %d: complete instance must classify as T1/F1, got %v", trial, v)
+				}
+			}
+		}
+	}
+}

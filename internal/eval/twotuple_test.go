@@ -1,0 +1,184 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+)
+
+// subPair builds the two-tuple subrelation {t_i, t_j} of r.
+func subPair(r *relation.Relation, i, j int) *relation.Relation {
+	s := relation.New(r.Scheme())
+	s.InsertUnchecked(r.Tuple(i))
+	s.InsertUnchecked(r.Tuple(j))
+	return s
+}
+
+// TestObservation1_StrongHoldsIffAllPairs mechanizes Section 3's
+// observation [1], which Section 4 re-validates for the strong notion:
+// f strongly holds in r iff it strongly holds in every two-tuple
+// subrelation of r.
+func TestObservation1_StrongHoldsIffAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	f := fd.MustParse(s, "A,B -> C")
+	for trial := 0; trial < 200; trial++ {
+		r := relation.New(s)
+		n := 2 + rng.Intn(3)
+		nulls := 0
+		for i := 0; i < n; i++ {
+			row := make([]string, 3)
+			for j := range row {
+				if rng.Intn(4) == 0 && nulls < 4 {
+					nulls++
+					row[j] = "-"
+				} else {
+					row[j] = dom.Values[rng.Intn(dom.Size())]
+				}
+			}
+			_ = r.InsertRow(row...)
+		}
+		if r.Len() < 2 {
+			continue
+		}
+		whole, err := StrongHolds(f, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := true
+		for i := 0; i < r.Len() && pairs; i++ {
+			for j := i + 1; j < r.Len() && pairs; j++ {
+				ok, err := StrongHolds(f, subPair(r, i, j))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					pairs = false
+				}
+			}
+		}
+		if whole != pairs {
+			t.Fatalf("trial %d: observation [1] violated: whole=%v pairs=%v\n%s",
+				trial, whole, pairs, r)
+		}
+	}
+}
+
+// TestObservation1_FailsForWeak pins the paper's explicit counterexample
+// (Section 4, discussing Figure 2's r4): "any two-tuple combination in
+// r4, considered independently, makes the FD f not false. But the
+// dependency is false in the whole relation." The [F2] domain-exhaustion
+// case needs all completions present at once, which no pair exhibits.
+func TestObservation1_FailsForWeak(t *testing.T) {
+	s := schema.MustNew("R", []string{"A", "B", "C"}, []*schema.Domain{
+		schema.MustDomain("domA", "a1", "a2"),
+		schema.IntDomain("domB", "b", 4),
+		schema.IntDomain("domC", "c", 4),
+	})
+	f := fd.MustParse(s, "A,B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"-", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+		[]string{"a2", "b1", "c3"})
+	whole, err := WeakHolds(f, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole {
+		t.Fatal("f is false in the whole r4 (case [F2])")
+	}
+	for i := 0; i < r.Len(); i++ {
+		for j := i + 1; j < r.Len(); j++ {
+			ok, err := WeakHolds(f, subPair(r, i, j))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("pair (%d,%d) should weakly satisfy f — the counterexample needs every pair non-false", i, j)
+			}
+		}
+	}
+}
+
+// TestObservation2_TwoTupleImplicationSuffices mechanizes observation [2]
+// in the strong setting: implication over all instances coincides with
+// implication over two-tuple instances (which is how the System C bridge
+// of Section 5 can work with pairs only). We exhaustively search small
+// instances for a violation of soundness: F strongly satisfied and
+// F ⊨ g by two-tuple reasoning (Armstrong) must give g everywhere, even
+// on three-tuple instances with nulls.
+func TestObservation2_TwoTupleImplicationSuffices(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	dom := schema.IntDomain("d", "v", 2)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	F := fd.MustParseSet(s, "A -> B; B -> C")
+	g := fd.MustParse(s, "A -> C") // implied, by two-tuple reasoning
+	for trial := 0; trial < 300; trial++ {
+		r := relation.New(s)
+		n := 3
+		nulls := 0
+		for i := 0; i < n; i++ {
+			row := make([]string, 3)
+			for j := range row {
+				if rng.Intn(4) == 0 && nulls < 4 {
+					nulls++
+					row[j] = "-"
+				} else {
+					row[j] = dom.Values[rng.Intn(dom.Size())]
+				}
+			}
+			_ = r.InsertRow(row...)
+		}
+		if r.Len() < 3 {
+			continue
+		}
+		sat, err := StrongSatisfied(F, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sat {
+			continue
+		}
+		holds, err := StrongHolds(g, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !holds {
+			t.Fatalf("trial %d: two-tuple implication failed on a 3-tuple instance:\n%s", trial, r)
+		}
+	}
+}
+
+// TestUnknownIsContagiousUpward: adding tuples can only demote a verdict
+// in the truth ordering for the true cases (more tuples, more potential
+// conflicts) — f(t, r) = true in r implies nothing about subsets, but
+// false in a *subset* implies false (or unknown → non-true) in the whole
+// under weak satisfaction. Pin the monotonicity direction actually used
+// by TEST-FDs: a classical violation in any pair persists in the whole.
+func TestClassicalViolationPersists(t *testing.T) {
+	s := schema.Uniform("R", []string{"A", "B"}, schema.IntDomain("d", "v", 4))
+	f := fd.MustParse(s, "A -> B")
+	r := relation.MustFromRows(s,
+		[]string{"v1", "v1"},
+		[]string{"v1", "v2"}, // classical violation with tuple 0
+		[]string{"v2", "-"})
+	v0, err := Evaluate(f, r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0.Truth != tvl.False {
+		t.Errorf("violated tuple must stay false in the larger instance, got %v", v0)
+	}
+	ok, err := WeakHolds(f, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("whole instance cannot weakly satisfy f")
+	}
+}

@@ -1,0 +1,110 @@
+package fd
+
+import (
+	"fdnull/internal/schema"
+)
+
+// Counterexample machinery: the constructive content of the completeness
+// direction of Armstrong's rules (and of the paper's Theorem 1 via Lemma
+// 4). When F does not imply g, the classical two-tuple witness — two
+// tuples agreeing exactly on the closure of g's LHS — strongly satisfies
+// F while violating g. The paper's observation [2] in Section 3 is that
+// two-tuple relations suffice for implication questions, and Section 5
+// carries the observation over to relations with nulls under strong
+// satisfiability.
+
+// Witness describes a two-tuple counterexample: the attributes on which
+// the two tuples agree (the closure X⁺) and disagree.
+type Witness struct {
+	Agree    schema.AttrSet // X⁺ under F
+	Disagree schema.AttrSet // the rest of the scheme
+	Goal     FD
+}
+
+// CounterexampleWitness returns the two-tuple witness refuting F ⊨ g, or
+// ok = false when g is implied (no counterexample exists). all is the
+// scheme's attribute set.
+func CounterexampleWitness(fds []FD, g FD, all schema.AttrSet) (Witness, bool) {
+	closure := Closure(g.X, fds).Intersect(all)
+	if g.Y.SubsetOf(closure) {
+		return Witness{}, false
+	}
+	return Witness{
+		Agree:    closure,
+		Disagree: all.Diff(closure),
+		Goal:     g,
+	}, true
+}
+
+// Build materializes the witness over a scheme as two rows of cell
+// strings suitable for relation.FromRows: the tuples share the first
+// domain value on agreeing attributes and take the first two distinct
+// values on disagreeing ones. Every attribute's domain must have at least
+// two values for the disagreement to be expressible.
+func (w Witness) Build(s *schema.Scheme) ([][]string, error) {
+	p := s.Arity()
+	t1 := make([]string, p)
+	t2 := make([]string, p)
+	for i := 0; i < p; i++ {
+		a := schema.Attr(i)
+		dom := s.Domain(a)
+		t1[i] = dom.Values[0]
+		if w.Agree.Has(a) {
+			t2[i] = dom.Values[0]
+		} else {
+			if dom.Size() < 2 {
+				return nil, errSingletonDomain(s, a)
+			}
+			t2[i] = dom.Values[1]
+		}
+	}
+	return [][]string{t1, t2}, nil
+}
+
+// BuildWithNulls materializes a witness variant for the incomplete
+// setting: truly irrelevant attributes carry nulls ("-" cells) instead of
+// disagreeing constants. An attribute may be nulled only when it lies
+// outside X⁺, outside the goal's RHS, and outside every LHS of F — then
+// every FD of F not fired by X⁺ still has a *constant* disagreement on
+// its LHS, so it is vacuously satisfied in every completion, the witness
+// strongly satisfies F, and the goal stays false. This exhibits that
+// two-tuple counterexamples survive the move to relations with nulls
+// (the paper's Section 4 discussion of observations [1] and [2]).
+func (w Witness) BuildWithNulls(s *schema.Scheme, fds []FD) ([][]string, error) {
+	var lhs schema.AttrSet
+	for _, f := range fds {
+		lhs = lhs.Union(f.X)
+	}
+	p := s.Arity()
+	t1 := make([]string, p)
+	t2 := make([]string, p)
+	for i := 0; i < p; i++ {
+		a := schema.Attr(i)
+		dom := s.Domain(a)
+		switch {
+		case w.Agree.Has(a):
+			t1[i] = dom.Values[0]
+			t2[i] = dom.Values[0]
+		case w.Goal.Y.Has(a) || lhs.Has(a):
+			if dom.Size() < 2 {
+				return nil, errSingletonDomain(s, a)
+			}
+			t1[i] = dom.Values[0]
+			t2[i] = dom.Values[1]
+		default:
+			t1[i] = "-"
+			t2[i] = "-"
+		}
+	}
+	return [][]string{t1, t2}, nil
+}
+
+type singletonDomainError struct{ msg string }
+
+func (e singletonDomainError) Error() string { return e.msg }
+
+func errSingletonDomain(s *schema.Scheme, a schema.Attr) error {
+	return singletonDomainError{
+		msg: "fd: attribute " + s.AttrName(a) + " has a singleton domain; a two-tuple disagreement is not expressible",
+	}
+}

@@ -1,0 +1,161 @@
+package fd
+
+import (
+	"fmt"
+	"strings"
+
+	"fdnull/internal/schema"
+)
+
+// Rule names the Armstrong-style inference rules of Lemma 2 (the paper's
+// [I1]–[I4]), plus the two bookkeeping cases needed to record proofs.
+type Rule string
+
+const (
+	// RuleGiven marks a premise taken from F.
+	RuleGiven Rule = "given"
+	// RuleReflexivity is [I1]: if Y ⊆ X then X → Y.
+	RuleReflexivity Rule = "I1 reflexivity"
+	// RuleTransitivity is [I2]: from X → Y and Y → Z infer X → Z.
+	RuleTransitivity Rule = "I2 transitivity"
+	// RuleUnion is [I3]: from X → Y and X → Z infer X → YZ.
+	RuleUnion Rule = "I3 union"
+	// RuleDecomposition is [I4]: from X → YZ infer X → Y (and X → Z).
+	RuleDecomposition Rule = "I4 decomposition"
+)
+
+// Step is one line of a derivation: the derived FD, the rule used, and the
+// indices of the premise steps (empty for axioms and givens).
+type Step struct {
+	FD       FD
+	Rule     Rule
+	Premises []int
+}
+
+// Derivation is a proof F ⊢ X → Y as a numbered list of steps whose last
+// step is the goal.
+type Derivation struct {
+	Goal  FD
+	From  []FD
+	Steps []Step
+}
+
+// Derive constructs an Armstrong derivation of f from fds, or reports that
+// none exists (f is not implied). The proof follows the closure
+// computation: it maintains X → C for the growing closure C and, for each
+// firing FD W → V, chains I1/I4, I2 and I3 to extend C by V.
+func Derive(fds []FD, f FD) (*Derivation, bool) {
+	if !Implies(fds, f) {
+		return nil, false
+	}
+	d := &Derivation{Goal: f, From: fds}
+	// current: index of the step proving X → C.
+	cur := d.push(Step{FD: FD{X: f.X, Y: f.X}, Rule: RuleReflexivity})
+	c := f.X
+	for {
+		fired := false
+		for _, g := range fds {
+			if !g.X.SubsetOf(c) || g.Y.SubsetOf(c) {
+				continue
+			}
+			// 1. X → W by decomposition from X → C (W ⊆ C); when W = C this
+			//    is the identity, but keeping the step makes proofs uniform.
+			w := d.push(Step{FD: FD{X: f.X, Y: g.X}, Rule: RuleDecomposition, Premises: []int{cur}})
+			// 2. W → V is given.
+			giv := d.push(Step{FD: g, Rule: RuleGiven})
+			// 3. X → V by transitivity.
+			v := d.push(Step{FD: FD{X: f.X, Y: g.Y}, Rule: RuleTransitivity, Premises: []int{w, giv}})
+			// 4. X → C∪V by union.
+			c = c.Union(g.Y)
+			cur = d.push(Step{FD: FD{X: f.X, Y: c}, Rule: RuleUnion, Premises: []int{cur, v}})
+			fired = true
+		}
+		if !fired {
+			break
+		}
+	}
+	if !f.Y.SubsetOf(c) {
+		// Unreachable if Implies agreed, but guard against divergence
+		// between the two implementations.
+		return nil, false
+	}
+	d.push(Step{FD: f, Rule: RuleDecomposition, Premises: []int{cur}})
+	return d, true
+}
+
+func (d *Derivation) push(s Step) int {
+	d.Steps = append(d.Steps, s)
+	return len(d.Steps) - 1
+}
+
+// Verify replays the derivation, checking every step against the side
+// conditions of its rule and that the final step matches the goal. It is
+// the proof checker used by the completeness experiments (E8).
+func (d *Derivation) Verify() error {
+	for i, s := range d.Steps {
+		for _, p := range s.Premises {
+			if p < 0 || p >= i {
+				return fmt.Errorf("fd: step %d cites out-of-range premise %d", i, p)
+			}
+		}
+		switch s.Rule {
+		case RuleGiven:
+			if !containsFD(d.From, s.FD) {
+				return fmt.Errorf("fd: step %d claims %v is given but it is not in F", i, s.FD)
+			}
+		case RuleReflexivity:
+			if !s.FD.Y.SubsetOf(s.FD.X) {
+				return fmt.Errorf("fd: step %d reflexivity needs Y ⊆ X", i)
+			}
+		case RuleTransitivity:
+			if len(s.Premises) != 2 {
+				return fmt.Errorf("fd: step %d transitivity needs two premises", i)
+			}
+			a, b := d.Steps[s.Premises[0]].FD, d.Steps[s.Premises[1]].FD
+			if a.X != s.FD.X || a.Y != b.X || b.Y != s.FD.Y {
+				return fmt.Errorf("fd: step %d is not a transitivity instance", i)
+			}
+		case RuleUnion:
+			if len(s.Premises) != 2 {
+				return fmt.Errorf("fd: step %d union needs two premises", i)
+			}
+			a, b := d.Steps[s.Premises[0]].FD, d.Steps[s.Premises[1]].FD
+			if a.X != s.FD.X || b.X != s.FD.X || a.Y.Union(b.Y) != s.FD.Y {
+				return fmt.Errorf("fd: step %d is not a union instance", i)
+			}
+		case RuleDecomposition:
+			if len(s.Premises) != 1 {
+				return fmt.Errorf("fd: step %d decomposition needs one premise", i)
+			}
+			a := d.Steps[s.Premises[0]].FD
+			if a.X != s.FD.X || !s.FD.Y.SubsetOf(a.Y) {
+				return fmt.Errorf("fd: step %d is not a decomposition instance", i)
+			}
+		default:
+			return fmt.Errorf("fd: step %d has unknown rule %q", i, s.Rule)
+		}
+	}
+	if len(d.Steps) == 0 || !d.Steps[len(d.Steps)-1].FD.Equal(d.Goal) {
+		return fmt.Errorf("fd: derivation does not end at the goal")
+	}
+	return nil
+}
+
+// Format renders the proof with scheme attribute names, one numbered step
+// per line.
+func (d *Derivation) Format(s *schema.Scheme) string {
+	var b strings.Builder
+	for i, st := range d.Steps {
+		fmt.Fprintf(&b, "%3d. %-24s", i+1, st.FD.Format(s))
+		b.WriteString("[" + string(st.Rule))
+		if len(st.Premises) > 0 {
+			nums := make([]string, len(st.Premises))
+			for j, p := range st.Premises {
+				nums[j] = fmt.Sprint(p + 1)
+			}
+			b.WriteString(" of " + strings.Join(nums, ","))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,311 @@
+// Package fd implements classical functional-dependency theory: FDs and FD
+// sets over a scheme, attribute closure, implication, minimal covers,
+// candidate keys, and Armstrong-rule derivations with proof traces.
+//
+// This is the substrate Section 5 of the paper builds on: Theorem 1 shows
+// Armstrong's inference rules remain sound and complete when nulls are
+// allowed under strong satisfiability, so every algorithm in this package
+// applies unchanged to the incomplete-information setting.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fdnull/internal/schema"
+)
+
+// FD is a functional dependency X → Y over a scheme.
+type FD struct {
+	X, Y schema.AttrSet
+}
+
+// New constructs X → Y.
+func New(x, y schema.AttrSet) FD { return FD{X: x, Y: y} }
+
+// Trivial reports Y ⊆ X (Armstrong reflexivity makes it always derivable).
+func (f FD) Trivial() bool { return f.Y.SubsetOf(f.X) }
+
+// Format renders the FD with the scheme's attribute names, e.g. "E# -> SL,D#".
+func (f FD) Format(s *schema.Scheme) string {
+	return s.FormatSet(f.X) + " -> " + s.FormatSet(f.Y)
+}
+
+// Equal reports structural equality.
+func (f FD) Equal(g FD) bool { return f.X == g.X && f.Y == g.Y }
+
+// Parse parses "A,B -> C" (also accepting "→") against a scheme.
+func Parse(s *schema.Scheme, str string) (FD, error) {
+	norm := strings.ReplaceAll(str, "→", "->")
+	parts := strings.SplitN(norm, "->", 2)
+	if len(parts) != 2 {
+		return FD{}, fmt.Errorf("fd: %q is not of the form X -> Y", str)
+	}
+	x, err := s.ParseSet(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return FD{}, err
+	}
+	y, err := s.ParseSet(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return FD{}, err
+	}
+	if x.Empty() || y.Empty() {
+		return FD{}, fmt.Errorf("fd: %q has an empty side", str)
+	}
+	return FD{X: x, Y: y}, nil
+}
+
+// MustParse is Parse for statically known-good inputs.
+func MustParse(s *schema.Scheme, str string) FD {
+	f, err := Parse(s, str)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseSet parses a semicolon-separated list of FDs, e.g.
+// "A -> B; B -> C".
+func ParseSet(s *schema.Scheme, str string) ([]FD, error) {
+	var out []FD
+	for _, part := range strings.Split(str, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := Parse(s, part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// MustParseSet is ParseSet for statically known-good inputs.
+func MustParseSet(s *schema.Scheme, str string) []FD {
+	fs, err := ParseSet(s, str)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// FormatSet renders an FD list as "X -> Y; Z -> W".
+func FormatSet(s *schema.Scheme, fds []FD) string {
+	parts := make([]string, len(fds))
+	for i, f := range fds {
+		parts[i] = f.Format(s)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Closure computes the attribute closure X⁺ under F using the standard
+// iterate-to-fixpoint algorithm with a per-FD remaining-LHS counter
+// (Beeri–Bernstein style), linear in the total size of F for bounded arity.
+func Closure(x schema.AttrSet, fds []FD) schema.AttrSet {
+	closure := x
+	// remaining[i] counts LHS attributes of fds[i] not yet processed from
+	// the queue; an FD fires exactly when its whole LHS is in the closure.
+	remaining := make([]int, len(fds))
+	// byAttr[a] lists the FDs whose LHS contains a.
+	var byAttr [schema.MaxAttrs][]int
+	for i, f := range fds {
+		remaining[i] = f.X.Len()
+		if remaining[i] == 0 {
+			// ∅ → Y fires unconditionally.
+			closure = closure.Union(f.Y)
+		}
+		for _, a := range f.X.Attrs() {
+			byAttr[a] = append(byAttr[a], i)
+		}
+	}
+	// Every attribute enters the queue exactly once: when it joins the
+	// closure. Seed with X (and any ∅-LHS consequences added above).
+	queue := closure.Attrs()
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for _, i := range byAttr[a] {
+			remaining[i]--
+			if remaining[i] == 0 {
+				for _, b := range fds[i].Y.Diff(closure).Attrs() {
+					closure = closure.Add(b)
+					queue = append(queue, b)
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// Implies reports whether F ⊨ f, i.e. f.Y ⊆ (f.X)⁺ under F. By Theorem 1
+// this coincides with semantic implication over relations with nulls and
+// strong satisfiability.
+func Implies(fds []FD, f FD) bool {
+	return f.Y.SubsetOf(Closure(f.X, fds))
+}
+
+// Equivalent reports that two FD sets imply each other.
+func Equivalent(a, b []FD) bool {
+	for _, f := range a {
+		if !Implies(b, f) {
+			return false
+		}
+	}
+	for _, f := range b {
+		if !Implies(a, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalCover returns a minimal (canonical) cover of F: singleton RHSs, no
+// extraneous LHS attributes, no redundant FDs. The result is deterministic
+// for a given input order.
+func MinimalCover(fds []FD) []FD {
+	// 1. Split RHSs (Armstrong decomposition, rule I4).
+	var work []FD
+	for _, f := range fds {
+		for _, a := range f.Y.Attrs() {
+			g := FD{X: f.X, Y: schema.NewAttrSet(a)}
+			if !g.Trivial() {
+				work = append(work, g)
+			}
+		}
+	}
+	// 2. Remove extraneous LHS attributes: a ∈ X is extraneous in X → A if
+	// A ∈ (X−a)⁺.
+	for i := range work {
+		for {
+			reduced := false
+			for _, a := range work[i].X.Attrs() {
+				smaller := work[i].X.Remove(a)
+				if smaller.Empty() {
+					continue
+				}
+				if work[i].Y.SubsetOf(Closure(smaller, work)) {
+					work[i].X = smaller
+					reduced = true
+					break
+				}
+			}
+			if !reduced {
+				break
+			}
+		}
+	}
+	// 3. Remove redundant FDs.
+	out := make([]FD, 0, len(work))
+	alive := make([]bool, len(work))
+	for i := range alive {
+		alive[i] = true
+	}
+	for i := range work {
+		alive[i] = false
+		rest := make([]FD, 0, len(work)-1)
+		for j, ok := range alive {
+			if ok {
+				rest = append(rest, work[j])
+			}
+		}
+		if !Implies(rest, work[i]) {
+			alive[i] = true
+		}
+	}
+	for i, ok := range alive {
+		if ok && !containsFD(out, work[i]) {
+			out = append(out, work[i])
+		}
+	}
+	return out
+}
+
+func containsFD(fds []FD, f FD) bool {
+	for _, g := range fds {
+		if g.Equal(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSuperkey reports whether X determines all of R under F.
+func IsSuperkey(x schema.AttrSet, all schema.AttrSet, fds []FD) bool {
+	return all.SubsetOf(Closure(x, fds))
+}
+
+// CandidateKeys enumerates all minimal keys of the scheme under F, using
+// the standard prune: attributes appearing in no RHS must be in every key;
+// attributes appearing in no LHS and some RHS are in no key.
+func CandidateKeys(all schema.AttrSet, fds []FD) []schema.AttrSet {
+	var lhs, rhs schema.AttrSet
+	for _, f := range fds {
+		lhs = lhs.Union(f.X)
+		rhs = rhs.Union(f.Y)
+	}
+	core := all.Diff(rhs)            // must be in every key
+	candidates := lhs.Intersect(rhs) // may or may not be
+	if IsSuperkey(core, all, fds) {
+		return []schema.AttrSet{core}
+	}
+	var keys []schema.AttrSet
+	cand := candidates.Diff(core).Attrs()
+	// Breadth-first over subset sizes so only minimal keys are kept.
+	for size := 1; size <= len(cand); size++ {
+		subsetsOfSize(cand, size, func(extra schema.AttrSet) {
+			k := core.Union(extra)
+			for _, existing := range keys {
+				if existing.SubsetOf(k) {
+					return // a smaller key is inside; not minimal
+				}
+			}
+			if IsSuperkey(k, all, fds) {
+				keys = append(keys, k)
+			}
+		})
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func subsetsOfSize(items []schema.Attr, size int, fn func(schema.AttrSet)) {
+	var rec func(start int, cur schema.AttrSet, left int)
+	rec = func(start int, cur schema.AttrSet, left int) {
+		if left == 0 {
+			fn(cur)
+			return
+		}
+		for i := start; i+left <= len(items)+0; i++ {
+			if len(items)-i < left {
+				return
+			}
+			rec(i+1, cur.Add(items[i]), left-1)
+		}
+	}
+	rec(0, 0, size)
+}
+
+// Project computes the projection of F onto a sub-scheme Z: all nontrivial
+// FDs X → Y with X,Y ⊆ Z implied by F, returned as a minimal cover. This is
+// the (worst-case exponential) textbook algorithm over subsets of Z.
+func Project(fds []FD, z schema.AttrSet) []FD {
+	var out []FD
+	attrs := z.Attrs()
+	n := len(attrs)
+	for bitsMask := 1; bitsMask < 1<<uint(n); bitsMask++ {
+		var x schema.AttrSet
+		for i := 0; i < n; i++ {
+			if bitsMask&(1<<uint(i)) != 0 {
+				x = x.Add(attrs[i])
+			}
+		}
+		y := Closure(x, fds).Intersect(z).Diff(x)
+		if !y.Empty() {
+			out = append(out, FD{X: x, Y: y})
+		}
+	}
+	return MinimalCover(out)
+}

@@ -1,0 +1,378 @@
+package fd
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/schema"
+)
+
+func abcd() *schema.Scheme {
+	return schema.Uniform("R", []string{"A", "B", "C", "D"},
+		schema.MustDomain("d", "0", "1"))
+}
+
+func employee() *schema.Scheme {
+	return schema.MustNew("R",
+		[]string{"E#", "SL", "D#", "CT"},
+		[]*schema.Domain{
+			schema.IntDomain("emp", "e", 10),
+			schema.IntDomain("sal", "10K", 10),
+			schema.IntDomain("dept", "d", 10),
+			schema.MustDomain("ct", "full", "part"),
+		})
+}
+
+func TestParseFormat(t *testing.T) {
+	s := employee()
+	f, err := Parse(s, "E# -> SL,D#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Format(s); got != "E# -> D#,SL" {
+		t.Errorf("Format = %q", got)
+	}
+	if _, err := Parse(s, "E# SL"); err == nil {
+		t.Error("missing arrow must error")
+	}
+	if _, err := Parse(s, "ZZ -> SL"); err == nil {
+		t.Error("unknown attribute must error")
+	}
+	if _, err := Parse(s, " -> SL"); err == nil {
+		t.Error("empty LHS must error")
+	}
+	g, err := Parse(s, "D# → CT")
+	if err != nil || g.X != s.MustSet("D#") || g.Y != s.MustSet("CT") {
+		t.Errorf("unicode arrow parse: %v, %v", g, err)
+	}
+}
+
+func TestParseSetFormatSet(t *testing.T) {
+	s := abcd()
+	fds, err := ParseSet(s, "A -> B; B -> C;")
+	if err != nil || len(fds) != 2 {
+		t.Fatalf("ParseSet: %v, %v", fds, err)
+	}
+	if got := FormatSet(s, fds); got != "A -> B; B -> C" {
+		t.Errorf("FormatSet = %q", got)
+	}
+	if _, err := ParseSet(s, "A -> B; junk"); err == nil {
+		t.Error("bad member must error")
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	s := abcd()
+	if !MustParse(s, "A,B -> A").Trivial() {
+		t.Error("A,B -> A is trivial")
+	}
+	if MustParse(s, "A -> B").Trivial() {
+		t.Error("A -> B is not trivial")
+	}
+}
+
+func TestClosureChain(t *testing.T) {
+	s := abcd()
+	fds := MustParseSet(s, "A -> B; B -> C; C -> D")
+	got := Closure(s.MustSet("A"), fds)
+	if got != s.All() {
+		t.Errorf("A+ = %s, want all", s.FormatSet(got))
+	}
+	got = Closure(s.MustSet("C"), fds)
+	if got != s.MustSet("C", "D") {
+		t.Errorf("C+ = %s, want C,D", s.FormatSet(got))
+	}
+}
+
+func TestClosureCompositeLHS(t *testing.T) {
+	s := abcd()
+	fds := MustParseSet(s, "A,B -> C; C -> D")
+	if got := Closure(s.MustSet("A"), fds); got != s.MustSet("A") {
+		t.Errorf("A+ = %s, want A (LHS not complete)", s.FormatSet(got))
+	}
+	if got := Closure(s.MustSet("A", "B"), fds); got != s.All() {
+		t.Errorf("AB+ = %s, want all", s.FormatSet(got))
+	}
+}
+
+func TestClosureAgainstBruteForce(t *testing.T) {
+	// Cross-check the counter-based closure against naive fixpoint
+	// iteration on random FD sets.
+	s := abcd()
+	rng := rand.New(rand.NewSource(42))
+	naive := func(x schema.AttrSet, fds []FD) schema.AttrSet {
+		c := x
+		for {
+			changed := false
+			for _, f := range fds {
+				if f.X.SubsetOf(c) && !f.Y.SubsetOf(c) {
+					c = c.Union(f.Y)
+					changed = true
+				}
+			}
+			if !changed {
+				return c
+			}
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		var fds []FD
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			x := schema.AttrSet(rng.Intn(15) + 1)
+			y := schema.AttrSet(rng.Intn(15) + 1)
+			fds = append(fds, FD{X: x, Y: y})
+		}
+		x := schema.AttrSet(rng.Intn(16))
+		if got, want := Closure(x, fds), naive(x, fds); got != want {
+			t.Fatalf("trial %d: Closure(%s) = %s, want %s (F = %s)",
+				trial, s.FormatSet(x), s.FormatSet(got), s.FormatSet(want), FormatSet(s, fds))
+		}
+	}
+}
+
+func TestImplies(t *testing.T) {
+	s := abcd()
+	fds := MustParseSet(s, "A -> B; B -> C")
+	if !Implies(fds, MustParse(s, "A -> C")) {
+		t.Error("transitivity should be implied")
+	}
+	if !Implies(fds, MustParse(s, "A,D -> B,C")) {
+		t.Error("augmented consequence should be implied")
+	}
+	if Implies(fds, MustParse(s, "B -> A")) {
+		t.Error("B -> A is not implied")
+	}
+	if !Implies(nil, MustParse(s, "A,B -> B")) {
+		t.Error("trivial FDs are implied by the empty set")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	s := abcd()
+	a := MustParseSet(s, "A -> B; B -> C")
+	b := MustParseSet(s, "A -> B,C; B -> C")
+	if !Equivalent(a, b) {
+		t.Error("sets should be equivalent")
+	}
+	c := MustParseSet(s, "A -> B")
+	if Equivalent(a, c) {
+		t.Error("sets should differ")
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	s := abcd()
+	// Classic example: extraneous attribute and redundant FD.
+	fds := MustParseSet(s, "A -> B,C; B -> C; A,B -> C; A -> A")
+	mc := MinimalCover(fds)
+	if !Equivalent(fds, mc) {
+		t.Fatalf("cover not equivalent: %s", FormatSet(s, mc))
+	}
+	for _, f := range mc {
+		if f.Y.Len() != 1 {
+			t.Errorf("cover FD %s has non-singleton RHS", f.Format(s))
+		}
+		if f.Trivial() {
+			t.Errorf("cover FD %s is trivial", f.Format(s))
+		}
+	}
+	// A,B -> C must have been reduced/eliminated: no FD with LHS {A,B}.
+	for _, f := range mc {
+		if f.X == s.MustSet("A", "B") {
+			t.Errorf("extraneous attribute not removed: %s", f.Format(s))
+		}
+	}
+	// Each FD must be non-redundant.
+	for i := range mc {
+		rest := append(append([]FD{}, mc[:i]...), mc[i+1:]...)
+		if Implies(rest, mc[i]) {
+			t.Errorf("redundant FD in cover: %s", mc[i].Format(s))
+		}
+	}
+}
+
+func TestMinimalCoverRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var fds []FD
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			x := schema.AttrSet(rng.Intn(15) + 1)
+			y := schema.AttrSet(rng.Intn(15) + 1)
+			if y.SubsetOf(x) {
+				continue
+			}
+			fds = append(fds, FD{X: x, Y: y})
+		}
+		mc := MinimalCover(fds)
+		if !Equivalent(fds, mc) {
+			t.Fatalf("trial %d: minimal cover not equivalent", trial)
+		}
+	}
+}
+
+func TestIsSuperkeyCandidateKeys(t *testing.T) {
+	s := abcd()
+	fds := MustParseSet(s, "A -> B; B -> C; C -> D")
+	if !IsSuperkey(s.MustSet("A"), s.All(), fds) {
+		t.Error("A is a key")
+	}
+	if IsSuperkey(s.MustSet("B"), s.All(), fds) {
+		t.Error("B is not a key")
+	}
+	keys := CandidateKeys(s.All(), fds)
+	if len(keys) != 1 || keys[0] != s.MustSet("A") {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestCandidateKeysMultiple(t *testing.T) {
+	s := abcd()
+	// A -> B, B -> A makes {A,C,D}... careful: nothing determines C,D, so
+	// core = {C,D}; keys are {A,C,D} and {B,C,D}.
+	fds := MustParseSet(s, "A -> B; B -> A")
+	keys := CandidateKeys(s.All(), fds)
+	want := []schema.AttrSet{s.MustSet("A", "C", "D"), s.MustSet("B", "C", "D")}
+	if len(keys) != 2 {
+		t.Fatalf("keys = %d, want 2", len(keys))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Errorf("key[%d] = %s", i, s.FormatSet(keys[i]))
+		}
+	}
+}
+
+func TestCandidateKeysCycle(t *testing.T) {
+	s := abcd()
+	fds := MustParseSet(s, "A -> B; B -> C; C -> D; D -> A")
+	keys := CandidateKeys(s.All(), fds)
+	if len(keys) != 4 {
+		t.Fatalf("cycle should give 4 singleton keys, got %d", len(keys))
+	}
+	for _, k := range keys {
+		if k.Len() != 1 {
+			t.Errorf("non-singleton key %s", s.FormatSet(k))
+		}
+	}
+}
+
+func TestCandidateKeysNoFDs(t *testing.T) {
+	s := abcd()
+	keys := CandidateKeys(s.All(), nil)
+	if len(keys) != 1 || keys[0] != s.All() {
+		t.Errorf("whole scheme should be the only key, got %v", keys)
+	}
+}
+
+func TestProject(t *testing.T) {
+	s := abcd()
+	fds := MustParseSet(s, "A -> B; B -> C")
+	proj := Project(fds, s.MustSet("A", "C"))
+	// A -> C must survive projection; nothing else nontrivial.
+	if len(proj) != 1 || !proj[0].Equal(MustParse(s, "A -> C")) {
+		t.Errorf("projection = %s", FormatSet(s, proj))
+	}
+	// Projection away of the chain's middle must not lose the composite.
+	proj2 := Project(fds, s.MustSet("B", "C"))
+	if len(proj2) != 1 || !proj2[0].Equal(MustParse(s, "B -> C")) {
+		t.Errorf("projection2 = %s", FormatSet(s, proj2))
+	}
+}
+
+func TestDeriveAndVerify(t *testing.T) {
+	s := abcd()
+	fds := MustParseSet(s, "A -> B; B -> C; C -> D")
+	d, ok := Derive(fds, MustParse(s, "A -> C,D"))
+	if !ok {
+		t.Fatal("derivation should exist")
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatalf("proof fails verification: %v\n%s", err, d.Format(s))
+	}
+	if _, ok := Derive(fds, MustParse(s, "B -> A")); ok {
+		t.Error("underivable FD must be rejected")
+	}
+	out := d.Format(s)
+	if out == "" {
+		t.Error("Format should render steps")
+	}
+}
+
+func TestDeriveTrivial(t *testing.T) {
+	s := abcd()
+	d, ok := Derive(nil, MustParse(s, "A,B -> A"))
+	if !ok {
+		t.Fatal("trivial FD derivable from nothing")
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeriveRandomAgreesWithImplies(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		var fds []FD
+		n := rng.Intn(5)
+		for i := 0; i < n; i++ {
+			fds = append(fds, FD{
+				X: schema.AttrSet(rng.Intn(15) + 1),
+				Y: schema.AttrSet(rng.Intn(15) + 1),
+			})
+		}
+		goal := FD{X: schema.AttrSet(rng.Intn(15) + 1), Y: schema.AttrSet(rng.Intn(15) + 1)}
+		d, ok := Derive(fds, goal)
+		if ok != Implies(fds, goal) {
+			t.Fatalf("trial %d: Derive disagreement with Implies", trial)
+		}
+		if ok {
+			if err := d.Verify(); err != nil {
+				t.Fatalf("trial %d: invalid proof: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsBadProofs(t *testing.T) {
+	s := abcd()
+	a := MustParse(s, "A -> B")
+	bad := &Derivation{
+		Goal: a,
+		From: nil,
+		Steps: []Step{
+			{FD: a, Rule: RuleGiven}, // not actually in F
+		},
+	}
+	if err := bad.Verify(); err == nil {
+		t.Error("bogus given must be rejected")
+	}
+	bad2 := &Derivation{
+		Goal:  a,
+		Steps: []Step{{FD: a, Rule: RuleReflexivity}},
+	}
+	if err := bad2.Verify(); err == nil {
+		t.Error("non-reflexive reflexivity must be rejected")
+	}
+	bad3 := &Derivation{Goal: a}
+	if err := bad3.Verify(); err == nil {
+		t.Error("empty proof must be rejected")
+	}
+	bad4 := &Derivation{
+		Goal: a,
+		Steps: []Step{
+			{FD: a, Rule: RuleTransitivity, Premises: []int{0, 0}},
+		},
+	}
+	if err := bad4.Verify(); err == nil {
+		t.Error("forward premise reference must be rejected")
+	}
+	bad5 := &Derivation{
+		Goal:  a,
+		Steps: []Step{{FD: a, Rule: Rule("nonsense")}},
+	}
+	if err := bad5.Verify(); err == nil {
+		t.Error("unknown rule must be rejected")
+	}
+}

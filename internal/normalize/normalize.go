@@ -1,0 +1,317 @@
+// Package normalize implements relational schema design on top of the FD
+// substrate: BCNF decomposition, 3NF synthesis, lossless-join and
+// dependency-preservation checks, and the null-padded universal-relation
+// reassembly the paper motivates.
+//
+// Theorem 1 of the paper is what licenses this package in the
+// incomplete-information setting: because Armstrong's rules stay sound and
+// complete when nulls are allowed (under strong satisfiability), "all work
+// on normalization, decomposition, etc. where FDs are involved can be
+// applied directly in our framework" (Section 7). The null-specific pieces
+// — padding projections into a universal instance with fresh nulls, then
+// chasing and testing weak satisfiability — realize the paper's "weaker
+// version of the universal relation assumption ... universal instances
+// (with nulls) where the dependencies are only weakly-satisfied".
+package normalize
+
+import (
+	"fmt"
+	"sort"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tableau"
+)
+
+// Violation describes why a scheme fails a normal form.
+type Violation struct {
+	FD     fd.FD  // the offending dependency (projected)
+	Reason string // human-readable explanation
+}
+
+// IsBCNF reports whether the sub-scheme `attrs` is in Boyce–Codd normal
+// form with respect to the projection of fds onto it: every nontrivial
+// projected FD must have a superkey LHS.
+func IsBCNF(attrs schema.AttrSet, fds []fd.FD) (bool, *Violation) {
+	for _, f := range fd.Project(fds, attrs) {
+		if f.Trivial() {
+			continue
+		}
+		if !fd.IsSuperkey(f.X, attrs, fd.Project(fds, attrs)) {
+			return false, &Violation{FD: f, Reason: "nontrivial FD with non-superkey LHS"}
+		}
+	}
+	return true, nil
+}
+
+// Is3NF reports whether the sub-scheme is in third normal form: for every
+// nontrivial projected FD X → A, either X is a superkey or A is prime
+// (a member of some candidate key).
+func Is3NF(attrs schema.AttrSet, fds []fd.FD) (bool, *Violation) {
+	proj := fd.Project(fds, attrs)
+	keys := fd.CandidateKeys(attrs, proj)
+	var prime schema.AttrSet
+	for _, k := range keys {
+		prime = prime.Union(k)
+	}
+	for _, f := range proj {
+		if f.Trivial() {
+			continue
+		}
+		if fd.IsSuperkey(f.X, attrs, proj) {
+			continue
+		}
+		if !f.Y.Diff(f.X).SubsetOf(prime) {
+			return false, &Violation{FD: f, Reason: "non-superkey LHS determining a non-prime attribute"}
+		}
+	}
+	return true, nil
+}
+
+// BCNFDecompose splits the scheme into BCNF components by the standard
+// recursive algorithm: find a violating FD X → Y, split into X ∪ Y and
+// R − (Y − X), recurse. The result is always a lossless-join decomposition
+// (verified by the tests via the tableau chase); dependency preservation
+// is not guaranteed, as usual for BCNF.
+func BCNFDecompose(attrs schema.AttrSet, fds []fd.FD) []schema.AttrSet {
+	if attrs.Len() <= 2 {
+		return []schema.AttrSet{attrs} // two-attribute schemes are always BCNF
+	}
+	proj := fd.Project(fds, attrs)
+	for _, f := range proj {
+		if f.Trivial() || fd.IsSuperkey(f.X, attrs, proj) {
+			continue
+		}
+		// Split on the closure of X within attrs for a coarser, more
+		// standard decomposition: R1 = X⁺ ∩ attrs, R2 = attrs − (X⁺ − X).
+		xc := fd.Closure(f.X, proj).Intersect(attrs)
+		r1 := xc
+		r2 := attrs.Diff(xc.Diff(f.X))
+		if r1 == attrs || r2 == attrs {
+			// Degenerate split; fall back to the textbook X∪Y split.
+			r1 = f.X.Union(f.Y).Intersect(attrs)
+			r2 = attrs.Diff(f.Y.Diff(f.X))
+			if r1 == attrs || r2 == attrs {
+				continue
+			}
+		}
+		left := BCNFDecompose(r1, fds)
+		right := BCNFDecompose(r2, fds)
+		return dedupeComponents(append(left, right...))
+	}
+	return []schema.AttrSet{attrs}
+}
+
+// ThreeNFSynthesize produces a 3NF, lossless, dependency-preserving
+// decomposition by Bernstein synthesis: take a minimal cover, group FDs by
+// LHS, emit X ∪ Ys per group, add a candidate key component if none
+// contains one, and drop components subsumed by others.
+func ThreeNFSynthesize(attrs schema.AttrSet, fds []fd.FD) []schema.AttrSet {
+	cover := fd.MinimalCover(fds)
+	groups := map[schema.AttrSet]schema.AttrSet{}
+	var order []schema.AttrSet
+	for _, f := range cover {
+		if !f.X.Union(f.Y).SubsetOf(attrs) {
+			continue
+		}
+		if _, ok := groups[f.X]; !ok {
+			order = append(order, f.X)
+		}
+		groups[f.X] = groups[f.X].Union(f.X).Union(f.Y)
+	}
+	var comps []schema.AttrSet
+	for _, x := range order {
+		comps = append(comps, groups[x])
+	}
+	// Ensure some component contains a candidate key (for losslessness).
+	keys := fd.CandidateKeys(attrs, fds)
+	hasKey := false
+	for _, c := range comps {
+		for _, k := range keys {
+			if k.SubsetOf(c) {
+				hasKey = true
+				break
+			}
+		}
+		if hasKey {
+			break
+		}
+	}
+	if !hasKey {
+		if len(keys) > 0 {
+			comps = append(comps, keys[0])
+		} else {
+			comps = append(comps, attrs)
+		}
+	}
+	// Cover attributes mentioned in no FD (they must appear somewhere).
+	var covered schema.AttrSet
+	for _, c := range comps {
+		covered = covered.Union(c)
+	}
+	if rest := attrs.Diff(covered); !rest.Empty() {
+		// Attach the leftovers to the key component (they are key parts:
+		// nothing determines them).
+		comps = append(comps, rest.Union(pickKeyComponent(comps, keys)))
+	}
+	return dedupeComponents(comps)
+}
+
+func pickKeyComponent(comps []schema.AttrSet, keys []schema.AttrSet) schema.AttrSet {
+	for _, c := range comps {
+		for _, k := range keys {
+			if k.SubsetOf(c) {
+				return c
+			}
+		}
+	}
+	if len(comps) > 0 {
+		return comps[len(comps)-1]
+	}
+	return 0
+}
+
+// dedupeComponents removes components subsumed by another component.
+func dedupeComponents(comps []schema.AttrSet) []schema.AttrSet {
+	sort.Slice(comps, func(i, j int) bool {
+		if comps[i].Len() != comps[j].Len() {
+			return comps[i].Len() > comps[j].Len()
+		}
+		return comps[i] < comps[j]
+	})
+	var out []schema.AttrSet
+	for _, c := range comps {
+		sub := false
+		for _, kept := range out {
+			if c.SubsetOf(kept) {
+				sub = true
+				break
+			}
+		}
+		if !sub {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Lossless reports whether the decomposition has a lossless join under
+// fds, via the tableau chase.
+func Lossless(attrs schema.AttrSet, comps []schema.AttrSet, fds []fd.FD) (bool, error) {
+	// The tableau operates over dense columns 0..p-1; remap.
+	cols := attrs.Attrs()
+	pos := map[schema.Attr]int{}
+	for i, a := range cols {
+		pos[a] = i
+	}
+	remapSet := func(s schema.AttrSet) (schema.AttrSet, error) {
+		var out schema.AttrSet
+		for _, a := range s.Attrs() {
+			i, ok := pos[a]
+			if !ok {
+				return 0, fmt.Errorf("normalize: attribute %d outside the scheme", a)
+			}
+			out = out.Add(schema.Attr(i))
+		}
+		return out, nil
+	}
+	rcomps := make([]schema.AttrSet, len(comps))
+	for i, c := range comps {
+		rc, err := remapSet(c)
+		if err != nil {
+			return false, err
+		}
+		rcomps[i] = rc
+	}
+	var rfds []fd.FD
+	for _, f := range fds {
+		if !f.X.Union(f.Y).SubsetOf(attrs) {
+			continue
+		}
+		x, err := remapSet(f.X)
+		if err != nil {
+			return false, err
+		}
+		y, err := remapSet(f.Y)
+		if err != nil {
+			return false, err
+		}
+		rfds = append(rfds, fd.New(x, y))
+	}
+	return tableau.Lossless(len(cols), rcomps, rfds)
+}
+
+// DependencyPreserving reports whether the union of the FD projections
+// onto the components implies every original FD.
+func DependencyPreserving(fds []fd.FD, comps []schema.AttrSet) bool {
+	var union []fd.FD
+	for _, c := range comps {
+		union = append(union, fd.Project(fds, c)...)
+	}
+	for _, f := range fds {
+		if !fd.Implies(union, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// PadToUniversal realizes the paper's motivation for nulls: every tuple of
+// every component instance becomes a universal-scheme tuple whose cells
+// outside the component are fresh nulls — "fill the gaps which are created
+// in the universal relation instance with ... null values" (Section 1).
+// Chasing the result with the FDs (chase package) then connects the
+// fragments; weak satisfiability of the padded instance is the paper's
+// weakened universal relation assumption.
+//
+// components[i] lists the universal attributes of projections[i], in the
+// projection's column order.
+func PadToUniversal(universal *schema.Scheme, projections []*relation.Relation, components []schema.AttrSet) (*relation.Relation, error) {
+	if len(projections) != len(components) {
+		return nil, fmt.Errorf("normalize: %d projections but %d components", len(projections), len(components))
+	}
+	out := relation.New(universal)
+	for pi, proj := range projections {
+		cols := components[pi].Attrs()
+		if proj.Scheme().Arity() != len(cols) {
+			return nil, fmt.Errorf("normalize: projection %d arity %d does not match component size %d",
+				pi, proj.Scheme().Arity(), len(cols))
+		}
+		for ti := 0; ti < proj.Len(); ti++ {
+			src := proj.Tuple(ti)
+			t := make(relation.Tuple, universal.Arity())
+			for i := range t {
+				t[i] = out.FreshNull()
+			}
+			for i, a := range cols {
+				v := src[i]
+				if v.IsNull() {
+					// Keep the projection's own nulls, re-marked to stay
+					// unique within the universal instance.
+					t[a] = out.FreshNull()
+				} else {
+					t[a] = v
+				}
+			}
+			if err := out.Insert(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// ProjectInstance projects a universal instance onto each component,
+// returning the fragment relations (duplicates collapsed).
+func ProjectInstance(r *relation.Relation, comps []schema.AttrSet) ([]*relation.Relation, error) {
+	out := make([]*relation.Relation, len(comps))
+	for i, c := range comps {
+		p, err := r.Project(fmt.Sprintf("%s_%d", r.Scheme().Name(), i+1), c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}

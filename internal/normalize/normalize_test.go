@@ -1,0 +1,321 @@
+package normalize
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/chase"
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// employee is the paper's Figure 1.1 scheme R(E#, SL, D#, CT) with
+// f1: E# → SL,D# and f2: D# → CT.
+func employee() (*schema.Scheme, []fd.FD) {
+	s := schema.MustNew("R",
+		[]string{"E#", "SL", "D#", "CT"},
+		[]*schema.Domain{
+			schema.IntDomain("emp", "e", 12),
+			schema.IntDomain("sal", "s", 12),
+			schema.IntDomain("dept", "d", 12),
+			schema.MustDomain("ct", "full", "part", "temp"),
+		})
+	return s, fd.MustParseSet(s, "E# -> SL,D#; D# -> CT")
+}
+
+func TestIsBCNF(t *testing.T) {
+	s, fds := employee()
+	// The full scheme is not BCNF: D# → CT with D# not a superkey.
+	ok, viol := IsBCNF(s.All(), fds)
+	if ok || viol == nil {
+		t.Error("employee scheme must violate BCNF")
+	}
+	// E#,SL is BCNF (E# is a key of the fragment).
+	ok, _ = IsBCNF(s.MustSet("E#", "SL"), fds)
+	if !ok {
+		t.Error("E#,SL fragment should be BCNF")
+	}
+}
+
+func TestIs3NF(t *testing.T) {
+	s, fds := employee()
+	// The full scheme is not 3NF either: CT is non-prime, D# → CT is a
+	// transitive dependency.
+	ok, viol := Is3NF(s.All(), fds)
+	if ok || viol == nil {
+		t.Error("employee scheme must violate 3NF")
+	}
+	ok, _ = Is3NF(s.MustSet("D#", "CT"), fds)
+	if !ok {
+		t.Error("D#,CT fragment should be 3NF")
+	}
+}
+
+func TestBCNFDecomposeEmployee(t *testing.T) {
+	s, fds := employee()
+	comps := BCNFDecompose(s.All(), fds)
+	if len(comps) < 2 {
+		t.Fatalf("decomposition should split the scheme, got %v", comps)
+	}
+	for _, c := range comps {
+		ok, viol := IsBCNF(c, fds)
+		if !ok {
+			t.Errorf("component %s not BCNF: %v", s.FormatSet(c), viol)
+		}
+	}
+	lossless, err := Lossless(s.All(), comps, fds)
+	if err != nil || !lossless {
+		t.Errorf("BCNF decomposition must be lossless: %v, %v", lossless, err)
+	}
+	// This particular decomposition should also preserve dependencies.
+	if !DependencyPreserving(fds, comps) {
+		t.Error("employee BCNF decomposition should preserve F")
+	}
+}
+
+func TestThreeNFSynthesizeEmployee(t *testing.T) {
+	s, fds := employee()
+	comps := ThreeNFSynthesize(s.All(), fds)
+	for _, c := range comps {
+		ok, viol := Is3NF(c, fds)
+		if !ok {
+			t.Errorf("component %s not 3NF: %v", s.FormatSet(c), viol)
+		}
+	}
+	lossless, err := Lossless(s.All(), comps, fds)
+	if err != nil || !lossless {
+		t.Errorf("3NF synthesis must be lossless: %v, %v", lossless, err)
+	}
+	if !DependencyPreserving(fds, comps) {
+		t.Error("3NF synthesis must preserve dependencies")
+	}
+	// Every attribute must be covered.
+	var covered schema.AttrSet
+	for _, c := range comps {
+		covered = covered.Union(c)
+	}
+	if covered != s.All() {
+		t.Errorf("attributes lost: %s", s.FormatSet(s.All().Diff(covered)))
+	}
+}
+
+func TestSynthesisRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 150; trial++ {
+		p := 3 + rng.Intn(3)
+		all := schema.AttrSet(1)<<uint(p) - 1
+		var fds []fd.FD
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			x := schema.AttrSet(rng.Intn(1<<uint(p)-1) + 1)
+			y := schema.AttrSet(rng.Intn(1<<uint(p)-1) + 1).Diff(x)
+			if y.Empty() {
+				continue
+			}
+			fds = append(fds, fd.New(x, y))
+		}
+		comps := ThreeNFSynthesize(all, fds)
+		for _, c := range comps {
+			if ok, viol := Is3NF(c, fds); !ok {
+				t.Fatalf("trial %d: component %v not 3NF: %v (F=%v)", trial, c, viol, fds)
+			}
+		}
+		lossless, err := Lossless(all, comps, fds)
+		if err != nil || !lossless {
+			t.Fatalf("trial %d: synthesis not lossless (F=%v comps=%v)", trial, fds, comps)
+		}
+		if !DependencyPreserving(fds, comps) {
+			t.Fatalf("trial %d: synthesis not dependency-preserving (F=%v)", trial, fds)
+		}
+	}
+}
+
+func TestBCNFRandomLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 100; trial++ {
+		p := 3 + rng.Intn(3)
+		all := schema.AttrSet(1)<<uint(p) - 1
+		var fds []fd.FD
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			x := schema.AttrSet(rng.Intn(1<<uint(p)-1) + 1)
+			y := schema.AttrSet(rng.Intn(1<<uint(p)-1) + 1).Diff(x)
+			if y.Empty() {
+				continue
+			}
+			fds = append(fds, fd.New(x, y))
+		}
+		comps := BCNFDecompose(all, fds)
+		for _, c := range comps {
+			if ok, viol := IsBCNF(c, fds); !ok {
+				t.Fatalf("trial %d: component %v not BCNF: %v (F=%v)", trial, c, viol, fds)
+			}
+		}
+		lossless, err := Lossless(all, comps, fds)
+		if err != nil || !lossless {
+			t.Fatalf("trial %d: BCNF decomposition not lossless (F=%v comps=%v)", trial, fds, comps)
+		}
+	}
+}
+
+func TestPadToUniversalAndChase(t *testing.T) {
+	// The paper's end-to-end story: two fragments acquired independently,
+	// padded into a universal instance with nulls, chased, and weakly
+	// satisfiable.
+	s, fds := employee()
+	empSL := relation.MustFromRows(
+		schema.MustNew("R1", []string{"E#", "SL", "D#"}, []*schema.Domain{
+			s.Domain(s.MustAttr("E#")), s.Domain(s.MustAttr("SL")), s.Domain(s.MustAttr("D#")),
+		}),
+		[]string{"e1", "s1", "d1"},
+		[]string{"e2", "s2", "d1"})
+	deptCT := relation.MustFromRows(
+		schema.MustNew("R2", []string{"D#", "CT"}, []*schema.Domain{
+			s.Domain(s.MustAttr("D#")), s.Domain(s.MustAttr("CT")),
+		}),
+		[]string{"d1", "full"})
+	u, err := PadToUniversal(s,
+		[]*relation.Relation{empSL, deptCT},
+		[]schema.AttrSet{s.MustSet("E#", "SL", "D#"), s.MustSet("D#", "CT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 3 {
+		t.Fatalf("universal instance should have 3 rows, got %d", u.Len())
+	}
+	if u.NullCount() == 0 {
+		t.Fatal("padding must introduce nulls")
+	}
+	ok, res, err := chase.WeaklySatisfiable(u, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("padded universal instance must be weakly satisfiable:\n%s", res.Relation)
+	}
+	// The chase must have connected the fragments: both employee tuples
+	// have D# = d1, and the D# → CT rule fills their CT with "full".
+	ct := s.MustAttr("CT")
+	for i := 0; i < 2; i++ {
+		v := res.Relation.Tuple(i)[ct]
+		if !v.IsConst() || v.Const() != "full" {
+			t.Errorf("tuple %d CT = %v, want full (chased through D#)", i, v)
+		}
+	}
+}
+
+func TestSynthesisCoversLooseAttributes(t *testing.T) {
+	// An attribute mentioned in no FD must still land in some component
+	// (attached to the key component) — exercises pickKeyComponent.
+	s := schema.Uniform("R", []string{"A", "B", "C", "D"},
+		schema.IntDomain("d", "v", 4))
+	fds := fd.MustParseSet(s, "A -> B")
+	comps := ThreeNFSynthesize(s.All(), fds)
+	var covered schema.AttrSet
+	for _, c := range comps {
+		covered = covered.Union(c)
+	}
+	if covered != s.All() {
+		t.Fatalf("attributes %s lost", s.FormatSet(s.All().Diff(covered)))
+	}
+	lossless, err := Lossless(s.All(), comps, fds)
+	if err != nil || !lossless {
+		t.Errorf("loose-attribute synthesis lossless: %v %v", lossless, err)
+	}
+}
+
+func TestBCNFDecomposeAlreadyNormal(t *testing.T) {
+	// A scheme already in BCNF decomposes to itself.
+	s := schema.Uniform("R", []string{"A", "B", "C"},
+		schema.IntDomain("d", "v", 4))
+	fds := fd.MustParseSet(s, "A -> B,C") // A is a key
+	comps := BCNFDecompose(s.All(), fds)
+	if len(comps) != 1 || comps[0] != s.All() {
+		t.Errorf("BCNF scheme should stay whole, got %v", comps)
+	}
+	// Two-attribute schemes are BCNF by construction.
+	comps2 := BCNFDecompose(s.MustSet("A", "B"), fds)
+	if len(comps2) != 1 {
+		t.Errorf("two-attribute scheme should stay whole, got %v", comps2)
+	}
+}
+
+func TestLosslessValidation(t *testing.T) {
+	s := schema.Uniform("R", []string{"A", "B", "C"},
+		schema.IntDomain("d", "v", 4))
+	// A component with an attribute outside the scheme must error.
+	if _, err := Lossless(s.MustSet("A", "B"), []schema.AttrSet{schema.NewAttrSet(5)}, nil); err == nil {
+		t.Error("out-of-scheme component must error")
+	}
+	// FDs mentioning attributes outside the sub-scheme are skipped, not
+	// errors.
+	fds := fd.MustParseSet(s, "A -> C")
+	ok, err := Lossless(s.MustSet("A", "B"), []schema.AttrSet{s.MustSet("A", "B")}, fds)
+	if err != nil || !ok {
+		t.Errorf("identity decomposition with external FDs: %v %v", ok, err)
+	}
+}
+
+func TestPadToUniversalValidation(t *testing.T) {
+	s, _ := employee()
+	if _, err := PadToUniversal(s, nil, []schema.AttrSet{s.All()}); err == nil {
+		t.Error("length mismatch must error")
+	}
+	bad := relation.New(schema.Uniform("X", []string{"A"}, schema.MustDomain("d", "x")))
+	if _, err := PadToUniversal(s, []*relation.Relation{bad}, []schema.AttrSet{s.MustSet("E#", "SL")}); err == nil {
+		t.Error("arity mismatch must error")
+	}
+}
+
+func TestProjectInstanceRoundTrip(t *testing.T) {
+	s, fds := employee()
+	r := relation.MustFromRows(s,
+		[]string{"e1", "s1", "d1", "full"},
+		[]string{"e2", "s2", "d1", "full"},
+		[]string{"e3", "s1", "d2", "part"})
+	comps := ThreeNFSynthesize(s.All(), fds)
+	frags, err := ProjectInstance(r, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != len(comps) {
+		t.Fatalf("fragment count %d != component count %d", len(frags), len(comps))
+	}
+	// Pad back and chase: the original constants must be recoverable on
+	// every component's attributes (lossless join, realized through the
+	// null-padded universal instance).
+	u, err := PadToUniversal(s, frags, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, res, err := chase.WeaklySatisfiable(u, fds)
+	if err != nil || !ok {
+		t.Fatalf("reassembled instance must be weakly satisfiable: %v %v", ok, err)
+	}
+	// Each original tuple must approximate some chased universal tuple.
+	for ti := 0; ti < r.Len(); ti++ {
+		orig := r.Tuple(ti)
+		found := false
+		for ui := 0; ui < res.Relation.Len(); ui++ {
+			cand := res.Relation.Tuple(ui)
+			match := true
+			for a := 0; a < s.Arity(); a++ {
+				if cand[a].IsConst() && orig[a].IsConst() &&
+					cand[a].Const() != orig[a].Const() {
+					match = false
+					break
+				}
+				if cand[a].IsNothing() {
+					match = false
+					break
+				}
+			}
+			if match {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("original tuple %s not recoverable from:\n%s", orig, res.Relation)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package paperex reproduces the paper's printed figures and examples as
+// constructed fixtures, so tests, examples, and the experiment harness all
+// reference the exact artifacts of the publication.
+//
+//	Figure 1.1 — the relation scheme R(E#, SL, D#, CT) with
+//	             f1: E# → SL,D# and f2: D# → CT
+//	Figure 1.2 — a complete instance of R where both FDs hold
+//	Figure 1.3 — an instance of R with nulls
+//	Figure 2   — R(A,B,C), f: A,B → C, and instances r1 … r4 exercising
+//	             cases [T2], [T3], [T3], [F2] of Proposition 1
+//	Section 6  — the A→B, B→C interaction example
+//	Figure 4/5 — the order-dependence example for the NS-rules (A→B, C→B)
+//
+// Figure 1.2/1.3's concrete values follow the paper's text where printed
+// (the working-paper scan elides most cell values; representative values
+// are used, preserving every property the paper asserts about the
+// figures). Figure 2's r4 stipulates |dom(A)| = 2.
+package paperex
+
+import (
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// EmployeeScheme returns Figure 1.1: the scheme and its two FDs.
+// Domains are sized per the paper's practicality argument (Section 4): the
+// employee-number domain is comfortably larger than any instance.
+func EmployeeScheme() (*schema.Scheme, []fd.FD) {
+	s := schema.MustNew("R",
+		[]string{"E#", "SL", "D#", "CT"},
+		[]*schema.Domain{
+			schema.IntDomain("emp#", "e", 20),
+			schema.IntDomain("salary", "10K+", 10),
+			schema.IntDomain("dept#", "d", 8),
+			schema.MustDomain("contract", "full", "part"),
+		})
+	return s, fd.MustParseSet(s, "E# -> SL,D#; D# -> CT")
+}
+
+// Figure12 returns the complete instance of Figure 1.2; both FDs hold.
+func Figure12() (*schema.Scheme, []fd.FD, *relation.Relation) {
+	s, fds := EmployeeScheme()
+	r := relation.MustFromRows(s,
+		[]string{"e1", "10K+1", "d1", "full"},
+		[]string{"e2", "10K+2", "d1", "full"},
+		[]string{"e3", "10K+1", "d2", "part"},
+		[]string{"e4", "10K+3", "d3", "full"})
+	return s, fds, r
+}
+
+// Figure13 returns the instance with nulls of Figure 1.3: salaries,
+// departments and contract types are partially unknown.
+func Figure13() (*schema.Scheme, []fd.FD, *relation.Relation) {
+	s, fds := EmployeeScheme()
+	r := relation.MustFromRows(s,
+		[]string{"e1", "10K+1", "d1", "full"},
+		[]string{"e2", "-", "d1", "-"},
+		[]string{"e3", "10K+1", "-", "part"},
+		[]string{"e4", "-", "d3", "full"})
+	return s, fds, r
+}
+
+// Fig2Scheme returns Figure 2's scheme R(A, B, C) with |dom(A)| = 2 (the
+// stipulation for r4) and the FD f: A,B → C.
+func Fig2Scheme() (*schema.Scheme, fd.FD) {
+	s := schema.MustNew("R", []string{"A", "B", "C"}, []*schema.Domain{
+		schema.MustDomain("domA", "a1", "a2"),
+		schema.IntDomain("domB", "b", 4),
+		schema.IntDomain("domC", "c", 4),
+	})
+	return s, fd.MustParse(s, "A,B -> C")
+}
+
+// Figure2R1 returns r1: t1 = (a1, b1, -) with a unique AB-value; the
+// paper reports f(t1, r1) = true by [T2].
+func Figure2R1() (*schema.Scheme, fd.FD, *relation.Relation) {
+	s, f := Fig2Scheme()
+	r := relation.MustFromRows(s,
+		[]string{"a1", "b1", "-"},
+		[]string{"a1", "b2", "c1"})
+	return s, f, r
+}
+
+// Figure2R2 returns r2: t1 = (a1, -, c1) whose only matching completion
+// agrees on C; f(t1, r2) = true by [T3].
+func Figure2R2() (*schema.Scheme, fd.FD, *relation.Relation) {
+	s, f := Fig2Scheme()
+	r := relation.MustFromRows(s,
+		[]string{"a1", "-", "c1"},
+		[]string{"a1", "b1", "c1"})
+	return s, f, r
+}
+
+// Figure2R3 returns r3: t1 = (a1, -, c1) with no completion of t1[AB]
+// present in r; f(t1, r3) = true by [T3].
+func Figure2R3() (*schema.Scheme, fd.FD, *relation.Relation) {
+	s, f := Fig2Scheme()
+	r := relation.MustFromRows(s,
+		[]string{"a1", "-", "c1"},
+		[]string{"a2", "b1", "c2"})
+	return s, f, r
+}
+
+// Figure2R4 returns r4: t1 = (-, b1, c1) where both completions of t1[A]
+// (|dom(A)| = 2) appear with C-values distinct from c1;
+// f(t1, r4) = false by [F2].
+func Figure2R4() (*schema.Scheme, fd.FD, *relation.Relation) {
+	s, f := Fig2Scheme()
+	r := relation.MustFromRows(s,
+		[]string{"-", "b1", "c1"},
+		[]string{"a1", "b1", "c2"},
+		[]string{"a2", "b1", "c3"})
+	return s, f, r
+}
+
+// Section6 returns the opening example of Section 6: R(A,B,C),
+// f1: A → B, f2: B → C, and the two-tuple instance where each FD is
+// weakly satisfied on its own but the set is not.
+func Section6() (*schema.Scheme, []fd.FD, *relation.Relation) {
+	s := schema.MustNew("R", []string{"A", "B", "C"}, []*schema.Domain{
+		schema.IntDomain("domA", "a", 6),
+		schema.IntDomain("domB", "b", 6),
+		schema.IntDomain("domC", "c", 6),
+	})
+	fds := fd.MustParseSet(s, "A -> B; B -> C")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "-", "c1"},
+		[]string{"a1", "-", "c2"})
+	return s, fds, r
+}
+
+// Figure5 returns the order-dependence example: R(A,B,C) with A → B and
+// C → B, and an instance where applying A→B first and C→B first reach
+// different minimally incomplete states; the extended (nothing) system
+// collapses the whole B column either way (Theorem 4's uniqueness).
+func Figure5() (*schema.Scheme, []fd.FD, *relation.Relation) {
+	s := schema.MustNew("R", []string{"A", "B", "C"}, []*schema.Domain{
+		schema.IntDomain("domA", "a", 6),
+		schema.IntDomain("domB", "b", 6),
+		schema.IntDomain("domC", "c", 6),
+	})
+	fds := fd.MustParseSet(s, "A -> B; C -> B")
+	r := relation.MustFromRows(s,
+		[]string{"a1", "b1", "c1"}, // (a,  b1, c )
+		[]string{"a1", "-", "c2"},  // (a,  ⊥,  c′)
+		[]string{"a2", "b2", "c2"}) // (a′, b2, c′)
+	return s, fds, r
+}

@@ -1,0 +1,196 @@
+package query
+
+// parse.go implements a small predicate language for the CLI:
+//
+//	expr  := or
+//	or    := and { "or" and }
+//	and   := unary { "and" unary }
+//	unary := "not" unary | "(" expr ")" | atom
+//	atom  := ident "=" operand | ident "in" "(" value {"," value} ")"
+//
+// An operand that names an attribute parses as attribute equality;
+// anything else is a constant. "and" binds tighter than "or".
+
+import (
+	"fmt"
+	"strings"
+
+	"fdnull/internal/schema"
+)
+
+// ParsePred parses a predicate against a scheme.
+func ParsePred(s *schema.Scheme, input string) (Pred, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{s: s, toks: toks}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("query: unexpected %q after predicate", p.peek())
+	}
+	return pred, nil
+}
+
+func lex(input string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '=':
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(input) && !strings.ContainsRune(" \t\n(),=", rune(input[j])) {
+				j++
+			}
+			toks = append(toks, input[i:j])
+			i = j
+		}
+	}
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("query: empty predicate")
+	}
+	return toks, nil
+}
+
+type parser struct {
+	s    *schema.Scheme
+	toks []string
+	pos  int
+}
+
+func (p *parser) eof() bool    { return p.pos >= len(p.toks) }
+func (p *parser) peek() string { return p.toks[p.pos] }
+func (p *parser) next() string {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(tok string) error {
+	if p.eof() || p.peek() != tok {
+		got := "end of input"
+		if !p.eof() {
+			got = fmt.Sprintf("%q", p.peek())
+		}
+		return fmt.Errorf("query: expected %q, got %s", tok, got)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) parseOr() (Pred, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() && strings.EqualFold(p.peek(), "or") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Pred, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() && strings.EqualFold(p.peek(), "and") {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Pred, error) {
+	if p.eof() {
+		return nil, fmt.Errorf("query: unexpected end of predicate")
+	}
+	switch {
+	case strings.EqualFold(p.peek(), "not"):
+		p.next()
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{inner}, nil
+	case p.peek() == "(":
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *parser) parseAtom() (Pred, error) {
+	name := p.next()
+	attr, ok := p.s.Attr(name)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown attribute %q", name)
+	}
+	if p.eof() {
+		return nil, fmt.Errorf("query: attribute %q needs a comparison", name)
+	}
+	switch {
+	case p.peek() == "=":
+		p.next()
+		if p.eof() {
+			return nil, fmt.Errorf("query: %q = needs an operand", name)
+		}
+		operand := p.next()
+		if other, ok := p.s.Attr(operand); ok {
+			return EqAttr{A: attr, B: other}, nil
+		}
+		return Eq{Attr: attr, Const: operand}, nil
+	case strings.EqualFold(p.peek(), "in"):
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var vals []string
+		for {
+			if p.eof() {
+				return nil, fmt.Errorf("query: unterminated value list")
+			}
+			vals = append(vals, p.next())
+			if p.eof() {
+				return nil, fmt.Errorf("query: unterminated value list")
+			}
+			if p.peek() == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return In{Attr: attr, Values: vals}, nil
+	default:
+		return nil, fmt.Errorf("query: expected = or in after %q, got %q", name, p.peek())
+	}
+}

@@ -1,0 +1,106 @@
+package query
+
+import (
+	"testing"
+
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+)
+
+func parseScheme() *schema.Scheme {
+	return schema.MustNew("R", []string{"A", "B", "MS"}, []*schema.Domain{
+		schema.IntDomain("da", "x", 3),
+		schema.IntDomain("db", "x", 3),
+		schema.MustDomain("marital", "married", "single"),
+	})
+}
+
+func TestParsePredAtoms(t *testing.T) {
+	s := parseScheme()
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"MS = married", `#2 = "married"`},
+		{"A = B", "#0 = #1"},
+		{"MS in (married, single)", "#2 in {married,single}"},
+		{"MS in (married)", "#2 in {married}"},
+		{"not MS = married", `not(#2 = "married")`},
+		{"A = x1 and B = x2", `(#0 = "x1" and #1 = "x2")`},
+		{"A = x1 or B = x2 and MS = married", `(#0 = "x1" or (#1 = "x2" and #2 = "married"))`},
+		{"(A = x1 or B = x2) and MS = married", `((#0 = "x1" or #1 = "x2") and #2 = "married")`},
+		{"not (A = x1 or A = x2)", `not((#0 = "x1" or #0 = "x2"))`},
+	}
+	for _, c := range cases {
+		p, err := ParsePred(s, c.in)
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if p.String() != c.want {
+			t.Errorf("%q parsed to %q, want %q", c.in, p.String(), c.want)
+		}
+	}
+}
+
+func TestParsePredErrors(t *testing.T) {
+	s := parseScheme()
+	bad := []string{
+		"",
+		"Z = x",              // unknown attribute
+		"A",                  // missing comparison
+		"A =",                // missing operand
+		"A ~ x",              // unknown operator
+		"A = x1 extra",       // trailing tokens
+		"(A = x1",            // unbalanced paren
+		"MS in married",      // missing paren
+		"MS in (married",     // unterminated list
+		"MS in (married,",    // dangling comma
+		"not",                // bare not
+		"A = x1 and",         // dangling and
+		"A = x1 or or B = x", // double operator
+	}
+	for _, in := range bad {
+		if _, err := ParsePred(s, in); err == nil {
+			t.Errorf("%q should fail to parse", in)
+		}
+	}
+}
+
+func TestParsePredEvaluates(t *testing.T) {
+	s := parseScheme()
+	r := relation.MustFromRows(s,
+		[]string{"x1", "x1", "married"},
+		[]string{"x2", "x1", "-"})
+	p, err := ParsePred(s, "A = B and MS in (married, single)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Eval(s, r.Tuple(0)); got != tvl.True {
+		t.Errorf("tuple 0: %v", got)
+	}
+	if got := p.Eval(s, r.Tuple(1)); got != tvl.False {
+		t.Errorf("tuple 1: %v (A≠B decides the conjunction)", got)
+	}
+	q, err := ParsePred(s, "MS = married or not A = x9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x9 is outside dom(A)... wait, dom(A) is x1..x3, so A = x9 is false
+	// on constants and on nulls alike; its negation is true.
+	if got := q.Eval(s, r.Tuple(1)); got != tvl.True {
+		t.Errorf("out-of-domain negation: %v", got)
+	}
+}
+
+func TestParsePredCaseInsensitiveKeywords(t *testing.T) {
+	s := parseScheme()
+	p, err := ParsePred(s, "NOT MS = married AND A = x1 OR MS IN (single)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() == "" {
+		t.Error("rendered predicate empty")
+	}
+}

@@ -1,0 +1,261 @@
+// Package query implements three-valued selection over relations with
+// nulls, using the least-extension rule of Section 2 of the paper.
+//
+// A query predicate is a function from tuples to truth values. With a
+// null in play, the paper's rule evaluates the predicate for every
+// substitution of the null and returns the least upper bound of the
+// answers in the information ordering:
+//
+//	Q:  marital-status = "married"        on ("John", null) → unknown
+//	Q': marital-status ∈ {married,single} on ("John", null) → true
+//
+// (the paper's Section 2 example: the second query is true because every
+// substitution yields yes, so the incomplete knowledge is immaterial).
+//
+// The evaluators below compute these lubs *analytically* per atom rather
+// than enumerating substitutions — the paper's point that "syntactic query
+// transformations" make the evaluation practical ([Vassiliou 79]):
+//
+//   - attr = c   over a null is unknown, unless the domain forces it
+//     (singleton domains) — enumeration-free least extension;
+//   - attr ∈ S  over a null is true when dom ⊆ S, false when dom ∩ S = ∅,
+//     unknown otherwise;
+//   - attr1 = attr2 over nulls is true when both cells are the *same
+//     marked null* (they denote one value), unknown otherwise;
+//   - boolean connectives are strong Kleene (the lub-compatible
+//     extensions of ∧, ∨, ¬).
+//
+// On *atoms* the analytic evaluation equals the least extension exactly.
+// On composite formulas it is a sound approximation: it never returns a
+// wrong definite answer, but may return unknown where enumerating the
+// completions of the whole formula would decide (e.g. ¬(A=B ∧ A=c) on a
+// null is true under every substitution, yet the Kleene composition of
+// two unknowns is unknown). This is the same gap System C's rule 1 closes
+// for tautologies (Section 5's p ∨ ¬p discussion); EvalBrute computes the
+// exact whole-formula least extension when the completion space is small.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+)
+
+// Pred is a three-valued predicate over tuples of a fixed scheme.
+type Pred interface {
+	// Eval returns the least-extension truth value of the predicate on t.
+	Eval(s *schema.Scheme, t relation.Tuple) tvl.T
+	fmt.Stringer
+}
+
+// Eq is the atom attr = const.
+type Eq struct {
+	Attr  schema.Attr
+	Const string
+}
+
+// In is the atom attr ∈ Values.
+type In struct {
+	Attr   schema.Attr
+	Values []string
+}
+
+// EqAttr is the atom attr1 = attr2.
+type EqAttr struct {
+	A, B schema.Attr
+}
+
+// Not negates a predicate.
+type Not struct{ P Pred }
+
+// And conjoins two predicates.
+type And struct{ P, Q Pred }
+
+// Or disjoins two predicates.
+type Or struct{ P, Q Pred }
+
+func (e Eq) String() string { return fmt.Sprintf("#%d = %q", e.Attr, e.Const) }
+func (i In) String() string {
+	return fmt.Sprintf("#%d in {%s}", i.Attr, strings.Join(i.Values, ","))
+}
+func (e EqAttr) String() string { return fmt.Sprintf("#%d = #%d", e.A, e.B) }
+func (n Not) String() string    { return "not(" + n.P.String() + ")" }
+func (a And) String() string    { return "(" + a.P.String() + " and " + a.Q.String() + ")" }
+func (o Or) String() string     { return "(" + o.P.String() + " or " + o.Q.String() + ")" }
+
+// Eval for attr = c: a constant compares directly; a null's completions
+// cover the whole domain, so the lub is unknown unless the domain is the
+// singleton {c} (then every completion answers yes) or c is outside the
+// domain (every completion answers no).
+func (e Eq) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	v := t[e.Attr]
+	dom := s.Domain(e.Attr)
+	switch {
+	case v.IsConst():
+		return tvl.FromBool(v.Const() == e.Const)
+	case v.IsNothing():
+		return tvl.False // a contradictory cell equals no domain value
+	default:
+		if !dom.Contains(e.Const) {
+			return tvl.False
+		}
+		if dom.Size() == 1 {
+			return tvl.True
+		}
+		return tvl.Unknown
+	}
+}
+
+// Eval for attr ∈ S — the paper's married-or-single example: the lub over
+// all substitutions is true when the domain is covered by S, false when
+// disjoint from S, unknown otherwise.
+func (i In) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	v := t[i.Attr]
+	inSet := func(c string) bool {
+		for _, x := range i.Values {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	switch {
+	case v.IsConst():
+		return tvl.FromBool(inSet(v.Const()))
+	case v.IsNothing():
+		return tvl.False
+	default:
+		dom := s.Domain(i.Attr)
+		all, none := true, true
+		for _, c := range dom.Values {
+			if inSet(c) {
+				none = false
+			} else {
+				all = false
+			}
+		}
+		switch {
+		case all:
+			return tvl.True
+		case none:
+			return tvl.False
+		default:
+			return tvl.Unknown
+		}
+	}
+}
+
+// Eval for attr1 = attr2: same marked null denotes one unknown value and
+// compares equal; otherwise any null leaves the comparison unknown except
+// when the two domains cannot intersect. Distinct constants compare
+// directly.
+func (e EqAttr) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	a, b := t[e.A], t[e.B]
+	switch {
+	case a.IsNothing() || b.IsNothing():
+		return tvl.False
+	case a.IsConst() && b.IsConst():
+		return tvl.FromBool(a.Const() == b.Const())
+	case a.IsNull() && b.IsNull() && a.Mark() == b.Mark():
+		return tvl.True
+	default:
+		// A null against a constant outside its domain can never match;
+		// a singleton domain forces the null and decides the comparison.
+		if a.IsNull() && b.IsConst() {
+			return nullVsConst(s.Domain(e.A), b.Const())
+		}
+		if b.IsNull() && a.IsConst() {
+			return nullVsConst(s.Domain(e.B), a.Const())
+		}
+		da, db := s.Domain(e.A), s.Domain(e.B)
+		if !domainsIntersect(da, db) {
+			return tvl.False
+		}
+		if da.Size() == 1 && db.Size() == 1 {
+			return tvl.FromBool(da.Values[0] == db.Values[0])
+		}
+		return tvl.Unknown
+	}
+}
+
+// nullVsConst decides null = c given the null's domain: impossible when c
+// is outside the domain, forced when the domain is the singleton {c}.
+func nullVsConst(dom *schema.Domain, c string) tvl.T {
+	if !dom.Contains(c) {
+		return tvl.False
+	}
+	if dom.Size() == 1 {
+		return tvl.True
+	}
+	return tvl.Unknown
+}
+
+func domainsIntersect(a, b *schema.Domain) bool {
+	for _, v := range a.Values {
+		if b.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (n Not) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	return tvl.Not(n.P.Eval(s, t))
+}
+
+func (a And) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	return tvl.And(a.P.Eval(s, t), a.Q.Eval(s, t))
+}
+
+func (o Or) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	return tvl.Or(o.P.Eval(s, t), o.Q.Eval(s, t))
+}
+
+// Result partitions a selection's answer by certainty.
+type Result struct {
+	// Sure lists indices of tuples where the predicate is true: they
+	// belong to the answer under every completion.
+	Sure []int
+	// Maybe lists indices where the predicate is unknown: they belong to
+	// the answer under some completions.
+	Maybe []int
+}
+
+// Select evaluates the predicate on every tuple and partitions the
+// instance into certain and possible answers (tuples evaluating to false
+// are dropped).
+func Select(r *relation.Relation, p Pred) Result {
+	var res Result
+	s := r.Scheme()
+	for i, t := range r.Tuples() {
+		switch p.Eval(s, t) {
+		case tvl.True:
+			res.Sure = append(res.Sure, i)
+		case tvl.Unknown:
+			res.Maybe = append(res.Maybe, i)
+		}
+	}
+	return res
+}
+
+// EvalBrute computes the least-extension value of p on t by enumerating
+// the completions of t — the definition the analytic atoms shortcut. Used
+// by tests as ground truth; exponential.
+func EvalBrute(s *schema.Scheme, t relation.Tuple, p Pred) (tvl.T, error) {
+	comps, err := relation.TupleCompletions(s, t, s.All())
+	if err != nil {
+		return tvl.Unknown, err
+	}
+	if len(comps) == 0 {
+		// A contradictory tuple: match the analytic convention (false).
+		return tvl.False, nil
+	}
+	var vals []tvl.T
+	for _, c := range comps {
+		vals = append(vals, p.Eval(s, c))
+	}
+	return tvl.Lub(vals...), nil
+}

@@ -1,0 +1,269 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+	"fdnull/internal/value"
+)
+
+// johnScheme is the paper's Section 2 example: R(name, marital-status)
+// with dom(marital-status) = {married, single}.
+func johnScheme() *schema.Scheme {
+	return schema.MustNew("R", []string{"name", "ms"}, []*schema.Domain{
+		schema.IntDomain("names", "p", 6),
+		schema.MustDomain("marital", "married", "single"),
+	})
+}
+
+func TestPaperSection2Example(t *testing.T) {
+	s := johnScheme()
+	john := relation.Tuple{value.NewConst("p1"), value.NewNull(1)}
+	ms := s.MustAttr("ms")
+
+	// Q: "Is John married?" → lub{yes, no} = unknown.
+	q := Eq{Attr: ms, Const: "married"}
+	if got := q.Eval(s, john); got != tvl.Unknown {
+		t.Errorf("Q(John, null) = %v, want unknown", got)
+	}
+	// Q': "Is John either married or single?" → lub{yes, yes} = yes.
+	qp := In{Attr: ms, Values: []string{"married", "single"}}
+	if got := qp.Eval(s, john); got != tvl.True {
+		t.Errorf("Q'(John, null) = %v, want true", got)
+	}
+}
+
+func TestEqAtom(t *testing.T) {
+	s := johnScheme()
+	ms := s.MustAttr("ms")
+	married := relation.Tuple{value.NewConst("p1"), value.NewConst("married")}
+	single := relation.Tuple{value.NewConst("p1"), value.NewConst("single")}
+	q := Eq{Attr: ms, Const: "married"}
+	if q.Eval(s, married) != tvl.True || q.Eval(s, single) != tvl.False {
+		t.Error("Eq on constants")
+	}
+	// A constant outside the domain can never match a null.
+	qOut := Eq{Attr: ms, Const: "divorced"}
+	null := relation.Tuple{value.NewConst("p1"), value.NewNull(1)}
+	if qOut.Eval(s, null) != tvl.False {
+		t.Error("Eq against out-of-domain constant must be false")
+	}
+	// A singleton domain forces the null.
+	s1 := schema.MustNew("S", []string{"a"}, []*schema.Domain{schema.MustDomain("only", "x")})
+	tn := relation.Tuple{value.NewNull(1)}
+	if (Eq{Attr: 0, Const: "x"}).Eval(s1, tn) != tvl.True {
+		t.Error("singleton domain must force the null")
+	}
+	// nothing equals nothing — not even itself.
+	bad := relation.Tuple{value.NewConst("p1"), value.NewNothing()}
+	if q.Eval(s, bad) != tvl.False {
+		t.Error("Eq on nothing must be false")
+	}
+}
+
+func TestInAtom(t *testing.T) {
+	s := johnScheme()
+	ms := s.MustAttr("ms")
+	null := relation.Tuple{value.NewConst("p1"), value.NewNull(1)}
+	if (In{Attr: ms, Values: []string{"married"}}).Eval(s, null) != tvl.Unknown {
+		t.Error("partial cover must be unknown")
+	}
+	if (In{Attr: ms, Values: []string{"divorced"}}).Eval(s, null) != tvl.False {
+		t.Error("disjoint set must be false")
+	}
+	one := relation.Tuple{value.NewConst("p1"), value.NewConst("single")}
+	if (In{Attr: ms, Values: []string{"married", "single"}}).Eval(s, one) != tvl.True {
+		t.Error("constant membership")
+	}
+	if (In{Attr: ms, Values: []string{"married"}}).Eval(s, one) != tvl.False {
+		t.Error("constant non-membership")
+	}
+	bad := relation.Tuple{value.NewConst("p1"), value.NewNothing()}
+	if (In{Attr: ms, Values: []string{"married", "single"}}).Eval(s, bad) != tvl.False {
+		t.Error("nothing belongs to no set")
+	}
+}
+
+func TestEqAttrAtom(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B"}, dom)
+	q := EqAttr{A: 0, B: 1}
+	if q.Eval(s, relation.Tuple(value.List("v1", "v1"))) != tvl.True {
+		t.Error("equal constants")
+	}
+	if q.Eval(s, relation.Tuple(value.List("v1", "v2"))) != tvl.False {
+		t.Error("distinct constants")
+	}
+	shared := relation.Tuple{value.NewNull(7), value.NewNull(7)}
+	if q.Eval(s, shared) != tvl.True {
+		t.Error("same marked null denotes one value: must be true")
+	}
+	indep := relation.Tuple{value.NewNull(1), value.NewNull(2)}
+	if q.Eval(s, indep) != tvl.Unknown {
+		t.Error("independent nulls: unknown")
+	}
+	mixed := relation.Tuple{value.NewNull(1), value.NewConst("v1")}
+	if q.Eval(s, mixed) != tvl.Unknown {
+		t.Error("null vs constant: unknown")
+	}
+	// Disjoint domains can never match.
+	s2 := schema.MustNew("S", []string{"A", "B"}, []*schema.Domain{
+		schema.MustDomain("da", "x"),
+		schema.MustDomain("db", "y"),
+	})
+	if q.Eval(s2, relation.Tuple{value.NewNull(1), value.NewNull(2)}) != tvl.False {
+		t.Error("disjoint domains: false")
+	}
+	// Equal singleton domains force equality.
+	s3 := schema.MustNew("S", []string{"A", "B"}, []*schema.Domain{
+		schema.MustDomain("da", "x"),
+		schema.MustDomain("db", "x"),
+	})
+	if q.Eval(s3, relation.Tuple{value.NewNull(1), value.NewNull(2)}) != tvl.True {
+		t.Error("equal singleton domains: true")
+	}
+	if q.Eval(s, relation.Tuple{value.NewNothing(), value.NewNothing()}) != tvl.False {
+		t.Error("nothing never matches")
+	}
+}
+
+func TestConnectives(t *testing.T) {
+	s := johnScheme()
+	ms := s.MustAttr("ms")
+	null := relation.Tuple{value.NewConst("p1"), value.NewNull(1)}
+	married := Eq{Attr: ms, Const: "married"}
+	single := Eq{Attr: ms, Const: "single"}
+	// married ∨ single over a null: unknown ∨ unknown = unknown under
+	// strong Kleene — the atom-level In is strictly more precise, which
+	// is exactly the paper's point about syntactic transformation.
+	if (Or{married, single}).Eval(s, null) != tvl.Unknown {
+		t.Error("Kleene or of unknowns is unknown")
+	}
+	if (In{Attr: ms, Values: []string{"married", "single"}}).Eval(s, null) != tvl.True {
+		t.Error("the transformed query is true")
+	}
+	if (Not{married}).Eval(s, null) != tvl.Unknown {
+		t.Error("not unknown")
+	}
+	if (And{married, Not{married}}).Eval(s, null) != tvl.Unknown {
+		t.Error("Kleene and")
+	}
+	cm := relation.Tuple{value.NewConst("p1"), value.NewConst("married")}
+	if (And{married, Not{single}}).Eval(s, cm) != tvl.True {
+		t.Error("constant conjunction")
+	}
+}
+
+func TestSelectPartition(t *testing.T) {
+	s := johnScheme()
+	ms := s.MustAttr("ms")
+	r := relation.MustFromRows(s,
+		[]string{"p1", "married"},
+		[]string{"p2", "-"},
+		[]string{"p3", "single"})
+	res := Select(r, Eq{Attr: ms, Const: "married"})
+	if len(res.Sure) != 1 || res.Sure[0] != 0 {
+		t.Errorf("Sure = %v", res.Sure)
+	}
+	if len(res.Maybe) != 1 || res.Maybe[0] != 1 {
+		t.Errorf("Maybe = %v", res.Maybe)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	p := Or{And{Eq{0, "x"}, Not{In{1, []string{"a", "b"}}}}, EqAttr{0, 1}}
+	got := p.String()
+	want := `((#0 = "x" and not(#1 in {a,b})) or #0 = #1)`
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// TestAtomsMatchBrute: on atomic predicates the analytic evaluation must
+// equal the least-extension lub over completions exactly.
+func TestAtomsMatchBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B"}, dom)
+	atoms := []Pred{
+		Eq{0, "v1"},
+		Eq{1, "v3"},
+		Eq{0, "zz"}, // out of domain
+		In{0, []string{"v1", "v2"}},
+		In{0, []string{"v1", "v2", "v3"}},
+		In{1, []string{"zz"}},
+		EqAttr{0, 1},
+	}
+	for trial := 0; trial < 300; trial++ {
+		tup := randTuple(rng, dom)
+		for _, p := range atoms {
+			got := p.Eval(s, tup)
+			want, err := EvalBrute(s, tup, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d: %s on %s: analytic=%v brute=%v",
+					trial, p, tup, got, want)
+			}
+		}
+	}
+}
+
+// TestCompositesSoundApproximation: on composite predicates the Kleene
+// evaluation is a sound approximation of the whole-formula least
+// extension — it may be unknown where the brute force decides, but must
+// never contradict it. (The same gap System C's rule 1 closes for
+// tautologies.)
+func TestCompositesSoundApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B"}, dom)
+	composites := []Pred{
+		Not{Eq{0, "v1"}},
+		And{Eq{0, "v1"}, In{1, []string{"v1", "v2", "v3"}}},
+		Or{Eq{0, "v1"}, Eq{0, "v2"}},
+		Or{Eq{0, "v1"}, Or{Eq{0, "v2"}, Eq{0, "v3"}}}, // an excluded-middle shape
+		Not{And{EqAttr{0, 1}, Eq{0, "v2"}}},
+		And{Not{Eq{0, "v1"}}, Not{Eq{1, "v2"}}},
+	}
+	sawGap := false
+	for trial := 0; trial < 300; trial++ {
+		tup := randTuple(rng, dom)
+		for _, p := range composites {
+			got := p.Eval(s, tup)
+			want, err := EvalBrute(s, tup, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				if got != tvl.Unknown {
+					t.Fatalf("trial %d: %s on %s: analytic=%v contradicts brute=%v",
+						trial, p, tup, got, want)
+				}
+				sawGap = true
+			}
+		}
+	}
+	if !sawGap {
+		t.Error("expected at least one precision gap (e.g. the excluded-middle shape)")
+	}
+}
+
+func randTuple(rng *rand.Rand, dom *schema.Domain) relation.Tuple {
+	t := make(relation.Tuple, 2)
+	for i := range t {
+		switch rng.Intn(4) {
+		case 0:
+			t[i] = value.NewNull(1) // possibly shared mark
+		case 1:
+			t[i] = value.NewNull(2 + i)
+		default:
+			t[i] = value.NewConst(dom.Values[rng.Intn(3)])
+		}
+	}
+	return t
+}

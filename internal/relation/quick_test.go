@@ -1,0 +1,133 @@
+package relation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// quick-generated tuples over a fixed 3-attribute scheme with a 3-value
+// domain: each byte picks null (two mark choices) or one of the constants.
+func quickTuple(s *schema.Scheme, bs [3]byte) Tuple {
+	dom := s.Domain(0)
+	t := make(Tuple, 3)
+	for i, b := range bs {
+		switch b % 5 {
+		case 0:
+			t[i] = value.NewNull(1)
+		case 1:
+			t[i] = value.NewNull(2 + i)
+		default:
+			t[i] = value.NewConst(dom.Values[int(b%5)-2])
+		}
+	}
+	return t
+}
+
+func quickScheme() *schema.Scheme {
+	return schema.Uniform("Q", []string{"A", "B", "C"},
+		schema.IntDomain("d", "v", 3))
+}
+
+// Property: every completion is approximated by the original tuple, is
+// null-free on the completed set, and the completion count matches
+// CompletionCount.
+func TestQuickCompletionsSound(t *testing.T) {
+	s := quickScheme()
+	f := func(bs [3]byte) bool {
+		tup := quickTuple(s, bs)
+		cs, err := TupleCompletions(s, tup, s.All())
+		if err != nil {
+			return false
+		}
+		if len(cs) != CompletionCount(s, tup, s.All()) {
+			return false
+		}
+		for _, c := range cs {
+			if c.HasNullOn(s.All()) {
+				return false
+			}
+			if !tup.Approximates(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: completions are pairwise distinct.
+func TestQuickCompletionsDistinct(t *testing.T) {
+	s := quickScheme()
+	f := func(bs [3]byte) bool {
+		tup := quickTuple(s, bs)
+		cs, err := TupleCompletions(s, tup, s.All())
+		if err != nil {
+			return false
+		}
+		for i := range cs {
+			for j := i + 1; j < len(cs); j++ {
+				if cs[i].IdenticalOn(cs[j], s.All()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the approximation ordering on tuples is reflexive and
+// transitive, and completions are its maximal refinements.
+func TestQuickApproximationPreorder(t *testing.T) {
+	s := quickScheme()
+	f := func(a, b, c [3]byte) bool {
+		ta, tb, tc := quickTuple(s, a), quickTuple(s, b), quickTuple(s, c)
+		if !ta.Approximates(ta) {
+			return false
+		}
+		if ta.Approximates(tb) && tb.Approximates(tc) && !ta.Approximates(tc) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: projection commutes with completion counting on disjoint
+// attribute sets — completing A∪B equals completing A then B when no
+// marks are shared between the parts.
+func TestQuickCompletionFactorization(t *testing.T) {
+	s := quickScheme()
+	f := func(bs [3]byte) bool {
+		tup := quickTuple(s, bs)
+		// Skip tuples with shared marks across the split (mark 1 may
+		// repeat): factorization needs independence.
+		seen := map[int]int{}
+		for _, v := range tup {
+			if v.IsNull() {
+				seen[v.Mark()]++
+			}
+		}
+		for _, n := range seen {
+			if n > 1 {
+				return true // vacuously pass
+			}
+		}
+		ab := s.MustSet("A", "B")
+		c := s.MustSet("C")
+		total := CompletionCount(s, tup, s.All())
+		return total == CompletionCount(s, tup, ab)*CompletionCount(s, tup, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

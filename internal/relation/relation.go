@@ -1,0 +1,586 @@
+// Package relation implements relation instances over a scheme, including
+// tuples with marked nulls, projections, and the completion sets AP(t,X)
+// and AP(r,X) of Section 4 of the paper.
+//
+// A completion of a tuple t is a tuple t' that agrees with t everywhere
+// except that every null has been replaced by a domain constant. The set of
+// all completions, AP(t,R), is exactly the set of non-null tuples that t
+// approximates in the tuple lattice (the paper's footnote on the name "AP").
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// Tuple is a row of values, indexed by schema.Attr.
+type Tuple []value.V
+
+// Clone returns a deep copy of t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// HasNullOn reports whether t has a null in any attribute of set.
+// This is the paper's "t[X] = null" convention (Section 6: "t[X]=null
+// implies that one of the Xi values is null").
+func (t Tuple) HasNullOn(set schema.AttrSet) bool {
+	for _, a := range set.Attrs() {
+		if t[a].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNothingOn reports whether t has the inconsistent element in set.
+func (t Tuple) HasNothingOn(set schema.AttrSet) bool {
+	for _, a := range set.Attrs() {
+		if t[a].IsNothing() {
+			return true
+		}
+	}
+	return false
+}
+
+// NullsOn returns the attributes of set where t is null.
+func (t Tuple) NullsOn(set schema.AttrSet) []schema.Attr {
+	var out []schema.Attr
+	for _, a := range set.Attrs() {
+		if t[a].IsNull() {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ConstEqOn reports whether t and u hold identical constants on every
+// attribute of set. Any null or nothing on set makes this false: it is the
+// strict, classical notion of equality used by [T1]/[F1].
+func (t Tuple) ConstEqOn(u Tuple, set schema.AttrSet) bool {
+	for _, a := range set.Attrs() {
+		if !t[a].SameConst(u[a]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IdenticalOn reports syntactic identity (same constants, same null marks,
+// same nothings) on set.
+func (t Tuple) IdenticalOn(u Tuple, set schema.AttrSet) bool {
+	for _, a := range set.Attrs() {
+		if !t[a].Identical(u[a]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the sub-tuple of t on the attributes of keep (ascending
+// attribute order).
+func (t Tuple) Project(keep schema.AttrSet) Tuple {
+	out := make(Tuple, 0, keep.Len())
+	for _, a := range keep.Attrs() {
+		out = append(out, t[a])
+	}
+	return out
+}
+
+// Approximates reports t ⊑ u attribute-wise in the tuple lattice.
+func (t Tuple) Approximates(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Approximates(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as "(v1, v2, …)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is an instance r of a scheme R. Tuples are stored in insertion
+// order; the instance is a *bag* structurally but the paper's theory treats
+// instances as sets, so Insert rejects syntactic duplicates by default.
+type Relation struct {
+	scheme   *schema.Scheme
+	tuples   []Tuple
+	nextMark int
+}
+
+// New creates an empty instance of s.
+func New(s *schema.Scheme) *Relation {
+	return &Relation{scheme: s, nextMark: 1}
+}
+
+// Scheme returns the instance's scheme.
+func (r *Relation) Scheme() *schema.Scheme { return r.scheme }
+
+// Len returns the number of tuples n.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the i-th tuple (not a copy; callers must not mutate).
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the backing slice (callers must not mutate).
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// FreshNull allocates a null with a mark unused in this instance.
+func (r *Relation) FreshNull() value.V {
+	v := value.NewNull(r.nextMark)
+	r.nextMark++
+	return v
+}
+
+// noteMark keeps the fresh-mark allocator ahead of any explicitly marked
+// null inserted by the caller.
+func (r *Relation) noteMark(t Tuple) {
+	for _, v := range t {
+		if v.IsNull() && v.Mark() >= r.nextMark {
+			r.nextMark = v.Mark() + 1
+		}
+	}
+}
+
+// Insert validates and appends a tuple: correct arity, constants drawn from
+// the attribute domains, and no syntactic duplicate of an existing tuple.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.scheme.Arity() {
+		return fmt.Errorf("relation %s: tuple arity %d, scheme arity %d",
+			r.scheme.Name(), len(t), r.scheme.Arity())
+	}
+	for i, v := range t {
+		if v.IsConst() && !r.scheme.Domain(schema.Attr(i)).Contains(v.Const()) {
+			return fmt.Errorf("relation %s: value %q outside domain %q of attribute %s",
+				r.scheme.Name(), v.Const(), r.scheme.Domain(schema.Attr(i)).Name,
+				r.scheme.AttrName(schema.Attr(i)))
+		}
+	}
+	for _, u := range r.tuples {
+		if t.IdenticalOn(u, r.scheme.All()) {
+			return fmt.Errorf("relation %s: duplicate tuple %s", r.scheme.Name(), t)
+		}
+	}
+	r.noteMark(t)
+	r.tuples = append(r.tuples, t.Clone())
+	return nil
+}
+
+// InsertUnchecked appends a tuple without arity, domain, or duplicate
+// validation. It exists for evaluators that rebuild instances from already
+// validated tuples, where a completion may legitimately coincide with an
+// existing tuple (instances are sets semantically; a syntactic duplicate
+// is harmless for truth-value computation).
+func (r *Relation) InsertUnchecked(t Tuple) {
+	r.noteMark(t)
+	r.tuples = append(r.tuples, t.Clone())
+}
+
+// MustInsert is Insert for statically known-good tuples.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// InsertRow parses a row of cell strings: "-" is a fresh unmarked-by-name
+// null (each occurrence gets a fresh mark), "-k" is the marked null ⊥k,
+// "!" is nothing, anything else is a constant.
+func (r *Relation) InsertRow(cells ...string) error {
+	t := make(Tuple, len(cells))
+	for i, c := range cells {
+		v, err := r.parseCell(c)
+		if err != nil {
+			return err
+		}
+		t[i] = v
+	}
+	return r.Insert(t)
+}
+
+// MustInsertRow is InsertRow for statically known-good rows.
+func (r *Relation) MustInsertRow(cells ...string) {
+	if err := r.InsertRow(cells...); err != nil {
+		panic(err)
+	}
+}
+
+func (r *Relation) parseCell(c string) (value.V, error) {
+	switch {
+	case c == "-":
+		return r.FreshNull(), nil
+	case c == "!":
+		return value.NewNothing(), nil
+	case strings.HasPrefix(c, "-"):
+		var mark int
+		if _, err := fmt.Sscanf(c, "-%d", &mark); err != nil {
+			return value.V{}, fmt.Errorf("relation: bad null cell %q", c)
+		}
+		return value.NewNull(mark), nil
+	default:
+		return value.NewConst(c), nil
+	}
+}
+
+// Delete removes the i-th tuple.
+func (r *Relation) Delete(i int) {
+	r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
+}
+
+// Clone returns a deep copy of the instance.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{scheme: r.scheme, nextMark: r.nextMark}
+	out.tuples = make([]Tuple, len(r.tuples))
+	for i, t := range r.tuples {
+		out.tuples[i] = t.Clone()
+	}
+	return out
+}
+
+// SetCell overwrites one cell; used by the chase when an NS-rule
+// substitutes a null.
+func (r *Relation) SetCell(i int, a schema.Attr, v value.V) {
+	r.tuples[i][a] = v
+}
+
+// HasNulls reports whether any tuple has a null anywhere.
+func (r *Relation) HasNulls() bool {
+	all := r.scheme.All()
+	for _, t := range r.tuples {
+		if t.HasNullOn(all) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasNothing reports whether any cell is the inconsistent element; per
+// Theorem 4(b), a minimally incomplete instance is weakly satisfiable iff
+// this is false.
+func (r *Relation) HasNothing() bool {
+	all := r.scheme.All()
+	for _, t := range r.tuples {
+		if t.HasNothingOn(all) {
+			return true
+		}
+	}
+	return false
+}
+
+// NullCount returns the total number of null cells.
+func (r *Relation) NullCount() int {
+	n := 0
+	for _, t := range r.tuples {
+		for _, v := range t {
+			if v.IsNull() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Project returns the multiset projection of r on keep as a new relation
+// over the projected scheme; syntactic duplicates are collapsed (projection
+// is a set operation in the paper's model).
+func (r *Relation) Project(name string, keep schema.AttrSet) (*Relation, error) {
+	ps, _, err := r.scheme.Project(name, keep)
+	if err != nil {
+		return nil, err
+	}
+	out := New(ps)
+	for _, t := range r.tuples {
+		pt := t.Project(keep)
+		dup := false
+		for _, u := range out.tuples {
+			if pt.IdenticalOn(u, ps.All()) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.noteMark(pt)
+			out.tuples = append(out.tuples, pt.Clone())
+		}
+	}
+	return out, nil
+}
+
+// Equal reports that two instances over the same scheme contain exactly the
+// same tuples up to reordering (syntactic identity of cells).
+func Equal(a, b *Relation) bool {
+	if a.scheme.Arity() != b.scheme.Arity() || a.Len() != b.Len() {
+		return false
+	}
+	used := make([]bool, b.Len())
+	all := a.scheme.All()
+outer:
+	for _, t := range a.tuples {
+		for j, u := range b.tuples {
+			if !used[j] && t.IdenticalOn(u, all) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// String renders the instance as an aligned table with a header row.
+func (r *Relation) String() string {
+	var b strings.Builder
+	p := r.scheme.Arity()
+	widths := make([]int, p)
+	for i := 0; i < p; i++ {
+		widths[i] = len(r.scheme.AttrName(schema.Attr(i)))
+	}
+	rows := make([][]string, len(r.tuples))
+	for ti, t := range r.tuples {
+		rows[ti] = make([]string, p)
+		for i, v := range t {
+			s := v.String()
+			rows[ti][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	writeRow := func(cells func(i int) string) {
+		line := ""
+		for i := 0; i < p; i++ {
+			if i > 0 {
+				line += "  "
+			}
+			line += fmt.Sprintf("%-*s", widths[i], cells(i))
+		}
+		b.WriteString(strings.TrimRight(line, " "))
+		b.WriteByte('\n')
+	}
+	writeRow(func(i int) string { return r.scheme.AttrName(schema.Attr(i)) })
+	for _, row := range rows {
+		row := row
+		writeRow(func(i int) string { return row[i] })
+	}
+	return b.String()
+}
+
+// CompletionLimit bounds the number of completions materialized by the
+// enumeration helpers; the least-extension definition is exponential and is
+// used as ground truth on small instances only.
+const CompletionLimit = 1 << 20
+
+// ErrTooManyCompletions is returned when a completion enumeration would
+// exceed CompletionLimit.
+var ErrTooManyCompletions = fmt.Errorf("relation: completion set exceeds %d elements", CompletionLimit)
+
+// TupleCompletions enumerates AP(t, X): every way of substituting domain
+// constants for the nulls of t on the attributes of set. Nulls sharing a
+// mark receive the same substitution in each completion (they denote the
+// same unknown value). Attributes outside set are copied unchanged.
+// Cells that are `nothing` admit no completion: the result is empty, since
+// no constant tuple approximates a contradiction.
+func TupleCompletions(s *schema.Scheme, t Tuple, set schema.AttrSet) ([]Tuple, error) {
+	if t.HasNothingOn(set) {
+		return nil, nil
+	}
+	// Group null positions by mark so shared marks co-vary.
+	type group struct {
+		attrs []schema.Attr
+		dom   *schema.Domain
+	}
+	groups := map[int]*group{}
+	var order []int
+	for _, a := range set.Attrs() {
+		v := t[a]
+		if !v.IsNull() {
+			continue
+		}
+		g, ok := groups[v.Mark()]
+		if !ok {
+			g = &group{dom: s.Domain(a)}
+			groups[v.Mark()] = g
+			order = append(order, v.Mark())
+		} else if g.dom != s.Domain(a) {
+			// Same mark across different domains: completions range over
+			// the intersection. Keep the smaller value list.
+			g.dom = intersectDomains(g.dom, s.Domain(a))
+		}
+		g.attrs = append(g.attrs, a)
+	}
+	if len(order) == 0 {
+		return []Tuple{t.Clone()}, nil
+	}
+	sort.Ints(order)
+	total := 1
+	for _, m := range order {
+		total *= groups[m].dom.Size()
+		if total > CompletionLimit {
+			return nil, ErrTooManyCompletions
+		}
+	}
+	out := make([]Tuple, 0, total)
+	cur := t.Clone()
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(order) {
+			out = append(out, cur.Clone())
+			return
+		}
+		g := groups[order[k]]
+		for _, c := range g.dom.Values {
+			for _, a := range g.attrs {
+				cur[a] = value.NewConst(c)
+			}
+			rec(k + 1)
+		}
+		for _, a := range g.attrs {
+			cur[a] = t[a]
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+func intersectDomains(a, b *schema.Domain) *schema.Domain {
+	var vals []string
+	for _, v := range a.Values {
+		if b.Contains(v) {
+			vals = append(vals, v)
+		}
+	}
+	return &schema.Domain{Name: a.Name + "∩" + b.Name, Values: vals}
+}
+
+// CompletionCount returns |AP(t, set)| without materializing it.
+func CompletionCount(s *schema.Scheme, t Tuple, set schema.AttrSet) int {
+	if t.HasNothingOn(set) {
+		return 0
+	}
+	seen := map[int]int{} // mark -> domain size (min across attrs)
+	for _, a := range set.Attrs() {
+		v := t[a]
+		if !v.IsNull() {
+			continue
+		}
+		sz := s.Domain(a).Size()
+		if old, ok := seen[v.Mark()]; !ok || sz < old {
+			seen[v.Mark()] = sz
+		}
+	}
+	total := 1
+	for _, sz := range seen {
+		total *= sz
+	}
+	return total
+}
+
+// RelationCompletions enumerates AP(r, set): the set of relations obtained
+// by completing every tuple's nulls on set (projected onto set's attributes
+// being the caller's business — tuples keep full arity here). Marks are
+// scoped per relation: the same mark in two tuples co-varies.
+func RelationCompletions(r *Relation, set schema.AttrSet) ([]*Relation, error) {
+	s := r.scheme
+	// Collect distinct marks across the instance on set.
+	type group struct {
+		cells []struct {
+			ti int
+			a  schema.Attr
+		}
+		dom *schema.Domain
+	}
+	groups := map[int]*group{}
+	var order []int
+	for ti, t := range r.tuples {
+		for _, a := range set.Attrs() {
+			v := t[a]
+			if v.IsNothing() {
+				return nil, nil // a contradiction admits no completion
+			}
+			if !v.IsNull() {
+				continue
+			}
+			g, ok := groups[v.Mark()]
+			if !ok {
+				g = &group{dom: s.Domain(a)}
+				groups[v.Mark()] = g
+				order = append(order, v.Mark())
+			} else if g.dom != s.Domain(a) {
+				g.dom = intersectDomains(g.dom, s.Domain(a))
+			}
+			g.cells = append(g.cells, struct {
+				ti int
+				a  schema.Attr
+			}{ti, a})
+		}
+	}
+	if len(order) == 0 {
+		return []*Relation{r.Clone()}, nil
+	}
+	sort.Ints(order)
+	total := 1
+	for _, m := range order {
+		total *= groups[m].dom.Size()
+		if total > CompletionLimit {
+			return nil, ErrTooManyCompletions
+		}
+	}
+	var out []*Relation
+	cur := r.Clone()
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(order) {
+			out = append(out, cur.Clone())
+			return
+		}
+		g := groups[order[k]]
+		for _, c := range g.dom.Values {
+			for _, cell := range g.cells {
+				cur.tuples[cell.ti][cell.a] = value.NewConst(c)
+			}
+			rec(k + 1)
+		}
+		for _, cell := range g.cells {
+			cur.tuples[cell.ti][cell.a] = r.tuples[cell.ti][cell.a]
+		}
+	}
+	rec(0)
+	return out, nil
+}
+
+// FromRows builds an instance from parsed rows; see InsertRow for the cell
+// syntax.
+func FromRows(s *schema.Scheme, rows ...[]string) (*Relation, error) {
+	r := New(s)
+	for _, row := range rows {
+		if err := r.InsertRow(row...); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MustFromRows is FromRows for statically known-good inputs.
+func MustFromRows(s *schema.Scheme, rows ...[]string) *Relation {
+	r, err := FromRows(s, rows...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

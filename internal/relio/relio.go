@@ -1,0 +1,195 @@
+// Package relio parses and prints relations, schemes, and FD sets in a
+// small plain-text format used by the command-line tools.
+//
+// Format:
+//
+//	# comments and blank lines are ignored
+//	scheme R(A:dom1, B:dom1, C:dom2)
+//	domain dom1 = v1 v2 v3
+//	domain dom2 = x y
+//	fd A -> B
+//	fd B,C -> A
+//	row v1 v2 x
+//	row v1 -  y      # "-" fresh null
+//	row v2 -3 x      # "-3" marked null ⊥3
+//	row v1 !  y      # "!" the inconsistent element
+//
+// Domains may be declared before or after the scheme line; every domain
+// referenced by the scheme must be declared somewhere in the file.
+package relio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// File is a parsed input: a scheme, its FDs, and an instance.
+type File struct {
+	Scheme   *schema.Scheme
+	FDs      []fd.FD
+	Relation *relation.Relation
+}
+
+// Parse reads the textual format.
+func Parse(r io.Reader) (*File, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	domains := map[string]*schema.Domain{}
+	var schemeName string
+	var attrNames, attrDoms []string
+	var fdLines []string
+	var rows [][]string
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		// '#' starts a comment only at the beginning of a line or after
+		// whitespace — attribute names like "E#" must survive.
+		for i := 0; i < len(line); i++ {
+			if line[i] == '#' && (i == 0 || line[i-1] == ' ' || line[i-1] == '\t') {
+				line = strings.TrimSpace(line[:i])
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "domain "):
+			rest := strings.TrimPrefix(line, "domain ")
+			parts := strings.SplitN(rest, "=", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("relio: line %d: domain needs '='", lineno)
+			}
+			name := strings.TrimSpace(parts[0])
+			vals := strings.Fields(parts[1])
+			d, err := schema.NewDomain(name, vals...)
+			if err != nil {
+				return nil, fmt.Errorf("relio: line %d: %v", lineno, err)
+			}
+			domains[name] = d
+		case strings.HasPrefix(line, "scheme "):
+			rest := strings.TrimPrefix(line, "scheme ")
+			open := strings.IndexByte(rest, '(')
+			closeP := strings.LastIndexByte(rest, ')')
+			if open < 0 || closeP < open {
+				return nil, fmt.Errorf("relio: line %d: scheme needs R(...)", lineno)
+			}
+			schemeName = strings.TrimSpace(rest[:open])
+			for _, spec := range strings.Split(rest[open+1:closeP], ",") {
+				spec = strings.TrimSpace(spec)
+				bits := strings.SplitN(spec, ":", 2)
+				if len(bits) != 2 {
+					return nil, fmt.Errorf("relio: line %d: attribute %q needs name:domain", lineno, spec)
+				}
+				attrNames = append(attrNames, strings.TrimSpace(bits[0]))
+				attrDoms = append(attrDoms, strings.TrimSpace(bits[1]))
+			}
+		case strings.HasPrefix(line, "fd "):
+			fdLines = append(fdLines, strings.TrimPrefix(line, "fd "))
+		case strings.HasPrefix(line, "row "):
+			rows = append(rows, strings.Fields(strings.TrimPrefix(line, "row ")))
+		default:
+			return nil, fmt.Errorf("relio: line %d: unrecognized directive %q", lineno, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if schemeName == "" {
+		return nil, fmt.Errorf("relio: no scheme declared")
+	}
+	doms := make([]*schema.Domain, len(attrNames))
+	for i, dn := range attrDoms {
+		d, ok := domains[dn]
+		if !ok {
+			return nil, fmt.Errorf("relio: attribute %q references undeclared domain %q", attrNames[i], dn)
+		}
+		doms[i] = d
+	}
+	s, err := schema.New(schemeName, attrNames, doms)
+	if err != nil {
+		return nil, err
+	}
+	out := &File{Scheme: s, Relation: relation.New(s)}
+	for _, fl := range fdLines {
+		f, err := fd.Parse(s, fl)
+		if err != nil {
+			return nil, err
+		}
+		out.FDs = append(out.FDs, f)
+	}
+	for i, row := range rows {
+		if err := out.Relation.InsertRow(row...); err != nil {
+			return nil, fmt.Errorf("relio: row %d: %v", i+1, err)
+		}
+	}
+	return out, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*File, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Write renders a File back into the textual format (domains first, then
+// scheme, FDs, rows).
+func Write(w io.Writer, f *File) error {
+	s := f.Scheme
+	// Collect distinct domains in attribute order.
+	seen := map[string]*schema.Domain{}
+	var order []string
+	specs := make([]string, s.Arity())
+	for i := 0; i < s.Arity(); i++ {
+		d := s.Domain(schema.Attr(i))
+		if _, ok := seen[d.Name]; !ok {
+			seen[d.Name] = d
+			order = append(order, d.Name)
+		}
+		specs[i] = s.AttrName(schema.Attr(i)) + ":" + d.Name
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		d := seen[name]
+		if _, err := fmt.Fprintf(w, "domain %s = %s\n", name, strings.Join(d.Values, " ")); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "scheme %s(%s)\n", s.Name(), strings.Join(specs, ", ")); err != nil {
+		return err
+	}
+	for _, dep := range f.FDs {
+		if _, err := fmt.Fprintf(w, "fd %s\n", dep.Format(s)); err != nil {
+			return err
+		}
+	}
+	if f.Relation != nil {
+		for _, t := range f.Relation.Tuples() {
+			cells := make([]string, len(t))
+			for i, v := range t {
+				cells[i] = v.String()
+			}
+			if _, err := fmt.Fprintf(w, "row %s\n", strings.Join(cells, " ")); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteString renders a File to a string.
+func WriteString(f *File) (string, error) {
+	var b strings.Builder
+	if err := Write(&b, f); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

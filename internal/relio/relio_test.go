@@ -1,0 +1,113 @@
+package relio
+
+import (
+	"strings"
+	"testing"
+
+	"fdnull/internal/relation"
+)
+
+const sample = `
+# the Figure 1.1 employee scheme
+domain emp = e1 e2 e3
+domain sal = s1 s2
+domain dep = d1 d2
+domain ct  = full part
+
+scheme R(E#:emp, SL:sal, D#:dep, CT:ct)
+fd E# -> SL,D#
+fd D# -> CT
+
+row e1 s1 d1 full
+row e2 -  d1 -
+row e3 -3 d2 part   # marked null
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Scheme.Name() != "R" || f.Scheme.Arity() != 4 {
+		t.Error("scheme parsed wrong")
+	}
+	if len(f.FDs) != 2 {
+		t.Fatalf("FDs = %d", len(f.FDs))
+	}
+	if f.Relation.Len() != 3 {
+		t.Fatalf("rows = %d", f.Relation.Len())
+	}
+	if !f.Relation.Tuple(1)[1].IsNull() || !f.Relation.Tuple(1)[3].IsNull() {
+		t.Error("fresh nulls not parsed")
+	}
+	if f.Relation.Tuple(2)[1].Mark() != 3 {
+		t.Error("marked null not parsed")
+	}
+	if f.Scheme.Domain(3).Size() != 2 {
+		t.Error("ct domain")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"scheme R(A)\n",  // missing domain spec
+		"junk\n",         // unknown directive
+		"domain d\n",     // missing '='
+		"scheme R A:d\n", // missing parens
+		"domain d = x\nscheme R(A:nope)\nrow x\n",     // undeclared domain
+		"domain d = x\nscheme R(A:d)\nfd A -> B\n",    // unknown attribute in FD
+		"domain d = x\nscheme R(A:d)\nrow y\n",        // out-of-domain value
+		"domain d = x x\nscheme R(A:d)\n",             // duplicate domain value
+		"row x\n",                                     // no scheme at all
+		"domain d = x\nscheme R(A:d, A:d)\nrow x x\n", // duplicate attr
+	}
+	for i, c := range cases {
+		if _, err := ParseString(c); err == nil {
+			t.Errorf("case %d should error:\n%s", i, c)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := WriteString(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, out)
+	}
+	if f2.Scheme.Name() != f.Scheme.Name() || f2.Scheme.Arity() != f.Scheme.Arity() {
+		t.Error("scheme changed in round trip")
+	}
+	if len(f2.FDs) != len(f.FDs) {
+		t.Error("FDs changed in round trip")
+	}
+	if !relation.Equal(f.Relation, f2.Relation) {
+		t.Errorf("relation changed in round trip:\n%s\nvs\n%s", f.Relation, f2.Relation)
+	}
+}
+
+func TestWriteContainsDirectives(t *testing.T) {
+	f, _ := ParseString(sample)
+	out, _ := WriteString(f)
+	for _, want := range []string{"domain emp", "scheme R(", "fd ", "row e1 s1 d1 full"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	f, err := ParseString("# leading comment\n\ndomain d = x\n# mid\nscheme R(A:d)\nrow x # trailing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Relation.Len() != 1 {
+		t.Error("comment handling broke rows")
+	}
+}

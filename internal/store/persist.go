@@ -1,0 +1,41 @@
+package store
+
+import (
+	"fmt"
+	"io"
+
+	"fdnull/internal/relio"
+)
+
+// Save writes the store — scheme, dependencies, and the current minimally
+// incomplete instance — in the relio text format. Null marks are
+// persisted, so NEC classes survive the round trip.
+func (st *Store) Save(w io.Writer) error {
+	return relio.Write(w, &relio.File{
+		Scheme:   st.scheme,
+		FDs:      st.fds,
+		Relation: st.rel,
+	})
+}
+
+// Load reads a store persisted by Save (or any relio file). The loaded
+// instance is chased immediately: a file whose rows contradict its own
+// dependencies is rejected with an InconsistencyError rather than loaded
+// silently.
+func Load(r io.Reader, opts Options) (*Store, error) {
+	parsed, err := relio.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	st := New(parsed.Scheme, parsed.FDs, opts)
+	if err := st.commit("load", parsed.Relation); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// String renders the store compactly for logs.
+func (st *Store) String() string {
+	return fmt.Sprintf("store{%s, %d FDs, %d tuples, %d nulls}",
+		st.scheme.Name(), len(st.fds), st.rel.Len(), st.rel.NullCount())
+}

@@ -1,0 +1,221 @@
+// Package store implements a constraint-maintaining relation store: the
+// modification-operations layer the paper's concluding remarks call for
+// ("more research is needed on the semantics of the ways a database
+// acquires information ... internal (non-ambiguous substitution of nulls)
+// or external (modification operations by the users)").
+//
+// A Store holds one instance kept *minimally incomplete* with respect to
+// its FD set:
+//
+//   - external acquisition — Insert/Update/Delete by the user — is guarded
+//     by weak satisfiability: a mutation whose extended chase produces
+//     `nothing` is rejected with the chase witness, and the store is left
+//     unchanged;
+//   - internal acquisition — the NS-rules — runs after every accepted
+//     mutation, substituting exactly the nulls the dependencies force
+//     ("the only value that a user can insert without the creation of an
+//     inconsistency") and recording the induced NEC classes as shared
+//     marks;
+//   - optionally the Section 4 X-side substitution rules run as well
+//     (ApplyXRules), completing determinant nulls when the domain forces
+//     them.
+//
+// The stored instance therefore always weakly satisfies F, and every
+// stored constant is a certain consequence of user-provided data.
+package store
+
+import (
+	"fmt"
+
+	"fdnull/internal/chase"
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/testfds"
+	"fdnull/internal/value"
+)
+
+// Options configure a store.
+type Options struct {
+	// ApplyXRules additionally runs the Section 4 X-side substitution
+	// rules after each mutation (domain-dependent; off by default, as the
+	// paper recommends).
+	ApplyXRules bool
+}
+
+// Store is a relation instance guarded by a set of functional
+// dependencies under weak satisfiability.
+type Store struct {
+	scheme *schema.Scheme
+	fds    []fd.FD
+	rel    *relation.Relation
+	opts   Options
+	// mutation counters, exposed for observability and tests.
+	inserts, updates, deletes, rejected int
+}
+
+// InconsistencyError reports a rejected mutation: the chase of the
+// tentative instance produced `nothing`.
+type InconsistencyError struct {
+	Op string
+	// Chase is the normal form of the *rejected* tentative instance; its
+	// `!` cells witness the unavoidable conflict.
+	Chase *chase.Result
+}
+
+func (e *InconsistencyError) Error() string {
+	return fmt.Sprintf("store: %s rejected: the dependencies admit no completion (chase found a contradiction)", e.Op)
+}
+
+// New creates an empty store over s guarded by fds.
+func New(s *schema.Scheme, fds []fd.FD, opts Options) *Store {
+	return &Store{scheme: s, fds: fds, rel: relation.New(s), opts: opts}
+}
+
+// Scheme returns the store's scheme.
+func (st *Store) Scheme() *schema.Scheme { return st.scheme }
+
+// FDs returns the guarding dependencies.
+func (st *Store) FDs() []fd.FD { return append([]fd.FD(nil), st.fds...) }
+
+// Len returns the number of stored tuples.
+func (st *Store) Len() int { return st.rel.Len() }
+
+// Snapshot returns a deep copy of the stored (minimally incomplete)
+// instance.
+func (st *Store) Snapshot() *relation.Relation { return st.rel.Clone() }
+
+// Tuple returns a copy of the i-th stored tuple.
+func (st *Store) Tuple(i int) relation.Tuple { return st.rel.Tuple(i).Clone() }
+
+// FreshNull allocates a null mark unused in the store.
+func (st *Store) FreshNull() value.V { return st.rel.FreshNull() }
+
+// Stats reports the mutation counters: inserts, updates, deletes
+// accepted, and mutations rejected.
+func (st *Store) Stats() (inserts, updates, deletes, rejected int) {
+	return st.inserts, st.updates, st.deletes, st.rejected
+}
+
+// commit chases the tentative instance; on consistency it becomes the
+// stored state, otherwise the error carries the witness and the store is
+// untouched.
+func (st *Store) commit(op string, tentative *relation.Relation) error {
+	res, err := chase.Run(tentative, st.fds, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
+	if err != nil {
+		return err
+	}
+	if !res.Consistent {
+		st.rejected++
+		return &InconsistencyError{Op: op, Chase: res}
+	}
+	cur := res.Relation
+	if st.opts.ApplyXRules {
+		for {
+			next, subs, err := chase.ApplyXSubstitutions(cur, st.fds)
+			if err != nil {
+				return err
+			}
+			if len(subs) == 0 {
+				break
+			}
+			// X-substitutions may enable further NS-rules.
+			res2, err := chase.Run(next, st.fds, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
+			if err != nil {
+				return err
+			}
+			if !res2.Consistent {
+				st.rejected++
+				return &InconsistencyError{Op: op, Chase: res2}
+			}
+			cur = res2.Relation
+		}
+	}
+	st.rel = cur
+	return nil
+}
+
+// Insert adds a tuple (validated against the scheme) and re-establishes
+// minimal incompleteness. On contradiction the insert is rejected and the
+// store unchanged.
+func (st *Store) Insert(t relation.Tuple) error {
+	tentative := st.rel.Clone()
+	if err := tentative.Insert(t); err != nil {
+		return err
+	}
+	if err := st.commit("insert", tentative); err != nil {
+		return err
+	}
+	st.inserts++
+	return nil
+}
+
+// InsertRow parses and inserts a row of cell strings ("-" fresh null,
+// "-k" marked null, constants otherwise).
+func (st *Store) InsertRow(cells ...string) error {
+	tentative := st.rel.Clone()
+	if err := tentative.InsertRow(cells...); err != nil {
+		return err
+	}
+	if err := st.commit("insert", tentative); err != nil {
+		return err
+	}
+	st.inserts++
+	return nil
+}
+
+// Update overwrites one cell and re-establishes minimal incompleteness.
+// Overwriting a constant with a different constant is a revision and is
+// re-checked like any other mutation; overwriting anything with a fresh
+// null is an information retraction and is allowed.
+func (st *Store) Update(ti int, a schema.Attr, v value.V) error {
+	if ti < 0 || ti >= st.rel.Len() {
+		return fmt.Errorf("store: update of tuple %d out of range", ti)
+	}
+	if int(a) < 0 || int(a) >= st.scheme.Arity() {
+		return fmt.Errorf("store: update of attribute %d out of range", a)
+	}
+	if v.IsNothing() {
+		return fmt.Errorf("store: the inconsistent element cannot be stored")
+	}
+	if v.IsConst() && !st.scheme.Domain(a).Contains(v.Const()) {
+		return fmt.Errorf("store: value %q outside domain %q", v.Const(), st.scheme.Domain(a).Name)
+	}
+	tentative := st.rel.Clone()
+	tentative.SetCell(ti, a, v)
+	if err := st.commit("update", tentative); err != nil {
+		return err
+	}
+	st.updates++
+	return nil
+}
+
+// Delete removes the i-th tuple. Deletion cannot introduce a violation,
+// but the chase re-runs to renormalize marks.
+func (st *Store) Delete(ti int) error {
+	if ti < 0 || ti >= st.rel.Len() {
+		return fmt.Errorf("store: delete of tuple %d out of range", ti)
+	}
+	tentative := st.rel.Clone()
+	tentative.Delete(ti)
+	if err := st.commit("delete", tentative); err != nil {
+		return err
+	}
+	st.deletes++
+	return nil
+}
+
+// CheckStrong reports whether the stored instance strongly satisfies the
+// dependencies (TEST-FDs under the strong convention, Theorem 2).
+func (st *Store) CheckStrong() bool {
+	ok, _ := testfds.StrongSatisfied(st.rel, st.fds)
+	return ok
+}
+
+// CheckWeak re-verifies weak satisfiability of the stored instance via
+// TEST-FDs under the weak convention (Theorem 3) — always true by the
+// store's invariant; exposed for auditing and tests.
+func (st *Store) CheckWeak() bool {
+	ok, _ := testfds.WeakSatisfiedMinimallyIncomplete(st.rel, st.fds)
+	return ok
+}

@@ -1,0 +1,77 @@
+package systemc
+
+import (
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+)
+
+// This file implements the Lemma 3/4 bridge between functional
+// dependencies over two-tuple relations with nulls and implicational
+// statements in System C.
+//
+// Lemma 3 assigns one propositional variable per attribute and reads the
+// two-tuple relation s = {t, t'} as an assignment:
+//
+//	t[A] = t'[A]            iff a(A) = true
+//	t[A] ≠ t'[A]            iff a(A) = false
+//	t[A] or t'[A] is null   iff a(A) = unknown
+//
+// Then X → Y strongly holds in s iff V(X ⇒ Y) = true under a.
+//
+// The bridge presumes the paper's two-tuple world: independent nulls (no
+// shared marks) and attribute domains with at least two values (a
+// singleton domain would force a null to equal a constant, which the
+// three-valued assignment cannot express).
+
+// AssignmentFromPair builds the Lemma 3 assignment from two tuples over a
+// scheme.
+func AssignmentFromPair(s *schema.Scheme, t, u relation.Tuple) Assignment {
+	a := make(Assignment, s.Arity())
+	for i := 0; i < s.Arity(); i++ {
+		name := s.AttrName(schema.Attr(i))
+		switch {
+		case t[i].IsNull() || u[i].IsNull():
+			a[name] = tvl.Unknown
+		case t[i].SameConst(u[i]):
+			a[name] = tvl.True
+		default:
+			a[name] = tvl.False
+		}
+	}
+	return a
+}
+
+// ImplFromFD translates a functional dependency into the corresponding
+// implicational statement over attribute-name variables.
+func ImplFromFD(s *schema.Scheme, f fd.FD) Impl {
+	var xs, ys []string
+	f.X.ForEach(func(a schema.Attr) { xs = append(xs, s.AttrName(a)) })
+	f.Y.ForEach(func(a schema.Attr) { ys = append(ys, s.AttrName(a)) })
+	return MustImpl(xs, ys)
+}
+
+// ImplsFromFDs maps a set of FDs to implicational statements.
+func ImplsFromFDs(s *schema.Scheme, fds []fd.FD) []Impl {
+	out := make([]Impl, len(fds))
+	for i, f := range fds {
+		out[i] = ImplFromFD(s, f)
+	}
+	return out
+}
+
+// FDFromImpl translates an implicational statement back into an FD over
+// the scheme (inverse of ImplFromFD for statements whose variables are
+// attribute names).
+func FDFromImpl(s *schema.Scheme, im Impl) (fd.FD, error) {
+	x, err := s.Set(im.X...)
+	if err != nil {
+		return fd.FD{}, err
+	}
+	y, err := s.Set(im.Y...)
+	if err != nil {
+		return fd.FD{}, err
+	}
+	return fd.New(x, y), nil
+}

@@ -1,0 +1,208 @@
+package systemc
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/eval"
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+	"fdnull/internal/value"
+)
+
+func bridgeScheme() *schema.Scheme {
+	return schema.Uniform("R", []string{"A", "B", "C"},
+		schema.IntDomain("d", "v", 3))
+}
+
+func TestAssignmentFromPair(t *testing.T) {
+	s := bridgeScheme()
+	tp := relation.Tuple{value.NewConst("v1"), value.NewConst("v1"), value.NewNull(1)}
+	up := relation.Tuple{value.NewConst("v1"), value.NewConst("v2"), value.NewConst("v1")}
+	a := AssignmentFromPair(s, tp, up)
+	if a["A"] != tvl.True || a["B"] != tvl.False || a["C"] != tvl.Unknown {
+		t.Errorf("assignment = %s", FormatAssignment(a))
+	}
+}
+
+func TestImplFDRoundTrip(t *testing.T) {
+	s := bridgeScheme()
+	f := fd.MustParse(s, "A,B -> C")
+	im := ImplFromFD(s, f)
+	if im.String() != "A,B => C" {
+		t.Errorf("ImplFromFD = %q", im)
+	}
+	back, err := FDFromImpl(s, im)
+	if err != nil || !back.Equal(f) {
+		t.Errorf("round trip failed: %v, %v", back, err)
+	}
+	if _, err := FDFromImpl(s, MustImpl([]string{"Z"}, []string{"A"})); err == nil {
+		t.Error("unknown variable must error")
+	}
+	ims := ImplsFromFDs(s, fd.MustParseSet(s, "A -> B; B -> C"))
+	if len(ims) != 2 || ims[1].String() != "B => C" {
+		t.Errorf("ImplsFromFDs = %v", ims)
+	}
+}
+
+// TestLemma3_TwoTupleEquivalence exhaustively checks the Lemma 3
+// equivalence: for every two-tuple relation s = {t, t'} over a 3-attribute
+// scheme (values from a 3-value domain plus independent nulls), X → Y
+// strongly holds in s iff V(X ⇒ Y) = true under the induced assignment.
+func TestLemma3_TwoTupleEquivalence(t *testing.T) {
+	s := bridgeScheme()
+	fds := []fd.FD{
+		fd.MustParse(s, "A -> B"),
+		fd.MustParse(s, "A,B -> C"),
+		fd.MustParse(s, "A -> B,C"),
+	}
+	dom := s.Domain(0)
+	// Cell options: three constants or a fresh null.
+	mkCell := func(choice, mark int) value.V {
+		if choice == dom.Size() {
+			return value.NewNull(mark)
+		}
+		return value.NewConst(dom.Values[choice])
+	}
+	opts := dom.Size() + 1
+	total := 0
+	for c1 := 0; c1 < opts*opts*opts; c1++ {
+		for c2 := 0; c2 < opts*opts*opts; c2++ {
+			mark := 1
+			cells := func(code int) relation.Tuple {
+				tup := make(relation.Tuple, 3)
+				for i := 0; i < 3; i++ {
+					tup[i] = mkCell(code%opts, mark)
+					if tup[i].IsNull() {
+						mark++
+					}
+					code /= opts
+				}
+				return tup
+			}
+			t1 := cells(c1)
+			t2 := cells(c2)
+			if t1.IdenticalOn(t2, s.All()) {
+				continue // instances are sets
+			}
+			r := relation.New(s)
+			r.InsertUnchecked(t1)
+			r.InsertUnchecked(t2)
+			a := AssignmentFromPair(s, t1, t2)
+			for _, f := range fds {
+				im := ImplFromFD(s, f)
+				lhs := im.Eval(a) == tvl.True
+				strong, err := eval.StrongHolds(f, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if lhs != strong {
+					t.Fatalf("Lemma 3 violated for %s on\n%s\nassignment %s: V=%v strong=%v",
+						f.Format(s), r, FormatAssignment(a), lhs, strong)
+				}
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no pairs enumerated")
+	}
+}
+
+// TestLemma4_Theorem1 is the mechanized Theorem 1: Armstrong derivability
+// (fd.Implies), System C logical inference (Infers), and the rule-based
+// decision (InfersByRules) coincide on random FD sets.
+func TestLemma4_Theorem1(t *testing.T) {
+	s := schema.Uniform("R", []string{"A", "B", "C", "D"},
+		schema.IntDomain("d", "v", 3))
+	rng := rand.New(rand.NewSource(1980))
+	for trial := 0; trial < 300; trial++ {
+		var fds []fd.FD
+		for i := 0; i < rng.Intn(4); i++ {
+			x := schema.AttrSet(rng.Intn(15) + 1)
+			y := schema.AttrSet(rng.Intn(15) + 1)
+			fds = append(fds, fd.New(x, y))
+		}
+		goal := fd.New(schema.AttrSet(rng.Intn(15)+1), schema.AttrSet(rng.Intn(15)+1))
+		armstrong := fd.Implies(fds, goal)
+		ims := ImplsFromFDs(s, fds)
+		goalIm := ImplFromFD(s, goal)
+		logical := Infers(ims, goalIm)
+		rules := InfersByRules(ims, goalIm)
+		if armstrong != logical || logical != rules {
+			t.Fatalf("trial %d: armstrong=%v logical=%v rules=%v\nF = %s, goal = %s",
+				trial, armstrong, logical, rules, fd.FormatSet(s, fds), goal.Format(s))
+		}
+	}
+}
+
+// TestTheorem1_SemanticImplicationOnTwoTupleWorld spot-checks the chain
+// all the way to relation semantics: F implies f by Armstrong iff every
+// two-tuple relation with nulls strongly satisfying F strongly satisfies
+// f. Exhaustive over a 2-attribute scheme for feasibility.
+func TestTheorem1_SemanticImplicationOnTwoTupleWorld(t *testing.T) {
+	s := schema.Uniform("S", []string{"A", "B"}, schema.IntDomain("d", "v", 2))
+	cases := []struct {
+		F    []fd.FD
+		goal fd.FD
+	}{
+		{fd.MustParseSet(s, "A -> B"), fd.MustParse(s, "A -> B")},
+		{fd.MustParseSet(s, "A -> B; B -> A"), fd.MustParse(s, "B -> A")},
+		{fd.MustParseSet(s, "A -> B"), fd.MustParse(s, "B -> A")}, // not implied
+	}
+	dom := s.Domain(0)
+	opts := dom.Size() + 1
+	for ci, cse := range cases {
+		implied := fd.Implies(cse.F, cse.goal)
+		// Search for a semantic counterexample among all two-tuple
+		// relations (with independent nulls).
+		counterexample := false
+		for c1 := 0; c1 < opts*opts && !counterexample; c1++ {
+			for c2 := 0; c2 < opts*opts && !counterexample; c2++ {
+				mark := 1
+				cells := func(code int) relation.Tuple {
+					tup := make(relation.Tuple, 2)
+					for i := 0; i < 2; i++ {
+						if code%opts == dom.Size() {
+							tup[i] = value.NewNull(mark)
+							mark++
+						} else {
+							tup[i] = value.NewConst(dom.Values[code%opts])
+						}
+						code /= opts
+					}
+					return tup
+				}
+				t1, t2 := cells(c1), cells(c2)
+				if t1.IdenticalOn(t2, s.All()) {
+					continue
+				}
+				r := relation.New(s)
+				r.InsertUnchecked(t1)
+				r.InsertUnchecked(t2)
+				okF, err := eval.StrongSatisfied(cse.F, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !okF {
+					continue
+				}
+				okGoal, err := eval.StrongHolds(cse.goal, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !okGoal {
+					counterexample = true
+				}
+			}
+		}
+		if implied && counterexample {
+			t.Errorf("case %d: Armstrong implies but a two-tuple counterexample exists", ci)
+		}
+		if !implied && !counterexample {
+			t.Errorf("case %d: not implied but no two-tuple counterexample found", ci)
+		}
+	}
+}

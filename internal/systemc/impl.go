@@ -1,0 +1,234 @@
+package systemc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fdnull/internal/tvl"
+)
+
+// Impl is an implicational statement X ⇒ Y with X and Y conjunctions of
+// propositional variables — the syntactic mirror of a functional
+// dependency (Section 5: "Notice the similarity with functional
+// dependencies").
+type Impl struct {
+	X, Y []string
+}
+
+// NewImpl builds an implicational statement, normalizing both sides to
+// sorted, deduplicated variable lists and reducing Y to Y \ X whenever the
+// difference is non-empty.
+//
+// The reduction enforces the paper's disjoint-sides convention
+// (Proposition 1 assumes X ∩ Y = ∅, and the Lemma 3 encoding reads each
+// attribute as one propositional variable). It is not merely cosmetic:
+// with overlapping sides, rule 1 makes the union rule [I3] unsound under
+// V — from A ⇒ C and the rule-1-trivial A,D ⇒ D one would derive
+// A,D ⇒ C,D, which evaluates to *unknown* when a(D) is unknown and
+// a(A) = a(C) = true. On disjoint-side statements the rules of Lemma 2
+// are sound and complete (verified exhaustively in the tests). Fully
+// trivial statements (Y ⊆ X) are kept as given; rule 1 makes them true
+// under every assignment.
+func NewImpl(x, y []string) (Impl, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return Impl{}, fmt.Errorf("systemc: implicational statement needs non-empty sides")
+	}
+	xs, ys := normalize(x), normalize(y)
+	inX := map[string]bool{}
+	for _, v := range xs {
+		inX[v] = true
+	}
+	var reduced []string
+	for _, v := range ys {
+		if !inX[v] {
+			reduced = append(reduced, v)
+		}
+	}
+	if len(reduced) > 0 {
+		ys = reduced
+	}
+	return Impl{X: xs, Y: ys}, nil
+}
+
+// MustImpl is NewImpl for statically known-good inputs.
+func MustImpl(x, y []string) Impl {
+	im, err := NewImpl(x, y)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}
+
+// ParseImpl parses "A,B => C" (also accepting "->").
+func ParseImpl(s string) (Impl, error) {
+	norm := strings.ReplaceAll(strings.ReplaceAll(s, "=>", "->"), "→", "->")
+	parts := strings.SplitN(norm, "->", 2)
+	if len(parts) != 2 {
+		return Impl{}, fmt.Errorf("systemc: %q is not of the form X => Y", s)
+	}
+	split := func(side string) []string {
+		return strings.FieldsFunc(side, func(r rune) bool {
+			return r == ',' || r == ' ' || r == '\t'
+		})
+	}
+	return NewImpl(split(parts[0]), split(parts[1]))
+}
+
+func normalize(vs []string) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(vs))
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (im Impl) String() string {
+	return strings.Join(im.X, ",") + " => " + strings.Join(im.Y, ",")
+}
+
+// Wff returns the statement as a System C formula ¬(x1∧…) ∨ (y1∧…).
+func (im Impl) Wff() Wff {
+	return Implies(ConjVars(im.X...), ConjVars(im.Y...))
+}
+
+// Trivial reports Y ⊆ X, in which case the statement is a two-valued
+// tautology and rule 1 gives it the value true under every assignment.
+func (im Impl) Trivial() bool {
+	set := map[string]bool{}
+	for _, v := range im.X {
+		set[v] = true
+	}
+	for _, v := range im.Y {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval evaluates the statement under V. Equivalent to Eval(im.Wff(), a)
+// but without rebuilding the AST: rule 1 fires exactly when the statement
+// is trivial, since X ⇒ Y is a two-valued tautology iff Y ⊆ X.
+func (im Impl) Eval(a Assignment) tvl.T {
+	if im.Trivial() {
+		return tvl.True
+	}
+	x := tvl.True
+	for _, v := range im.X {
+		x = tvl.And(x, lookup(a, v))
+	}
+	y := tvl.True
+	for _, v := range im.Y {
+		y = tvl.And(y, lookup(a, v))
+	}
+	return tvl.Implies(x, y)
+}
+
+func lookup(a Assignment, v string) tvl.T {
+	if t, ok := a[v]; ok {
+		return t
+	}
+	return tvl.Unknown
+}
+
+// varsOf returns the sorted union of variables of a statement list.
+func varsOf(stmts ...Impl) []string {
+	set := map[string]bool{}
+	for _, s := range stmts {
+		for _, v := range s.X {
+			set[v] = true
+		}
+		for _, v := range s.Y {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Infers reports the paper's logical inference: every assignment giving
+// all statements of F the value true gives f the value true.
+func Infers(F []Impl, f Impl) bool {
+	ok := true
+	Assignments(varsOf(append(F, f)...), func(a Assignment) bool {
+		for _, g := range F {
+			if g.Eval(a) != tvl.True {
+				return true // premise not satisfied; assignment irrelevant
+			}
+		}
+		if f.Eval(a) != tvl.True {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// WeakInfers is the paper's weak logical inference: every assignment
+// giving all statements of F a value ≠ false gives f a value ≠ false.
+func WeakInfers(F []Impl, f Impl) bool {
+	ok := true
+	Assignments(varsOf(append(F, f)...), func(a Assignment) bool {
+		for _, g := range F {
+			if g.Eval(a) == tvl.False {
+				return true
+			}
+		}
+		if f.Eval(a) == tvl.False {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// InfersByRules decides derivability of f from F under the inference
+// rules [I1]–[I4] of Lemma 2 (Armstrong's rules in implicational
+// clothing), via the variable-closure fixpoint. Lemma 2 states these rules
+// are sound and complete for logical inference; the tests verify the two
+// functions agree.
+func InfersByRules(F []Impl, f Impl) bool {
+	closure := map[string]bool{}
+	for _, v := range f.X {
+		closure[v] = true
+	}
+	for {
+		changed := false
+		for _, g := range F {
+			if !allIn(closure, g.X) {
+				continue
+			}
+			for _, v := range g.Y {
+				if !closure[v] {
+					closure[v] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return allIn(closure, f.Y)
+}
+
+func allIn(set map[string]bool, vs []string) bool {
+	for _, v := range vs {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+// Package systemc implements System C, the propositional logic for unknown
+// outcomes (Bertram 1973) that Section 5 of the paper reduces extended
+// functional dependencies to.
+//
+// C is a modal system that is NOT truth-functional: its evaluation scheme V
+// first checks whether the formula is a tautology of classical two-valued
+// logic (rule 1) and only then decomposes by the strong-Kleene rules 2–5.
+// The paper's example: p ∨ ¬p evaluates to true in C even when p is
+// unknown, whereas a truth-functional evaluation would give unknown.
+//
+// The paper uses C solely through this evaluation scheme and through
+// Bertram's soundness/completeness theorem (every C-tautology is a
+// C-theorem and vice versa). This package therefore implements the
+// *semantic* side — V, C-tautology by exhaustive three-valued model
+// checking, classical tautology by exhaustive two-valued model checking —
+// which by that theorem decides theoremhood; the proof-theoretic
+// axiomatization is not re-derived (see DESIGN.md's substitution table).
+//
+// For the classical-tautology oracle the modal operator ∇ ("necessarily
+// true") is read as the identity: in two-valued logic V(∇Q) = V(Q) by
+// evaluation rule 5, since there true/false are the only values.
+package systemc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"fdnull/internal/tvl"
+)
+
+// Wff is a well-formed formula of System C.
+type Wff interface {
+	fmt.Stringer
+	// vars accumulates the formula's propositional variables.
+	vars(set map[string]bool)
+	// classical evaluates under a two-valued assignment (∇ = identity).
+	classical(a map[string]bool) bool
+	// kleene evaluates by rules 2–5 only (no tautology rule) — the
+	// recursion of V applies rule 1 at every step; see Eval.
+	kleene(a Assignment) tvl.T
+}
+
+// Assignment maps propositional variables to three-valued truth values.
+type Assignment map[string]tvl.T
+
+// Var is a propositional variable.
+type Var string
+
+// Not is negation (evaluation rule 3).
+type Not struct{ Q Wff }
+
+// Or is disjunction (evaluation rule 4's dual; the paper lists ∨ and ∧).
+type Or struct{ Q, S Wff }
+
+// And is conjunction.
+type And struct{ Q, S Wff }
+
+// Nec is the modal operator ∇, "necessarily true" (evaluation rule 5).
+type Nec struct{ Q Wff }
+
+// Implies builds the defined connective P ⇒ Q := ¬P ∨ Q.
+func Implies(p, q Wff) Wff { return Or{Not{p}, q} }
+
+// ConjVars builds the conjunctive term x1 ∧ x2 ∧ … used by implicational
+// statements; a single variable stands alone.
+func ConjVars(names ...string) Wff {
+	if len(names) == 0 {
+		panic("systemc: empty conjunction")
+	}
+	var w Wff = Var(names[0])
+	for _, n := range names[1:] {
+		w = And{w, Var(n)}
+	}
+	return w
+}
+
+func (v Var) String() string { return string(v) }
+func (n Not) String() string { return "¬" + paren(n.Q) }
+func (o Or) String() string  { return paren(o.Q) + " ∨ " + paren(o.S) }
+func (a And) String() string { return paren(a.Q) + " ∧ " + paren(a.S) }
+func (n Nec) String() string { return "∇" + paren(n.Q) }
+
+func paren(w Wff) string {
+	switch w.(type) {
+	case Var, Not, Nec:
+		return w.String()
+	default:
+		return "(" + w.String() + ")"
+	}
+}
+
+func (v Var) vars(set map[string]bool) { set[string(v)] = true }
+func (n Not) vars(set map[string]bool) { n.Q.vars(set) }
+func (o Or) vars(set map[string]bool)  { o.Q.vars(set); o.S.vars(set) }
+func (a And) vars(set map[string]bool) { a.Q.vars(set); a.S.vars(set) }
+func (n Nec) vars(set map[string]bool) { n.Q.vars(set) }
+
+func (v Var) classical(a map[string]bool) bool { return a[string(v)] }
+func (n Not) classical(a map[string]bool) bool { return !n.Q.classical(a) }
+func (o Or) classical(a map[string]bool) bool {
+	return o.Q.classical(a) || o.S.classical(a)
+}
+func (a And) classical(as map[string]bool) bool {
+	return a.Q.classical(as) && a.S.classical(as)
+}
+func (n Nec) classical(a map[string]bool) bool { return n.Q.classical(a) }
+
+func (v Var) kleene(a Assignment) tvl.T {
+	if t, ok := a[string(v)]; ok {
+		return t
+	}
+	return tvl.Unknown
+}
+func (n Not) kleene(a Assignment) tvl.T { return tvl.Not(Eval(n.Q, a)) }
+func (o Or) kleene(a Assignment) tvl.T  { return tvl.Or(Eval(o.Q, a), Eval(o.S, a)) }
+func (an And) kleene(a Assignment) tvl.T {
+	return tvl.And(Eval(an.Q, a), Eval(an.S, a))
+}
+func (n Nec) kleene(a Assignment) tvl.T { return tvl.Necessarily(Eval(n.Q, a)) }
+
+// Vars returns the formula's variables in sorted order.
+func Vars(w Wff) []string {
+	set := map[string]bool{}
+	w.vars(set)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassicalTautology reports whether w is a tautology of two-valued logic
+// (∇ read as identity), by exhaustive enumeration of assignments.
+func ClassicalTautology(w Wff) bool {
+	vars := Vars(w)
+	if len(vars) > 20 {
+		panic(fmt.Sprintf("systemc: %d variables exceed the enumeration budget", len(vars)))
+	}
+	a := make(map[string]bool, len(vars))
+	for m := 0; m < 1<<uint(len(vars)); m++ {
+		for i, v := range vars {
+			a[v] = m&(1<<uint(i)) != 0
+		}
+		if !w.classical(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eval is the evaluation scheme V of System C: rule 1 (two-valued
+// tautology ⇒ true) is applied first at every recursion step, then rules
+// 2–5. This is what makes C non-truth-functional.
+func Eval(w Wff, a Assignment) tvl.T {
+	if ClassicalTautology(w) {
+		return tvl.True
+	}
+	return w.kleene(a)
+}
+
+// Assignments enumerates every three-valued assignment over vars, calling
+// fn for each; fn returning false stops the enumeration early. The shared
+// map is reused across calls — copy it if it must be retained.
+func Assignments(vars []string, fn func(Assignment) bool) {
+	a := make(Assignment, len(vars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(vars) {
+			return fn(a)
+		}
+		for _, t := range tvl.All() {
+			a[vars[i]] = t
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// CTautology reports whether w takes the value true under V for every
+// three-valued assignment. By Bertram's soundness and completeness
+// theorem, this coincides with C-theoremhood.
+func CTautology(w Wff) bool {
+	ok := true
+	Assignments(Vars(w), func(a Assignment) bool {
+		if Eval(w, a) != tvl.True {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// FormatAssignment renders an assignment deterministically for messages.
+func FormatAssignment(a Assignment) string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + a[k].String()
+	}
+	return strings.Join(parts, " ")
+}

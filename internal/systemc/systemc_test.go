@@ -1,0 +1,179 @@
+package systemc
+
+import (
+	"testing"
+
+	"fdnull/internal/tvl"
+)
+
+func TestEvalVariable(t *testing.T) {
+	a := Assignment{"p": tvl.True}
+	if Eval(Var("p"), a) != tvl.True {
+		t.Error("bound variable")
+	}
+	if Eval(Var("q"), a) != tvl.Unknown {
+		t.Error("unbound variable defaults to unknown")
+	}
+}
+
+func TestRule1_ExcludedMiddle(t *testing.T) {
+	// The paper's flagship example: p ∨ ¬p is a two-valued tautology, so
+	// rule 1 gives it true even when p is unknown — C is not
+	// truth-functional.
+	p := Var("p")
+	w := Or{p, Not{p}}
+	a := Assignment{"p": tvl.Unknown}
+	if got := Eval(w, a); got != tvl.True {
+		t.Errorf("V(p ∨ ¬p) = %v with p unknown, want true (rule 1)", got)
+	}
+	// Without rule 1 the Kleene value is unknown.
+	if got := w.kleene(a); got != tvl.Unknown {
+		t.Errorf("Kleene value = %v, want unknown", got)
+	}
+	// Dually, ¬(p ∨ ¬p) is false: rule 3 on a rule-1 true.
+	if got := Eval(Not{w}, a); got != tvl.False {
+		t.Errorf("V(¬(p ∨ ¬p)) = %v, want false", got)
+	}
+}
+
+func TestContradictionStaysUnknown(t *testing.T) {
+	// p ∧ ¬p is NOT a tautology, so rule 1 does not fire; with p unknown
+	// the Kleene rules give unknown. (C's evaluation is asymmetric here:
+	// only tautologies are promoted.)
+	p := Var("p")
+	w := And{p, Not{p}}
+	if got := Eval(w, Assignment{"p": tvl.Unknown}); got != tvl.Unknown {
+		t.Errorf("V(p ∧ ¬p) = %v with p unknown, want unknown", got)
+	}
+	if got := Eval(w, Assignment{"p": tvl.True}); got != tvl.False {
+		t.Errorf("V(p ∧ ¬p) = %v with p true, want false", got)
+	}
+}
+
+func TestEvalRules3to5(t *testing.T) {
+	p, q := Var("p"), Var("q")
+	a := Assignment{"p": tvl.True, "q": tvl.Unknown}
+	if Eval(Not{p}, a) != tvl.False {
+		t.Error("rule 3: ¬true = false")
+	}
+	if Eval(Or{p, q}, a) != tvl.True {
+		t.Error("rule 4 (∨): true ∨ unknown = true")
+	}
+	if Eval(And{p, q}, a) != tvl.Unknown {
+		t.Error("rule 4 (∧): true ∧ unknown = unknown")
+	}
+	if Eval(Nec{q}, a) != tvl.False {
+		t.Error("rule 5: ∇unknown = false")
+	}
+	if Eval(Nec{p}, a) != tvl.True {
+		t.Error("rule 5: ∇true = true")
+	}
+}
+
+func TestNecessityDistinguishesModalities(t *testing.T) {
+	// ∇(p ∨ ¬p) is true (the operand is a tautology) while ∇p with p
+	// unknown is false: the modal operator separates "necessarily true"
+	// from "possibly true".
+	p := Var("p")
+	a := Assignment{"p": tvl.Unknown}
+	if Eval(Nec{Or{p, Not{p}}}, a) != tvl.True {
+		t.Error("∇(tautology) must be true")
+	}
+	if Eval(Nec{p}, a) != tvl.False {
+		t.Error("∇(unknown) must be false")
+	}
+}
+
+func TestClassicalTautology(t *testing.T) {
+	p, q := Var("p"), Var("q")
+	cases := []struct {
+		w    Wff
+		want bool
+	}{
+		{Or{p, Not{p}}, true},
+		{Implies(p, p), true},
+		{Implies(And{p, q}, p), true},
+		{Implies(p, And{p, q}), false},
+		{p, false},
+		{Not{And{p, Not{p}}}, true},
+		{Nec{Or{p, Not{p}}}, true}, // ∇ is identity classically
+	}
+	for _, c := range cases {
+		if got := ClassicalTautology(c.w); got != c.want {
+			t.Errorf("ClassicalTautology(%s) = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestCTautology(t *testing.T) {
+	p, q := Var("p"), Var("q")
+	if !CTautology(Or{p, Not{p}}) {
+		t.Error("excluded middle is a C-tautology via rule 1")
+	}
+	if CTautology(Or{p, Not{q}}) {
+		t.Error("p ∨ ¬q is not a C-tautology")
+	}
+	// ∇p ∨ ¬∇p: the operand of each disjunct is two-valued, but the whole
+	// formula is also a classical tautology ⇒ C-tautology.
+	if !CTautology(Or{Nec{p}, Not{Nec{p}}}) {
+		t.Error("∇p ∨ ¬∇p is a C-tautology")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	p, q := Var("p"), Var("q")
+	w := Or{And{p, q}, Not{Nec{p}}}
+	if got := w.String(); got != "(p ∧ q) ∨ ¬∇p" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestVars(t *testing.T) {
+	w := Implies(ConjVars("b", "a"), ConjVars("c", "a"))
+	got := Vars(w)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Vars[%d] = %q", i, got[i])
+		}
+	}
+}
+
+func TestConjVarsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty conjunction must panic")
+		}
+	}()
+	ConjVars()
+}
+
+func TestAssignmentsEnumerates(t *testing.T) {
+	count := 0
+	Assignments([]string{"a", "b"}, func(Assignment) bool {
+		count++
+		return true
+	})
+	if count != 9 {
+		t.Errorf("3^2 assignments expected, got %d", count)
+	}
+	// Early stop.
+	count = 0
+	Assignments([]string{"a", "b"}, func(Assignment) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Errorf("early stop after 4, got %d", count)
+	}
+}
+
+func TestFormatAssignment(t *testing.T) {
+	got := FormatAssignment(Assignment{"b": tvl.False, "a": tvl.True})
+	if got != "a=true b=false" {
+		t.Errorf("FormatAssignment = %q", got)
+	}
+}

@@ -1,0 +1,179 @@
+// Package tableau implements tableaux with distinguished variables and the
+// classical chase, used to test decompositions for the lossless-join
+// property.
+//
+// This is the substrate behind the paper's closing claim that "all work on
+// normalization, decomposition, etc. where FDs are involved can be applied
+// directly in our framework of incomplete information" (Section 7), and
+// the machinery [Graham 80] ("the tableau chase") uses for Theorem 4.
+//
+// A tableau for a decomposition R1, …, Rk of R has one row per component:
+// row i holds the distinguished variable a_j in column j when Aj ∈ Ri and
+// a unique nondistinguished variable otherwise. Chasing with the FDs
+// equates variables (distinguished variables win); the decomposition has a
+// lossless join iff some row becomes all-distinguished.
+package tableau
+
+import (
+	"fmt"
+	"strings"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/schema"
+)
+
+// Tableau is a matrix of variable ids. Ids 0 … p−1 are the distinguished
+// variables a_1 … a_p (one per column); larger ids are nondistinguished.
+type Tableau struct {
+	p    int
+	rows [][]int
+	// uf is a union-find over variable ids; the representative of a class
+	// containing a distinguished variable is that distinguished variable
+	// (at most one per class by construction: distinguished variables of
+	// the same column only).
+	parent []int
+}
+
+// New builds the tableau for a decomposition of a p-attribute scheme.
+// Each component is the attribute set of one projection.
+func New(p int, components []schema.AttrSet) (*Tableau, error) {
+	if p <= 0 || p > schema.MaxAttrs {
+		return nil, fmt.Errorf("tableau: invalid arity %d", p)
+	}
+	if len(components) == 0 {
+		return nil, fmt.Errorf("tableau: empty decomposition")
+	}
+	t := &Tableau{p: p}
+	next := p // first nondistinguished id
+	all := schema.AttrSet(1)<<uint(p) - 1
+	for i, comp := range components {
+		if comp.Empty() {
+			return nil, fmt.Errorf("tableau: component %d is empty", i)
+		}
+		if !comp.SubsetOf(all) {
+			return nil, fmt.Errorf("tableau: component %d exceeds the scheme", i)
+		}
+		row := make([]int, p)
+		for j := 0; j < p; j++ {
+			if comp.Has(schema.Attr(j)) {
+				row[j] = j // distinguished a_j
+			} else {
+				row[j] = next
+				next++
+			}
+		}
+		t.rows = append(t.rows, row)
+	}
+	t.parent = make([]int, next)
+	for i := range t.parent {
+		t.parent[i] = i
+	}
+	return t, nil
+}
+
+func (t *Tableau) find(x int) int {
+	for t.parent[x] != x {
+		t.parent[x] = t.parent[t.parent[x]]
+		x = t.parent[x]
+	}
+	return x
+}
+
+// union merges two variable classes, keeping a distinguished variable as
+// representative when present. Equating two *different* distinguished
+// variables cannot happen: both ids would be the column index, hence equal.
+func (t *Tableau) union(a, b int) bool {
+	ra, rb := t.find(a), t.find(b)
+	if ra == rb {
+		return false
+	}
+	// Distinguished ids are < p; prefer them as representatives.
+	if rb < t.p && ra >= t.p {
+		ra, rb = rb, ra
+	}
+	t.parent[rb] = ra
+	return true
+}
+
+// Chase runs the FD chase to fixpoint: whenever two rows agree on X (same
+// classes), their Y variables are equated.
+func (t *Tableau) Chase(fds []fd.FD) {
+	for {
+		changed := false
+		for _, f := range fds {
+			xAttrs := f.X.Attrs()
+			yAttrs := f.Y.Attrs()
+			for i := range t.rows {
+				for j := i + 1; j < len(t.rows); j++ {
+					agree := true
+					for _, a := range xAttrs {
+						if t.find(t.rows[i][a]) != t.find(t.rows[j][a]) {
+							agree = false
+							break
+						}
+					}
+					if !agree {
+						continue
+					}
+					for _, a := range yAttrs {
+						if t.union(t.rows[i][a], t.rows[j][a]) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// HasAllDistinguishedRow reports whether some row consists entirely of
+// distinguished variables — the lossless-join criterion.
+func (t *Tableau) HasAllDistinguishedRow() bool {
+	for _, row := range t.rows {
+		ok := true
+		for j, v := range row {
+			if t.find(v) != j {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Lossless is the end-to-end test: build, chase, check.
+func Lossless(p int, components []schema.AttrSet, fds []fd.FD) (bool, error) {
+	t, err := New(p, components)
+	if err != nil {
+		return false, err
+	}
+	t.Chase(fds)
+	return t.HasAllDistinguishedRow(), nil
+}
+
+// String renders the tableau with a_j for distinguished classes and b_k
+// for nondistinguished ones.
+func (t *Tableau) String() string {
+	var b strings.Builder
+	for _, row := range t.rows {
+		for j, v := range row {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			r := t.find(v)
+			if r < t.p {
+				fmt.Fprintf(&b, "a%d", r+1)
+			} else {
+				fmt.Fprintf(&b, "b%d", r-t.p+1)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

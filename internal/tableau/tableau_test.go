@@ -1,0 +1,111 @@
+package tableau
+
+import (
+	"strings"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/schema"
+)
+
+func abc() *schema.Scheme {
+	return schema.Uniform("R", []string{"A", "B", "C"},
+		schema.MustDomain("d", "x", "y"))
+}
+
+func TestLosslessClassic(t *testing.T) {
+	// R(A,B,C), A → B: {AB, AC} is lossless; {AB, BC} is not.
+	s := abc()
+	fds := fd.MustParseSet(s, "A -> B")
+	ok, err := Lossless(3, []schema.AttrSet{s.MustSet("A", "B"), s.MustSet("A", "C")}, fds)
+	if err != nil || !ok {
+		t.Errorf("AB/AC should be lossless under A->B: %v, %v", ok, err)
+	}
+	ok, err = Lossless(3, []schema.AttrSet{s.MustSet("A", "B"), s.MustSet("B", "C")}, fds)
+	if err != nil || ok {
+		t.Errorf("AB/BC should be lossy under A->B: %v, %v", ok, err)
+	}
+	// But with B → C it becomes lossless.
+	fds2 := fd.MustParseSet(s, "B -> C")
+	ok, err = Lossless(3, []schema.AttrSet{s.MustSet("A", "B"), s.MustSet("B", "C")}, fds2)
+	if err != nil || !ok {
+		t.Errorf("AB/BC should be lossless under B->C: %v, %v", ok, err)
+	}
+}
+
+func TestLosslessTrivial(t *testing.T) {
+	s := abc()
+	// The identity decomposition is always lossless.
+	ok, err := Lossless(3, []schema.AttrSet{s.All()}, nil)
+	if err != nil || !ok {
+		t.Errorf("identity decomposition: %v, %v", ok, err)
+	}
+	// With no FDs, disjoint-ish splits lose information.
+	ok, err = Lossless(3, []schema.AttrSet{s.MustSet("A", "B"), s.MustSet("B", "C")}, nil)
+	if err != nil || ok {
+		t.Errorf("no FDs: should be lossy: %v, %v", ok, err)
+	}
+}
+
+func TestThreeWay(t *testing.T) {
+	// R(A,B,C,D), A→B, B→C, C→D: chain split into {AB, BC, CD} is
+	// lossless (pairwise joins along the chain).
+	s := schema.Uniform("R", []string{"A", "B", "C", "D"},
+		schema.MustDomain("d", "x", "y"))
+	fds := fd.MustParseSet(s, "A -> B; B -> C; C -> D")
+	comps := []schema.AttrSet{s.MustSet("A", "B"), s.MustSet("B", "C"), s.MustSet("C", "D")}
+	ok, err := Lossless(4, comps, fds)
+	if err != nil || !ok {
+		t.Errorf("chain decomposition should be lossless: %v, %v", ok, err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := abc()
+	if _, err := New(0, []schema.AttrSet{s.All()}); err == nil {
+		t.Error("zero arity must error")
+	}
+	if _, err := New(3, nil); err == nil {
+		t.Error("empty decomposition must error")
+	}
+	if _, err := New(3, []schema.AttrSet{0}); err == nil {
+		t.Error("empty component must error")
+	}
+	if _, err := New(3, []schema.AttrSet{schema.NewAttrSet(5)}); err == nil {
+		t.Error("component exceeding scheme must error")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := abc()
+	tb, err := New(3, []schema.AttrSet{s.MustSet("A", "B"), s.MustSet("A", "C")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "a1") || !strings.Contains(out, "b1") {
+		t.Errorf("rendering missing variables:\n%s", out)
+	}
+	tb.Chase(fd.MustParseSet(s, "A -> B"))
+	out2 := tb.String()
+	lines := strings.Split(strings.TrimSpace(out2), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(lines))
+	}
+	// After the chase the second row's B must be distinguished a2.
+	if !strings.Contains(lines[1], "a2") {
+		t.Errorf("chase should distinguish B in row 2:\n%s", out2)
+	}
+}
+
+func TestChaseIdempotent(t *testing.T) {
+	s := abc()
+	tb, _ := New(3, []schema.AttrSet{s.MustSet("A", "B"), s.MustSet("A", "C")})
+	fds := fd.MustParseSet(s, "A -> B")
+	tb.Chase(fds)
+	before := tb.String()
+	tb.Chase(fds)
+	if tb.String() != before {
+		t.Error("second chase changed the tableau")
+	}
+}

@@ -1,0 +1,37 @@
+package testfds
+
+import (
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+func TestStringers(t *testing.T) {
+	if Strong.String() != "strong" || Weak.String() != "weak" {
+		t.Error("Convention strings")
+	}
+	if Sorted.String() != "sorted" || Bucket.String() != "bucket" || Pairwise.String() != "pairwise" {
+		t.Error("Algorithm strings")
+	}
+	v := Violation{T1: 1, T2: 3}
+	if v.String() != "FD violated by tuples 1 and 3" {
+		t.Errorf("Violation string = %q", v.String())
+	}
+}
+
+func TestWeakSatisfiedMinimallyIncompleteWrapper(t *testing.T) {
+	s := schema.Uniform("R", []string{"A", "B"}, schema.IntDomain("d", "v", 6))
+	fds := fd.MustParseSet(s, "A -> B")
+	ok, _ := WeakSatisfiedMinimallyIncomplete(
+		relation.MustFromRows(s, []string{"v1", "v2"}, []string{"v2", "-"}), fds)
+	if !ok {
+		t.Error("satisfied minimally incomplete instance must pass")
+	}
+	ok, viol := WeakSatisfiedMinimallyIncomplete(
+		relation.MustFromRows(s, []string{"v1", "v2"}, []string{"v1", "v3"}), fds)
+	if ok || viol == nil {
+		t.Error("violated instance must fail with a witness")
+	}
+}

@@ -1,0 +1,362 @@
+// Package testfds implements the paper's TEST-FDs algorithm (Figure 3) and
+// the two null-comparison conventions of Theorems 2 and 3.
+//
+// TEST-FDs scans a relation once per FD and answers yes/no. The same scan
+// decides two different questions depending on the convention plugged in:
+//
+//   - Strong convention (Theorem 2): an equality comparison involving a
+//     null is positive, and an inequality comparison involving a null is
+//     positive unless both sides are nulls of the same equivalence class.
+//     TEST-FDs then answers yes iff F is *strongly* satisfied in r.
+//   - Weak convention (Theorem 3): an inequality comparison involving a
+//     null is negative, and an equality comparison involving a null is
+//     negative unless both sides are nulls of the same equivalence class.
+//     On a *minimally incomplete* instance (see the chase package),
+//     TEST-FDs answers yes iff F is *weakly* satisfied in r.
+//
+// Equivalence classes of nulls are carried by the null marks: two null
+// cells with the same mark belong to the same class. The chase writes its
+// NEC classes back as shared canonical marks, so its output feeds directly
+// into the weak-convention test.
+//
+// Three implementations are provided, matching the paper's complexity
+// discussion: a sort-based scan (O(|F|·n·log n)), a bucket-sort variant
+// (O(n·p) per FD, the "Additional Assumptions" paragraph), and the
+// footnote's unsorted pairwise variant (O(|F|·n²)). Under the strong
+// convention a null's X-value unifies with *every* X-value, which defeats
+// sorting (the paper's footnote); the sorted variants therefore scan
+// null-free-X tuples via sort groups and fall back to pairwise comparison
+// for the tuples with nulls in X.
+package testfds
+
+import (
+	"fmt"
+	"sort"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// Convention selects the null-comparison rules.
+type Convention int
+
+const (
+	// Strong is Theorem 2's convention: nulls compare equal to anything
+	// and unequal to anything except a same-class null.
+	Strong Convention = iota
+	// Weak is Theorem 3's convention: nulls compare unequal to anything
+	// and equal only to a same-class null.
+	Weak
+)
+
+func (c Convention) String() string {
+	if c == Strong {
+		return "strong"
+	}
+	return "weak"
+}
+
+// Algorithm selects the implementation.
+type Algorithm int
+
+const (
+	// Sorted is Figure 3: sort on X, scan groups. O(|F|·n·log n).
+	Sorted Algorithm = iota
+	// Bucket replaces the comparison sort with per-attribute bucket sort,
+	// O(n·p) per FD given enumerable domains (Figure 3's "Additional
+	// Assumptions").
+	Bucket
+	// Pairwise is the footnote's unsorted variant, O(|F|·n²).
+	Pairwise
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Sorted:
+		return "sorted"
+	case Bucket:
+		return "bucket"
+	default:
+		return "pairwise"
+	}
+}
+
+// Violation is the witness returned on a no answer: the FD and the two
+// tuples whose comparisons were both positive.
+type Violation struct {
+	FD     fd.FD
+	T1, T2 int
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("FD violated by tuples %d and %d", v.T1, v.T2)
+}
+
+// eq is the convention's equality comparison for one attribute value pair.
+func eq(conv Convention, a, b value.V) bool {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		// Both conventions equate same-class nulls; the weak convention
+		// equates nothing else, the strong convention everything.
+		if conv == Strong {
+			return true
+		}
+		return a.Mark() == b.Mark()
+	case an || bn:
+		return conv == Strong
+	default:
+		// nothing cells compare like distinct constants: a contradiction
+		// is not equal to anything, including itself.
+		if a.IsNothing() || b.IsNothing() {
+			return false
+		}
+		return a.Const() == b.Const()
+	}
+}
+
+// neq is the convention's inequality comparison. Note it is NOT the
+// negation of eq: under the strong convention a null is both "possibly
+// equal" and "possibly unequal" to a constant.
+func neq(conv Convention, a, b value.V) bool {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		if conv == Strong {
+			return a.Mark() != b.Mark()
+		}
+		return false
+	case an || bn:
+		return conv == Strong
+	default:
+		if a.IsNothing() || b.IsNothing() {
+			return true
+		}
+		return a.Const() != b.Const()
+	}
+}
+
+func eqOn(conv Convention, t, u relation.Tuple, attrs []schema.Attr) bool {
+	for _, a := range attrs {
+		if !eq(conv, t[a], u[a]) {
+			return false
+		}
+	}
+	return true
+}
+
+func neqOn(conv Convention, t, u relation.Tuple, attrs []schema.Attr) bool {
+	for _, a := range attrs {
+		if neq(conv, t[a], u[a]) {
+			return true
+		}
+	}
+	return false
+}
+
+// Check runs TEST-FDs on r for the whole FD set under the given convention
+// and algorithm. It answers (true, nil) for yes, or (false, witness) with
+// the first violating pair found. Under the Weak convention the answer
+// decides weak satisfiability only on minimally incomplete instances
+// (Theorem 3); compose with the chase for arbitrary instances.
+func Check(r *relation.Relation, fds []fd.FD, conv Convention, algo Algorithm) (bool, *Violation) {
+	if conv == Weak {
+		// A `nothing` cell records an unavoidable conflict (Theorem 4(b)):
+		// no completion exists, so the instance cannot be weakly
+		// satisfiable. The witness carries T1 == T2, the poisoned tuple.
+		all := r.Scheme().All()
+		for i, t := range r.Tuples() {
+			if t.HasNothingOn(all) {
+				return false, &Violation{T1: i, T2: i}
+			}
+		}
+	}
+	for _, f := range fds {
+		var v *Violation
+		switch algo {
+		case Pairwise:
+			v = checkPairwise(r, f, conv)
+		case Sorted:
+			v = checkSorted(r, f, conv, false)
+		case Bucket:
+			v = checkSorted(r, f, conv, true)
+		}
+		if v != nil {
+			return false, v
+		}
+	}
+	return true, nil
+}
+
+// checkPairwise is the footnote variant: every tuple against every other.
+func checkPairwise(r *relation.Relation, f fd.FD, conv Convention) *Violation {
+	xAttrs, yAttrs := f.X.Attrs(), f.Y.Attrs()
+	ts := r.Tuples()
+	for i := range ts {
+		for j := i + 1; j < len(ts); j++ {
+			if eqOn(conv, ts[i], ts[j], xAttrs) && neqOn(conv, ts[i], ts[j], yAttrs) {
+				return &Violation{FD: f, T1: i, T2: j}
+			}
+		}
+	}
+	return nil
+}
+
+// checkSorted is Figure 3: sort the relation on X and scan groups of
+// convention-equal X-values, comparing Y-values against the group's first
+// tuple. Under the strong convention, tuples with a null in X unify with
+// every X-group and are handled by a pairwise sweep (the paper's footnote
+// observation that such values defeat sorting).
+func checkSorted(r *relation.Relation, f fd.FD, conv Convention, bucket bool) *Violation {
+	xAttrs, yAttrs := f.X.Attrs(), f.Y.Attrs()
+	ts := r.Tuples()
+	idx := make([]int, 0, len(ts))
+	var withNullX []int
+	for i, t := range ts {
+		if conv == Strong && t.HasNullOn(f.X) {
+			withNullX = append(withNullX, i)
+			continue
+		}
+		idx = append(idx, i)
+	}
+	if bucket {
+		bucketSort(r, idx, xAttrs)
+	} else {
+		sort.Slice(idx, func(a, b int) bool {
+			return lessOn(ts[idx[a]], ts[idx[b]], xAttrs)
+		})
+	}
+	// Scan groups: under the weak convention null marks are distinct sort
+	// keys, so same-class nulls land adjacent — exactly the paper's "they
+	// appear together in the sorted relation".
+	for g := 0; g < len(idx); {
+		h := g + 1
+		for h < len(idx) && eqOn(conv, ts[idx[g]], ts[idx[h]], xAttrs) {
+			if neqOn(conv, ts[idx[g]], ts[idx[h]], yAttrs) {
+				return &Violation{FD: f, T1: idx[g], T2: idx[h]}
+			}
+			h++
+		}
+		g = h
+	}
+	// Strong convention: tuples with nulls in X match every tuple.
+	for _, i := range withNullX {
+		for j := range ts {
+			if j == i {
+				continue
+			}
+			if eqOn(conv, ts[i], ts[j], xAttrs) && neqOn(conv, ts[i], ts[j], yAttrs) {
+				a, b := i, j
+				if b < a {
+					a, b = b, a
+				}
+				return &Violation{FD: f, T1: a, T2: b}
+			}
+		}
+	}
+	return nil
+}
+
+// lessOn is the representation order used for sorting: constants in
+// lexicographic order first, then nulls by mark ("null values have the
+// lowest precedence and are always distinct unless they belong to the same
+// equivalence class"), then nothing.
+func lessOn(t, u relation.Tuple, attrs []schema.Attr) bool {
+	for _, a := range attrs {
+		if c := value.Compare(t[a], u[a]); c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+// bucketSort performs an LSD radix sort of idx on the attrs key using one
+// bucket per domain value (plus overflow buckets for nulls and nothing),
+// O(n + d) per attribute — the paper's O(n·p) claim.
+func bucketSort(r *relation.Relation, idx []int, attrs []schema.Attr) {
+	s := r.Scheme()
+	ts := r.Tuples()
+	// LSD radix: sort by the last attribute first.
+	for k := len(attrs) - 1; k >= 0; k-- {
+		a := attrs[k]
+		dom := s.Domain(a)
+		pos := make(map[string]int, dom.Size())
+		for i, v := range dom.Values {
+			pos[v] = i
+		}
+		// Buckets: one per domain value, then nulls keyed by mark
+		// (distinct, ordered), then nothing.
+		constBuckets := make([][]int, dom.Size())
+		nullBuckets := map[int][]int{}
+		var nothingBucket []int
+		var marks []int
+		for _, i := range idx {
+			v := ts[i][a]
+			switch {
+			case v.IsConst():
+				p := pos[v.Const()]
+				constBuckets[p] = append(constBuckets[p], i)
+			case v.IsNull():
+				if _, ok := nullBuckets[v.Mark()]; !ok {
+					marks = append(marks, v.Mark())
+				}
+				nullBuckets[v.Mark()] = append(nullBuckets[v.Mark()], i)
+			default:
+				nothingBucket = append(nothingBucket, i)
+			}
+		}
+		sort.Ints(marks)
+		out := idx[:0]
+		// Bucket order must match lessOn: domain values in lexicographic
+		// order. IntDomain values are not lexicographically sorted in
+		// general, so order buckets by value string.
+		order := make([]int, dom.Size())
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(x, y int) bool {
+			return dom.Values[order[x]] < dom.Values[order[y]]
+		})
+		for _, b := range order {
+			out = append(out, constBuckets[b]...)
+		}
+		for _, m := range marks {
+			out = append(out, nullBuckets[m]...)
+		}
+		out = append(out, nothingBucket...)
+	}
+}
+
+// CheckPresorted is the "Additional Assumptions" linear path: one FD, the
+// relation already sorted on f.X (e.g. BCNF with one key). It scans
+// adjacent tuples only and therefore requires the input order to group
+// convention-equal X-values (as produced by sorting with lessOn).
+func CheckPresorted(r *relation.Relation, f fd.FD, conv Convention) (bool, *Violation) {
+	xAttrs, yAttrs := f.X.Attrs(), f.Y.Attrs()
+	ts := r.Tuples()
+	g := 0
+	for i := 1; i < len(ts); i++ {
+		if eqOn(conv, ts[g], ts[i], xAttrs) {
+			if neqOn(conv, ts[g], ts[i], yAttrs) {
+				return false, &Violation{FD: f, T1: g, T2: i}
+			}
+		} else {
+			g = i
+		}
+	}
+	return true, nil
+}
+
+// StrongSatisfied decides strong satisfiability of F in r (Theorem 2).
+func StrongSatisfied(r *relation.Relation, fds []fd.FD) (bool, *Violation) {
+	return Check(r, fds, Strong, Sorted)
+}
+
+// WeakSatisfiedMinimallyIncomplete decides weak satisfiability of F in a
+// minimally incomplete r (Theorem 3). The caller is responsible for the
+// minimality precondition; compose with chase.Run otherwise.
+func WeakSatisfiedMinimallyIncomplete(r *relation.Relation, fds []fd.FD) (bool, *Violation) {
+	return Check(r, fds, Weak, Sorted)
+}

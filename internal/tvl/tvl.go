@@ -1,0 +1,160 @@
+// Package tvl implements the three-valued truth domain {false, unknown, true}
+// used throughout Vassiliou's treatment of incomplete information
+// (VLDB 1980, Section 2).
+//
+// The three values form two distinct orderings:
+//
+//   - The truth ordering false < unknown < true, under which And is the meet
+//     and Or is the join (Kleene's strong three-valued connectives).
+//   - The information (approximation) ordering, in which unknown approximates
+//     both false and true. The least upper bound in this ordering is the
+//     "least extension" rule of the paper: lub{x} = x, lub{true,false} =
+//     unknown, and lub of equal values is that value.
+//
+// The paper derives the extension of every database function, including FD
+// interpretations, by evaluating on all completions of the nulls and taking
+// the information-ordering lub of the results.
+package tvl
+
+import "fmt"
+
+// T is a three-valued truth value.
+type T uint8
+
+// The three truth values. The numeric order False < Unknown < True is the
+// truth ordering, which makes And/Or expressible as min/max.
+const (
+	False T = iota
+	Unknown
+	True
+)
+
+// FromBool converts a classical truth value.
+func FromBool(b bool) T {
+	if b {
+		return True
+	}
+	return False
+}
+
+// String returns "true", "false" or "unknown", matching the paper's notation.
+func (t T) String() string {
+	switch t {
+	case False:
+		return "false"
+	case Unknown:
+		return "unknown"
+	case True:
+		return "true"
+	}
+	return fmt.Sprintf("tvl.T(%d)", uint8(t))
+}
+
+// Valid reports whether t is one of the three defined truth values.
+func (t T) Valid() bool { return t <= True }
+
+// IsTrue reports t == True.
+func (t T) IsTrue() bool { return t == True }
+
+// IsFalse reports t == False.
+func (t T) IsFalse() bool { return t == False }
+
+// IsUnknown reports t == Unknown.
+func (t T) IsUnknown() bool { return t == Unknown }
+
+// Not is strong-Kleene negation: ¬true = false, ¬false = true,
+// ¬unknown = unknown.
+func Not(a T) T {
+	switch a {
+	case True:
+		return False
+	case False:
+		return True
+	default:
+		return Unknown
+	}
+}
+
+// And is the strong-Kleene conjunction — the meet of the truth ordering.
+// It matches evaluation rule 4 of System C (Section 5): true if both are
+// true, false if either is false, unknown otherwise.
+func And(a, b T) T {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Or is the strong-Kleene disjunction — the join of the truth ordering.
+// It matches evaluation rule 3 of System C: false only if both are false,
+// true if either is true, unknown otherwise.
+func Or(a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Implies is material implication a ⇒ b := ¬a ∨ b over the strong-Kleene
+// connectives. It is the reading the paper gives implicational statements
+// before the tautology rule is applied.
+func Implies(a, b T) T { return Or(Not(a), b) }
+
+// Necessarily is System C's modal operator ∇ ("necessarily true",
+// evaluation rule 5): true if the operand is true, false otherwise.
+// Its result is always two-valued.
+func Necessarily(a T) T {
+	if a == True {
+		return True
+	}
+	return False
+}
+
+// AndAll folds And over its arguments; the empty conjunction is True.
+func AndAll(vs ...T) T {
+	r := True
+	for _, v := range vs {
+		r = And(r, v)
+	}
+	return r
+}
+
+// OrAll folds Or over its arguments; the empty disjunction is False.
+func OrAll(vs ...T) T {
+	r := False
+	for _, v := range vs {
+		r = Or(r, v)
+	}
+	return r
+}
+
+// Lub is the least upper bound in the *information* ordering: it implements
+// the paper's least-extension rule. A set of evaluations that all agree
+// yields that agreed value; any disagreement (or an unknown member) yields
+// Unknown. The lub of the empty set is defined here as True, matching the
+// vacuous case of Proposition 1 ("no completion exists" never arises for
+// truth values; callers guard the empty case explicitly where it matters).
+func Lub(vs ...T) T {
+	if len(vs) == 0 {
+		return True
+	}
+	first := vs[0]
+	for _, v := range vs[1:] {
+		if v != first {
+			return Unknown
+		}
+	}
+	return first
+}
+
+// LubPair is the two-argument information-ordering least upper bound.
+func LubPair(a, b T) T {
+	if a == b {
+		return a
+	}
+	return Unknown
+}
+
+// All enumerates the three truth values in truth order; handy for
+// exhaustive model checking in System C.
+func All() [3]T { return [3]T{False, Unknown, True} }

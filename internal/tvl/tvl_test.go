@@ -1,0 +1,242 @@
+package tvl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestString(t *testing.T) {
+	cases := map[T]string{True: "true", False: "false", Unknown: "unknown"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", v, got, want)
+		}
+	}
+	if got := T(9).String(); got != "tvl.T(9)" {
+		t.Errorf("invalid value String() = %q", got)
+	}
+}
+
+func TestValid(t *testing.T) {
+	for _, v := range All() {
+		if !v.Valid() {
+			t.Errorf("%v should be valid", v)
+		}
+	}
+	if T(3).Valid() {
+		t.Error("T(3) should be invalid")
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool mismatch")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	if !True.IsTrue() || True.IsFalse() || True.IsUnknown() {
+		t.Error("True predicates wrong")
+	}
+	if !False.IsFalse() || False.IsTrue() || False.IsUnknown() {
+		t.Error("False predicates wrong")
+	}
+	if !Unknown.IsUnknown() || Unknown.IsTrue() || Unknown.IsFalse() {
+		t.Error("Unknown predicates wrong")
+	}
+}
+
+func TestNotTable(t *testing.T) {
+	cases := []struct{ in, want T }{
+		{True, False}, {False, True}, {Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := Not(c.in); got != c.want {
+			t.Errorf("Not(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAndTable(t *testing.T) {
+	cases := []struct{ a, b, want T }{
+		{True, True, True},
+		{True, False, False},
+		{True, Unknown, Unknown},
+		{False, False, False},
+		{False, Unknown, False},
+		{Unknown, Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := And(c.a, c.b); got != c.want {
+			t.Errorf("And(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := And(c.b, c.a); got != c.want {
+			t.Errorf("And(%v,%v) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestOrTable(t *testing.T) {
+	cases := []struct{ a, b, want T }{
+		{True, True, True},
+		{True, False, True},
+		{True, Unknown, True},
+		{False, False, False},
+		{False, Unknown, Unknown},
+		{Unknown, Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := Or(c.a, c.b); got != c.want {
+			t.Errorf("Or(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Or(c.b, c.a); got != c.want {
+			t.Errorf("Or(%v,%v) = %v, want %v", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestImpliesTable(t *testing.T) {
+	// The paper's example from Section 2: Q'("John", null) for
+	// "married or single" must come out true; implication is ¬a ∨ b.
+	cases := []struct{ a, b, want T }{
+		{True, True, True},
+		{True, False, False},
+		{True, Unknown, Unknown},
+		{False, True, True},
+		{False, False, True},
+		{False, Unknown, True},
+		{Unknown, True, True},
+		{Unknown, False, Unknown},
+		{Unknown, Unknown, Unknown},
+	}
+	for _, c := range cases {
+		if got := Implies(c.a, c.b); got != c.want {
+			t.Errorf("Implies(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNecessarily(t *testing.T) {
+	if Necessarily(True) != True {
+		t.Error("∇true should be true")
+	}
+	if Necessarily(Unknown) != False {
+		t.Error("∇unknown should be false")
+	}
+	if Necessarily(False) != False {
+		t.Error("∇false should be false")
+	}
+}
+
+func TestLub(t *testing.T) {
+	// The paper's Section 2 examples:
+	// lub{yes,no} = unknown; lub{yes,yes} = yes.
+	if Lub(True, False) != Unknown {
+		t.Error("lub{true,false} should be unknown")
+	}
+	if Lub(True, True) != True {
+		t.Error("lub{true,true} should be true")
+	}
+	if Lub(False, False, False) != False {
+		t.Error("lub{false,false,false} should be false")
+	}
+	if Lub(True, Unknown) != Unknown {
+		t.Error("lub{true,unknown} should be unknown")
+	}
+	if Lub() != True {
+		t.Error("empty lub defined as true")
+	}
+	if Lub(Unknown) != Unknown {
+		t.Error("lub of singleton is itself")
+	}
+}
+
+func TestLubPair(t *testing.T) {
+	for _, a := range All() {
+		for _, b := range All() {
+			want := Lub(a, b)
+			if got := LubPair(a, b); got != want {
+				t.Errorf("LubPair(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestAndAllOrAll(t *testing.T) {
+	if AndAll() != True {
+		t.Error("empty AndAll should be true")
+	}
+	if OrAll() != False {
+		t.Error("empty OrAll should be false")
+	}
+	if AndAll(True, Unknown, True) != Unknown {
+		t.Error("AndAll with unknown")
+	}
+	if AndAll(True, False, Unknown) != False {
+		t.Error("AndAll with false")
+	}
+	if OrAll(False, Unknown) != Unknown {
+		t.Error("OrAll with unknown")
+	}
+	if OrAll(False, True, Unknown) != True {
+		t.Error("OrAll with true")
+	}
+}
+
+// clamp maps an arbitrary byte to a valid truth value so testing/quick can
+// drive the property tests.
+func clamp(b byte) T { return T(b % 3) }
+
+func TestDeMorganProperty(t *testing.T) {
+	// ¬(a ∧ b) = ¬a ∨ ¬b and dually — strong Kleene satisfies De Morgan.
+	f := func(x, y byte) bool {
+		a, b := clamp(x), clamp(y)
+		return Not(And(a, b)) == Or(Not(a), Not(b)) &&
+			Not(Or(a, b)) == And(Not(a), Not(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssociativityCommutativityProperty(t *testing.T) {
+	f := func(x, y, z byte) bool {
+		a, b, c := clamp(x), clamp(y), clamp(z)
+		return And(a, And(b, c)) == And(And(a, b), c) &&
+			Or(a, Or(b, c)) == Or(Or(a, b), c) &&
+			And(a, b) == And(b, a) &&
+			Or(a, b) == Or(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoubleNegationProperty(t *testing.T) {
+	f := func(x byte) bool {
+		a := clamp(x)
+		return Not(Not(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLubIdempotentCommutative(t *testing.T) {
+	f := func(x, y byte) bool {
+		a, b := clamp(x), clamp(y)
+		return LubPair(a, a) == a && LubPair(a, b) == LubPair(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKleeneNoTautology(t *testing.T) {
+	// p ∨ ¬p is NOT a strong-Kleene tautology: with p = unknown it is
+	// unknown. This is exactly why System C needs its evaluation rule 1
+	// (Section 5's "p ∨ ¬p" discussion).
+	if Or(Unknown, Not(Unknown)) != Unknown {
+		t.Error("p ∨ ¬p with p=unknown must be unknown in strong Kleene")
+	}
+}

@@ -1,0 +1,84 @@
+package workload
+
+// armstrong.go generates Armstrong relations: instances that satisfy a
+// functional dependency exactly when F implies it. They are the
+// instance-level mirror of the completeness theorem (the paper's Theorem
+// 1 inherits them for the strong-satisfiability setting), and make handy
+// adversarial fixtures: any FD checker that errs in either direction is
+// caught by one instance.
+//
+// Construction: the agree sets of the generated instance are exactly the
+// closed attribute sets of F. A base tuple t0 is paired, for every closed
+// set C ⊊ R, with a tuple agreeing with t0 exactly on C and carrying
+// globally fresh constants elsewhere. Two derived tuples then agree on
+// C ∩ C′, which is again closed; so X → Y holds iff every closed superset
+// of X contains Y iff Y ⊆ X⁺.
+
+import (
+	"fmt"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// maxArmstrongAttrs bounds the closed-set enumeration (2^p subsets).
+const maxArmstrongAttrs = 16
+
+// ArmstrongRelation builds an Armstrong relation for fds over a fresh
+// uniform scheme with p attributes. The returned instance satisfies
+// X → Y (classically, and strongly — it is null-free) iff fd.Implies(fds, X→Y).
+func ArmstrongRelation(p int, fds []fd.FD) (*schema.Scheme, *relation.Relation, error) {
+	if p <= 0 || p > maxArmstrongAttrs {
+		return nil, nil, fmt.Errorf("workload: Armstrong relation arity %d out of range [1,%d]", p, maxArmstrongAttrs)
+	}
+	all := schema.AttrSet(1)<<uint(p) - 1
+	for _, f := range fds {
+		if !f.X.Union(f.Y).SubsetOf(all) {
+			return nil, nil, fmt.Errorf("workload: FD %v exceeds the %d-attribute scheme", f, p)
+		}
+	}
+	// Collect the closed sets (closures of every subset). Skip the full
+	// set: its witness pair would be a duplicate tuple.
+	closedSeen := map[schema.AttrSet]bool{}
+	var closed []schema.AttrSet
+	for m := schema.AttrSet(0); m <= all; m++ {
+		c := fd.Closure(m, fds).Intersect(all)
+		if c != all && !closedSeen[c] {
+			closedSeen[c] = true
+			closed = append(closed, c)
+		}
+	}
+	// Domain: one shared value for agreements plus one fresh value per
+	// (closed set, attribute) disagreement.
+	dom := schema.IntDomain("adom", "w", len(closed)+2)
+	s := Uniformish(p, dom)
+	r := relation.New(s)
+	base := make([]string, p)
+	for i := range base {
+		base[i] = dom.Values[0]
+	}
+	if err := r.InsertRow(base...); err != nil {
+		return nil, nil, err
+	}
+	for k, c := range closed {
+		row := make([]string, p)
+		for i := 0; i < p; i++ {
+			if c.Has(schema.Attr(i)) {
+				row[i] = dom.Values[0]
+			} else {
+				row[i] = dom.Values[k+1] // fresh per derived tuple
+			}
+		}
+		if err := r.InsertRow(row...); err != nil {
+			return nil, nil, err
+		}
+	}
+	return s, r, nil
+}
+
+// Uniformish builds the uniform scheme used by ArmstrongRelation; split
+// out so tests can reconstruct it.
+func Uniformish(p int, dom *schema.Domain) *schema.Scheme {
+	return schema.Uniform("Arm", attrNames(p), dom)
+}

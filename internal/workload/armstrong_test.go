@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/testfds"
+)
+
+// classicalHolds checks an FD on a null-free instance.
+func classicalHolds(f fd.FD, r *relation.Relation) bool {
+	ts := r.Tuples()
+	for i := range ts {
+		for j := i + 1; j < len(ts); j++ {
+			if ts[i].ConstEqOn(ts[j], f.X) && !ts[i].ConstEqOn(ts[j], f.Y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestArmstrongRelationExactness: the generated instance satisfies an FD
+// iff F implies it — checked exhaustively over every (X, Y) pair of a
+// 4-attribute scheme, for random F.
+func TestArmstrongRelationExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1949))
+	const p = 4
+	all := schema.AttrSet(1)<<p - 1
+	for trial := 0; trial < 60; trial++ {
+		var fds []fd.FD
+		for i := 0; i < rng.Intn(4); i++ {
+			x := schema.AttrSet(rng.Intn(int(all)) + 1)
+			y := schema.AttrSet(rng.Intn(int(all)) + 1)
+			fds = append(fds, fd.New(x, y))
+		}
+		_, r, err := ArmstrongRelation(p, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for x := schema.AttrSet(1); x <= all; x++ {
+			for y := schema.AttrSet(1); y <= all; y++ {
+				g := fd.New(x, y)
+				implied := fd.Implies(fds, g)
+				holds := classicalHolds(g, r)
+				if implied != holds {
+					t.Fatalf("trial %d: FD %v implied=%v holds=%v\n%s",
+						trial, g, implied, holds, r)
+				}
+			}
+		}
+	}
+}
+
+// TestArmstrongRelationViaTestFDs: the instance is null-free, so strong
+// satisfaction via TEST-FDs must agree with implication too.
+func TestArmstrongRelationViaTestFDs(t *testing.T) {
+	s0 := schema.Uniform("F", attrNames(4), schema.IntDomain("d", "x", 2))
+	fds := fd.MustParseSet(s0, "A -> B; B,C -> D")
+	_, r, err := ArmstrongRelation(4, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fds {
+		if ok, _ := testfds.Check(r, []fd.FD{f}, testfds.Strong, testfds.Sorted); !ok {
+			t.Errorf("given FD %s must hold in the Armstrong relation", f.Format(s0))
+		}
+	}
+	// And a non-implied one must fail.
+	g := fd.MustParse(s0, "B -> A")
+	if ok, _ := testfds.Check(r, []fd.FD{g}, testfds.Strong, testfds.Sorted); ok {
+		t.Error("non-implied FD must fail in the Armstrong relation")
+	}
+}
+
+func TestArmstrongRelationValidation(t *testing.T) {
+	if _, _, err := ArmstrongRelation(0, nil); err == nil {
+		t.Error("zero arity must error")
+	}
+	if _, _, err := ArmstrongRelation(17, nil); err == nil {
+		t.Error("oversized arity must error")
+	}
+	big := fd.New(schema.NewAttrSet(5), schema.NewAttrSet(0))
+	if _, _, err := ArmstrongRelation(3, []fd.FD{big}); err == nil {
+		t.Error("FD outside the scheme must error")
+	}
+}
+
+func TestArmstrongRelationNoFDs(t *testing.T) {
+	// With no FDs every nontrivial dependency must fail: only trivial
+	// agree-sets.
+	_, r, err := ArmstrongRelation(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := schema.AttrSet(1)<<3 - 1
+	for x := schema.AttrSet(1); x <= all; x++ {
+		for y := schema.AttrSet(1); y <= all; y++ {
+			g := fd.New(x, y)
+			if classicalHolds(g, r) != g.Trivial() {
+				t.Fatalf("FD %v: holds must equal triviality\n%s", g, r)
+			}
+		}
+	}
+}

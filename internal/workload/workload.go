@@ -1,0 +1,215 @@
+// Package workload generates deterministic synthetic instances and FD sets
+// for the experiment harness and benchmarks.
+//
+// The paper's complexity claims (Section 6 and Figure 3) are asymptotic;
+// the harness verifies their *shape* on controlled workloads. Generators
+// are seeded and reproducible. Parameters follow the paper's variables:
+// n (tuples), p (attributes), d (domain size), |F| (dependencies), plus a
+// null density ρ the paper discusses qualitatively.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// Config describes a synthetic workload.
+type Config struct {
+	Seed        int64
+	Tuples      int     // n
+	Attrs       int     // p
+	DomainSize  int     // d, values per attribute domain
+	NullDensity float64 // ρ, probability a cell is null
+	// GroupBias ∈ [0,1): probability that a tuple reuses the previous
+	// tuple's X-prefix values, creating the duplicate X-groups FD checks
+	// and chases feed on. 0 means fully uniform.
+	GroupBias float64
+	// SharedMarkRate is the probability that a generated null reuses an
+	// existing mark (column-local), exercising NEC classes. 0 disables.
+	SharedMarkRate float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Tuples < 0 || c.Attrs <= 0 || c.Attrs > schema.MaxAttrs {
+		return fmt.Errorf("workload: bad shape n=%d p=%d", c.Tuples, c.Attrs)
+	}
+	if c.DomainSize <= 0 {
+		return fmt.Errorf("workload: domain size must be positive")
+	}
+	if c.NullDensity < 0 || c.NullDensity > 1 {
+		return fmt.Errorf("workload: null density %f out of range", c.NullDensity)
+	}
+	if c.GroupBias < 0 || c.GroupBias >= 1 {
+		return fmt.Errorf("workload: group bias %f out of range", c.GroupBias)
+	}
+	if c.SharedMarkRate < 0 || c.SharedMarkRate > 1 {
+		return fmt.Errorf("workload: shared mark rate %f out of range", c.SharedMarkRate)
+	}
+	return nil
+}
+
+// attrNames generates A, B, …, Z, A1, B1, … names.
+func attrNames(p int) []string {
+	out := make([]string, p)
+	for i := range out {
+		if i < 26 {
+			out[i] = string(rune('A' + i))
+		} else {
+			out[i] = fmt.Sprintf("%c%d", rune('A'+i%26), i/26)
+		}
+	}
+	return out
+}
+
+// Scheme builds the uniform scheme for a config.
+func (c Config) Scheme() *schema.Scheme {
+	return schema.Uniform("W", attrNames(c.Attrs),
+		schema.IntDomain("dom", "v", c.DomainSize))
+}
+
+// Instance generates the relation. Duplicate tuples are retried a bounded
+// number of times, so very tight configurations may come up short; the
+// returned instance has at most n tuples.
+func (c Config) Instance(s *schema.Scheme) *relation.Relation {
+	rng := rand.New(rand.NewSource(c.Seed))
+	r := relation.New(s)
+	dom := s.Domain(0)
+	// Column-local mark pools for SharedMarkRate.
+	pools := make([][]int, c.Attrs)
+	var prev relation.Tuple
+	for len(r.Tuples()) < c.Tuples {
+		inserted := false
+		for attempt := 0; attempt < 16; attempt++ {
+			t := make(relation.Tuple, c.Attrs)
+			reuse := prev != nil && rng.Float64() < c.GroupBias
+			for a := 0; a < c.Attrs; a++ {
+				switch {
+				case reuse && a < c.Attrs/2:
+					t[a] = prev[a]
+					if t[a].IsNull() {
+						// Re-marking keeps nulls independent across rows.
+						t[a] = r.FreshNull()
+					}
+				case rng.Float64() < c.NullDensity:
+					if c.SharedMarkRate > 0 && len(pools[a]) > 0 &&
+						rng.Float64() < c.SharedMarkRate {
+						t[a] = value.NewNull(pools[a][rng.Intn(len(pools[a]))])
+					} else {
+						v := r.FreshNull()
+						pools[a] = append(pools[a], v.Mark())
+						t[a] = v
+					}
+				default:
+					t[a] = value.NewConst(dom.Values[rng.Intn(dom.Size())])
+				}
+			}
+			if err := r.Insert(t); err == nil {
+				prev = t
+				inserted = true
+				break
+			}
+		}
+		if !inserted {
+			break // domain exhausted; return what we have
+		}
+	}
+	return r
+}
+
+// ChainFDs returns A→B, B→C, … — the shape of the Section 6 example.
+func ChainFDs(s *schema.Scheme) []fd.FD {
+	var out []fd.FD
+	for i := 0; i+1 < s.Arity(); i++ {
+		out = append(out, fd.New(
+			schema.NewAttrSet(schema.Attr(i)),
+			schema.NewAttrSet(schema.Attr(i+1))))
+	}
+	return out
+}
+
+// StarFDs returns A→B, A→C, … — a single determinant.
+func StarFDs(s *schema.Scheme) []fd.FD {
+	var out []fd.FD
+	for i := 1; i < s.Arity(); i++ {
+		out = append(out, fd.New(
+			schema.NewAttrSet(0),
+			schema.NewAttrSet(schema.Attr(i))))
+	}
+	return out
+}
+
+// KeyFD returns the single FD A → rest (a candidate-key dependency, the
+// "BCNF with one key" case of Figure 3's Additional Assumptions).
+func KeyFD(s *schema.Scheme) []fd.FD {
+	return []fd.FD{fd.New(schema.NewAttrSet(0), s.All().Remove(0))}
+}
+
+// RandomFDs generates k random nontrivial FDs with LHS arity up to
+// maxLHS, deterministic in seed.
+func RandomFDs(s *schema.Scheme, k, maxLHS int, seed int64) []fd.FD {
+	rng := rand.New(rand.NewSource(seed))
+	var out []fd.FD
+	for len(out) < k {
+		var x schema.AttrSet
+		for x.Len() < 1+rng.Intn(maxLHS) {
+			x = x.Add(schema.Attr(rng.Intn(s.Arity())))
+		}
+		y := schema.NewAttrSet(schema.Attr(rng.Intn(s.Arity()))).Diff(x)
+		if y.Empty() {
+			continue
+		}
+		out = append(out, fd.New(x, y))
+	}
+	return out
+}
+
+// Employees generates an employee-style instance over the Figure 1.1
+// scheme shape with nEmp employees spread over nDept departments; null
+// density applies to the salary and contract columns (the "acquired
+// later" attributes of the paper's motivation).
+func Employees(nEmp, nDept int, nullDensity float64, seed int64) (*schema.Scheme, []fd.FD, *relation.Relation) {
+	s := schema.MustNew("R",
+		[]string{"E#", "SL", "D#", "CT"},
+		[]*schema.Domain{
+			schema.IntDomain("emp#", "e", nEmp+4),
+			schema.IntDomain("salary", "s", nEmp+4),
+			schema.IntDomain("dept#", "d", nDept),
+			schema.MustDomain("contract", "full", "part"),
+		})
+	fds := fd.MustParseSet(s, "E# -> SL,D#; D# -> CT")
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(s)
+	// Department contract types, fixed so D# → CT is satisfiable.
+	ct := make([]string, nDept)
+	for i := range ct {
+		if rng.Intn(2) == 0 {
+			ct[i] = "full"
+		} else {
+			ct[i] = "part"
+		}
+	}
+	for e := 1; e <= nEmp; e++ {
+		d := rng.Intn(nDept)
+		row := make([]string, 4)
+		row[0] = fmt.Sprintf("e%d", e)
+		if rng.Float64() < nullDensity {
+			row[1] = "-"
+		} else {
+			row[1] = fmt.Sprintf("s%d", 1+rng.Intn(nEmp+4))
+		}
+		row[2] = fmt.Sprintf("d%d", d+1)
+		if rng.Float64() < nullDensity {
+			row[3] = "-"
+		} else {
+			row[3] = ct[d]
+		}
+		r.MustInsertRow(row...)
+	}
+	return s, fds, r
+}

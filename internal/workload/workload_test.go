@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"testing"
+
+	"fdnull/internal/chase"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+func TestValidate(t *testing.T) {
+	good := Config{Tuples: 10, Attrs: 3, DomainSize: 5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []Config{
+		{Tuples: -1, Attrs: 3, DomainSize: 5},
+		{Tuples: 1, Attrs: 0, DomainSize: 5},
+		{Tuples: 1, Attrs: 65, DomainSize: 5},
+		{Tuples: 1, Attrs: 3, DomainSize: 0},
+		{Tuples: 1, Attrs: 3, DomainSize: 5, NullDensity: 1.5},
+		{Tuples: 1, Attrs: 3, DomainSize: 5, GroupBias: 1},
+		{Tuples: 1, Attrs: 3, DomainSize: 5, SharedMarkRate: -0.1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestInstanceShape(t *testing.T) {
+	c := Config{Seed: 1, Tuples: 50, Attrs: 4, DomainSize: 20, NullDensity: 0.2}
+	s := c.Scheme()
+	if s.Arity() != 4 || s.Domain(0).Size() != 20 {
+		t.Fatal("scheme shape wrong")
+	}
+	r := c.Instance(s)
+	if r.Len() != 50 {
+		t.Errorf("Len = %d, want 50", r.Len())
+	}
+	if !r.HasNulls() {
+		t.Error("ρ=0.2 should produce nulls")
+	}
+	if r.HasNothing() {
+		t.Error("generator must not produce nothing")
+	}
+}
+
+func TestInstanceDeterminism(t *testing.T) {
+	c := Config{Seed: 7, Tuples: 30, Attrs: 3, DomainSize: 10, NullDensity: 0.3,
+		GroupBias: 0.5, SharedMarkRate: 0.3}
+	a := c.Instance(c.Scheme())
+	b := c.Instance(c.Scheme())
+	if !relation.Equal(a, b) {
+		t.Error("same seed must reproduce the same instance")
+	}
+	c2 := c
+	c2.Seed = 8
+	d := c2.Instance(c2.Scheme())
+	if relation.Equal(a, d) {
+		t.Error("different seeds should (overwhelmingly) differ")
+	}
+}
+
+func TestInstanceExhaustion(t *testing.T) {
+	// 2 values × 1 attribute admits only 2 distinct constant tuples (plus
+	// whatever nulls land); the generator must stop, not hang.
+	c := Config{Seed: 3, Tuples: 50, Attrs: 1, DomainSize: 2}
+	r := c.Instance(c.Scheme())
+	if r.Len() > 3 {
+		t.Errorf("tiny domain cannot yield %d distinct tuples", r.Len())
+	}
+}
+
+func TestGroupBiasCreatesGroups(t *testing.T) {
+	cNo := Config{Seed: 5, Tuples: 100, Attrs: 4, DomainSize: 50}
+	cYes := cNo
+	cYes.GroupBias = 0.8
+	count := func(c Config) int {
+		s := c.Scheme()
+		r := c.Instance(s)
+		seen := map[string]int{}
+		for _, t := range r.Tuples() {
+			if !t.HasNullOn(schema.NewAttrSet(0, 1)) {
+				key := t[0].Const() + "|" + t[1].Const()
+				seen[key]++
+			}
+		}
+		dups := 0
+		for _, n := range seen {
+			if n > 1 {
+				dups += n
+			}
+		}
+		return dups
+	}
+	if count(cYes) <= count(cNo) {
+		t.Error("group bias should increase duplicate X-prefixes")
+	}
+}
+
+func TestSharedMarks(t *testing.T) {
+	c := Config{Seed: 11, Tuples: 60, Attrs: 3, DomainSize: 30,
+		NullDensity: 0.5, SharedMarkRate: 0.7}
+	r := c.Instance(c.Scheme())
+	marks := map[int]int{}
+	for _, t := range r.Tuples() {
+		for _, v := range t {
+			if v.IsNull() {
+				marks[v.Mark()]++
+			}
+		}
+	}
+	shared := 0
+	for _, n := range marks {
+		if n > 1 {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Error("shared mark rate should produce shared marks")
+	}
+}
+
+func TestFDShapes(t *testing.T) {
+	s := Config{Tuples: 1, Attrs: 4, DomainSize: 2}.Scheme()
+	chain := ChainFDs(s)
+	if len(chain) != 3 || chain[0].X != schema.NewAttrSet(0) || chain[2].Y != schema.NewAttrSet(3) {
+		t.Errorf("ChainFDs = %v", chain)
+	}
+	star := StarFDs(s)
+	if len(star) != 3 {
+		t.Errorf("StarFDs = %v", star)
+	}
+	for _, f := range star {
+		if f.X != schema.NewAttrSet(0) {
+			t.Error("star determinant must be A")
+		}
+	}
+	key := KeyFD(s)
+	if len(key) != 1 || key[0].Y != s.All().Remove(0) {
+		t.Errorf("KeyFD = %v", key)
+	}
+	rnd := RandomFDs(s, 5, 2, 42)
+	if len(rnd) != 5 {
+		t.Errorf("RandomFDs count = %d", len(rnd))
+	}
+	for _, f := range rnd {
+		if f.Trivial() || f.X.Len() > 2 {
+			t.Errorf("bad random FD %v", f)
+		}
+	}
+	rnd2 := RandomFDs(s, 5, 2, 42)
+	for i := range rnd {
+		if !rnd[i].Equal(rnd2[i]) {
+			t.Error("RandomFDs must be deterministic in seed")
+		}
+	}
+}
+
+func TestEmployees(t *testing.T) {
+	s, fds, r := Employees(40, 5, 0.2, 9)
+	if r.Len() != 40 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if len(fds) != 2 {
+		t.Fatalf("expected the two Figure 1.1 FDs")
+	}
+	// By construction the instance is weakly satisfiable: CT follows the
+	// department assignment and E# is unique.
+	ok, _, err := chase.WeaklySatisfiable(r, fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("employee workload must be weakly satisfiable")
+	}
+	_ = s
+}
+
+func TestAttrNamesWide(t *testing.T) {
+	c := Config{Tuples: 1, Attrs: 30, DomainSize: 2}
+	s := c.Scheme()
+	if s.Arity() != 30 {
+		t.Fatal("wide scheme")
+	}
+	// Names must be unique (schema.New would have panicked otherwise via
+	// Uniform; double-check a couple).
+	if s.AttrName(0) == s.AttrName(26) {
+		t.Error("duplicate attribute names")
+	}
+}

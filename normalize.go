@@ -1,0 +1,69 @@
+package fdnull
+
+import (
+	"fdnull/internal/fd"
+	"fdnull/internal/normalize"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// This file re-exports the normalization layer. Theorem 1 of the paper is
+// what makes these classical algorithms applicable to relations with
+// nulls: Armstrong's rules stay sound and complete under strong
+// satisfiability, so closure-based design transfers unchanged.
+
+// NormalFormViolation describes why a scheme fails BCNF or 3NF.
+type NormalFormViolation = normalize.Violation
+
+// IsBCNF reports whether the sub-scheme is in Boyce–Codd normal form
+// under the projection of fds.
+func IsBCNF(attrs schema.AttrSet, fds []fd.FD) (bool, *NormalFormViolation) {
+	return normalize.IsBCNF(attrs, fds)
+}
+
+// Is3NF reports whether the sub-scheme is in third normal form.
+func Is3NF(attrs schema.AttrSet, fds []fd.FD) (bool, *NormalFormViolation) {
+	return normalize.Is3NF(attrs, fds)
+}
+
+// BCNFDecompose splits the scheme into BCNF components (lossless join,
+// dependency preservation not guaranteed).
+func BCNFDecompose(attrs schema.AttrSet, fds []fd.FD) []schema.AttrSet {
+	return normalize.BCNFDecompose(attrs, fds)
+}
+
+// ThreeNFSynthesize produces a 3NF, lossless, dependency-preserving
+// decomposition by Bernstein synthesis.
+func ThreeNFSynthesize(attrs schema.AttrSet, fds []fd.FD) []schema.AttrSet {
+	return normalize.ThreeNFSynthesize(attrs, fds)
+}
+
+func normalizeLossless(all schema.AttrSet, comps []schema.AttrSet, fds []fd.FD) (bool, error) {
+	return normalize.Lossless(all, comps, fds)
+}
+
+// DependencyPreserving reports whether the component projections of fds
+// imply every original FD.
+func DependencyPreserving(fds []fd.FD, comps []schema.AttrSet) bool {
+	return normalize.DependencyPreserving(fds, comps)
+}
+
+// PadToUniversal lifts component instances into a universal-scheme
+// instance, filling the gaps with fresh nulls — the paper's Section 1
+// motivation for allowing nulls in a universal relation. Chase the result
+// to connect the fragments.
+func PadToUniversal(universal *schema.Scheme, projections []*relation.Relation, components []schema.AttrSet) (*relation.Relation, error) {
+	return normalize.PadToUniversal(universal, projections, components)
+}
+
+// ProjectInstance projects a universal instance onto each component.
+func ProjectInstance(r *relation.Relation, comps []schema.AttrSet) ([]*relation.Relation, error) {
+	return normalize.ProjectInstance(r, comps)
+}
+
+// NaturalJoin recombines complete (null-free) fragments by the classical
+// natural join — the operation the lossless-join property speaks about.
+// For fragments with nulls use PadToUniversal followed by Chase.
+func NaturalJoin(universal *schema.Scheme, fragments []*relation.Relation, components []schema.AttrSet) (*relation.Relation, error) {
+	return normalize.NaturalJoin(universal, fragments, components)
+}

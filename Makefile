@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench lint fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+lint: fmt vet
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

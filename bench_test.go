@@ -147,6 +147,49 @@ func BenchmarkWeaklySatisfiable(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckAll sweeps the batch engines over complete employee
+// instances: EngineNaive re-scans the relation per tuple (O(|F| n²)),
+// EngineIndexed probes the X-partition index (O(|F| n)); the parallel
+// variant additionally spreads the tuples×FDs grid over the worker pool.
+func BenchmarkCheckAll(b *testing.B) {
+	for _, n := range benchSizes {
+		_, fds, r := workload.Employees(n, 8, 0, int64(n))
+		for _, cfg := range []struct {
+			name string
+			opts eval.CheckOptions
+		}{
+			{"naive", eval.CheckOptions{Engine: eval.EngineNaive, Workers: 1}},
+			{"indexed-seq", eval.CheckOptions{Engine: eval.EngineIndexed, Workers: 1}},
+			{"indexed-pool", eval.CheckOptions{Engine: eval.EngineIndexed}},
+		} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, cfg.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if res := eval.CheckAll(fds, r, cfg.opts); res.Err() != nil {
+						b.Fatal(res.Err())
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkIndexBuild isolates the cost CheckAll amortizes: one
+// X-partition pass over the instance.
+func BenchmarkIndexBuild(b *testing.B) {
+	for _, n := range benchSizes {
+		s, _, r := workload.Employees(n, 8, 0, int64(n))
+		x := s.MustSet("E#")
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ix := relation.BuildIndex(r, x); ix.GroupCount() == 0 {
+					b.Fatal("empty index")
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkEvaluate_Proposition1(b *testing.B) {
 	// The polynomial classifier on a tuple with one null in X.
 	s, f, r := fig2R4()

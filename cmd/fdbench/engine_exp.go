@@ -1,0 +1,76 @@
+package main
+
+// engine_exp.go implements E15: the comparative sweep between the naive
+// O(|F| n²) evaluation engine and the indexed, batched, parallel engine.
+// The two engines must agree verdict-for-verdict at every size — the sweep
+// fails loudly on any disagreement — and the indexed engine must pull away
+// as n grows, since its per-tuple match search is a hash probe instead of
+// a relation scan.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"fdnull/internal/eval"
+	"fdnull/internal/workload"
+)
+
+func runE15(w io.Writer, quick bool) error {
+	sizes := []int{250, 500, 1000, 2000, 4000}
+	if quick {
+		sizes = []int{100, 250, 1000}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	t := &table{header: []string{"n", "|F|", "naive", "indexed-seq",
+		fmt.Sprintf("indexed-pool(%dw)", workers), "speedup", "agree"}}
+	var lastSpeedup float64
+	for _, n := range sizes {
+		// A complete employee instance: nulls spread across many tuples
+		// push *both* engines into the definition's exponential completion
+		// enumeration (the chase and TEST-FDs are the scalable tools
+		// there), so the engines' own asymptotics — per-tuple relation
+		// scan vs. index probe — are what this sweep isolates.
+		_, fds, r := workload.Employees(n, 8, 0, int64(n)+17)
+
+		var naive, seq, par *eval.BatchResult
+		dNaive := timeIt(func() {
+			naive = eval.CheckAll(fds, r, eval.CheckOptions{Engine: eval.EngineNaive, Workers: 1})
+		})
+		dSeq := timeIt(func() {
+			seq = eval.CheckAll(fds, r, eval.CheckOptions{Engine: eval.EngineIndexed, Workers: 1})
+		})
+		dPar := timeIt(func() {
+			par = eval.CheckAll(fds, r, eval.CheckOptions{Engine: eval.EngineIndexed, Workers: workers})
+		})
+		for _, b := range []*eval.BatchResult{naive, seq, par} {
+			if err := b.Err(); err != nil {
+				return err
+			}
+		}
+		for i := range fds {
+			a, b, c := naive.Summaries[i], seq.Summaries[i], par.Summaries[i]
+			if a.True != b.True || a.Unknown != b.Unknown || a.False != b.False ||
+				b.True != c.True || b.Unknown != c.Unknown || b.False != c.False {
+				return fmt.Errorf("engines disagree at n=%d on %v", n, fds[i])
+			}
+		}
+		best := dSeq
+		if dPar < best {
+			best = dPar
+		}
+		lastSpeedup = float64(dNaive) / float64(best)
+		t.add(fmt.Sprint(r.Len()), fmt.Sprint(len(fds)),
+			dNaive.String(), dSeq.String(), dPar.String(),
+			fmt.Sprintf("%.1fx", lastSpeedup), "yes")
+	}
+	t.write(w)
+	if lastSpeedup <= 1 {
+		return fmt.Errorf("indexed engine failed to beat the naive engine at the largest size (%.2fx)", lastSpeedup)
+	}
+	fmt.Fprintln(w, "  the naive engine's match search scans the relation per tuple — O(|F| n²) overall;")
+	fmt.Fprintln(w, "  the indexed engine probes a hash partition of the X-projections built once per LHS,")
+	fmt.Fprintln(w, "  and the worker pool spreads the tuples×FDs grid across cores. The speedup column")
+	fmt.Fprintln(w, "  must therefore grow roughly linearly in n; verdicts agree at every size by construction")
+	return nil
+}

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	fdbench [-exp E1,E2,... | -exp all] [-quick]
+//	fdbench [-exp E1,E2,... | -exp all] [-quick] [-engine indexed|naive]
 //
 // Each experiment prints a self-contained report; complexity sweeps print
-// aligned tables of parameters vs. measured time.
+// aligned tables of parameters vs. measured time. -engine selects the
+// default per-tuple evaluation engine used by the experiments that
+// evaluate FDs; E15 always runs both engines and compares them.
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"fdnull/internal/eval"
 )
 
 // experiment is one entry of the per-experiment index.
@@ -41,7 +45,12 @@ var experiments = []experiment{
 	{"E12", "[F2] domain-exhaustion incidence vs domain size", runE12},
 	{"E13", "Normalization with nulls — decompose, pad, chase, recover", runE13},
 	{"E14", "Figure 3 'Additional Assumptions' — bucket sort and presorted paths", runE14},
+	{"E15", "Indexed vs naive evaluation engine — agreement and comparative sweep", runE15},
 }
+
+// benchEngine is the evaluation engine selected by -engine; experiments
+// that evaluate FDs per tuple consult it (E15 compares both regardless).
+var benchEngine = eval.EngineIndexed
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -50,12 +59,19 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E14) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E15) or 'all'")
 	quick := fs.Bool("quick", false, "smaller sweeps for smoke testing")
 	list := fs.Bool("list", false, "list experiments and exit")
+	engineFlag := fs.String("engine", "indexed", "per-tuple evaluation engine: indexed or naive")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	engine, err := eval.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdbench: %v\n", err)
+		return 2
+	}
+	benchEngine = engine
 	if *list {
 		for _, e := range experiments {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.id, e.title)

@@ -94,6 +94,32 @@ func TestComplexitySweeps(t *testing.T) {
 	}
 }
 
+// TestEngineSweep runs E15 in quick mode: it self-checks verdict
+// agreement between the naive and indexed engines and fails unless the
+// indexed engine wins at the largest size.
+func TestEngineSweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E15"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"indexed-seq", "speedup", "agree"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestEngineFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-engine", "naive", "-quick", "-exp", "E12"}, &out, &errOut); code != 0 {
+		t.Errorf("naive engine run: exit %d, stderr: %s", code, errOut.String())
+	}
+	if code := run([]string{"-engine", "bogus", "-exp", "E12"}, &out, &errOut); code != 2 {
+		t.Errorf("bad engine should exit 2, got %d", code)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := &table{header: []string{"col", "value"}}
 	tb.add("a", "1")

@@ -5,10 +5,13 @@
 //
 // Usage:
 //
-//	fdcheck [-f file] [-algo sorted|bucket|pairwise]
+//	fdcheck [-f file] [-algo sorted|bucket|pairwise] [-engine indexed|naive] [-workers N]
 //
-// With no -f the input is read from stdin. Exit status: 0 if the FD set is
-// weakly satisfiable, 1 if not, 2 on input errors.
+// With no -f the input is read from stdin. Per-tuple verdicts are computed
+// by the selected evaluation engine — the indexed engine (default) probes
+// X-partition indexes and fans out over a worker pool; the naive engine is
+// the linear-scan ground truth. Exit status: 0 if the FD set is weakly
+// satisfiable, 1 if not, 2 on input errors.
 package main
 
 import (
@@ -29,7 +32,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	file := fs.String("f", "", "input file (default stdin)")
 	algo := fs.String("algo", "sorted", "TEST-FDs algorithm: sorted, bucket, or pairwise")
+	engineFlag := fs.String("engine", "indexed", "evaluation engine: indexed or naive")
+	workers := fs.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	engine, err := fdnull.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdcheck: %v\n", err)
 		return 2
 	}
 	var algorithm fdnull.Algorithm
@@ -71,19 +81,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	rep, err := fdnull.Report(fds, r)
-	if err != nil {
+	batch := fdnull.CheckAll(fds, r, fdnull.CheckOptions{
+		Engine:       engine,
+		Workers:      *workers,
+		KeepVerdicts: true,
+	})
+	if err := batch.Err(); err != nil {
 		// Inputs containing the inconsistent element (or instances too
 		// incomplete to enumerate) have no per-tuple FD verdicts; the
 		// satisfiability tests below still apply.
 		fmt.Fprintf(stdout, "per-tuple verdicts unavailable: %v\n\n", err)
 	} else {
-		fmt.Fprintln(stdout, "per-tuple verdicts (Proposition 1):")
+		fmt.Fprintf(stdout, "per-tuple verdicts (Proposition 1, %s engine, %d workers):\n",
+			batch.Engine, batch.Workers)
 		for i, f := range fds {
 			fmt.Fprintf(stdout, "  %s:\n", f.Format(s))
-			for j, v := range rep[i] {
+			for j, v := range batch.Verdicts[i] {
 				fmt.Fprintf(stdout, "    t%-3d %s\n", j+1, v)
 			}
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "per-FD summary:")
+		for _, sum := range batch.Summaries {
+			fmt.Fprintf(stdout, "  %-20s strong=%-5v weak=%-5v  (true %d, unknown %d, false %d)\n",
+				sum.FD.Format(s), sum.StrongHolds, sum.WeakHolds,
+				sum.True, sum.Unknown, sum.False)
 		}
 		fmt.Fprintln(stdout)
 	}

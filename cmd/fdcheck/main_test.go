@@ -75,6 +75,43 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 }
 
+// TestRunBothEngines checks that the indexed and naive engines print
+// identical verdict sections, and that the summary block appears.
+func TestRunBothEngines(t *testing.T) {
+	outputs := map[string]string{}
+	for _, engine := range []string{"indexed", "naive"} {
+		var out, errOut strings.Builder
+		if code := run([]string{"-engine", engine, "-workers", "2"}, strings.NewReader(satisfiable), &out, &errOut); code != 0 {
+			t.Fatalf("engine %s: exit %d, stderr: %s", engine, code, errOut.String())
+		}
+		got := out.String()
+		if !strings.Contains(got, "per-FD summary:") {
+			t.Errorf("engine %s: missing per-FD summary:\n%s", engine, got)
+		}
+		if !strings.Contains(got, "strong=") {
+			t.Errorf("engine %s: missing summary columns:\n%s", engine, got)
+		}
+		// Strip the engine-naming header line so the rest can be compared.
+		idx := strings.Index(got, "per-tuple verdicts")
+		if idx < 0 {
+			t.Fatalf("engine %s: missing per-tuple verdicts header:\n%s", engine, got)
+		}
+		nl := strings.Index(got[idx:], "\n")
+		outputs[engine] = got[idx+nl:]
+	}
+	if outputs["indexed"] != outputs["naive"] {
+		t.Errorf("engines printed different reports:\n--- indexed ---\n%s\n--- naive ---\n%s",
+			outputs["indexed"], outputs["naive"])
+	}
+}
+
+func TestRunBadEngine(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-engine", "bogus"}, strings.NewReader(satisfiable), &out, &errOut); code != 2 {
+		t.Errorf("bad engine should exit 2, got %d", code)
+	}
+}
+
 func TestRunNothingCells(t *testing.T) {
 	in := `
 domain d = v1 v2

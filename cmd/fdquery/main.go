@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	fdquery -where 'MS = married' [-f file] [-chase]
+//	fdquery -where 'MS = married' [-f file] [-chase] [-checkfds] [-engine indexed|naive]
 //	fdquery -where 'MS in (married, single) and D# = d1' -f emp.txt
 //
 // With -chase the instance is first brought to its minimally incomplete
 // form under the file's FDs, so forced nulls are substituted before the
 // query runs — queries then see everything the dependencies imply.
+//
+// With -checkfds the file's FDs are first evaluated by the batch engine
+// (eval.CheckAll) and a per-FD satisfaction summary is printed before the
+// answers, so surprising query results can be traced to violated or
+// uncertain dependencies; -engine selects the indexed or naive evaluator.
 //
 // Exit status: 0 on success (even with an empty answer), 2 on errors.
 package main
@@ -22,6 +27,7 @@ import (
 	"os"
 
 	"fdnull/internal/chase"
+	"fdnull/internal/eval"
 	"fdnull/internal/query"
 	"fdnull/internal/relio"
 )
@@ -36,7 +42,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	file := fs.String("f", "", "input file (default stdin)")
 	where := fs.String("where", "", "predicate, e.g. 'A = x and B in (y, z)'")
 	doChase := fs.Bool("chase", false, "chase to the minimally incomplete instance first")
+	checkFDs := fs.Bool("checkfds", false, "print a per-FD satisfaction summary before the answers")
+	engineFlag := fs.String("engine", "indexed", "evaluation engine for -checkfds: indexed or naive")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	engine, err := eval.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdquery: %v\n", err)
 		return 2
 	}
 	if *where == "" {
@@ -59,6 +72,24 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 	r := parsed.Relation
+	if *checkFDs {
+		if len(parsed.FDs) == 0 {
+			fmt.Fprintln(stdout, "no FDs declared; nothing to check")
+		} else {
+			batch := eval.CheckAll(parsed.FDs, r, eval.CheckOptions{Engine: engine})
+			fmt.Fprintf(stdout, "FD satisfaction (%s engine, %d workers):\n", batch.Engine, batch.Workers)
+			for _, sum := range batch.Summaries {
+				if sum.Err != nil {
+					fmt.Fprintf(stdout, "  %-20s unavailable: %v\n", sum.FD.Format(parsed.Scheme), sum.Err)
+					continue
+				}
+				fmt.Fprintf(stdout, "  %-20s strong=%-5v weak=%-5v  (true %d, unknown %d, false %d)\n",
+					sum.FD.Format(parsed.Scheme), sum.StrongHolds, sum.WeakHolds,
+					sum.True, sum.Unknown, sum.False)
+			}
+		}
+		fmt.Fprintln(stdout)
+	}
 	if *doChase {
 		res, err := chase.Run(r, parsed.FDs, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
 		if err != nil {

@@ -86,3 +86,32 @@ func TestQueryFlagValidation(t *testing.T) {
 		t.Error("bad input should exit 2")
 	}
 }
+
+func TestQueryCheckFDs(t *testing.T) {
+	for _, engine := range []string{"indexed", "naive"} {
+		var out, errOut strings.Builder
+		code := run([]string{"-checkfds", "-engine", engine, "-where", "MS = married"},
+			strings.NewReader(input), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("engine %s: exit %d: %s", engine, code, errOut.String())
+		}
+		got := out.String()
+		if !strings.Contains(got, "FD satisfaction") {
+			t.Errorf("engine %s: missing FD summary:\n%s", engine, got)
+		}
+		if !strings.Contains(got, "E# -> D#,MS") {
+			t.Errorf("engine %s: summary should name the FD:\n%s", engine, got)
+		}
+		if !strings.Contains(got, "certain answers (1)") {
+			t.Errorf("engine %s: query answers must be unaffected:\n%s", engine, got)
+		}
+	}
+}
+
+func TestQueryBadEngine(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-engine", "bogus", "-where", "MS = married"},
+		strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Errorf("bad engine should exit 2, got %d", code)
+	}
+}

@@ -9,7 +9,10 @@
 //   - classical FD theory — closure, implication, covers, keys, Armstrong
 //     derivations (internal/fd);
 //   - the paper's three-valued FD interpretation over nulls, Proposition 1
-//     classification, and strong/weak satisfiability (internal/eval);
+//     classification, and strong/weak satisfiability (internal/eval),
+//     served by two engines: a naive ground-truth evaluator and an
+//     indexed, batched, parallel engine (CheckAll) that probes X-partition
+//     indexes (internal/relation) instead of re-scanning the relation;
 //   - the NS-rule chase with null-equality constraints, minimally
 //     incomplete instances, and Theorem 4's Church–Rosser extended system
 //     (internal/chase);
@@ -136,6 +139,20 @@ func Completions(s *Scheme, t Tuple, set AttrSet) ([]Tuple, error) {
 	return relation.TupleCompletions(s, t, set)
 }
 
+// Index is an X-partition index: a hash partition of a relation's tuples
+// by their constant projection on an attribute set, with sidecar lists for
+// tuples that have nulls (or the inconsistent element) there. It is what
+// the indexed evaluation engine probes instead of scanning the relation.
+type Index = relation.Index
+
+// IndexOn returns r's index on set, building and caching it on first use;
+// mutations of r invalidate the cache automatically.
+func IndexOn(r *Relation, set AttrSet) *Index { return r.IndexOn(set) }
+
+// BuildIndex partitions r's tuples by their projection on set without
+// touching r's index cache.
+func BuildIndex(r *Relation, set AttrSet) *Index { return relation.BuildIndex(r, set) }
+
 // ---- Functional dependencies ----
 
 // FD is a functional dependency X → Y.
@@ -232,6 +249,44 @@ func WeakSatisfiedByDefinition(fds []FD, r *Relation) (bool, error) {
 
 // Report evaluates every (FD, tuple) pair.
 func Report(fds []FD, r *Relation) ([][]Verdict, error) { return eval.Report(fds, r) }
+
+// ---- The batched, parallel evaluation engine ----
+
+// Engine selects an evaluation strategy for EvaluateWith and CheckAll.
+type Engine = eval.Engine
+
+// The evaluation engines: EngineIndexed probes the X-partition index;
+// EngineNaive re-scans the relation (the differential ground truth).
+const (
+	EngineIndexed = eval.EngineIndexed
+	EngineNaive   = eval.EngineNaive
+)
+
+// ParseEngine parses the -engine flag values "indexed" and "naive".
+func ParseEngine(s string) (Engine, error) { return eval.ParseEngine(s) }
+
+// CheckOptions configures a CheckAll run (engine, worker count, early
+// cancellation, verdict matrix retention).
+type CheckOptions = eval.CheckOptions
+
+// FDSummary is the per-FD outcome of a CheckAll run: verdict counts and
+// the strong/weak holding of the FD.
+type FDSummary = eval.FDSummary
+
+// BatchResult is the outcome of a CheckAll run.
+type BatchResult = eval.BatchResult
+
+// CheckAll evaluates every (FD, tuple) pair over a bounded worker pool and
+// returns per-FD verdict summaries; see eval.CheckAll.
+func CheckAll(fds []FD, r *Relation, opts CheckOptions) *BatchResult {
+	return eval.CheckAll(fds, r, opts)
+}
+
+// EvaluateWith computes f(t, r) with the chosen engine; both engines
+// return identical verdicts.
+func EvaluateWith(e Engine, f FD, r *Relation, ti int) (Verdict, error) {
+	return eval.EvaluateWith(e, f, r, ti)
+}
 
 // ---- The chase (Section 6) ----
 

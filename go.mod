@@ -1,0 +1,3 @@
+module fdnull
+
+go 1.22

@@ -131,9 +131,24 @@ func Classify(f fd.FD, r *relation.Relation, ti int) (Verdict, error) {
 	nx := len(t.NullsOn(f.X))
 	ny := len(t.NullsOn(f.Y))
 
-	// Iterate the substitutions σ of t's X-nulls. A Y cell sharing a mark
-	// with an X-null denotes the same unknown value, so it is substituted
-	// by σ as well, keeping completions consistent.
+	xComps, err := relation.TupleCompletions(s, t, xSubstSet(f, t))
+	if err != nil {
+		return Verdict{}, err
+	}
+	var results []tvl.T
+	for _, tc := range xComps {
+		results = append(results, classifyXComplete(f, r, ti, tc))
+	}
+	truth := tvl.Lub(results...)
+	return Verdict{Truth: truth, Case: caseLabel(truth, nx, ny)}, nil
+}
+
+// xSubstSet returns the attribute set over which the substitutions σ of
+// t's X-nulls iterate: X itself, plus any Y cell sharing a mark with an
+// X-null — it denotes the same unknown value, so it is substituted by σ as
+// well, keeping completions consistent. Shared between Classify and the
+// indexed engine's classify so the engines cannot drift.
+func xSubstSet(f fd.FD, t relation.Tuple) schema.AttrSet {
 	subst := f.X
 	xMarks := map[int]bool{}
 	for _, a := range f.X.Attrs() {
@@ -146,23 +161,14 @@ func Classify(f fd.FD, r *relation.Relation, ti int) (Verdict, error) {
 			subst = subst.Add(a)
 		}
 	}
-	xComps, err := relation.TupleCompletions(s, t, subst)
-	if err != nil {
-		return Verdict{}, err
-	}
-	var results []tvl.T
-	for _, tc := range xComps {
-		results = append(results, classifyXComplete(f, r, ti, tc))
-	}
-	truth := tvl.Lub(results...)
-	return Verdict{Truth: truth, Case: caseLabel(truth, nx, ny)}, nil
+	return subst
 }
 
 // classifyXComplete evaluates f(tc, r−{t} ∪ {tc}) where tc[X] is null-free
-// but tc[Y] may retain nulls. This is the core of Proposition 1's Y-side
-// analysis, generalized to multi-attribute Y and shared null marks.
+// but tc[Y] may retain nulls, finding the matching tuples by a linear scan.
+// The indexed engine (engine.go) finds the same match set by a hash probe;
+// both share classifyAgainstMatches for the Y-side analysis.
 func classifyXComplete(f fd.FD, r *relation.Relation, ti int, tc relation.Tuple) tvl.T {
-	s := r.Scheme()
 	// Matches: other tuples agreeing with tc on X (all constants now).
 	var matches []relation.Tuple
 	for j, u := range r.Tuples() {
@@ -173,6 +179,13 @@ func classifyXComplete(f fd.FD, r *relation.Relation, ti int, tc relation.Tuple)
 			matches = append(matches, u)
 		}
 	}
+	return classifyAgainstMatches(f, r.Scheme(), tc, matches)
+}
+
+// classifyAgainstMatches is the core of Proposition 1's Y-side analysis,
+// generalized to multi-attribute Y and shared null marks: it evaluates
+// f(tc, ·) given the set of tuples that agree with tc on X.
+func classifyAgainstMatches(f fd.FD, s *schema.Scheme, tc relation.Tuple, matches []relation.Tuple) tvl.T {
 	if len(matches) == 0 {
 		return tvl.True // [T1]/[T2]: tc[X] unique in r
 	}
@@ -354,10 +367,12 @@ func Evaluate(f fd.FD, r *relation.Relation, ti int) (Verdict, error) {
 }
 
 // StrongHolds reports whether f strongly holds in r: f(t,r) = true for
-// every tuple t (Section 4).
+// every tuple t (Section 4). It evaluates through the X-partition index;
+// loop over Evaluate for the naive ground truth.
 func StrongHolds(f fd.FD, r *relation.Relation) (bool, error) {
+	c := newChecker(f, r)
 	for i := 0; i < r.Len(); i++ {
-		v, err := Evaluate(f, r, i)
+		v, err := c.evaluate(i)
 		if err != nil {
 			return false, err
 		}
@@ -369,10 +384,12 @@ func StrongHolds(f fd.FD, r *relation.Relation) (bool, error) {
 }
 
 // WeakHolds reports whether f weakly holds in r: f(t,r) ≠ false for every
-// tuple t (Section 4).
+// tuple t (Section 4). It evaluates through the X-partition index; loop
+// over Evaluate for the naive ground truth.
 func WeakHolds(f fd.FD, r *relation.Relation) (bool, error) {
+	c := newChecker(f, r)
 	for i := 0; i < r.Len(); i++ {
-		v, err := Evaluate(f, r, i)
+		v, err := c.evaluate(i)
 		if err != nil {
 			return false, err
 		}
@@ -418,7 +435,11 @@ func WeakSatisfied(fds []fd.FD, r *relation.Relation) (bool, error) {
 	for _, c := range comps {
 		all := true
 		for _, f := range fds {
-			if !classicalHolds(f, c) {
+			// Index-partitioned classical check: each completion is
+			// null-free on every FD's X∪Y, so grouping by X and testing
+			// Y-agreement within each group is the O(n) equivalent of the
+			// O(n²) pair scan (classicalHolds, kept as ground truth).
+			if !classicalHoldsIndexed(f, c) {
 				all = false
 				break
 			}
@@ -443,13 +464,16 @@ func EachWeaklyHolds(fds []fd.FD, r *relation.Relation) (bool, error) {
 }
 
 // Report evaluates every (FD, tuple) pair and returns the verdict matrix;
-// handy for the CLI and the examples.
+// handy for the CLI and the examples. Evaluation runs through the indexed
+// engine, sequentially and in deterministic order; CheckAll is the
+// concurrent batch variant.
 func Report(fds []fd.FD, r *relation.Relation) ([][]Verdict, error) {
 	out := make([][]Verdict, len(fds))
 	for i, f := range fds {
+		c := newChecker(f, r)
 		out[i] = make([]Verdict, r.Len())
 		for j := 0; j < r.Len(); j++ {
-			v, err := Evaluate(f, r, j)
+			v, err := c.evaluate(j)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,43 @@
+package relation_test
+
+import (
+	"fmt"
+
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// ExampleRelation_IndexOn partitions an instance by its projection on X =
+// {Dept}: tuples with equal constant Dept values share a group, and the
+// tuple whose Dept is null lands in the sidecar (a null matches nothing
+// under constant equality — its possible values are a semantic question
+// for the evaluator, not the index).
+func ExampleRelation_IndexOn() {
+	s := schema.MustNew("Emp",
+		[]string{"Name", "Dept"},
+		[]*schema.Domain{
+			schema.MustDomain("names", "ann", "bob", "cho", "dee"),
+			schema.MustDomain("depts", "toys", "books"),
+		})
+	r := relation.MustFromRows(s,
+		[]string{"ann", "toys"},
+		[]string{"bob", "books"},
+		[]string{"cho", "toys"},
+		[]string{"dee", "-"},
+	)
+
+	ix := r.IndexOn(s.MustSet("Dept"))
+	fmt.Printf("groups: %d, null sidecar: %v\n", ix.GroupCount(), ix.NullRows())
+
+	rows, ok := ix.Probe(r.Tuple(0)) // all tuples agreeing with t1 on Dept
+	fmt.Printf("toys rows: %v ok=%v\n", rows, ok)
+
+	// Mutating the relation invalidates the cached index transparently.
+	r.MustInsertRow("dee", "toys")
+	rows, _ = r.IndexOn(s.MustSet("Dept")).Probe(r.Tuple(0))
+	fmt.Printf("toys rows after insert: %v\n", rows)
+	// Output:
+	// groups: 2, null sidecar: [3]
+	// toys rows: [0 2] ok=true
+	// toys rows after insert: [0 2 4]
+}

@@ -1,0 +1,133 @@
+// index.go implements the X-partition index: a hash partition of an
+// instance's tuples by their constant projection on an attribute set X,
+// with sidecar lists for the tuples that are not constant on X.
+//
+// The index turns the "find the tuples agreeing with t on X" step — the
+// inner loop of every FD satisfaction check (Proposition 1's match search,
+// TEST-FDs' grouping, the classical no-conflicting-pair test) — from a
+// linear scan into a hash probe. It is built once per (instance, X) and
+// cached on the relation, so checking many FDs with the same left-hand
+// side reuses one partition; any mutation of the instance invalidates the
+// cache through a version counter.
+package relation
+
+import (
+	"strconv"
+	"strings"
+
+	"fdnull/internal/schema"
+)
+
+// Index is a partition of a relation's tuples by their projection on a
+// fixed attribute set. Tuples whose projection is all constants are hashed
+// into groups; tuples with a null (or the inconsistent element) on the set
+// cannot participate in constant equality and are kept in sidecar lists.
+//
+// An Index is immutable after construction and safe for concurrent use. It
+// describes the instance as it was when the index was built: it does not
+// observe later mutations (IndexOn transparently rebuilds stale indexes).
+type Index struct {
+	set     schema.AttrSet
+	attrs   []schema.Attr    // set.Attrs(), precomputed for the probe hot path
+	groups  map[string][]int // constant X-projection → ascending tuple indices
+	nulls   []int            // tuples with ≥1 null (and no nothing) on set
+	nothing []int            // tuples with ≥1 inconsistent element on set
+	version uint64           // relation version the index was built at
+}
+
+// BuildIndex partitions r's tuples by their projection on set.
+func BuildIndex(r *Relation, set schema.AttrSet) *Index {
+	ix := &Index{
+		set:     set,
+		attrs:   set.Attrs(),
+		groups:  make(map[string][]int, len(r.tuples)),
+		version: r.version,
+	}
+	var b strings.Builder
+	for i, t := range r.tuples {
+		switch {
+		case t.HasNothingOn(set):
+			ix.nothing = append(ix.nothing, i)
+		case t.HasNullOn(set):
+			ix.nulls = append(ix.nulls, i)
+		default:
+			b.Reset()
+			writeKey(&b, t, ix.attrs)
+			k := b.String()
+			ix.groups[k] = append(ix.groups[k], i)
+		}
+	}
+	return ix
+}
+
+// writeKey appends an unambiguous encoding of t's constant projection on
+// attrs: each constant is length-prefixed so distinct projections can never
+// collide ("a"+"bc" vs "ab"+"c").
+func writeKey(b *strings.Builder, t Tuple, attrs []schema.Attr) {
+	for _, a := range attrs {
+		c := t[a].Const()
+		b.WriteString(strconv.Itoa(len(c)))
+		b.WriteByte(':')
+		b.WriteString(c)
+	}
+}
+
+// Set returns the attribute set the index partitions on.
+func (ix *Index) Set() schema.AttrSet { return ix.set }
+
+// Probe returns the indices of the indexed tuples whose projection on the
+// index's set equals t's, in ascending order, together with ok=true. When t
+// is not all-constant on the set, constant equality is undefined and Probe
+// returns (nil, false). The returned slice is shared; callers must not
+// mutate it.
+func (ix *Index) Probe(t Tuple) ([]int, bool) {
+	for _, a := range ix.attrs {
+		if !t[a].IsConst() {
+			return nil, false
+		}
+	}
+	var b strings.Builder
+	writeKey(&b, t, ix.attrs)
+	return ix.groups[b.String()], true
+}
+
+// NullRows returns the indices of tuples with a null on the set (ascending;
+// shared slice — do not mutate).
+func (ix *Index) NullRows() []int { return ix.nulls }
+
+// NothingRows returns the indices of tuples with the inconsistent element
+// on the set (ascending; shared slice — do not mutate).
+func (ix *Index) NothingRows() []int { return ix.nothing }
+
+// GroupCount returns the number of distinct constant projections.
+func (ix *Index) GroupCount() int { return len(ix.groups) }
+
+// ForEachGroup calls fn once per group of constant-projection-equal tuples
+// (each group ascending by tuple index; group order is unspecified). fn
+// returning false stops the iteration early.
+func (ix *Index) ForEachGroup(fn func(rows []int) bool) {
+	for _, rows := range ix.groups {
+		if !fn(rows) {
+			return
+		}
+	}
+}
+
+// IndexOn returns the index of r on set, building it on first use and
+// caching it on the relation. The cache is keyed by attribute set and
+// invalidated by any mutation (Insert, Delete, SetCell, …), so a returned
+// index always describes the current tuples. Safe for concurrent callers;
+// the returned Index is immutable.
+func (r *Relation) IndexOn(set schema.AttrSet) *Index {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ix, ok := r.indexes[set]; ok && ix.version == r.version {
+		return ix
+	}
+	ix := BuildIndex(r, set)
+	if r.indexes == nil {
+		r.indexes = make(map[schema.AttrSet]*Index)
+	}
+	r.indexes[set] = ix
+	return ix
+}

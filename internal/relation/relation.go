@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"fdnull/internal/schema"
 	"fdnull/internal/value"
@@ -118,10 +119,21 @@ func (t Tuple) String() string {
 // Relation is an instance r of a scheme R. Tuples are stored in insertion
 // order; the instance is a *bag* structurally but the paper's theory treats
 // instances as sets, so Insert rejects syntactic duplicates by default.
+//
+// Relations are not safe for concurrent mutation, but concurrent *readers*
+// (including IndexOn) are safe once mutation has stopped — the evaluation
+// engine's worker pool relies on this.
 type Relation struct {
 	scheme   *schema.Scheme
 	tuples   []Tuple
 	nextMark int
+
+	// X-partition index cache (index.go). version counts mutations so a
+	// cached index can detect it is stale; mu guards the cache map only —
+	// tuple storage has no internal locking.
+	version uint64
+	mu      sync.Mutex
+	indexes map[schema.AttrSet]*Index
 }
 
 // New creates an empty instance of s.
@@ -146,6 +158,14 @@ func (r *Relation) FreshNull() value.V {
 	v := value.NewNull(r.nextMark)
 	r.nextMark++
 	return v
+}
+
+// mutated records a change to the tuple storage so cached indexes know
+// they are stale. Every mutating method must call it.
+func (r *Relation) mutated() {
+	r.mu.Lock()
+	r.version++
+	r.mu.Unlock()
 }
 
 // noteMark keeps the fresh-mark allocator ahead of any explicitly marked
@@ -178,6 +198,7 @@ func (r *Relation) Insert(t Tuple) error {
 		}
 	}
 	r.noteMark(t)
+	r.mutated()
 	r.tuples = append(r.tuples, t.Clone())
 	return nil
 }
@@ -189,6 +210,7 @@ func (r *Relation) Insert(t Tuple) error {
 // is harmless for truth-value computation).
 func (r *Relation) InsertUnchecked(t Tuple) {
 	r.noteMark(t)
+	r.mutated()
 	r.tuples = append(r.tuples, t.Clone())
 }
 
@@ -240,6 +262,7 @@ func (r *Relation) parseCell(c string) (value.V, error) {
 
 // Delete removes the i-th tuple.
 func (r *Relation) Delete(i int) {
+	r.mutated()
 	r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
 }
 
@@ -256,6 +279,7 @@ func (r *Relation) Clone() *Relation {
 // SetCell overwrites one cell; used by the chase when an NS-rule
 // substitutes a null.
 func (r *Relation) SetCell(i int, a schema.Attr, v value.V) {
+	r.mutated()
 	r.tuples[i][a] = v
 }
 

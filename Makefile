@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench lint fmt vet clean
+.PHONY: all build test race bench bench-discover smoke-discover lint fmt vet clean
 
 all: build test
 
@@ -15,6 +15,16 @@ race:
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
+
+# The FD-discovery engine comparison: naive (one TEST-FDs scan per
+# candidate) vs partition (cached stripped partitions), both sizes.
+bench-discover:
+	$(GO) test -bench 'BenchmarkDiscover' -benchmem -run '^$$' .
+
+# Short-mode differential smoke: the partition engine must return
+# FD-for-FD identical output to the naive engine on random workloads.
+smoke-discover:
+	$(GO) test -short -run 'TestDiscoverDifferential' ./internal/discover
 
 lint: fmt vet
 

@@ -374,18 +374,44 @@ func BenchmarkStoreInsert(b *testing.B) {
 }
 
 func BenchmarkDiscover(b *testing.B) {
-	// FD mining cost per instance size (strong convention, determinants
-	// up to 2 attributes).
-	for _, n := range []int{100, 400, 1600} {
-		_, _, r := employeesBench(n)
-		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				fds, err := fdnull.DiscoverFDs(r, fdnull.DiscoverOptions{MaxLHS: 2})
-				if err != nil || len(fds) == 0 {
-					b.Fatalf("discovery failed: %v (%d fds)", err, len(fds))
+	// FD mining cost per instance size and candidate-test engine (strong
+	// convention, p = 8 attributes, determinants up to 2 attributes). The
+	// naive engine pays one TEST-FDs sort scan per lattice candidate; the
+	// partition engine amortizes all candidates over cached stripped
+	// partitions (internal/partition) — `make bench-discover` runs this
+	// table with -benchmem.
+	for _, n := range []int{400, 2000} {
+		cfg := workload.Config{Seed: int64(n) + 5, Tuples: n, Attrs: 8,
+			DomainSize: 16, NullDensity: 0.1, GroupBias: 0.5}
+		r := cfg.Instance(cfg.Scheme())
+		for _, engine := range []fdnull.DiscoverEngine{fdnull.DiscoverNaive, fdnull.DiscoverPartition} {
+			b.Run(fmt.Sprintf("n=%d/engine=%s", n, engine), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := fdnull.DiscoverFDs(r, fdnull.DiscoverOptions{MaxLHS: 2, Engine: engine}); err != nil {
+						b.Fatalf("discovery failed: %v", err)
+					}
 				}
-			}
-		})
+			})
+		}
+	}
+}
+
+// BenchmarkDiscoverEmployees keeps the original p=4 employee-shaped
+// workload, where discovered FDs are nonempty, on both engines.
+func BenchmarkDiscoverEmployees(b *testing.B) {
+	for _, n := range []int{400, 1600} {
+		_, _, r := employeesBench(n)
+		for _, engine := range []fdnull.DiscoverEngine{fdnull.DiscoverNaive, fdnull.DiscoverPartition} {
+			b.Run(fmt.Sprintf("n=%d/engine=%s", n, engine), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					fds, err := fdnull.DiscoverFDs(r, fdnull.DiscoverOptions{MaxLHS: 2, Engine: engine})
+					if err != nil || len(fds) == 0 {
+						b.Fatalf("discovery failed: %v (%d fds)", err, len(fds))
+					}
+				}
+			})
+		}
 	}
 }
 

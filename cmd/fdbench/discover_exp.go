@@ -1,0 +1,89 @@
+package main
+
+// discover_exp.go implements E16: the comparative sweep between the
+// naive FD-discovery engine (one TEST-FDs sort scan per lattice
+// candidate) and the partition engine (cached null-aware stripped
+// partitions, candidate tests fanned over a worker pool). The engines
+// must return FD-for-FD identical results in every cell — the sweep
+// fails loudly on any disagreement — and the partition engine must pull
+// away as n grows, since it amortizes all candidate tests over
+// partitions built once per determinant set instead of re-sorting the
+// relation per candidate.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"fdnull/internal/discover"
+	"fdnull/internal/fd"
+	"fdnull/internal/testfds"
+	"fdnull/internal/workload"
+)
+
+func runE16(w io.Writer, quick bool) error {
+	type cell struct{ n, p int }
+	// An n-sweep at p = 8 and a p-sweep at n = 500, both with MaxLHS = 2
+	// — the shape of BenchmarkDiscover's acceptance point.
+	cells := []cell{{250, 8}, {500, 8}, {1000, 8}, {2000, 8}, {500, 4}, {500, 6}, {500, 10}}
+	if quick {
+		cells = []cell{{100, 6}, {250, 6}}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	t := &table{header: []string{"conv", "n", "p", "naive",
+		fmt.Sprintf("partition(%dw)", workers), "speedup", "|FDs|", "agree"}}
+	var lastSpeedup float64
+	for _, cl := range cells {
+		cfg := workload.Config{
+			Seed: int64(cl.n + cl.p), Tuples: cl.n, Attrs: cl.p,
+			DomainSize: 16, NullDensity: 0.1, GroupBias: 0.5,
+		}
+		r := cfg.Instance(cfg.Scheme())
+		for _, conv := range []testfds.Convention{testfds.Strong, testfds.Weak} {
+			var naive, part []fd.FD
+			var err error
+			dNaive := timeIt(func() {
+				naive, err = discover.Run(r, discover.Options{
+					MaxLHS: 2, Convention: conv, Engine: discover.EngineNaive,
+				})
+			})
+			if err != nil {
+				return err
+			}
+			dPart := timeIt(func() {
+				part, err = discover.Run(r, discover.Options{
+					MaxLHS: 2, Convention: conv, Engine: discover.EnginePartition, Workers: workers,
+				})
+			})
+			if err != nil {
+				return err
+			}
+			if len(naive) != len(part) {
+				return fmt.Errorf("engines disagree at n=%d p=%d conv=%v: %d vs %d FDs",
+					cl.n, cl.p, conv, len(naive), len(part))
+			}
+			for i := range naive {
+				if naive[i] != part[i] {
+					return fmt.Errorf("engines disagree at n=%d p=%d conv=%v on FD %d",
+						cl.n, cl.p, conv, i)
+				}
+			}
+			speedup := float64(dNaive) / float64(dPart)
+			if conv == testfds.Strong && cl.p == 8 {
+				lastSpeedup = speedup
+			}
+			t.add(conv.String(), fmt.Sprint(r.Len()), fmt.Sprint(cl.p),
+				dNaive.String(), dPart.String(),
+				fmt.Sprintf("%.1fx", speedup), fmt.Sprint(len(naive)), "yes")
+		}
+	}
+	t.write(w)
+	if !quick && lastSpeedup <= 1 {
+		return fmt.Errorf("partition engine failed to beat the naive engine at the largest size (%.2fx)", lastSpeedup)
+	}
+	fmt.Fprintln(w, "  the naive engine pays one O(n log n) TEST-FDs sort per lattice candidate;")
+	fmt.Fprintln(w, "  the partition engine builds per-attribute stripped partitions once, derives each")
+	fmt.Fprintln(w, "  level by intersecting cached parents, and answers a candidate by a sidecar-adjusted")
+	fmt.Fprintln(w, "  refinement check over π_X — results agree FD-for-FD in every cell by construction")
+	return nil
+}

@@ -57,4 +57,45 @@ func TestDiscoverCLIValidation(t *testing.T) {
 	if code := run([]string{"-f", "/nonexistent"}, strings.NewReader(""), &out, &errOut); code != 2 {
 		t.Error("missing file should exit 2")
 	}
+	if code := run([]string{"-engine", "bogus"}, strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Error("bad engine should exit 2")
+	}
+}
+
+// TestDiscoverCLIRejectsNegativeMaxLHS is the regression for the CLI
+// silently treating -maxlhs < 0 as unbounded.
+func TestDiscoverCLIRejectsNegativeMaxLHS(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-maxlhs", "-1"}, strings.NewReader(input), &out, &errOut)
+	if code != 2 {
+		t.Fatalf("negative -maxlhs must exit 2, got %d", code)
+	}
+	msg := errOut.String()
+	if !strings.Contains(msg, "-maxlhs must be non-negative") {
+		t.Errorf("error message missing: %q", msg)
+	}
+	if !strings.Contains(msg, "Usage of fddiscover") {
+		t.Errorf("usage message missing: %q", msg)
+	}
+	if out.String() != "" {
+		t.Errorf("no discovery output expected, got %q", out.String())
+	}
+}
+
+// TestDiscoverCLIEnginesAgree runs the same input through both engines
+// and requires byte-identical FD listings.
+func TestDiscoverCLIEnginesAgree(t *testing.T) {
+	var pOut, nOut, errOut strings.Builder
+	if code := run([]string{"-engine", "partition", "-workers", "2"}, strings.NewReader(input), &pOut, &errOut); code != 0 {
+		t.Fatal(errOut.String())
+	}
+	if code := run([]string{"-engine", "naive"}, strings.NewReader(input), &nOut, &errOut); code != 0 {
+		t.Fatal(errOut.String())
+	}
+	norm := func(s string) string {
+		return strings.ReplaceAll(strings.ReplaceAll(s, "partition engine", "X"), "naive engine", "X")
+	}
+	if norm(pOut.String()) != norm(nOut.String()) {
+		t.Errorf("engines disagree:\npartition:\n%s\nnaive:\n%s", pOut.String(), nOut.String())
+	}
 }

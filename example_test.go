@@ -111,3 +111,26 @@ func ExampleCheckAll() {
 	// A -> B: strong=true
 	// B -> C: strong=false
 }
+
+// Discovery inverts checking: mine the minimal FDs that hold in the
+// data. The partition engine (default) answers every lattice candidate
+// from cached stripped partitions; DiscoverNaive re-derives each answer
+// with a TEST-FDs scan and is guaranteed to agree.
+func ExampleDiscoverFDs() {
+	s := fdnull.UniformScheme("R", []string{"A", "B", "C"}, fdnull.IntDomain("d", "v", 4))
+	r := fdnull.MustFromRows(s,
+		[]string{"v1", "v1", "v1"},
+		[]string{"v2", "v1", "v1"},
+		[]string{"v3", "v2", "v1"})
+	fds, err := fdnull.DiscoverFDs(r, fdnull.DiscoverOptions{
+		MaxLHS:  2,
+		Engine:  fdnull.DiscoverPartition,
+		Workers: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fdnull.FormatFDs(s, fds))
+	// Output:
+	// A -> B; A -> C; B -> C
+}

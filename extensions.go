@@ -91,8 +91,26 @@ func LoadStore(r io.Reader, opts StoreOptions) (*Store, error) {
 
 // ---- Dependency discovery ----
 
-// DiscoverOptions bound the FD-discovery lattice search.
+// DiscoverOptions bound the FD-discovery lattice search: determinant
+// size cap, convention, candidate-test engine, and worker count.
 type DiscoverOptions = discover.Options
+
+// DiscoverEngine selects the candidate-test strategy of the discovery
+// lattice search.
+type DiscoverEngine = discover.Engine
+
+// The discovery engines: DiscoverPartition answers candidates from
+// cached null-aware stripped partitions with a per-level worker pool;
+// DiscoverNaive runs one TEST-FDs sort scan per candidate (the
+// differential ground truth).
+const (
+	DiscoverPartition = discover.EnginePartition
+	DiscoverNaive     = discover.EngineNaive
+)
+
+// ParseDiscoverEngine parses the -engine flag values "partition" and
+// "naive".
+func ParseDiscoverEngine(s string) (DiscoverEngine, error) { return discover.ParseEngine(s) }
 
 // DiscoverFDs mines the minimal functional dependencies holding in an
 // instance with nulls: under the strong convention the *certain*

@@ -18,6 +18,9 @@
 //     (internal/chase);
 //   - the TEST-FDs algorithm under the strong and weak conventions of
 //     Theorems 2 and 3 (internal/testfds);
+//   - FD discovery under both conventions (internal/discover), served by
+//     a naive TEST-FDs engine and by a parallel partition engine over
+//     null-aware stripped partitions (internal/partition);
 //   - System C, the modal logic the paper reduces FDs to (internal/systemc);
 //   - normalization: BCNF, 3NF synthesis, lossless joins, and null-padded
 //     universal-relation reassembly (internal/normalize, internal/tableau);

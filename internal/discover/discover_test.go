@@ -116,18 +116,172 @@ func TestDiscoverStrongSubsetOfWeak(t *testing.T) {
 		if r.Len() == 0 {
 			continue
 		}
-		strong, err := Run(r, Options{Convention: testfds.Strong})
+		for _, engine := range []Engine{EnginePartition, EngineNaive} {
+			strong, err := Run(r, Options{Convention: testfds.Strong, Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			weak, err := Run(r, Options{Convention: testfds.Weak, Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, f := range strong {
+				if !fd.Implies(weak, f) {
+					t.Fatalf("trial %d engine %v: strongly-discovered %v not implied by weakly-discovered set\n%s",
+						trial, engine, f, r)
+				}
+			}
+		}
+	}
+}
+
+// TestExpandUniqueAscending is the regression for the dedup-map removal:
+// the max-attribute extension rule generates every k-set exactly once,
+// and expand returns each level in ascending bitmask order.
+func TestExpandUniqueAscending(t *testing.T) {
+	pool := schema.NewAttrSet(0, 1, 2, 3, 4, 5)
+	level := []schema.AttrSet{0}
+	binom := []int{6, 15, 20, 15, 6, 1}
+	for size := 1; size <= 6; size++ {
+		level = expand(level, pool)
+		if len(level) != binom[size-1] {
+			t.Fatalf("level %d: %d sets, want C(6,%d) = %d", size, len(level), size, binom[size-1])
+		}
+		for i, x := range level {
+			if x.Len() != size {
+				t.Fatalf("level %d: set %v has size %d", size, x, x.Len())
+			}
+			if i > 0 && level[i-1] >= x {
+				t.Fatalf("level %d not strictly ascending at %d: %v ≥ %v", size, i, level[i-1], x)
+			}
+		}
+	}
+}
+
+// TestDiscoverRunOutputOrdered pins Run's documented output order on a
+// worker pool: attributes ascending, determinants ascending in size then
+// bitmask.
+func TestDiscoverRunOutputOrdered(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 8)
+	s := schema.Uniform("R", []string{"A", "B", "C", "D"}, dom)
+	r := relation.MustFromRows(s,
+		[]string{"v1", "v1", "v1", "v1"},
+		[]string{"v1", "v2", "v1", "v2"},
+		[]string{"v2", "v1", "v1", "v3"},
+		[]string{"v2", "v2", "v2", "v4"})
+	fds, err := Run(r, Options{Convention: testfds.Strong, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[fd.FD]bool{}
+	for i, f := range fds {
+		if seen[f] {
+			t.Fatalf("duplicate FD %s", f.Format(s))
+		}
+		seen[f] = true
+		if i == 0 {
+			continue
+		}
+		prev := fds[i-1]
+		switch {
+		case prev.Y < f.Y:
+		case prev.Y > f.Y:
+			t.Fatalf("targets out of order at %d: %s before %s", i, prev.Format(s), f.Format(s))
+		case prev.X.Len() < f.X.Len():
+		case prev.X.Len() > f.X.Len():
+			t.Fatalf("sizes out of order at %d: %s before %s", i, prev.Format(s), f.Format(s))
+		case prev.X >= f.X:
+			t.Fatalf("determinants out of order at %d: %s before %s", i, prev.Format(s), f.Format(s))
+		}
+	}
+}
+
+func TestDiscoverMaxLHSClamped(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 6)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	r := relation.MustFromRows(s,
+		[]string{"v1", "v1", "v2"},
+		[]string{"v2", "v1", "v2"},
+		[]string{"v3", "v2", "v4"})
+	base, err := Run(r, Options{MaxLHS: 2, Convention: testfds.Strong})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxLHS := range []int{99, 3, 0} {
+		got, err := Run(r, Options{MaxLHS: maxLHS, Convention: testfds.Strong})
 		if err != nil {
 			t.Fatal(err)
 		}
-		weak, err := Run(r, Options{Convention: testfds.Weak})
+		if len(got) != len(base) {
+			t.Fatalf("MaxLHS=%d must clamp to p−1: %d FDs vs %d", maxLHS, len(got), len(base))
+		}
+		for i := range got {
+			if got[i] != base[i] {
+				t.Fatalf("MaxLHS=%d diverges at FD %d", maxLHS, i)
+			}
+		}
+	}
+}
+
+func TestDiscoverEmptyRelation(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	r := relation.New(s)
+	for _, engine := range []Engine{EnginePartition, EngineNaive} {
+		fds, err := Run(r, Options{Engine: engine})
 		if err != nil {
 			t.Fatal(err)
+		}
+		// Vacuously, every single-attribute determinant is minimal: p(p−1)
+		// dependencies, none larger.
+		if len(fds) != 6 {
+			t.Fatalf("engine %v: %d FDs on the empty instance, want 6", engine, len(fds))
+		}
+		for _, f := range fds {
+			if f.X.Len() != 1 {
+				t.Fatalf("engine %v: non-minimal %v on the empty instance", engine, f)
+			}
+		}
+	}
+}
+
+func TestDiscoverAllNullColumn(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 6)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	r := relation.MustFromRows(s,
+		[]string{"-", "v1", "v1"},
+		[]string{"-", "v1", "v2"},
+		[]string{"-", "v2", "v3"})
+	for _, engine := range []Engine{EnginePartition, EngineNaive} {
+		// Weak: fresh-mark nulls never agree and never conflict, so the
+		// all-null column determines everything and is determined by
+		// everything.
+		weak, err := Run(r, Options{Convention: testfds.Weak, Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range []string{"A -> B", "A -> C", "B -> A", "C -> A"} {
+			if !fd.Implies(weak, fd.MustParse(s, want)) {
+				t.Errorf("engine %v: weak discovery must imply %s; got %s", engine, want, fd.FormatSet(s, weak))
+			}
+		}
+		// Strong: a null unifies with everything, so the all-null column
+		// determines nothing that varies (A → B, A → C fail), and columns
+		// with duplicate groups cannot determine it (B → A fails: two
+		// fresh marks are possibly unequal). The unique column C still
+		// determines everything, A included.
+		strong, err := Run(r, Options{Convention: testfds.Strong, Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]bool{"C -> A": true, "C -> B": true}
+		if len(strong) != len(want) {
+			t.Fatalf("engine %v: strong discovery found %s, want exactly C -> A; C -> B",
+				engine, fd.FormatSet(s, strong))
 		}
 		for _, f := range strong {
-			if !fd.Implies(weak, f) {
-				t.Fatalf("trial %d: strongly-discovered %v not implied by weakly-discovered set\n%s",
-					trial, f, r)
+			if !want[f.Format(s)] {
+				t.Errorf("engine %v: unexpected strong FD %s", engine, f.Format(s))
 			}
 		}
 	}

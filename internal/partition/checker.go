@@ -1,0 +1,288 @@
+// checker.go decides single candidates X → A from partitions: the
+// refinement question "does π_{X∪{A}} refine π_X without a convention-
+// positive split?" answered class-by-class, with the convention sidecars
+// supplying the cases a partition cannot represent.
+//
+// The naive discovery engine answers each candidate with one TEST-FDs
+// scan — a fresh O(n log n) sort of the relation. The checker answers it
+// from the cached stripped partition π_X:
+//
+//   - Weak convention: a violating pair must agree on X (same weak class)
+//     and hold two *definitely different* A-values — two distinct
+//     constants; nulls never definitely differ from anything. So X → A
+//     holds iff no class of π_X contains two distinct constants on A. A
+//     class that splits only along null marks is a benign refinement:
+//     this is exactly the |π_X| = |π_{X∪A}| cardinality test, adjusted so
+//     null-mark subclasses do not count as splits.
+//   - Strong convention: within a constant-X class, a null on A is
+//     *possibly unequal* to everything except a same-mark null, so a
+//     class passes only if it is A-pure — one shared constant, or one
+//     shared null mark. Tuples with a null on X unify with every X-value
+//     (the paper's footnote: such values defeat sorting) and are analyzed
+//     from the null sidecar by probing the relation's X-partition indexes
+//     on the constant part of the tuple's determinant.
+//
+// The checker agrees answer-for-answer with testfds.Check by
+// construction; differential tests assert it on randomized workloads.
+package partition
+
+import (
+	"sync"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/testfds"
+	"fdnull/internal/value"
+)
+
+// Checker answers candidate tests X → A for one relation under one
+// convention, amortizing all candidates over one partition cache. Safe
+// for concurrent Holds calls; the relation must not be mutated while
+// Holds calls are in flight (mutating *between* calls is fine — the
+// cache and the taint flag both track the relation's version).
+type Checker struct {
+	r     *relation.Relation
+	conv  testfds.Convention
+	cache *Cache
+	// tainted memoizes the weak convention's global precondition at
+	// taintVersion: a `nothing` cell anywhere admits no completion
+	// (Theorem 4(b)), so TEST-FDs answers no for every FD — matched here
+	// wholesale, and recomputed when the relation's version moves.
+	mu           sync.Mutex
+	taintVersion uint64
+	taintValid   bool
+	tainted      bool
+}
+
+// NewChecker builds a checker for r under conv.
+func NewChecker(r *relation.Relation, conv testfds.Convention) *Checker {
+	return &Checker{r: r, conv: conv, cache: NewCache(r, conv)}
+}
+
+// isTainted reports the weak convention's global nothing-gate for the
+// relation's current version.
+func (c *Checker) isTainted() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v := c.r.Version(); !c.taintValid || v != c.taintVersion {
+		c.taintVersion = v
+		c.tainted = c.r.HasNothing()
+		c.taintValid = true
+	}
+	return c.tainted
+}
+
+// Cache exposes the partition cache (for level-scoped eviction and
+// tests).
+func (c *Checker) Cache() *Cache { return c.cache }
+
+// Holds reports whether the FD X → A passes TEST-FDs under the checker's
+// convention — the same answer as
+// testfds.Check(r, {X→A}, conv, Sorted), decided from partitions.
+func (c *Checker) Holds(x schema.AttrSet, a schema.Attr) bool {
+	if c.conv == testfds.Weak {
+		return c.weakHolds(x, a)
+	}
+	return c.strongHolds(x, a)
+}
+
+// weakHolds: no class of π_X may contain two definitely-different
+// A-values, i.e. two distinct constants. Nulls (any marks) and class
+// splits along marks are benign under the weak convention.
+func (c *Checker) weakHolds(x schema.AttrSet, a schema.Attr) bool {
+	if c.isTainted() {
+		return false
+	}
+	for _, cls := range c.cache.Get(x).Classes() {
+		var seen string
+		has := false
+		for _, i := range cls {
+			v := c.r.Tuple(i)[a]
+			if !v.IsConst() {
+				continue
+			}
+			if !has {
+				seen, has = v.Const(), true
+			} else if v.Const() != seen {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// strongHolds: constant-X classes must be A-pure, and every null-sidecar
+// tuple — which unifies with all X-values matching its constant attrs —
+// must see only A-values it cannot definitely differ from.
+func (c *Checker) strongHolds(x schema.AttrSet, a schema.Attr) bool {
+	aset := schema.NewAttrSet(a)
+	pa := c.cache.Get(aset)
+	px := c.cache.Get(x)
+	if len(pa.NothingRows()) > 0 || len(px.NothingRows()) > 0 {
+		// `nothing` on X or A: rare (chase output) and irregular — nothing
+		// unifies with nulls on X but definitely differs from everything on
+		// A. Delegate the whole candidate to the reference scan.
+		ok, _ := testfds.Check(c.r, []fd.FD{fd.New(x, aset)}, testfds.Strong, testfds.Sorted)
+		return ok
+	}
+	// Constant-X classes: a pair inside a class agrees on X outright, so
+	// the class must hold one shared constant or one shared null mark on
+	// A — any mix is a possibly-unequal pair.
+	for _, cls := range px.Classes() {
+		var pr colProfile
+		for _, i := range cls {
+			pr.add(c.r.Tuple(i)[a])
+		}
+		if pr.constVals > 1 || pr.marks > 1 || (pr.consts > 0 && pr.nulls > 0) || pr.nothings > 0 {
+			return false
+		}
+	}
+	nullRows := px.NullRows()
+	if len(nullRows) == 0 {
+		return true
+	}
+	// Wildcard sweep. A sidecar tuple t, null on N ⊆ X and constant on
+	// C = X∖N, X-matches exactly the tuples that agree-or-null with it on
+	// C. Its matches among the C-constant tuples are one probe of the
+	// relation's C-index; matches among the C-null tuples are the index's
+	// null sidecar (every one of them when |C| ≤ 1 — both sides wildcard —
+	// or a pairwise filter when |C| ≥ 2). Match-set A-profiles are
+	// memoized per probed class, so the sweep is O(1) per sidecar tuple
+	// after O(n) total profiling.
+	profs := map[profKey]colProfile{}
+	var colProf *colProfile
+	for _, ti := range nullRows {
+		t := c.r.Tuple(ti)
+		var cset schema.AttrSet
+		for _, xa := range x.Attrs() {
+			if t[xa].IsConst() {
+				cset = cset.Add(xa)
+			}
+		}
+		req := t[a] // constant or null: nothing on A was delegated above
+		if cset.Empty() {
+			// t is null on all of X: it matches the entire relation.
+			if colProf == nil {
+				pr := c.profileColumn(a)
+				colProf = &pr
+			}
+			if !compatible(*colProf, req, true) {
+				return false
+			}
+			continue
+		}
+		ix := c.r.IndexOn(cset)
+		rows, _ := ix.Probe(t) // t is constant on cset, so the probe is defined
+		key := profKey{set: cset, first: rows[0]}
+		pr, ok := profs[key]
+		if !ok {
+			pr = c.profileRows(rows, a)
+			profs[key] = pr
+		}
+		if !compatible(pr, req, true) {
+			return false
+		}
+		if nr := ix.NullRows(); len(nr) > 0 {
+			if cset.Len() == 1 {
+				nkey := profKey{set: cset, first: -1}
+				prN, ok := profs[nkey]
+				if !ok {
+					prN = c.profileRows(nr, a)
+					profs[nkey] = prN
+				}
+				if !compatible(prN, req, false) {
+					return false
+				}
+			} else {
+				for _, ui := range nr {
+					if testfds.PairViolates(testfds.Strong, t, c.r.Tuple(ui), x, aset) {
+						return false
+					}
+				}
+			}
+		}
+		// ix.NothingRows() is empty: a nothing on cset ⊆ X would have
+		// delegated the candidate above.
+	}
+	return true
+}
+
+// profKey identifies a memoized match-set profile: the constant
+// sub-determinant and the first row of the probed index group (-1 for the
+// group of tuples null on the sub-determinant).
+type profKey struct {
+	set   schema.AttrSet
+	first int
+}
+
+// colProfile summarizes the A-values of a match set: counts per value
+// kind and distinct-value counts saturating at 2 (one representative
+// retained) — enough to answer every strong-compatibility question.
+type colProfile struct {
+	consts, nulls, nothings int
+	constVals, marks        int
+	constVal                string
+	mark                    int
+}
+
+func (pr *colProfile) add(v value.V) {
+	switch {
+	case v.IsConst():
+		pr.consts++
+		c := v.Const()
+		switch {
+		case pr.constVals == 0:
+			pr.constVal, pr.constVals = c, 1
+		case pr.constVals == 1 && c != pr.constVal:
+			pr.constVals = 2
+		}
+	case v.IsNull():
+		pr.nulls++
+		m := v.Mark()
+		switch {
+		case pr.marks == 0:
+			pr.mark, pr.marks = m, 1
+		case pr.marks == 1 && m != pr.mark:
+			pr.marks = 2
+		}
+	default:
+		pr.nothings++
+	}
+}
+
+func (c *Checker) profileRows(rows []int, a schema.Attr) colProfile {
+	var pr colProfile
+	for _, i := range rows {
+		pr.add(c.r.Tuple(i)[a])
+	}
+	return pr
+}
+
+func (c *Checker) profileColumn(a schema.Attr) colProfile {
+	var pr colProfile
+	for _, t := range c.r.Tuples() {
+		pr.add(t[a])
+	}
+	return pr
+}
+
+// compatible reports that every tuple of the profiled match set — minus
+// the probing tuple t itself when selfIncluded — carries an A-value the
+// strong convention cannot flag as unequal to req: the identical constant,
+// or a null with the identical mark.
+func compatible(pr colProfile, req value.V, selfIncluded bool) bool {
+	if req.IsConst() {
+		if pr.nothings > 0 || pr.nulls > 0 || pr.constVals > 1 {
+			return false
+		}
+		// selfIncluded: t's own constant is in the profile, so a single
+		// distinct constant is necessarily req's.
+		return selfIncluded || pr.consts == 0 || pr.constVal == req.Const()
+	}
+	m := req.Mark()
+	if pr.nothings > 0 || pr.consts > 0 || pr.marks > 1 {
+		return false
+	}
+	return selfIncluded || pr.nulls == 0 || pr.mark == m
+}

@@ -1,0 +1,136 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/testfds"
+	"fdnull/internal/value"
+)
+
+// TestCheckerMatchesTestFDs is the checker-level differential: for every
+// candidate X → A over randomized instances — constants, fresh nulls,
+// shared-mark nulls, and nothing cells — the partition answer must equal
+// the TEST-FDs reference scan under both conventions.
+func TestCheckerMatchesTestFDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	trials := 80
+	if testing.Short() {
+		trials = 20
+	}
+	for trial := 0; trial < trials; trial++ {
+		p := 2 + rng.Intn(3)
+		s := testScheme(p, 2+rng.Intn(3))
+		r := randomInstance(rng, s, rng.Intn(16), trial%4 == 0)
+		for _, conv := range []testfds.Convention{testfds.Strong, testfds.Weak} {
+			ck := NewChecker(r, conv)
+			for a := schema.Attr(0); int(a) < p; a++ {
+				rest := s.All().Remove(a)
+				// Every nonempty X ⊆ rest.
+				for mask := schema.AttrSet(1); mask <= s.All(); mask++ {
+					x := mask.Intersect(rest)
+					if x.Empty() || x != mask {
+						continue
+					}
+					want, _ := testfds.Check(r, []fd.FD{fd.New(x, schema.NewAttrSet(a))}, conv, testfds.Sorted)
+					if got := ck.Holds(x, a); got != want {
+						t.Fatalf("trial %d conv %v: %s -> %s: partition=%v testfds=%v\n%s",
+							trial, conv, s.FormatSet(x), s.AttrName(a), got, want, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCheckerWeakNothingGate pins the weak convention's global rule: a
+// single nothing cell anywhere — even outside X∪A — fails every
+// candidate, exactly as testfds.Check does.
+func TestCheckerWeakNothingGate(t *testing.T) {
+	s := testScheme(3, 3)
+	r := relation.MustFromRows(s,
+		[]string{"v1", "v1", "v1"},
+		[]string{"v1", "v1", "!"})
+	ck := NewChecker(r, testfds.Weak)
+	if ck.Holds(schema.NewAttrSet(0), 1) {
+		t.Fatal("weak candidate must fail on a tainted instance")
+	}
+	want, _ := testfds.Check(r, []fd.FD{fd.New(schema.NewAttrSet(0), schema.NewAttrSet(1))},
+		testfds.Weak, testfds.Sorted)
+	if want {
+		t.Fatal("reference disagrees with the gate premise")
+	}
+	// Strong convention has no such gate: A → B still fails only through
+	// its own comparison (here the nothing sits on C and B agrees).
+	ckS := NewChecker(r, testfds.Strong)
+	if !ckS.Holds(schema.NewAttrSet(0), 1) {
+		t.Fatal("strong candidate must ignore a nothing outside X∪A")
+	}
+}
+
+// TestCheckerTaintTracksMutation pins the weak gate to the relation's
+// *current* version: a checker built on a clean instance must start
+// failing candidates once a mutation writes a nothing cell, exactly as a
+// fresh TEST-FDs scan would (and recover when the cell is overwritten).
+func TestCheckerTaintTracksMutation(t *testing.T) {
+	s := testScheme(2, 3)
+	r := relation.MustFromRows(s,
+		[]string{"v1", "v1"},
+		[]string{"v2", "v1"})
+	ck := NewChecker(r, testfds.Weak)
+	x, a := schema.NewAttrSet(0), schema.Attr(1)
+	if !ck.Holds(x, a) {
+		t.Fatal("A -> B must weakly hold on the clean instance")
+	}
+	r.SetCell(0, 1, value.NewNothing())
+	want, _ := testfds.Check(r, []fd.FD{fd.New(x, schema.NewAttrSet(a))}, testfds.Weak, testfds.Sorted)
+	if want {
+		t.Fatal("reference must reject the tainted instance")
+	}
+	if ck.Holds(x, a) {
+		t.Fatal("checker must observe the mutation and fail the candidate")
+	}
+	r.SetCell(0, 1, value.NewConst("v1"))
+	if !ck.Holds(x, a) {
+		t.Fatal("checker must recover once the nothing cell is overwritten")
+	}
+}
+
+// TestCheckerStrongWildcards exercises the sidecar analysis directly:
+// nulls on the determinant unify with every value.
+func TestCheckerStrongWildcards(t *testing.T) {
+	s := testScheme(3, 4)
+	// ⊥ on A matches both constant A-groups; its B must therefore agree
+	// with every tuple's B.
+	r := relation.MustFromRows(s,
+		[]string{"v1", "v1", "v1"},
+		[]string{"v2", "v1", "v2"},
+		[]string{"-", "v1", "v3"})
+	ck := NewChecker(r, testfds.Strong)
+	if !ck.Holds(schema.NewAttrSet(0), 1) {
+		t.Fatal("A -> B must hold: every match agrees on B")
+	}
+	if ck.Holds(schema.NewAttrSet(0), 2) {
+		t.Fatal("A -> C must fail: the wildcard tuple disagrees on C")
+	}
+	// Two wildcards with distinct marks on the RHS: possibly unequal.
+	r2 := relation.MustFromRows(s,
+		[]string{"v1", "-1", "v1"},
+		[]string{"v1", "-2", "v1"})
+	if NewChecker(r2, testfds.Strong).Holds(schema.NewAttrSet(0), 1) {
+		t.Fatal("A -> B must fail: distinct null marks are possibly unequal")
+	}
+	if !NewChecker(r2, testfds.Weak).Holds(schema.NewAttrSet(0), 1) {
+		t.Fatal("A -> B must weakly hold: nulls never definitely differ")
+	}
+	// Same mark: strong-equal.
+	r3 := relation.MustFromRows(s,
+		[]string{"v1", "-7", "v1"},
+		[]string{"v1", "-7", "v2"})
+	if !NewChecker(r3, testfds.Strong).Holds(schema.NewAttrSet(0), 1) {
+		t.Fatal("A -> B must hold: same-mark nulls are equal under both conventions")
+	}
+}

@@ -150,6 +150,16 @@ func (r *Relation) Len() int { return len(r.tuples) }
 // Tuple returns the i-th tuple (not a copy; callers must not mutate).
 func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
 
+// Version returns the mutation counter: it increments on every Insert,
+// Delete, or SetCell. Derived structures built outside the relation (the
+// partition cache of internal/partition, for example) compare it to the
+// version they were built at to detect staleness.
+func (r *Relation) Version() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
 // Tuples returns the backing slice (callers must not mutate).
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 

@@ -156,6 +156,16 @@ func neqOn(conv Convention, t, u relation.Tuple, attrs []schema.Attr) bool {
 	return false
 }
 
+// PairViolates reports whether the tuple pair (t, u) witnesses a violation
+// of X → Y under the convention: the X-comparison is positive (the tuples
+// possibly/definitely agree on X, per the convention) and the Y-comparison
+// is positive (they possibly/definitely disagree on Y). It is the per-pair
+// core of every TEST-FDs scan, exported for engines that find candidate
+// pairs by other means (the partition engine's null sweeps).
+func PairViolates(conv Convention, t, u relation.Tuple, x, y schema.AttrSet) bool {
+	return eqOn(conv, t, u, x.Attrs()) && neqOn(conv, t, u, y.Attrs())
+}
+
 // Check runs TEST-FDs on r for the whole FD set under the given convention
 // and algorithm. It answers (true, nil) for yes, or (false, witness) with
 // the first violating pair found. Under the Weak convention the answer
@@ -230,14 +240,17 @@ func checkSorted(r *relation.Relation, f fd.FD, conv Convention, bucket bool) *V
 	}
 	// Scan groups: under the weak convention null marks are distinct sort
 	// keys, so same-class nulls land adjacent — exactly the paper's "they
-	// appear together in the sorted relation".
+	// appear together in the sorted relation". Group membership may be
+	// judged against the group's first tuple (convention equality on X is
+	// transitive within the sorted tuples), but the Y side may not: see
+	// groupViolation.
 	for g := 0; g < len(idx); {
 		h := g + 1
 		for h < len(idx) && eqOn(conv, ts[idx[g]], ts[idx[h]], xAttrs) {
-			if neqOn(conv, ts[idx[g]], ts[idx[h]], yAttrs) {
-				return &Violation{FD: f, T1: idx[g], T2: idx[h]}
-			}
 			h++
+		}
+		if v := groupViolation(f, conv, ts, idx, g, h, yAttrs); v != nil {
+			return v
 		}
 		g = h
 	}
@@ -253,6 +266,68 @@ func checkSorted(r *relation.Relation, f fd.FD, conv Convention, bucket bool) *V
 					a, b = b, a
 				}
 				return &Violation{FD: f, T1: a, T2: b}
+			}
+		}
+	}
+	return nil
+}
+
+// groupViolation searches one group of X-agreeing tuples — idx[g:h], or
+// tuples g…h−1 directly when idx is nil — for a pair whose Y-comparison
+// is positive.
+//
+// Under the strong convention comparing every member against the group's
+// first tuple suffices: a member not-unequal to a constant is that same
+// constant, and one not-unequal to a null is a same-mark null, so
+// not-unequal-to-first is transitive. Under the weak convention it is
+// not — weak inequality is not the complement of weak equality, so a
+// leading null Y-cell (neither equal nor unequal to anything) would
+// shield two conflicting constants behind it. The weak scan therefore
+// tracks, per Y-attribute, the first constant (and first `nothing`) seen
+// across the whole group: a definite conflict is two distinct constants,
+// a constant against a nothing, or two nothings.
+func groupViolation(f fd.FD, conv Convention, ts []relation.Tuple, idx []int, g, h int, yAttrs []schema.Attr) *Violation {
+	if h-g < 2 {
+		return nil
+	}
+	row := func(k int) int {
+		if idx == nil {
+			return k
+		}
+		return idx[k]
+	}
+	if conv == Strong {
+		r0 := row(g)
+		for k := g + 1; k < h; k++ {
+			if j := row(k); neqOn(Strong, ts[r0], ts[j], yAttrs) {
+				return &Violation{FD: f, T1: r0, T2: j}
+			}
+		}
+		return nil
+	}
+	for _, a := range yAttrs {
+		constRow, nothingRow := -1, -1
+		for k := g; k < h; k++ {
+			j := row(k)
+			v := ts[j][a]
+			switch {
+			case v.IsConst():
+				switch {
+				case nothingRow >= 0:
+					return &Violation{FD: f, T1: nothingRow, T2: j}
+				case constRow >= 0 && ts[constRow][a].Const() != v.Const():
+					return &Violation{FD: f, T1: constRow, T2: j}
+				case constRow < 0:
+					constRow = j
+				}
+			case v.IsNothing():
+				if constRow >= 0 {
+					return &Violation{FD: f, T1: constRow, T2: j}
+				}
+				if nothingRow >= 0 {
+					return &Violation{FD: f, T1: nothingRow, T2: j}
+				}
+				nothingRow = j
 			}
 		}
 	}
@@ -336,15 +411,15 @@ func bucketSort(r *relation.Relation, idx []int, attrs []schema.Attr) {
 func CheckPresorted(r *relation.Relation, f fd.FD, conv Convention) (bool, *Violation) {
 	xAttrs, yAttrs := f.X.Attrs(), f.Y.Attrs()
 	ts := r.Tuples()
-	g := 0
-	for i := 1; i < len(ts); i++ {
-		if eqOn(conv, ts[g], ts[i], xAttrs) {
-			if neqOn(conv, ts[g], ts[i], yAttrs) {
-				return false, &Violation{FD: f, T1: g, T2: i}
-			}
-		} else {
-			g = i
+	for g := 0; g < len(ts); {
+		h := g + 1
+		for h < len(ts) && eqOn(conv, ts[g], ts[h], xAttrs) {
+			h++
 		}
+		if v := groupViolation(f, conv, ts, nil, g, h, yAttrs); v != nil {
+			return false, v
+		}
+		g = h
 	}
 	return true, nil
 }

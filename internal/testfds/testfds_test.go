@@ -296,6 +296,58 @@ func TestAlgorithmsAgree_Random(t *testing.T) {
 	}
 }
 
+// TestWeakNullDoesNotShieldConflict is the regression for a sorted-scan
+// bug: the group scan compared every member's Y against the group's
+// *first* tuple only. That is sound under the strong convention
+// (not-unequal-to-first is transitive) but not under the weak one — a
+// null Y-cell is neither equal nor unequal to a constant, so a null
+// landing first in the sort order shielded two conflicting constants
+// behind it, and Sorted disagreed with Pairwise.
+func TestWeakNullDoesNotShieldConflict(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B", "C", "D"}, dom)
+	f := fd.MustParse(s, "A,B -> D")
+	// The (v1, v2) group on A,B holds D-values {v2, v1, ⊥2}: rows 4 and 6
+	// definitely conflict whatever position the null takes in the sort.
+	r := relation.MustFromRows(s,
+		[]string{"v1", "-2", "-1", "v2"},
+		[]string{"-3", "v2", "v1", "v2"},
+		[]string{"v2", "v2", "v2", "-1"},
+		[]string{"v2", "-4", "v1", "v1"},
+		[]string{"v1", "v2", "v1", "v2"},
+		[]string{"v1", "-1", "v2", "v2"},
+		[]string{"v1", "v2", "v1", "v1"},
+		[]string{"-2", "v1", "-5", "v2"},
+		[]string{"v1", "-6", "v1", "v2"},
+		[]string{"v2", "v1", "v1", "-7"},
+		[]string{"v1", "-8", "v1", "-9"},
+		[]string{"v1", "v2", "-10", "-2"},
+		[]string{"-11", "-12", "v2", "v1"},
+		[]string{"-13", "v1", "-14", "-15"},
+		[]string{"-2", "v2", "v2", "v1"})
+	for _, algo := range []Algorithm{Sorted, Bucket, Pairwise} {
+		ok, viol := Check(r, []fd.FD{f}, Weak, algo)
+		if ok || viol == nil {
+			t.Fatalf("%v: violation of A,B -> D must be found", algo)
+		}
+		t1, t2 := r.Tuple(viol.T1), r.Tuple(viol.T2)
+		if !eqOn(Weak, t1, t2, viol.FD.X.Attrs()) || !neqOn(Weak, t1, t2, viol.FD.Y.Attrs()) {
+			t.Fatalf("%v: witness (%d,%d) does not violate", algo, viol.T1, viol.T2)
+		}
+	}
+	// The presorted path had the same flaw, and there the adversarial
+	// order is under the caller's control: the null-D tuple leads its
+	// group.
+	s2 := schema.Uniform("R", []string{"A", "B"}, dom)
+	r2 := relation.MustFromRows(s2,
+		[]string{"v1", "-1"},
+		[]string{"v1", "v1"},
+		[]string{"v1", "v2"})
+	if ok, _ := CheckPresorted(r2, fd.MustParse(s2, "A -> B"), Weak); ok {
+		t.Fatal("presorted weak scan must see the conflict behind the leading null")
+	}
+}
+
 func TestCheckPresorted(t *testing.T) {
 	s := abcScheme()
 	f := fd.MustParse(s, "A -> B")

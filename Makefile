@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-discover smoke-discover lint fmt vet clean
+.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store smoke-fuzz lint fmt vet clean
 
 all: build test
 
@@ -25,6 +25,23 @@ bench-discover:
 # FD-for-FD identical output to the naive engine on random workloads.
 smoke-discover:
 	$(GO) test -short -run 'TestDiscoverDifferential' ./internal/discover
+
+# The store-maintenance engine comparison: incremental (delta-checked
+# partition groups + NS-propagation) vs recheck (clone and re-chase),
+# inserts and the write-heavy mixed workload at n=2000, p=8.
+bench-store:
+	$(GO) test -bench 'BenchmarkStore(Insert|Mixed)' -benchmem -run '^$$' .
+
+# Short-mode history-exerciser smoke: randomized operation histories must
+# produce verdict-for-verdict and state-for-state agreement between the
+# incremental and recheck maintenance engines.
+smoke-store:
+	$(GO) test -short -run 'TestHistoryDifferential' ./internal/store
+
+# Seed-corpus fuzz smoke: the relio and predicate parsers must survive
+# their corpora (use `go test -fuzz` locally for open-ended exploration).
+smoke-fuzz:
+	$(GO) test -short -run 'Fuzz' ./internal/relio ./internal/query
 
 lint: fmt vet
 

@@ -13,6 +13,7 @@ package fdnull_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	fdnull "fdnull"
@@ -338,36 +339,94 @@ func BenchmarkQuerySelect(b *testing.B) {
 	}
 }
 
+// storeMaintenances are the two store engines the maintenance benches
+// compare: the incremental delta path vs the clone-and-rechase oracle.
+var storeMaintenances = []fdnull.StoreMaintenance{
+	fdnull.MaintenanceRecheck,
+	fdnull.MaintenanceIncremental,
+}
+
 func BenchmarkStoreInsert(b *testing.B) {
-	// Guarded insert cost: each accepted mutation re-chases the instance,
-	// so the per-insert cost grows with store size — the price of the
-	// weak-satisfiability invariant.
-	for _, n := range []int{100, 400} {
-		b.Run(fmt.Sprintf("prefill=%d", n), func(b *testing.B) {
-			s, fds, seed := employeesBench(n)
-			st := fdnull.NewStore(s, fds, fdnull.StoreOptions{})
-			for i := 0; i < seed.Len(); i++ {
-				if err := st.Insert(seed.Tuple(i)); err != nil {
-					b.Fatal(err)
-				}
+	// Guarded insert cost per maintenance engine at n=2000, p=8: the
+	// recheck engine clones and re-chases the instance per accepted
+	// insert (O(n)); the incremental engine re-verifies one partition
+	// group per FD and delta-updates the warm indexes (O(group)) —
+	// `make bench-store` runs this table, and E17 asserts the engines
+	// agree while the speedup is ≥ 10x.
+	const n, groups = 2000, 250
+	for _, m := range storeMaintenances {
+		b.Run(fmt.Sprintf("n=%d/maintenance=%s", n, m), func(b *testing.B) {
+			s, fds, base, gen := workload.WriteHeavy(n, groups, 0, 11)
+			st, err := fdnull.StoreFromRelation(s, fds, base, fdnull.StoreOptions{Maintenance: m})
+			if err != nil {
+				b.Fatal(err)
 			}
-			fresh := seed.Clone()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				row := relation.Tuple{
-					fdnull.Const(fmt.Sprintf("e%d", n+1)),
-					fresh.FreshNull(),
-					fdnull.Const("d1"),
-					fresh.FreshNull(),
-				}
-				if err := st.Insert(row); err != nil {
+				if err := st.InsertRow(gen(n + i%512)...); err != nil {
 					b.Fatal(err)
 				}
-				b.StopTimer()
-				if err := st.Delete(st.Len() - 1); err != nil {
-					b.Fatal(err)
+				if st.Len() >= n+512 {
+					// Periodic untimed reset keeps the instance near n.
+					b.StopTimer()
+					st, err = fdnull.StoreFromRelation(s, fds, base, fdnull.StoreOptions{Maintenance: m})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
 				}
-				b.StartTimer()
+			}
+		})
+	}
+}
+
+func BenchmarkStoreMixed(b *testing.B) {
+	// Write-heavy mixed workload (60% insert / 25% update / 15% delete,
+	// some doomed) at stable size n=2000, p=8, per maintenance engine.
+	const n, groups = 2000, 250
+	for _, m := range storeMaintenances {
+		b.Run(fmt.Sprintf("n=%d/maintenance=%s", n, m), func(b *testing.B) {
+			s, fds, base, gen := workload.WriteHeavy(n, groups, 0.05, 13)
+			st, err := fdnull.StoreFromRelation(s, fds, base, fdnull.StoreOptions{Maintenance: m})
+			if err != nil {
+				b.Fatal(err)
+			}
+			dAttr := s.MustAttr("D")
+			rng := rand.New(rand.NewSource(17))
+			next := n
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if st.Len() >= 2*n {
+					// Untimed reset keeps the measurement regime at ~n.
+					b.StopTimer()
+					st, err = fdnull.StoreFromRelation(s, fds, base, fdnull.StoreOptions{Maintenance: m})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+				switch r := rng.Intn(100); {
+				case r < 60 || st.Len() == 0:
+					// Row ids cycle inside the U1 domain so arbitrarily
+					// large b.N never exhausts it; a cycled id still
+					// present is a (cheap) duplicate rejection.
+					next = n + (next+1-n)%(4*n)
+					_ = st.InsertRow(gen(next)...)
+				case r < 85:
+					ti := rng.Intn(st.Len())
+					if rng.Intn(3) > 0 {
+						// Retraction: always accepted, feeds later NS-work.
+						_ = st.Update(ti, dAttr, st.FreshNull())
+					} else {
+						// Usually doomed: a random D clashes with the group.
+						g := 1 + rng.Intn(13)
+						_ = st.Update(ti, dAttr, fdnull.Const(fmt.Sprintf("d%d", g)))
+					}
+				default:
+					_ = st.Delete(rng.Intn(st.Len()))
+				}
 			}
 		})
 	}

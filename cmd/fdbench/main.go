@@ -10,7 +10,8 @@
 // aligned tables of parameters vs. measured time. -engine selects the
 // default per-tuple evaluation engine used by the experiments that
 // evaluate FDs; E15 always runs both evaluation engines and compares
-// them, and E16 does the same for the FD-discovery engines.
+// them, E16 does the same for the FD-discovery engines, and E17 for the
+// store's incremental vs recheck maintenance engines.
 package main
 
 import (
@@ -48,6 +49,7 @@ var experiments = []experiment{
 	{"E14", "Figure 3 'Additional Assumptions' — bucket sort and presorted paths", runE14},
 	{"E15", "Indexed vs naive evaluation engine — agreement and comparative sweep", runE15},
 	{"E16", "Partition vs naive FD-discovery engine — agreement and comparative sweep", runE16},
+	{"E17", "Incremental vs recheck store maintenance — agreement and comparative sweep", runE17},
 }
 
 // benchEngine is the evaluation engine selected by -engine; experiments
@@ -61,7 +63,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E16) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E17) or 'all'")
 	quick := fs.Bool("quick", false, "smaller sweeps for smoke testing")
 	list := fs.Bool("list", false, "list experiments and exit")
 	engineFlag := fs.String("engine", "indexed", "per-tuple evaluation engine: indexed or naive")

@@ -1,0 +1,182 @@
+package main
+
+// store_exp.go implements E17: the comparative sweep between the store's
+// two maintenance engines. The recheck engine clones and re-chases the
+// instance on every mutation (O(n) per write); the incremental engine
+// re-verifies only the partition groups the mutation touches and
+// propagates forced NS-substitutions from the delta tuple over the
+// delta-maintained X-partition indexes (O(affected group) per write).
+// The sweep replays the same write-heavy history against both engines,
+// enforces operation-for-operation verdict agreement plus final-state
+// identity, and fails if the incremental engine is less than 10x faster
+// on the insert phase at the largest size — the PR's acceptance bar.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/store"
+	"fdnull/internal/value"
+	"fdnull/internal/workload"
+)
+
+// storeOp is one replayable history operation.
+type storeOp struct {
+	kind   int // 0 insert, 1 update, 2 delete
+	row    []string
+	target relation.Tuple // update/delete victim, matched by content
+	attr   schema.Attr
+	val    value.V
+}
+
+// replay applies ops to st, timing only the store mutations themselves —
+// the content-based victim matching is harness bookkeeping (the engines
+// order tuples differently) and would otherwise swamp the incremental
+// engine's microsecond-scale writes. Returns the accept/reject verdict
+// string and the summed mutation time.
+func replay(st *store.Store, ops []storeOp) (string, time.Duration, error) {
+	verdicts := make([]byte, len(ops))
+	var total time.Duration
+	for k, op := range ops {
+		ti := -1
+		if op.kind != 0 {
+			if ti = st.Find(op.target); ti < 0 {
+				return "", 0, fmt.Errorf("op %d: no tuple matches %s", k, op.target)
+			}
+		}
+		var err error
+		start := time.Now()
+		switch op.kind {
+		case 0:
+			err = st.InsertRow(op.row...)
+		case 1:
+			err = st.Update(ti, op.attr, op.val)
+		default:
+			err = st.Delete(ti)
+		}
+		total += time.Since(start)
+		if err != nil {
+			verdicts[k] = 'r'
+		} else {
+			verdicts[k] = 'a'
+		}
+	}
+	return string(verdicts), total, nil
+}
+
+func runE17(w io.Writer, quick bool) error {
+	sizes := []int{250, 500, 1000, 2000}
+	inserts, mixed := 256, 200
+	if quick {
+		sizes = []int{100, 250, 500}
+		inserts, mixed = 96, 80
+	}
+	t := &table{header: []string{"n", "|F|", "phase", "recheck", "incremental", "speedup", "agree"}}
+	var insertSpeedup float64
+	for _, n := range sizes {
+		groups := n / 8
+		s, fds, base, gen := workload.WriteHeavy(n, groups, 0.05, int64(n)+29)
+		mk := func(m store.Maintenance) (*store.Store, error) {
+			return store.FromRelation(s, fds, base, store.Options{Maintenance: m})
+		}
+		rec, err := mk(store.MaintenanceRecheck)
+		if err != nil {
+			return err
+		}
+		inc, err := mk(store.MaintenanceIncremental)
+		if err != nil {
+			return err
+		}
+
+		// Phase 1: fresh inserts (all accepted by construction).
+		insertOps := make([]storeOp, inserts)
+		for i := range insertOps {
+			insertOps[i] = storeOp{kind: 0, row: gen(n + i)}
+		}
+		vRec, dRec, err := replay(rec, insertOps)
+		if err != nil {
+			return err
+		}
+		vInc, dInc, err := replay(inc, insertOps)
+		if err != nil {
+			return err
+		}
+		if vRec != vInc {
+			return fmt.Errorf("n=%d: insert verdicts diverged", n)
+		}
+		insertSpeedup = float64(dRec) / float64(dInc)
+		t.add(fmt.Sprint(n), fmt.Sprint(len(fds)), "insert",
+			dRec.String(), dInc.String(), fmt.Sprintf("%.1fx", insertSpeedup), "yes")
+
+		// Phase 2: mixed history with doomed updates and deletes. Ops
+		// pick their victims by content (the engines order tuples
+		// differently), generated against a shadow replica so both
+		// engines replay the identical logical history.
+		rng := rand.New(rand.NewSource(int64(n) + 31))
+		shadow, err := mk(store.MaintenanceIncremental)
+		if err != nil {
+			return err
+		}
+		if _, _, err := replay(shadow, insertOps); err != nil {
+			return err
+		}
+		dAttr := s.MustAttr("D")
+		mixedOps := make([]storeOp, 0, mixed)
+		next := n + inserts
+		for len(mixedOps) < mixed {
+			var op storeOp
+			switch r := rng.Intn(100); {
+			case r < 55:
+				op = storeOp{kind: 0, row: gen(next)}
+				next++
+			case r < 85:
+				t := shadow.Tuple(rng.Intn(shadow.Len()))
+				op = storeOp{kind: 1, target: t, attr: dAttr,
+					val: value.NewConst(fmt.Sprintf("d%d", 1+rng.Intn(13)))}
+			default:
+				op = storeOp{kind: 2, target: shadow.Tuple(rng.Intn(shadow.Len()))}
+			}
+			if _, _, err := replay(shadow, []storeOp{op}); err != nil {
+				return err
+			}
+			mixedOps = append(mixedOps, op)
+		}
+		vRec, dRecM, err := replay(rec, mixedOps)
+		if err != nil {
+			return err
+		}
+		vInc, dIncM, err := replay(inc, mixedOps)
+		if err != nil {
+			return err
+		}
+		if vRec != vInc {
+			return fmt.Errorf("n=%d: mixed verdicts diverged", n)
+		}
+		if !relation.Equal(rec.Snapshot(), inc.Snapshot()) {
+			return fmt.Errorf("n=%d: final states diverged", n)
+		}
+		ri, ru, rd, rr := rec.Stats()
+		ii, iu, id, ir := inc.Stats()
+		if ri != ii || ru != iu || rd != id || rr != ir {
+			return fmt.Errorf("n=%d: stats diverged: recheck=(%d,%d,%d,%d) incremental=(%d,%d,%d,%d)",
+				n, ri, ru, rd, rr, ii, iu, id, ir)
+		}
+		t.add(fmt.Sprint(n), fmt.Sprint(len(fds)), "mixed",
+			dRecM.String(), dIncM.String(), fmt.Sprintf("%.1fx", float64(dRecM)/float64(dIncM)), "yes")
+	}
+	t.write(w)
+	if !quick && insertSpeedup < 10 {
+		return fmt.Errorf("incremental maintenance failed the 10x bar on inserts at the largest size (%.1fx)", insertSpeedup)
+	}
+	fmt.Fprintln(w, "  the recheck engine clones and re-chases the instance per mutation — O(n) per write;")
+	fmt.Fprintln(w, "  the incremental engine re-verifies the touched partition groups (eval.CheckDelta) and")
+	fmt.Fprintln(w, "  propagates forced substitutions through delta-maintained X-partition indexes, so the")
+	fmt.Fprintln(w, "  insert-phase speedup grows with n. Verdicts, final states, and stats agree at every")
+	fmt.Fprintln(w, "  size by assertion; the mixed phase is muted by doomed mutations, whose rejection is")
+	fmt.Fprintln(w, "  delegated to the recheck path so both engines produce identical chase witnesses")
+	return nil
+}

@@ -6,12 +6,21 @@
 // Usage:
 //
 //	fdcheck [-f file] [-algo sorted|bucket|pairwise] [-engine indexed|naive] [-workers N]
+//	        [-store] [-maintenance incremental|recheck]
 //
 // With no -f the input is read from stdin. Per-tuple verdicts are computed
 // by the selected evaluation engine — the indexed engine (default) probes
 // X-partition indexes and fans out over a worker pool; the naive engine is
-// the linear-scan ground truth. Exit status: 0 if the FD set is weakly
-// satisfiable, 1 if not, 2 on input errors.
+// the linear-scan ground truth.
+//
+// With -store the rows are additionally replayed one by one as guarded
+// inserts into a constraint-maintaining store (-maintenance selects the
+// incremental delta engine or the clone-and-rechase engine), reporting
+// which rows the dependencies reject and the minimally incomplete
+// instance the accepted rows settle into.
+//
+// Exit status: 0 if the FD set is weakly satisfiable, 1 if not, 2 on
+// input errors.
 package main
 
 import (
@@ -34,10 +43,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	algo := fs.String("algo", "sorted", "TEST-FDs algorithm: sorted, bucket, or pairwise")
 	engineFlag := fs.String("engine", "indexed", "evaluation engine: indexed or naive")
 	workers := fs.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
+	storeReplay := fs.Bool("store", false, "replay the rows as guarded store inserts and report rejections")
+	maintFlag := fs.String("maintenance", "incremental", "store maintenance engine for -store: incremental or recheck")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	engine, err := fdnull.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdcheck: %v\n", err)
+		return 2
+	}
+	maintenance, err := fdnull.ParseMaintenance(*maintFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "fdcheck: %v\n", err)
 		return 2
@@ -126,9 +142,35 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if !weakOK {
 		fmt.Fprintf(stdout, "  chased instance (! marks the unavoidable conflicts):\n")
 		fmt.Fprint(stdout, indent(res.Relation.String(), "  "))
+		if *storeReplay {
+			// The replay shows *which* rows the dependencies reject.
+			replayStore(stdout, s, fds, r, maintenance)
+		}
 		return 1
 	}
+	if *storeReplay {
+		replayStore(stdout, s, fds, r, maintenance)
+	}
 	return 0
+}
+
+// replayStore replays the instance row by row as guarded inserts — the
+// modification-operations reading of the file: each row is external
+// acquisition, and the store's maintenance engine (incremental or
+// recheck) decides acceptance and substitutes the forced nulls.
+func replayStore(stdout io.Writer, s *fdnull.Scheme, fds []fdnull.FD, r *fdnull.Relation, m fdnull.StoreMaintenance) {
+	st := fdnull.NewStore(s, fds, fdnull.StoreOptions{Maintenance: m})
+	fmt.Fprintf(stdout, "\nguarded replay (%s maintenance):\n", m)
+	for i := 0; i < r.Len(); i++ {
+		if err := st.Insert(r.Tuple(i).Clone()); err != nil {
+			fmt.Fprintf(stdout, "  t%-3d rejected: %v\n", i+1, err)
+		} else {
+			fmt.Fprintf(stdout, "  t%-3d accepted\n", i+1)
+		}
+	}
+	ins, _, _, rej := st.Stats()
+	fmt.Fprintf(stdout, "accepted %d, rejected %d; settled instance:\n", ins, rej)
+	fmt.Fprint(stdout, indent(st.Snapshot().String(), "  "))
 }
 
 func indent(s, pad string) string {

@@ -140,3 +140,28 @@ func TestRunNoFDs(t *testing.T) {
 		t.Errorf("no-FD input: exit %d\n%s", code, out.String())
 	}
 }
+
+func TestRunStoreReplay(t *testing.T) {
+	for _, m := range []string{"incremental", "recheck"} {
+		var out, errOut strings.Builder
+		code := run([]string{"-store", "-maintenance", m}, strings.NewReader(contradictory), &out, &errOut)
+		if code != 1 {
+			t.Fatalf("[%s] exit %d (want 1), stderr: %s", m, code, errOut.String())
+		}
+		got := out.String()
+		for _, want := range []string{
+			"guarded replay (" + m + " maintenance):",
+			"t1   accepted",
+			"t2   rejected",
+			"accepted 1, rejected 1",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("[%s] output missing %q:\n%s", m, want, got)
+			}
+		}
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-maintenance", "bogus"}, strings.NewReader(satisfiable), &out, &errOut); code != 2 {
+		t.Errorf("bogus -maintenance: exit %d, want 2", code)
+	}
+}

@@ -134,3 +134,32 @@ func ExampleDiscoverFDs() {
 	// Output:
 	// A -> B; A -> C; B -> C
 }
+
+// A guarded store keeps its instance minimally incomplete: doomed
+// mutations are rejected, forced nulls are substituted (internal
+// acquisition), and the incremental maintenance engine does both at
+// O(affected group) per write. O(1) views snapshot the instance for
+// readers without cloning.
+func ExampleNewStore() {
+	s, _ := fdnull.NewScheme("R", []string{"E#", "D#", "CT"},
+		[]*fdnull.Domain{
+			fdnull.IntDomain("emp", "e", 9),
+			fdnull.IntDomain("dept", "d", 9),
+			fdnull.IntDomain("ct", "ct", 9),
+		})
+	fds := fdnull.MustParseFDs(s, "E# -> D#; D# -> CT")
+	st := fdnull.NewStore(s, fds, fdnull.StoreOptions{Maintenance: fdnull.MaintenanceIncremental})
+
+	_ = st.InsertRow("e1", "d1", "ct1")
+	_ = st.InsertRow("e2", "d1", "-")      // CT unknown, but d1 forces ct1
+	view := st.View()                      // O(1) copy-on-write snapshot
+	err := st.InsertRow("e3", "d1", "ct2") // contradicts D# -> CT
+
+	fmt.Println("e2 contract:", st.TupleView(1)[s.MustAttr("CT")])
+	fmt.Println("rejected:", err != nil)
+	fmt.Println("view still has", view.Len(), "tuples")
+	// Output:
+	// e2 contract: ct1
+	// rejected: true
+	// view still has 2 tuples
+}

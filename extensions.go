@@ -75,6 +75,25 @@ type Store = store.Store
 // StoreOptions configure a Store.
 type StoreOptions = store.Options
 
+// StoreMaintenance selects the engine that re-establishes the store
+// invariant after each mutation.
+type StoreMaintenance = store.Maintenance
+
+// The maintenance engines: MaintenanceIncremental (the default)
+// re-verifies only the partition groups a mutation touches and
+// propagates forced substitutions from the delta tuple over the
+// delta-maintained X-partition indexes; MaintenanceRecheck clones and
+// re-chases the whole instance per mutation (the differential ground
+// truth). The engines agree verdict-for-verdict and state-for-state.
+const (
+	MaintenanceIncremental = store.MaintenanceIncremental
+	MaintenanceRecheck     = store.MaintenanceRecheck
+)
+
+// ParseMaintenance parses the -maintenance flag values "incremental"
+// and "recheck".
+func ParseMaintenance(s string) (StoreMaintenance, error) { return store.ParseMaintenance(s) }
+
 // InconsistencyError is returned for mutations the dependencies forbid.
 type InconsistencyError = store.InconsistencyError
 
@@ -83,11 +102,36 @@ func NewStore(s *schema.Scheme, fds []fd.FD, opts StoreOptions) *Store {
 	return store.New(s, fds, opts)
 }
 
+// StoreFromRelation builds a store over an existing instance with one
+// chase (instead of n guarded inserts), rejecting instances that
+// contradict the dependencies.
+func StoreFromRelation(s *schema.Scheme, fds []fd.FD, r *relation.Relation, opts StoreOptions) (*Store, error) {
+	return store.FromRelation(s, fds, r, opts)
+}
+
 // LoadStore reads a store persisted with Store.Save (the relio text
 // format), re-chasing and rejecting inconsistent files.
 func LoadStore(r io.Reader, opts StoreOptions) (*Store, error) {
 	return store.Load(r, opts)
 }
+
+// ConcurrentStore is a Store safe for concurrent use: writers serialize
+// behind a write lock while readers take O(1) copy-on-write snapshots
+// under the read lock and then work lock-free on immutable data.
+type ConcurrentStore = store.Concurrent
+
+// RelationView is an immutable O(1) copy-on-write snapshot of a relation
+// instance (Store.View, ConcurrentStore.Snapshot).
+type RelationView = relation.View
+
+// NewConcurrentStore creates an empty concurrent guarded store.
+func NewConcurrentStore(s *schema.Scheme, fds []fd.FD, opts StoreOptions) *ConcurrentStore {
+	return store.NewConcurrent(s, fds, opts)
+}
+
+// GuardStore wraps an existing store in the concurrent facade; the
+// caller must not use the bare store afterwards.
+func GuardStore(st *Store) *ConcurrentStore { return store.Guard(st) }
 
 // ---- Dependency discovery ----
 

@@ -1,0 +1,261 @@
+// delta.go implements the delta-update path for relations and their
+// cached X-partition indexes: instead of bumping the version counter and
+// letting every cached Index go stale (a full O(n) rebuild per index on
+// next use), the delta mutators apply the mutation to each cached index
+// in place —
+//
+//   - InsertDelta appends the new row to the touched group or sidecar;
+//   - DeleteDelta swaps the last row into the hole and pops, renumbering
+//     only the moved row's index entries;
+//   - SetCellDelta re-homes the one touched row in every index whose
+//     attribute set contains the overwritten attribute.
+//
+// Each mutation therefore costs O(affected group · cached indexes), not
+// O(n). This is the substrate of the store's incremental FD maintenance
+// (internal/store): a write-heavy workload keeps its left-hand-side
+// partitions warm across mutations instead of rebuilding them per write.
+//
+// Groups touched by delta updates no longer keep their rows in ascending
+// order (DeleteDelta renumbers in place); none of the evaluators depend
+// on group order, but callers that do should rebuild with BuildIndex.
+package relation
+
+import (
+	"strings"
+
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// InsertDelta validates and appends a tuple like Insert, but keeps every
+// cached index fresh by appending the new row to its touched group or
+// sidecar. The duplicate check probes the index on the full attribute
+// set instead of scanning the relation, so it costs O(identical group +
+// null sidecar) — callers that insert many tuples should rely on this
+// path keeping that index warm. Returns the new row's index.
+func (r *Relation) InsertDelta(t Tuple) (int, error) {
+	if err := r.ValidateNew(t); err != nil {
+		return -1, err
+	}
+	if j := r.FindIdentical(t); j >= 0 {
+		return -1, r.errDuplicate(t)
+	}
+	r.noteMark(t)
+	tc := t.Clone()
+	i := len(r.tuples)
+	r.tuples = append(r.tuples, tc)
+	r.cowAppend()
+	r.applyDelta(func(ix *Index) {
+		ix.addRow(i, tupleGetter(tc))
+	})
+	return i, nil
+}
+
+// DeleteDelta removes row i by swapping the last row into its place and
+// popping — O(p · cached indexes) instead of the O(n) renumbering an
+// ordered delete would force on every index. It returns the index the
+// moved row previously had, or -1 when i was the last row. Tuple order
+// is not preserved.
+func (r *Relation) DeleteDelta(i int) int {
+	r.ensureOwnedSlice()
+	last := len(r.tuples) - 1
+	tDel := r.tuples[i]
+	var tMoved Tuple
+	if i != last {
+		tMoved = r.tuples[last]
+	}
+	r.applyDelta(func(ix *Index) {
+		ix.removeRow(i, tupleGetter(tDel))
+		if tMoved != nil {
+			ix.renumberRow(last, i, tupleGetter(tMoved))
+		}
+	})
+	if tMoved != nil {
+		r.tuples[i] = tMoved
+	}
+	r.tuples[last] = nil
+	r.tuples = r.tuples[:last]
+	r.cowSwapPop(i, last)
+	if tMoved != nil {
+		return last
+	}
+	return -1
+}
+
+// SetCellDelta overwrites cell (i, a) and re-homes row i in every cached
+// index whose attribute set contains a: the row is removed from the
+// partition slot its old projection selected and appended to the slot of
+// the new one. Indexes whose set does not contain a are untouched.
+func (r *Relation) SetCellDelta(i int, a schema.Attr, v value.V) {
+	r.ensureOwnedSlice()
+	r.ensureOwnedRow(i)
+	t := r.tuples[i]
+	old := t[a]
+	r.applyDelta(func(ix *Index) {
+		if !ix.set.Has(a) {
+			return
+		}
+		ix.removeRow(i, overrideGetter(t, a, old))
+		ix.addRow(i, overrideGetter(t, a, v))
+	})
+	t[a] = v
+}
+
+// FindIdentical returns the index of a tuple syntactically identical to t
+// (same constants, same null marks, same nothings), or -1. It probes the
+// index on the full attribute set: an all-constant tuple is found by one
+// hash probe; a tuple with nulls can only be identical to a sidecar row,
+// so only the sidecars are scanned.
+func (r *Relation) FindIdentical(t Tuple) int {
+	all := r.scheme.All()
+	ix := r.IndexOn(all)
+	if rows, ok := ix.Probe(t); ok {
+		// Group rows are all-constant and agree with t on every attribute:
+		// any member is identical to t.
+		if len(rows) > 0 {
+			return rows[0]
+		}
+		return -1
+	}
+	for _, j := range ix.NullRows() {
+		if t.IdenticalOn(r.tuples[j], all) {
+			return j
+		}
+	}
+	for _, j := range ix.NothingRows() {
+		if t.IdenticalOn(r.tuples[j], all) {
+			return j
+		}
+	}
+	return -1
+}
+
+// applyDelta bumps the version and applies fn to every cached index that
+// was fresh, stamping it with the new version so IndexOn keeps returning
+// it. Indexes that were already stale cannot be delta-updated (they
+// describe an older instance) and are dropped from the cache instead.
+func (r *Relation) applyDelta(fn func(ix *Index)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.version
+	r.version++
+	for set, ix := range r.indexes {
+		if ix.version != old {
+			delete(r.indexes, set)
+			continue
+		}
+		fn(ix)
+		ix.version = r.version
+	}
+}
+
+// ---- index-side delta application ----
+
+// getter abstracts "the value of attribute a" so SetCellDelta can compute
+// a row's old partition slot after the cell is conceptually overwritten,
+// without materializing a temporary tuple.
+type getter func(a schema.Attr) value.V
+
+func tupleGetter(t Tuple) getter { return func(a schema.Attr) value.V { return t[a] } }
+
+func overrideGetter(t Tuple, oa schema.Attr, ov value.V) getter {
+	return func(a schema.Attr) value.V {
+		if a == oa {
+			return ov
+		}
+		return t[a]
+	}
+}
+
+const (
+	locGroup = iota
+	locNulls
+	locNothing
+)
+
+// locate classifies a projection the same way BuildIndex does: nothing
+// sidecar, null sidecar, or the constant group keyed like writeKey.
+func (ix *Index) locate(get getter) (int, string) {
+	hasNull := false
+	for _, a := range ix.attrs {
+		v := get(a)
+		if v.IsNothing() {
+			return locNothing, ""
+		}
+		if v.IsNull() {
+			hasNull = true
+		}
+	}
+	if hasNull {
+		return locNulls, ""
+	}
+	var b strings.Builder
+	for _, a := range ix.attrs {
+		writeKeyPart(&b, get(a).Const())
+	}
+	return locGroup, b.String()
+}
+
+// addRow appends row i to the slot its projection selects.
+func (ix *Index) addRow(i int, get getter) {
+	switch kind, key := ix.locate(get); kind {
+	case locNothing:
+		ix.nothing = append(ix.nothing, i)
+	case locNulls:
+		ix.nulls = append(ix.nulls, i)
+	default:
+		ix.groups[key] = append(ix.groups[key], i)
+	}
+}
+
+// removeRow removes row i from the slot its projection selects, deleting
+// groups that become empty so GroupCount stays exact.
+func (ix *Index) removeRow(i int, get getter) {
+	switch kind, key := ix.locate(get); kind {
+	case locNothing:
+		ix.nothing = cutRow(ix.nothing, i)
+	case locNulls:
+		ix.nulls = cutRow(ix.nulls, i)
+	default:
+		rows := cutRow(ix.groups[key], i)
+		if len(rows) == 0 {
+			delete(ix.groups, key)
+		} else {
+			ix.groups[key] = rows
+		}
+	}
+}
+
+// renumberRow rewrites row id old to new in the slot the row's projection
+// selects (the row content is unchanged — only its position moved).
+func (ix *Index) renumberRow(old, new int, get getter) {
+	switch kind, key := ix.locate(get); kind {
+	case locNothing:
+		swapRow(ix.nothing, old, new)
+	case locNulls:
+		swapRow(ix.nulls, old, new)
+	default:
+		swapRow(ix.groups[key], old, new)
+	}
+}
+
+// cutRow removes the first occurrence of id by swap-and-pop.
+func cutRow(rows []int, id int) []int {
+	for k, v := range rows {
+		if v == id {
+			rows[k] = rows[len(rows)-1]
+			return rows[:len(rows)-1]
+		}
+	}
+	return rows
+}
+
+// swapRow rewrites the first occurrence of old to new.
+func swapRow(rows []int, old, new int) {
+	for k, v := range rows {
+		if v == old {
+			rows[k] = new
+			return
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// indexShape flattens an index into a canonical, order-insensitive form
+// so delta-maintained indexes can be compared against fresh rebuilds.
+func indexShape(ix *Index) string {
+	norm := func(rows []int) []int {
+		out := append([]int(nil), rows...)
+		sort.Ints(out)
+		return out
+	}
+	var groups [][]int
+	ix.ForEachGroup(func(rows []int) bool {
+		groups = append(groups, norm(rows))
+		return true
+	})
+	sort.Slice(groups, func(i, j int) bool {
+		return fmt.Sprint(groups[i]) < fmt.Sprint(groups[j])
+	})
+	return fmt.Sprintf("groups=%v nulls=%v nothing=%v", groups, norm(ix.NullRows()), norm(ix.NothingRows()))
+}
+
+// TestDeltaIndexDifferential runs randomized InsertDelta / DeleteDelta /
+// SetCellDelta sequences and asserts after every mutation that each
+// cached, delta-maintained index is identical (up to row order) to a
+// fresh BuildIndex of the current tuples.
+func TestDeltaIndexDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	dom := schema.IntDomain("d", "v", 5)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	sets := []schema.AttrSet{
+		schema.NewAttrSet(0),
+		schema.NewAttrSet(0, 1),
+		schema.NewAttrSet(2),
+		s.All(),
+	}
+	r := New(s)
+	randVal := func() value.V {
+		if rng.Intn(5) == 0 {
+			return r.FreshNull()
+		}
+		return value.NewConst(dom.Values[rng.Intn(dom.Size())])
+	}
+	for op := 0; op < 600; op++ {
+		// Touch every set so the cache stays warm and delta-maintained.
+		for _, set := range sets {
+			r.IndexOn(set)
+		}
+		switch {
+		case r.Len() == 0 || rng.Intn(3) == 0:
+			tup := Tuple{randVal(), randVal(), randVal()}
+			if _, err := r.InsertDelta(tup); err != nil {
+				continue // duplicate or other rejection: no mutation happened
+			}
+		case rng.Intn(2) == 0:
+			r.SetCellDelta(rng.Intn(r.Len()), schema.Attr(rng.Intn(3)), randVal())
+		default:
+			r.DeleteDelta(rng.Intn(r.Len()))
+		}
+		for _, set := range sets {
+			got := indexShape(r.IndexOn(set))
+			want := indexShape(BuildIndex(r, set))
+			if got != want {
+				t.Fatalf("op %d: delta index on %s diverged:\n got %s\nwant %s\n%s",
+					op, s.FormatSet(set), got, want, r)
+			}
+		}
+	}
+}
+
+func TestInsertDeltaMatchesInsertErrors(t *testing.T) {
+	dom := schema.MustDomain("d", "x", "y")
+	s := schema.Uniform("R", []string{"A", "B"}, dom)
+	r := New(s)
+	r.MustInsertRow("x", "y")
+	for _, tup := range []Tuple{
+		{value.NewConst("x")},                       // arity
+		{value.NewConst("zz"), value.NewConst("x")}, // domain
+		{value.NewConst("x"), value.NewConst("y")},  // duplicate
+	} {
+		other := New(s)
+		other.MustInsertRow("x", "y")
+		_, errDelta := other.InsertDelta(tup)
+		errPlain := r.Clone().Insert(tup)
+		if errDelta == nil || errPlain == nil {
+			t.Fatalf("both paths must reject %v (delta=%v plain=%v)", tup, errDelta, errPlain)
+		}
+		if errDelta.Error() != errPlain.Error() {
+			t.Errorf("error drift for %v:\n delta: %v\n plain: %v", tup, errDelta, errPlain)
+		}
+	}
+}
+
+func TestDeleteDeltaSwapAndPop(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 9)
+	s := schema.Uniform("R", []string{"A"}, dom)
+	r := New(s)
+	for i := 1; i <= 4; i++ {
+		r.MustInsertRow(fmt.Sprintf("v%d", i))
+	}
+	if moved := r.DeleteDelta(1); moved != 3 {
+		t.Fatalf("moved = %d, want 3", moved)
+	}
+	if r.Len() != 3 || r.Tuple(1)[0].Const() != "v4" {
+		t.Fatalf("swap-and-pop should move the last row into the hole:\n%s", r)
+	}
+	if moved := r.DeleteDelta(2); moved != -1 {
+		t.Fatalf("deleting the last row must report -1, got %d", moved)
+	}
+}
+
+// TestViewCopyOnWrite: a View must never observe mutations applied after
+// it was taken, through any mutation path.
+func TestViewCopyOnWrite(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 9)
+	s := schema.Uniform("R", []string{"A", "B"}, dom)
+	r := New(s)
+	r.MustInsertRow("v1", "v2")
+	r.MustInsertRow("v3", "v4")
+
+	v1 := r.View()
+	r.SetCell(0, 0, value.NewConst("v5"))
+	if got := v1.Tuple(0)[0].Const(); got != "v1" {
+		t.Fatalf("view saw SetCell: %s", got)
+	}
+	if got := r.Tuple(0)[0].Const(); got != "v5" {
+		t.Fatalf("relation lost SetCell: %s", got)
+	}
+
+	v2 := r.View()
+	r.SetCellDelta(1, 1, value.NewConst("v6"))
+	r.DeleteDelta(0)
+	if v2.Len() != 2 || v2.Tuple(1)[1].Const() != "v4" || v2.Tuple(0)[0].Const() != "v5" {
+		t.Fatalf("view saw delta mutations: len=%d t1=%s", v2.Len(), v2.Tuple(1))
+	}
+
+	v3 := r.View()
+	r.MustInsertRow("v7", "v8")
+	r.Delete(0)
+	if v3.Len() != 1 || r.Len() != 1 {
+		t.Fatalf("lens: view=%d rel=%d", v3.Len(), r.Len())
+	}
+	if v1.Version() >= v3.Version() {
+		t.Fatalf("versions must be monotone: %d then %d", v1.Version(), v3.Version())
+	}
+
+	m := v2.Materialize()
+	if m.Len() != 2 || m.Tuple(1)[1].Const() != "v4" {
+		t.Fatalf("materialized view diverged:\n%s", m)
+	}
+}
+
+func TestViewEachStopsEarly(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 9)
+	s := schema.Uniform("R", []string{"A"}, dom)
+	r := New(s)
+	for i := 1; i <= 5; i++ {
+		r.MustInsertRow(fmt.Sprintf("v%d", i))
+	}
+	seen := 0
+	r.View().Each(func(i int, tup Tuple) bool {
+		seen++
+		return i < 2
+	})
+	if seen != 3 {
+		t.Fatalf("Each visited %d rows, want 3", seen)
+	}
+}

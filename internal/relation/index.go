@@ -23,9 +23,13 @@ import (
 // into groups; tuples with a null (or the inconsistent element) on the set
 // cannot participate in constant equality and are kept in sidecar lists.
 //
-// An Index is immutable after construction and safe for concurrent use. It
-// describes the instance as it was when the index was built: it does not
-// observe later mutations (IndexOn transparently rebuilds stale indexes).
+// An Index built by BuildIndex is immutable and safe for concurrent use by
+// readers. It describes the instance as it was when the index was built:
+// plain mutations (Insert, Delete, SetCell) do not touch it, and IndexOn
+// transparently rebuilds stale cached indexes. The *delta* mutators
+// (delta.go) instead update cached indexes in place, so they stay fresh at
+// O(affected group) per mutation; as with the relation itself, delta
+// mutation must not run concurrently with readers.
 type Index struct {
 	set     schema.AttrSet
 	attrs   []schema.Attr    // set.Attrs(), precomputed for the probe hot path
@@ -65,21 +69,28 @@ func BuildIndex(r *Relation, set schema.AttrSet) *Index {
 // collide ("a"+"bc" vs "ab"+"c").
 func writeKey(b *strings.Builder, t Tuple, attrs []schema.Attr) {
 	for _, a := range attrs {
-		c := t[a].Const()
-		b.WriteString(strconv.Itoa(len(c)))
-		b.WriteByte(':')
-		b.WriteString(c)
+		writeKeyPart(b, t[a].Const())
 	}
+}
+
+// writeKeyPart is the single definition of the group-key cell encoding,
+// shared by writeKey and the delta path's locate so the two can never
+// drift into incompatible keys.
+func writeKeyPart(b *strings.Builder, c string) {
+	b.WriteString(strconv.Itoa(len(c)))
+	b.WriteByte(':')
+	b.WriteString(c)
 }
 
 // Set returns the attribute set the index partitions on.
 func (ix *Index) Set() schema.AttrSet { return ix.set }
 
 // Probe returns the indices of the indexed tuples whose projection on the
-// index's set equals t's, in ascending order, together with ok=true. When t
-// is not all-constant on the set, constant equality is undefined and Probe
+// index's set equals t's, together with ok=true. When t is not
+// all-constant on the set, constant equality is undefined and Probe
 // returns (nil, false). The returned slice is shared; callers must not
-// mutate it.
+// mutate it. Freshly built indexes list rows in ascending order; groups
+// touched by delta updates (delta.go) may not.
 func (ix *Index) Probe(t Tuple) ([]int, bool) {
 	for _, a := range ix.attrs {
 		if !t[a].IsConst() {
@@ -91,20 +102,21 @@ func (ix *Index) Probe(t Tuple) ([]int, bool) {
 	return ix.groups[b.String()], true
 }
 
-// NullRows returns the indices of tuples with a null on the set (ascending;
-// shared slice — do not mutate).
+// NullRows returns the indices of tuples with a null on the set (shared
+// slice — do not mutate; ascending unless delta-updated).
 func (ix *Index) NullRows() []int { return ix.nulls }
 
 // NothingRows returns the indices of tuples with the inconsistent element
-// on the set (ascending; shared slice — do not mutate).
+// on the set (shared slice — do not mutate; ascending unless
+// delta-updated).
 func (ix *Index) NothingRows() []int { return ix.nothing }
 
 // GroupCount returns the number of distinct constant projections.
 func (ix *Index) GroupCount() int { return len(ix.groups) }
 
 // ForEachGroup calls fn once per group of constant-projection-equal tuples
-// (each group ascending by tuple index; group order is unspecified). fn
-// returning false stops the iteration early.
+// (row and group order are unspecified). fn returning false stops the
+// iteration early.
 func (ix *Index) ForEachGroup(fn func(rows []int) bool) {
 	for _, rows := range ix.groups {
 		if !fn(rows) {
@@ -114,10 +126,12 @@ func (ix *Index) ForEachGroup(fn func(rows []int) bool) {
 }
 
 // IndexOn returns the index of r on set, building it on first use and
-// caching it on the relation. The cache is keyed by attribute set and
-// invalidated by any mutation (Insert, Delete, SetCell, …), so a returned
-// index always describes the current tuples. Safe for concurrent callers;
-// the returned Index is immutable.
+// caching it on the relation. The cache is keyed by attribute set; plain
+// mutations (Insert, Delete, SetCell, …) invalidate it through the version
+// counter, while delta mutations (delta.go) keep it fresh in place — a
+// returned index always describes the current tuples either way. Safe for
+// concurrent callers; the returned Index must not be read concurrently
+// with delta mutation.
 func (r *Relation) IndexOn(set schema.AttrSet) *Index {
 	r.mu.Lock()
 	defer r.mu.Unlock()

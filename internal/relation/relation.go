@@ -130,10 +130,17 @@ type Relation struct {
 
 	// X-partition index cache (index.go). version counts mutations so a
 	// cached index can detect it is stale; mu guards the cache map only —
-	// tuple storage has no internal locking.
+	// tuple storage has no internal locking. The delta mutators (delta.go)
+	// update cached indexes in place instead of letting them go stale.
 	version uint64
 	mu      sync.Mutex
 	indexes map[schema.AttrSet]*Index
+
+	// Copy-on-write state (view.go). cowPending is set when a View shares
+	// the current tuple slice; rowShared marks rows whose cells are still
+	// shared with an outstanding View.
+	cowPending bool
+	rowShared  []bool
 }
 
 // New creates an empty instance of s.
@@ -170,6 +177,18 @@ func (r *Relation) FreshNull() value.V {
 	return v
 }
 
+// NextMark returns the fresh-mark allocator's next mark. It exists so
+// incremental maintainers (internal/store) can save and restore the
+// allocator around speculative mutations.
+func (r *Relation) NextMark() int { return r.nextMark }
+
+// SetNextMark overwrites the fresh-mark allocator. Incremental
+// maintainers use it to replicate the chase's allocator behavior — the
+// chase rebuilds its result relation, so its allocator always restarts at
+// (max surviving mark)+1 — and to roll the allocator back when a
+// speculative mutation is rejected.
+func (r *Relation) SetNextMark(n int) { r.nextMark = n }
+
 // mutated records a change to the tuple storage so cached indexes know
 // they are stale. Every mutating method must call it.
 func (r *Relation) mutated() {
@@ -188,9 +207,11 @@ func (r *Relation) noteMark(t Tuple) {
 	}
 }
 
-// Insert validates and appends a tuple: correct arity, constants drawn from
-// the attribute domains, and no syntactic duplicate of an existing tuple.
-func (r *Relation) Insert(t Tuple) error {
+// ValidateNew checks a tuple against the scheme: correct arity and
+// constants drawn from the attribute domains. Insert runs it before the
+// duplicate scan; the delta path (delta.go) shares it so error texts
+// cannot drift between the engines.
+func (r *Relation) ValidateNew(t Tuple) error {
 	if len(t) != r.scheme.Arity() {
 		return fmt.Errorf("relation %s: tuple arity %d, scheme arity %d",
 			r.scheme.Name(), len(t), r.scheme.Arity())
@@ -202,14 +223,30 @@ func (r *Relation) Insert(t Tuple) error {
 				r.scheme.AttrName(schema.Attr(i)))
 		}
 	}
+	return nil
+}
+
+// errDuplicate is the shared duplicate-tuple error of Insert and
+// InsertDelta.
+func (r *Relation) errDuplicate(t Tuple) error {
+	return fmt.Errorf("relation %s: duplicate tuple %s", r.scheme.Name(), t)
+}
+
+// Insert validates and appends a tuple: correct arity, constants drawn from
+// the attribute domains, and no syntactic duplicate of an existing tuple.
+func (r *Relation) Insert(t Tuple) error {
+	if err := r.ValidateNew(t); err != nil {
+		return err
+	}
 	for _, u := range r.tuples {
 		if t.IdenticalOn(u, r.scheme.All()) {
-			return fmt.Errorf("relation %s: duplicate tuple %s", r.scheme.Name(), t)
+			return r.errDuplicate(t)
 		}
 	}
 	r.noteMark(t)
 	r.mutated()
 	r.tuples = append(r.tuples, t.Clone())
+	r.cowAppend()
 	return nil
 }
 
@@ -222,6 +259,7 @@ func (r *Relation) InsertUnchecked(t Tuple) {
 	r.noteMark(t)
 	r.mutated()
 	r.tuples = append(r.tuples, t.Clone())
+	r.cowAppend()
 }
 
 // MustInsert is Insert for statically known-good tuples.
@@ -231,17 +269,27 @@ func (r *Relation) MustInsert(t Tuple) {
 	}
 }
 
-// InsertRow parses a row of cell strings: "-" is a fresh unmarked-by-name
-// null (each occurrence gets a fresh mark), "-k" is the marked null ⊥k,
-// "!" is nothing, anything else is a constant.
-func (r *Relation) InsertRow(cells ...string) error {
+// ParseRow parses a row of cell strings into a tuple without inserting
+// it: "-" is a fresh unmarked-by-name null (each occurrence gets a fresh
+// mark, consuming the allocator), "-k" is the marked null ⊥k, "!" is
+// nothing, anything else is a constant.
+func (r *Relation) ParseRow(cells ...string) (Tuple, error) {
 	t := make(Tuple, len(cells))
 	for i, c := range cells {
 		v, err := r.parseCell(c)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		t[i] = v
+	}
+	return t, nil
+}
+
+// InsertRow parses a row of cell strings (see ParseRow) and inserts it.
+func (r *Relation) InsertRow(cells ...string) error {
+	t, err := r.ParseRow(cells...)
+	if err != nil {
+		return err
 	}
 	return r.Insert(t)
 }
@@ -270,10 +318,12 @@ func (r *Relation) parseCell(c string) (value.V, error) {
 	}
 }
 
-// Delete removes the i-th tuple.
+// Delete removes the i-th tuple, preserving the order of the rest.
 func (r *Relation) Delete(i int) {
+	r.ensureOwnedSlice()
 	r.mutated()
 	r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
+	r.cowDelete(i)
 }
 
 // Clone returns a deep copy of the instance.
@@ -289,6 +339,8 @@ func (r *Relation) Clone() *Relation {
 // SetCell overwrites one cell; used by the chase when an NS-rule
 // substitutes a null.
 func (r *Relation) SetCell(i int, a schema.Attr, v value.V) {
+	r.ensureOwnedSlice()
+	r.ensureOwnedRow(i)
 	r.mutated()
 	r.tuples[i][a] = v
 }

@@ -13,6 +13,7 @@ import (
 	"math/bits"
 	"sort"
 	"strings"
+	"sync"
 
 	"fdnull/internal/value"
 )
@@ -96,6 +97,11 @@ func (s AttrSet) ForEach(fn func(Attr)) {
 type Domain struct {
 	Name   string
 	Values []string
+
+	// lookup accelerates Contains for large domains; built lazily on
+	// first use so struct-literal construction keeps working.
+	lookupOnce sync.Once
+	lookup     map[string]bool
 }
 
 // NewDomain constructs a domain; values must be non-empty and distinct.
@@ -136,14 +142,27 @@ func IntDomain(name, prefix string, n int) *Domain {
 // Size returns |dom|.
 func (d *Domain) Size() int { return len(d.Values) }
 
-// Contains reports whether c is a domain value.
+// Contains reports whether c is a domain value. Small domains scan
+// (cheaper than hashing); large ones build a lookup map once — Contains
+// guards every constant on the store's write path, so it must not be
+// linear in the domain size there.
 func (d *Domain) Contains(c string) bool {
-	for _, v := range d.Values {
-		if v == c {
-			return true
+	if len(d.Values) < 16 {
+		for _, v := range d.Values {
+			if v == c {
+				return true
+			}
 		}
+		return false
 	}
-	return false
+	d.lookupOnce.Do(func() {
+		m := make(map[string]bool, len(d.Values))
+		for _, v := range d.Values {
+			m[v] = true
+		}
+		d.lookup = m
+	})
+	return d.lookup[c]
 }
 
 // Consts returns the domain values as constants.

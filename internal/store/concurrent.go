@@ -1,0 +1,119 @@
+// concurrent.go wraps the Store in a reader/writer-locked facade so one
+// guarded instance can serve many goroutines: writers serialize behind
+// the write lock, while readers take O(1) copy-on-write snapshots under
+// the read lock and then work entirely lock-free on immutable data —
+// the snapshot-then-analyze pattern keeps FD checks, queries, and
+// reports off the write path.
+package store
+
+import (
+	"sync"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// Concurrent is a Store safe for concurrent use. Mutations take the
+// write lock; Snapshot and the other read accessors take the read lock,
+// so any number of readers proceed in parallel with each other.
+type Concurrent struct {
+	mu sync.RWMutex
+	st *Store
+}
+
+// NewConcurrent creates an empty concurrent store over s guarded by fds.
+func NewConcurrent(s *schema.Scheme, fds []fd.FD, opts Options) *Concurrent {
+	return &Concurrent{st: New(s, fds, opts)}
+}
+
+// Guard wraps an existing store. The caller must not use st directly
+// afterwards.
+func Guard(st *Store) *Concurrent { return &Concurrent{st: st} }
+
+// Insert adds a tuple under the write lock.
+func (c *Concurrent) Insert(t relation.Tuple) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.Insert(t)
+}
+
+// InsertRow parses and inserts a row under the write lock.
+func (c *Concurrent) InsertRow(cells ...string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.InsertRow(cells...)
+}
+
+// Update overwrites one cell under the write lock.
+func (c *Concurrent) Update(ti int, a schema.Attr, v value.V) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.Update(ti, a, v)
+}
+
+// Delete removes a tuple under the write lock.
+func (c *Concurrent) Delete(ti int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.Delete(ti)
+}
+
+// FreshNull allocates a null mark; it advances the allocator, so it
+// takes the write lock.
+func (c *Concurrent) FreshNull() value.V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.st.FreshNull()
+}
+
+// Snapshot returns an O(1) copy-on-write snapshot of the instance. The
+// returned view is immutable and safe to read without any lock; writers
+// pay for the rows they later touch, never the readers.
+func (c *Concurrent) Snapshot() relation.View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st.View()
+}
+
+// Len returns the number of stored tuples.
+func (c *Concurrent) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st.Len()
+}
+
+// Version returns the monotone mutation counter.
+func (c *Concurrent) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st.Version()
+}
+
+// Stats reports the mutation counters.
+func (c *Concurrent) Stats() (inserts, updates, deletes, rejected int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st.Stats()
+}
+
+// Scheme returns the store's scheme.
+func (c *Concurrent) Scheme() *schema.Scheme { return c.st.Scheme() }
+
+// FDs returns the guarding dependencies.
+func (c *Concurrent) FDs() []fd.FD { return c.st.FDs() }
+
+// CheckWeak re-verifies weak satisfiability under the read lock.
+func (c *Concurrent) CheckWeak() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st.CheckWeak()
+}
+
+// CheckStrong checks strong satisfaction under the read lock.
+func (c *Concurrent) CheckStrong() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.st.CheckStrong()
+}

@@ -1,0 +1,353 @@
+// incremental.go implements the incremental maintenance engine: the
+// store's invariant — the instance is a fixpoint of the extended NS-rule
+// system, free of `nothing` — is re-established after a single-tuple
+// mutation without cloning or re-chasing the instance.
+//
+// The engine rests on one property of fixpoints: the chase writes every
+// forced substitution back into the cells, so two cells are in the same
+// congruence class exactly when they are syntactically identical (equal
+// constants, or nulls with the same mark). An NS-rule is therefore
+// applicable only between tuples whose X-projections are *identical*,
+// and after a mutation of tuple t the only rules that can newly fire
+// involve a tuple whose cells changed — initially just t. The engine
+// keeps that invariant inductively:
+//
+//  1. eval.CheckDelta probes the partition group t lands in for an
+//     immediate contradiction (two distinct constants forced together) —
+//     the cheap, common rejection;
+//  2. a worklist propagation fires the remaining rules: for each dirty
+//     tuple, the tuples agreeing with it on some FD's determinant are
+//     found through the delta-maintained X-partition index (hash probe
+//     for constant projections, null-sidecar scan only when the dirty
+//     tuple carries marks), and each forced Y-merge is substituted
+//     *eagerly into every occurrence of the mark* via a mark→cells
+//     index, re-dirtying the touched tuples. Pairwise min-mark merging
+//     reproduces the chase's canonical (min) class marks.
+//
+// Substitutions map identical cells to identical cells, so a group's
+// members keep agreeing on X while the worklist runs — stale probe
+// results stay valid, and new agreements are found when the re-dirtied
+// tuples are processed. The propagation terminates because every
+// substitution either binds a null or merges two mark classes.
+//
+// On any contradiction the engine rolls the cells back (through the
+// delta mutators, so the indexes stay warm) and delegates to the recheck
+// path, which re-derives the rejection with its full chase witness —
+// rejects are therefore bit-identical between the engines, and the
+// incremental path is a pure accept-side fast path.
+package store
+
+import (
+	"fdnull/internal/eval"
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// cellRef addresses one cell of the stored instance.
+type cellRef struct {
+	ti int
+	a  schema.Attr
+}
+
+// incState is the incremental engine's working state: the occurrence
+// index of live null marks. It is rebuilt lazily (O(n·p)) after the
+// recheck path replaced the instance or a rollback mangled it.
+type incState struct {
+	valid bool
+	marks map[int][]cellRef
+}
+
+func (st *Store) invalidateInc() {
+	if st.inc != nil {
+		st.inc.valid = false
+	}
+}
+
+func (st *Store) ensureInc() {
+	if st.inc == nil {
+		st.inc = &incState{}
+	}
+	if st.inc.valid {
+		return
+	}
+	marks := make(map[int][]cellRef)
+	for i, t := range st.rel.Tuples() {
+		for a, v := range t {
+			if v.IsNull() {
+				marks[v.Mark()] = append(marks[v.Mark()], cellRef{i, schema.Attr(a)})
+			}
+		}
+	}
+	st.inc.marks = marks
+	st.inc.valid = true
+}
+
+// addMarkRef / dropMarkRef maintain the occurrence index around a single
+// cell change.
+func (st *Store) addMarkRef(m int, ref cellRef) {
+	st.inc.marks[m] = append(st.inc.marks[m], ref)
+}
+
+func (st *Store) dropMarkRef(m int, ref cellRef) {
+	refs := st.inc.marks[m]
+	for k, r := range refs {
+		if r == ref {
+			refs[k] = refs[len(refs)-1]
+			refs = refs[:len(refs)-1]
+			break
+		}
+	}
+	if len(refs) == 0 {
+		delete(st.inc.marks, m)
+	} else {
+		st.inc.marks[m] = refs
+	}
+}
+
+// renumberMarkRefs rewrites the occurrence index after a swap-and-pop
+// moved a whole row.
+func (st *Store) renumberMarkRefs(t relation.Tuple, from, to int) {
+	for a, v := range t {
+		if !v.IsNull() {
+			continue
+		}
+		refs := st.inc.marks[v.Mark()]
+		for k, r := range refs {
+			if r.ti == from && r.a == schema.Attr(a) {
+				refs[k].ti = to
+				break
+			}
+		}
+	}
+}
+
+// The fresh-mark allocator needs no per-commit renormalization: both
+// engines keep it *monotone* — the recheck path restores the tentative's
+// allocator after the chase rebuild (store.go), and on the incremental
+// path every mark enters the instance below it (parsed fresh nulls and
+// noteMark'd inserts by construction; the one exception, an Update
+// writing an explicit marked null from above the allocator, is bumped
+// over in updateIncremental when the mark survives propagation).
+// Monotonicity guarantees a mark handed out by FreshNull is never
+// recycled and aliased with an unrelated unknown.
+
+// undoLog records the speculative changes of one mutation so a detected
+// contradiction can restore the pre-mutation instance exactly.
+type undoCell struct {
+	ref cellRef
+	old value.V
+}
+
+type undoLog struct {
+	cells         []undoCell
+	insertedAt    int // index of the appended tuple, or -1
+	savedNextMark int
+}
+
+// rollback restores the instance through the delta mutators (keeping the
+// partition indexes warm) and invalidates the mark index, which the
+// substitutions mangled.
+func (st *Store) rollback(und *undoLog) {
+	for k := len(und.cells) - 1; k >= 0; k-- {
+		c := und.cells[k]
+		st.rel.SetCellDelta(c.ref.ti, c.ref.a, c.old)
+	}
+	if und.insertedAt >= 0 {
+		// The speculative tuple is still the last row: propagation only
+		// overwrites cells, it never reorders tuples.
+		st.rel.DeleteDelta(und.insertedAt)
+	}
+	st.rel.SetNextMark(und.savedNextMark)
+	st.invalidateInc()
+}
+
+// ---- the three incremental mutations ----
+
+func (st *Store) insertIncremental(t relation.Tuple, savedNextMark int) error {
+	// A tuple carrying the inconsistent element can never be completed:
+	// the extended chase always rejects it. The delta machinery never
+	// looks at nothing sidecars, so route it to the recheck path for the
+	// identical rejection (witness, counters, untouched allocator).
+	for _, v := range t {
+		if v.IsNothing() {
+			st.rel.SetNextMark(savedNextMark)
+			return st.insertRecheck(t)
+		}
+	}
+	st.ensureInc()
+	idx, err := st.rel.InsertDelta(t)
+	if err != nil {
+		st.rel.SetNextMark(savedNextMark)
+		return err
+	}
+	for a, v := range st.rel.Tuple(idx) {
+		if v.IsNull() {
+			st.addMarkRef(v.Mark(), cellRef{idx, schema.Attr(a)})
+		}
+	}
+	und := &undoLog{insertedAt: idx, savedNextMark: savedNextMark}
+	if !st.settle(idx, und) {
+		st.rollback(und)
+		return st.insertRecheck(t)
+	}
+	st.inserts++
+	return nil
+}
+
+func (st *Store) updateIncremental(ti int, a schema.Attr, v value.V) error {
+	st.ensureInc()
+	saved := st.rel.NextMark()
+	old := st.rel.Tuple(ti)[a]
+	st.rel.SetCellDelta(ti, a, v)
+	ref := cellRef{ti, a}
+	if old.IsNull() {
+		st.dropMarkRef(old.Mark(), ref)
+	}
+	if v.IsNull() {
+		st.addMarkRef(v.Mark(), ref)
+	}
+	und := &undoLog{insertedAt: -1, savedNextMark: saved, cells: []undoCell{{ref, old}}}
+	if !st.settle(ti, und) {
+		st.rollback(und)
+		return st.updateRecheck(ti, a, v)
+	}
+	// SetCell does not note marks (matching the recheck tentative), so an
+	// explicit marked null written from above the allocator must bump it
+	// once it is known to survive — the recheck chase would have counted
+	// it among the surviving marks.
+	if v.IsNull() && v.Mark() >= st.rel.NextMark() {
+		if _, live := st.inc.marks[v.Mark()]; live {
+			st.rel.SetNextMark(v.Mark() + 1)
+		}
+	}
+	st.updates++
+	return nil
+}
+
+func (st *Store) deleteIncremental(ti int) error {
+	st.ensureInc()
+	// Deletion from a fixpoint cannot enable a rule — rules need pairs,
+	// and no surviving pair changed — so there is no propagation and no
+	// rejection; only the occurrence index and allocator are maintained.
+	del := st.rel.Tuple(ti)
+	for a, v := range del {
+		if v.IsNull() {
+			st.dropMarkRef(v.Mark(), cellRef{ti, schema.Attr(a)})
+		}
+	}
+	if moved := st.rel.DeleteDelta(ti); moved >= 0 {
+		st.renumberMarkRefs(st.rel.Tuple(ti), moved, ti)
+	}
+	st.deletes++
+	return nil
+}
+
+// ---- worklist propagation ----
+
+// settle re-establishes the fixpoint invariant after the cells of tuple
+// seed changed, recording every substitution in und. It reports false on
+// a contradiction (two distinct constants forced together), leaving the
+// partially substituted instance for the caller to roll back.
+func (st *Store) settle(seed int, und *undoLog) bool {
+	// Fast pre-check: an immediate clash inside the touched groups needs
+	// no substitutions at all, and is the common rejection shape.
+	if verdict := eval.CheckDelta(st.fds, st.rel, seed); !verdict.OK {
+		return false
+	}
+	p := propagation{st: st, und: und, inQueue: map[int]bool{seed: true}}
+	p.queue = append(p.queue, seed)
+	for len(p.queue) > 0 {
+		i := p.queue[0]
+		p.queue = p.queue[1:]
+		p.inQueue[i] = false
+		for _, f := range st.fds {
+			if !p.fire(i, f) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+type propagation struct {
+	st      *Store
+	und     *undoLog
+	queue   []int
+	inQueue map[int]bool
+	scratch []int
+}
+
+func (p *propagation) dirty(i int) {
+	if !p.inQueue[i] {
+		p.inQueue[i] = true
+		p.queue = append(p.queue, i)
+	}
+}
+
+// fire applies FD f between tuple i and every tuple agreeing with it on
+// f.X, substituting forced Y-merges. Returns false on contradiction.
+func (p *propagation) fire(i int, f fd.FD) bool {
+	rel := p.st.rel
+	ix := rel.IndexOn(f.X)
+	t := rel.Tuple(i)
+	p.scratch = p.scratch[:0]
+	if rows, ok := ix.Probe(t); ok {
+		// Substitutions may re-home rows mid-loop; iterate a private copy.
+		// Group members stay X-identical throughout (substitution maps
+		// identical cells to identical cells), so the copy stays valid.
+		p.scratch = append(p.scratch, rows...)
+	} else {
+		// t carries marks on X: identical projections live in the null
+		// sidecar only.
+		for _, j := range ix.NullRows() {
+			if j != i && t.IdenticalOn(rel.Tuple(j), f.X) {
+				p.scratch = append(p.scratch, j)
+			}
+		}
+	}
+	for _, j := range p.scratch {
+		if j == i {
+			continue
+		}
+		for _, a := range f.Y.Attrs() {
+			vi, vj := rel.Tuple(i)[a], rel.Tuple(j)[a]
+			switch {
+			case vi.Identical(vj):
+			case vi.IsConst() && vj.IsConst():
+				return false // distinct constants: the extended chase poisons here
+			case vi.IsNull() && vj.IsNull():
+				// NS-rule (b): merge the classes, keeping the chase's
+				// canonical (minimum) mark.
+				m1, m2 := vi.Mark(), vj.Mark()
+				if m1 > m2 {
+					m1, m2 = m2, m1
+				}
+				p.substitute(m2, value.NewNull(m1))
+			case vi.IsNull():
+				p.substitute(vi.Mark(), vj) // NS-rule (a)
+			default:
+				p.substitute(vj.Mark(), vi) // NS-rule (a)
+			}
+		}
+	}
+	return true
+}
+
+// substitute rewrites every occurrence of mark m to v, maintaining the
+// occurrence index and re-dirtying every touched tuple.
+func (p *propagation) substitute(m int, v value.V) {
+	st := p.st
+	refs := st.inc.marks[m]
+	delete(st.inc.marks, m)
+	for _, ref := range refs {
+		old := st.rel.Tuple(ref.ti)[ref.a]
+		st.rel.SetCellDelta(ref.ti, ref.a, v)
+		p.und.cells = append(p.und.cells, undoCell{ref, old})
+		p.dirty(ref.ti)
+	}
+	if v.IsNull() {
+		st.inc.marks[v.Mark()] = append(st.inc.marks[v.Mark()], refs...)
+	}
+}

@@ -22,6 +22,20 @@
 //
 // The stored instance therefore always weakly satisfies F, and every
 // stored constant is a certain consequence of user-provided data.
+//
+// # Maintenance engines
+//
+// Two engines maintain the invariant. MaintenanceRecheck is the original
+// path: clone the instance, apply the mutation, re-chase from scratch —
+// O(n) per write. MaintenanceIncremental (the default) exploits that the
+// stored instance is always a chase fixpoint: a single-tuple delta can
+// only fire NS-rules inside the partition groups it touches, so the
+// engine re-verifies just those groups (eval.CheckDelta), propagates
+// forced substitutions through a worklist over the delta-maintained
+// X-partition indexes (incremental.go), and costs O(affected group) per
+// accepted write. The engines agree verdict-for-verdict and state-for-
+// state; history_test.go replays randomized operation histories against
+// both to prove it.
 package store
 
 import (
@@ -35,21 +49,65 @@ import (
 	"fdnull/internal/value"
 )
 
+// Maintenance selects the engine that re-establishes the store invariant
+// after each mutation.
+type Maintenance int
+
+const (
+	// MaintenanceIncremental re-verifies only the partition groups the
+	// mutation touches and propagates NS-substitutions from the delta
+	// tuple (the default).
+	MaintenanceIncremental Maintenance = iota
+	// MaintenanceRecheck clones the instance and re-chases it from
+	// scratch on every mutation; kept as the differential ground truth
+	// the incremental engine is tested against.
+	MaintenanceRecheck
+)
+
+// String returns the flag spelling of the engine.
+func (m Maintenance) String() string {
+	switch m {
+	case MaintenanceIncremental:
+		return "incremental"
+	case MaintenanceRecheck:
+		return "recheck"
+	}
+	return fmt.Sprintf("Maintenance(%d)", int(m))
+}
+
+// ParseMaintenance parses the -maintenance flag values "incremental" and
+// "recheck".
+func ParseMaintenance(s string) (Maintenance, error) {
+	switch s {
+	case "incremental":
+		return MaintenanceIncremental, nil
+	case "recheck":
+		return MaintenanceRecheck, nil
+	}
+	return 0, fmt.Errorf("store: unknown maintenance engine %q (want incremental or recheck)", s)
+}
+
 // Options configure a store.
 type Options struct {
 	// ApplyXRules additionally runs the Section 4 X-side substitution
 	// rules after each mutation (domain-dependent; off by default, as the
-	// paper recommends).
+	// paper recommends). The X-rules scan the whole instance, so they
+	// force the recheck path regardless of Maintenance.
 	ApplyXRules bool
+	// Maintenance selects the invariant-maintenance engine; the zero
+	// value is MaintenanceIncremental.
+	Maintenance Maintenance
 }
 
 // Store is a relation instance guarded by a set of functional
-// dependencies under weak satisfiability.
+// dependencies under weak satisfiability. It is not safe for concurrent
+// use; Concurrent wraps it in a reader/writer-locked facade.
 type Store struct {
 	scheme *schema.Scheme
 	fds    []fd.FD
 	rel    *relation.Relation
 	opts   Options
+	inc    *incState
 	// mutation counters, exposed for observability and tests.
 	inserts, updates, deletes, rejected int
 }
@@ -72,6 +130,17 @@ func New(s *schema.Scheme, fds []fd.FD, opts Options) *Store {
 	return &Store{scheme: s, fds: fds, rel: relation.New(s), opts: opts}
 }
 
+// FromRelation builds a store over an existing instance, chasing it once
+// (one O(n) pass instead of n guarded inserts) and rejecting instances
+// that contradict the dependencies.
+func FromRelation(s *schema.Scheme, fds []fd.FD, r *relation.Relation, opts Options) (*Store, error) {
+	st := New(s, fds, opts)
+	if err := st.commit("load", r.Clone()); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
 // Scheme returns the store's scheme.
 func (st *Store) Scheme() *schema.Scheme { return st.scheme }
 
@@ -82,14 +151,50 @@ func (st *Store) FDs() []fd.FD { return append([]fd.FD(nil), st.fds...) }
 func (st *Store) Len() int { return st.rel.Len() }
 
 // Snapshot returns a deep copy of the stored (minimally incomplete)
-// instance.
+// instance. For read-only iteration prefer View, which is O(1).
 func (st *Store) Snapshot() *relation.Relation { return st.rel.Clone() }
 
-// Tuple returns a copy of the i-th stored tuple.
+// View returns an O(1) copy-on-write snapshot of the stored instance:
+// the store clones only the rows later mutations actually touch, and the
+// view never observes them.
+func (st *Store) View() relation.View { return st.rel.View() }
+
+// Tuple returns a copy of the i-th stored tuple. For read-only access
+// prefer TupleView, which does not allocate.
 func (st *Store) Tuple(i int) relation.Tuple { return st.rel.Tuple(i).Clone() }
+
+// TupleView returns the i-th stored tuple without copying. The caller
+// must not mutate it and must not retain it across mutations (take a
+// View for that).
+func (st *Store) TupleView(i int) relation.Tuple { return st.rel.Tuple(i) }
+
+// Find returns the index of the stored tuple syntactically identical to
+// t (same constants, marks, and nothings), or -1. Tuple order is
+// engine-dependent after deletes — the incremental engine deletes by
+// swap-and-pop — so content lookup is the stable way to address one
+// tuple across maintenance engines.
+func (st *Store) Find(t relation.Tuple) int { return st.rel.FindIdentical(t) }
+
+// Each calls fn for every stored tuple in order without copying; fn
+// returning false stops the iteration. The tuples must not be mutated.
+func (st *Store) Each(fn func(i int, t relation.Tuple) bool) {
+	for i, t := range st.rel.Tuples() {
+		if !fn(i, t) {
+			return
+		}
+	}
+}
+
+// Version returns the stored relation's mutation counter; it increases
+// on every accepted mutation (and never decreases), so readers can
+// detect change cheaply.
+func (st *Store) Version() uint64 { return st.rel.Version() }
 
 // FreshNull allocates a null mark unused in the store.
 func (st *Store) FreshNull() value.V { return st.rel.FreshNull() }
+
+// Maintenance reports the configured maintenance engine.
+func (st *Store) Maintenance() Maintenance { return st.opts.Maintenance }
 
 // Stats reports the mutation counters: inserts, updates, deletes
 // accepted, and mutations rejected.
@@ -97,9 +202,17 @@ func (st *Store) Stats() (inserts, updates, deletes, rejected int) {
 	return st.inserts, st.updates, st.deletes, st.rejected
 }
 
+// incrementalMode reports whether mutations take the incremental path.
+// The X-rules re-scan the whole instance, so ApplyXRules forces the
+// recheck path to keep the engines behaviorally identical.
+func (st *Store) incrementalMode() bool {
+	return st.opts.Maintenance == MaintenanceIncremental && !st.opts.ApplyXRules
+}
+
 // commit chases the tentative instance; on consistency it becomes the
 // stored state, otherwise the error carries the witness and the store is
-// untouched.
+// untouched. This is the recheck engine's whole-instance path; the
+// incremental engine only reaches it through fallbacks (and Load).
 func (st *Store) commit(op string, tentative *relation.Relation) error {
 	res, err := chase.Run(tentative, st.fds, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
 	if err != nil {
@@ -131,7 +244,16 @@ func (st *Store) commit(op string, tentative *relation.Relation) error {
 			cur = res2.Relation
 		}
 	}
+	// The chase rebuilds its result relation, resetting the fresh-mark
+	// allocator to (max surviving mark)+1; restore monotonicity so a
+	// mark handed out by FreshNull (possibly not yet stored, or held by
+	// another writer of the concurrent facade) is never recycled and
+	// silently aliased with an unrelated unknown.
+	if nm := tentative.NextMark(); nm > cur.NextMark() {
+		cur.SetNextMark(nm)
+	}
 	st.rel = cur
+	st.invalidateInc() // the incremental state described the old instance
 	return nil
 }
 
@@ -139,6 +261,13 @@ func (st *Store) commit(op string, tentative *relation.Relation) error {
 // minimal incompleteness. On contradiction the insert is rejected and the
 // store unchanged.
 func (st *Store) Insert(t relation.Tuple) error {
+	if st.incrementalMode() {
+		return st.insertIncremental(t, st.rel.NextMark())
+	}
+	return st.insertRecheck(t)
+}
+
+func (st *Store) insertRecheck(t relation.Tuple) error {
 	tentative := st.rel.Clone()
 	if err := tentative.Insert(t); err != nil {
 		return err
@@ -153,6 +282,15 @@ func (st *Store) Insert(t relation.Tuple) error {
 // InsertRow parses and inserts a row of cell strings ("-" fresh null,
 // "-k" marked null, constants otherwise).
 func (st *Store) InsertRow(cells ...string) error {
+	if st.incrementalMode() {
+		saved := st.rel.NextMark()
+		t, err := st.rel.ParseRow(cells...)
+		if err != nil {
+			st.rel.SetNextMark(saved)
+			return err
+		}
+		return st.insertIncremental(t, saved)
+	}
 	tentative := st.rel.Clone()
 	if err := tentative.InsertRow(cells...); err != nil {
 		return err
@@ -181,6 +319,13 @@ func (st *Store) Update(ti int, a schema.Attr, v value.V) error {
 	if v.IsConst() && !st.scheme.Domain(a).Contains(v.Const()) {
 		return fmt.Errorf("store: value %q outside domain %q", v.Const(), st.scheme.Domain(a).Name)
 	}
+	if st.incrementalMode() {
+		return st.updateIncremental(ti, a, v)
+	}
+	return st.updateRecheck(ti, a, v)
+}
+
+func (st *Store) updateRecheck(ti int, a schema.Attr, v value.V) error {
 	tentative := st.rel.Clone()
 	tentative.SetCell(ti, a, v)
 	if err := st.commit("update", tentative); err != nil {
@@ -190,11 +335,16 @@ func (st *Store) Update(ti int, a schema.Attr, v value.V) error {
 	return nil
 }
 
-// Delete removes the i-th tuple. Deletion cannot introduce a violation,
-// but the chase re-runs to renormalize marks.
+// Delete removes a tuple. Deletion cannot introduce a violation, but the
+// recheck engine re-runs the chase to renormalize marks; the incremental
+// engine removes the tuple by swap-and-pop, so the order of the remaining
+// tuples is engine-dependent (the stored *set* is identical).
 func (st *Store) Delete(ti int) error {
 	if ti < 0 || ti >= st.rel.Len() {
 		return fmt.Errorf("store: delete of tuple %d out of range", ti)
+	}
+	if st.incrementalMode() {
+		return st.deleteIncremental(ti)
 	}
 	tentative := st.rel.Clone()
 	tentative.Delete(ti)

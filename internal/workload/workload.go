@@ -169,6 +169,63 @@ func RandomFDs(s *schema.Scheme, k, maxLHS int, seed int64) []fd.FD {
 	return out
 }
 
+// WriteHeavy generates the store-maintenance workload: a p=8 scheme
+//
+//	G  B  C  D  E  U1 U2 U3
+//
+// guarded by the two-level FD chain G→B,C; B→D; C→E, with the first five
+// columns functions of a group id g = i mod groups (so every generated
+// tuple is consistent with the base by construction), U1 a unique row id
+// (tuples never collide), U2/U3 unconstrained noise, and nullDensity
+// applied to the dependent D/E columns — the "acquired later" attributes
+// whose forced substitution the store's NS-propagation performs. The
+// returned gen(i) produces the i-th tuple as cell strings (i < n is the
+// base; i ≥ n generates fresh insertable rows for write benchmarks).
+func WriteHeavy(n, groups int, nullDensity float64, seed int64) (*schema.Scheme, []fd.FD, *relation.Relation, func(i int) []string) {
+	// Per-column domains stay tight; one shared domain big enough for
+	// every generated constant would be wasteful to enumerate.
+	gDom := schema.IntDomain("group", "g", groups)
+	bDom := schema.IntDomain("bval", "b", groups)
+	cDom := schema.IntDomain("cval", "c", groups)
+	dDom := schema.IntDomain("dval", "d", 13)
+	eDom := schema.IntDomain("eval", "e", 11)
+	uDom := schema.IntDomain("uid", "u", 8*n+groups+64)
+	wDom := schema.IntDomain("wval", "w", 37)
+	xDom := schema.IntDomain("xval", "x", 17)
+	s := schema.MustNew("W8",
+		[]string{"G", "B", "C", "D", "E", "U1", "U2", "U3"},
+		[]*schema.Domain{gDom, bDom, cDom, dDom, eDom, uDom, wDom, xDom})
+	fds := fd.MustParseSet(s, "G -> B,C; B -> D; C -> E")
+	rng := rand.New(rand.NewSource(seed))
+	gen := func(i int) []string {
+		g := i % groups
+		row := []string{
+			fmt.Sprintf("g%d", g+1),
+			fmt.Sprintf("b%d", g+1),
+			fmt.Sprintf("c%d", g+1),
+			fmt.Sprintf("d%d", g%13+1),
+			fmt.Sprintf("e%d", g%11+1),
+			fmt.Sprintf("u%d", i+1),
+			fmt.Sprintf("w%d", i%37+1),
+			fmt.Sprintf("x%d", i%17+1),
+		}
+		if nullDensity > 0 {
+			if rng.Float64() < nullDensity {
+				row[3] = "-"
+			}
+			if rng.Float64() < nullDensity {
+				row[4] = "-"
+			}
+		}
+		return row
+	}
+	r := relation.New(s)
+	for i := 0; i < n; i++ {
+		r.MustInsertRow(gen(i)...)
+	}
+	return s, fds, r, gen
+}
+
 // Employees generates an employee-style instance over the Figure 1.1
 // scheme shape with nEmp employees spread over nDept departments; null
 // density applies to the salary and contract columns (the "acquired

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store smoke-fuzz lint fmt vet clean
+.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn smoke-fuzz lint fmt vet clean
 
 all: build test
 
@@ -37,6 +37,19 @@ bench-store:
 # incremental and recheck maintenance engines.
 smoke-store:
 	$(GO) test -short -run 'TestHistoryDifferential' ./internal/store
+
+# The transactional write path: one batched Txn.Commit of a k=32-row
+# write-set per engine, plus the per-op-equivalent baseline the batch
+# is compared against (E18 asserts the >=5x bar with state agreement).
+bench-txn:
+	$(GO) test -bench 'BenchmarkStoreTxn' -benchmem -run '^$$' .
+
+# Short-mode txn smoke under the race detector: the txn-extended history
+# exerciser (batched commits vs the one-chase-per-commit oracle) and the
+# concurrent snapshot-isolation stress (lock-free staging, serialized
+# commits, first-committer-wins).
+smoke-txn:
+	$(GO) test -race -short -run 'TestTxnHistoryDifferential|TestTxnConcurrentStress' ./internal/store
 
 # Seed-corpus fuzz smoke: the relio and predicate parsers must survive
 # their corpora (use `go test -fuzz` locally for open-ended exploration).

@@ -498,3 +498,90 @@ func BenchmarkCompletions(b *testing.B) {
 		})
 	}
 }
+
+func BenchmarkStoreTxnCommit(b *testing.B) {
+	// One transactional commit of a k=32-row write-set into a single
+	// department-scale partition group at n=2000, p=8, per maintenance
+	// engine: the incremental engine applies the set as one multi-row
+	// delta with ONE batched check (eval.CheckDeltaBatch + one
+	// propagation seeded from all staged cells); the recheck engine
+	// clones and chases once per commit. `make bench-txn` runs this
+	// table; E18 additionally compares against k per-op commits and
+	// asserts the ≥5x bar with state agreement.
+	const n, k = 2000, 32
+	groups := n / 512
+	for _, m := range storeMaintenances {
+		b.Run(fmt.Sprintf("n=%d/k=%d/maintenance=%s", n, k, m), func(b *testing.B) {
+			s, fds, base, _ := workload.WriteHeavy(n, groups, 0, 41)
+			st, err := fdnull.StoreFromRelation(s, fds, base, fdnull.StoreOptions{Maintenance: m})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(43))
+			nextUID := n + 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if st.Len() >= n+16*k {
+					// Untimed reset keeps the measurement regime at ~n.
+					b.StopTimer()
+					st, err = fdnull.StoreFromRelation(s, fds, base, fdnull.StoreOptions{Maintenance: m})
+					if err != nil {
+						b.Fatal(err)
+					}
+					nextUID = n + 1 + (i%7)*k // fresh uid window per reset epoch
+					b.StartTimer()
+				}
+				b.StopTimer() // row generation is harness bookkeeping
+				rows := workload.TxnWriteSet(rng, i%groups, k, &nextUID)
+				b.StartTimer()
+				tx := st.Begin()
+				for _, row := range rows {
+					if err := tx.InsertRow(row...); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreTxnPerOpEquivalent(b *testing.B) {
+	// The same write-sets committed op by op on the incremental engine —
+	// the baseline BenchmarkStoreTxnCommit's batched commit is compared
+	// against (one commit = one group re-sweep, so a k-row set re-sweeps
+	// the group k times).
+	const n, k = 2000, 32
+	groups := n / 512
+	s, fds, base, _ := workload.WriteHeavy(n, groups, 0, 41)
+	st, err := fdnull.StoreFromRelation(s, fds, base, fdnull.StoreOptions{Maintenance: fdnull.MaintenanceIncremental})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(43))
+	nextUID := n + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st.Len() >= n+16*k {
+			b.StopTimer()
+			st, err = fdnull.StoreFromRelation(s, fds, base, fdnull.StoreOptions{Maintenance: fdnull.MaintenanceIncremental})
+			if err != nil {
+				b.Fatal(err)
+			}
+			nextUID = n + 1 + (i%7)*k
+			b.StartTimer()
+		}
+		b.StopTimer()
+		rows := workload.TxnWriteSet(rng, i%groups, k, &nextUID)
+		b.StartTimer()
+		for _, row := range rows {
+			if err := st.InsertRow(row...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -50,6 +50,7 @@ var experiments = []experiment{
 	{"E15", "Indexed vs naive evaluation engine — agreement and comparative sweep", runE15},
 	{"E16", "Partition vs naive FD-discovery engine — agreement and comparative sweep", runE16},
 	{"E17", "Incremental vs recheck store maintenance — agreement and comparative sweep", runE17},
+	{"E18", "Transactional batched commit vs per-op commits — agreement and comparative sweep", runE18},
 }
 
 // benchEngine is the evaluation engine selected by -engine; experiments
@@ -63,7 +64,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E17) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E18) or 'all'")
 	quick := fs.Bool("quick", false, "smaller sweeps for smoke testing")
 	list := fs.Bool("list", false, "list experiments and exit")
 	engineFlag := fs.String("engine", "indexed", "per-tuple evaluation engine: indexed or naive")

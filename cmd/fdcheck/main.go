@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fdcheck [-f file] [-algo sorted|bucket|pairwise] [-engine indexed|naive] [-workers N]
-//	        [-store] [-maintenance incremental|recheck]
+//	        [-store] [-maintenance incremental|recheck] [-ops file]
 //
 // With no -f the input is read from stdin. Per-tuple verdicts are computed
 // by the selected evaluation engine — the indexed engine (default) probes
@@ -19,15 +19,36 @@
 // which rows the dependencies reject and the minimally incomplete
 // instance the accepted rows settle into.
 //
+// With -ops FILE the instance is loaded into a guarded store and the
+// operation script in FILE is replayed against it — one op per line,
+// `#` comments:
+//
+//	insert CELL...         guarded insert ("-" fresh null, "-k" ⊥k)
+//	update N ATTR CELL     overwrite tuple N (1-based) at ATTR
+//	delete N               remove tuple N (1-based)
+//	begin                  open a transaction: following ops are staged
+//	save                   push a savepoint
+//	rollbackto             pop the latest savepoint, discarding its tail
+//	rollback               discard the open transaction
+//	commit                 apply the staged write-set as one batch
+//
+// Ops outside a transaction apply (and are checked) immediately; staged
+// ops apply atomically at commit with a single batched constraint
+// check, and a rejected commit reports the offending staged op.
+//
 // Exit status: 0 if the FD set is weakly satisfiable, 1 if not, 2 on
 // input errors.
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	fdnull "fdnull"
 )
@@ -44,7 +65,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	engineFlag := fs.String("engine", "indexed", "evaluation engine: indexed or naive")
 	workers := fs.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS)")
 	storeReplay := fs.Bool("store", false, "replay the rows as guarded store inserts and report rejections")
-	maintFlag := fs.String("maintenance", "incremental", "store maintenance engine for -store: incremental or recheck")
+	maintFlag := fs.String("maintenance", "incremental", "store maintenance engine for -store/-ops: incremental or recheck")
+	opsFile := fs.String("ops", "", "replay an operation script (insert/update/delete/begin/save/rollbackto/rollback/commit) against the loaded store")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -151,6 +173,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *storeReplay {
 		replayStore(stdout, s, fds, r, maintenance)
 	}
+	if *opsFile != "" {
+		f, err := os.Open(*opsFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "fdcheck: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := replayOps(stdout, f, s, fds, r, maintenance); err != nil {
+			fmt.Fprintf(stderr, "fdcheck: %v\n", err)
+			return 2
+		}
+	}
 	return 0
 }
 
@@ -162,15 +196,157 @@ func replayStore(stdout io.Writer, s *fdnull.Scheme, fds []fdnull.FD, r *fdnull.
 	st := fdnull.NewStore(s, fds, fdnull.StoreOptions{Maintenance: m})
 	fmt.Fprintf(stdout, "\nguarded replay (%s maintenance):\n", m)
 	for i := 0; i < r.Len(); i++ {
-		if err := st.Insert(r.Tuple(i).Clone()); err != nil {
-			fmt.Fprintf(stdout, "  t%-3d rejected: %v\n", i+1, err)
-		} else {
+		switch err := st.Insert(r.Tuple(i).Clone()); {
+		case err == nil:
 			fmt.Fprintf(stdout, "  t%-3d accepted\n", i+1)
+		case errors.Is(err, fdnull.ErrInconsistent):
+			fmt.Fprintf(stdout, "  t%-3d rejected: %v\n", i+1, err)
+		default:
+			// Structural (duplicate row, domain) — not a constraint verdict.
+			fmt.Fprintf(stdout, "  t%-3d error: %v\n", i+1, err)
 		}
 	}
 	ins, _, _, rej := st.Stats()
 	fmt.Fprintf(stdout, "accepted %d, rejected %d; settled instance:\n", ins, rej)
 	fmt.Fprint(stdout, indent(st.Snapshot().String(), "  "))
+}
+
+// replayOps replays an operation script — per-op mutations and
+// begin/save/rollbackto/rollback/commit transaction blocks — against a
+// store loaded from the input instance.
+func replayOps(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds []fdnull.FD, r *fdnull.Relation, m fdnull.StoreMaintenance) error {
+	st, err := fdnull.StoreFromRelation(s, fds, r, fdnull.StoreOptions{Maintenance: m})
+	if err != nil {
+		fmt.Fprintf(stdout, "\nops replay: the loaded instance is rejected: %v\n", err)
+		return nil
+	}
+	fmt.Fprintf(stdout, "\nops replay (%s maintenance):\n", m)
+	var tx *fdnull.Txn
+	var saves []fdnull.TxnSavepoint
+	report := func(line int, what string, err error) {
+		switch {
+		case err == nil:
+			fmt.Fprintf(stdout, "  %3d %-10s ok\n", line, what)
+		case errors.Is(err, fdnull.ErrInconsistent):
+			fmt.Fprintf(stdout, "  %3d %-10s rejected: %v\n", line, what, err)
+		default:
+			fmt.Fprintf(stdout, "  %3d %-10s error: %v\n", line, what, err)
+		}
+	}
+	parseVal := func(c string) fdnull.Value {
+		switch {
+		case c == "-":
+			return st.FreshNull()
+		case c == "!":
+			return fdnull.Nothing()
+		case strings.HasPrefix(c, "-"):
+			if k, err := strconv.Atoi(c[1:]); err == nil {
+				return fdnull.NullValue(k)
+			}
+		}
+		return fdnull.Const(c)
+	}
+	sc := bufio.NewScanner(script)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		inTxn := tx != nil
+		switch cmd {
+		case "begin":
+			if inTxn {
+				return fmt.Errorf("ops line %d: begin inside an open transaction", line)
+			}
+			tx = st.Begin()
+			saves = saves[:0]
+			report(line, "begin", nil)
+		case "save":
+			if !inTxn {
+				return fmt.Errorf("ops line %d: save outside a transaction", line)
+			}
+			saves = append(saves, tx.Save())
+			report(line, "save", nil)
+		case "rollbackto":
+			if !inTxn {
+				return fmt.Errorf("ops line %d: rollbackto outside a transaction", line)
+			}
+			if len(saves) == 0 {
+				return fmt.Errorf("ops line %d: no savepoint to roll back to", line)
+			}
+			sp := saves[len(saves)-1]
+			saves = saves[:len(saves)-1]
+			report(line, "rollbackto", tx.RollbackTo(sp))
+		case "rollback":
+			if !inTxn {
+				return fmt.Errorf("ops line %d: rollback outside a transaction", line)
+			}
+			tx.Rollback()
+			tx = nil
+			report(line, "rollback", nil)
+		case "commit":
+			if !inTxn {
+				return fmt.Errorf("ops line %d: commit outside a transaction", line)
+			}
+			err := tx.Commit()
+			tx = nil
+			report(line, "commit", err)
+		case "insert":
+			if inTxn {
+				report(line, "insert*", tx.InsertRow(args...))
+			} else {
+				report(line, "insert", st.InsertRow(args...))
+			}
+		case "update":
+			if len(args) != 3 {
+				return fmt.Errorf("ops line %d: update wants `update N ATTR CELL`", line)
+			}
+			n, err := strconv.Atoi(args[0])
+			if err != nil || n < 1 {
+				return fmt.Errorf("ops line %d: bad tuple number %q", line, args[0])
+			}
+			a, ok := s.Attr(args[1])
+			if !ok {
+				return fmt.Errorf("ops line %d: unknown attribute %q", line, args[1])
+			}
+			v := parseVal(args[2])
+			if inTxn {
+				report(line, "update*", tx.Update(n-1, a, v))
+			} else {
+				report(line, "update", st.Update(n-1, a, v))
+			}
+		case "delete":
+			if len(args) != 1 {
+				return fmt.Errorf("ops line %d: delete wants `delete N`", line)
+			}
+			n, err := strconv.Atoi(args[0])
+			if err != nil || n < 1 {
+				return fmt.Errorf("ops line %d: bad tuple number %q", line, args[0])
+			}
+			if inTxn {
+				report(line, "delete*", tx.Delete(n-1))
+			} else {
+				report(line, "delete", st.Delete(n-1))
+			}
+		default:
+			return fmt.Errorf("ops line %d: unknown op %q", line, cmd)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if tx != nil {
+		fmt.Fprintln(stdout, "  (script left a transaction open; discarded)")
+		tx.Rollback()
+	}
+	ins, upd, del, rej := st.Stats()
+	fmt.Fprintf(stdout, "accepted %d inserts, %d updates, %d deletes; %d rejections; settled instance:\n",
+		ins, upd, del, rej)
+	fmt.Fprint(stdout, indent(st.Snapshot().String(), "  "))
+	return nil
 }
 
 func indent(s, pad string) string {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"strings"
 	"testing"
 )
@@ -163,5 +164,88 @@ func TestRunStoreReplay(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-maintenance", "bogus"}, strings.NewReader(satisfiable), &out, &errOut); code != 2 {
 		t.Errorf("bogus -maintenance: exit %d, want 2", code)
+	}
+}
+
+const employeesInput = `
+domain de = e1 e2 e3 e4 e5
+domain ds = s1 s2 s3 s4 s5
+domain dd = d1 d2 d3
+domain dc = ct1 ct2 ct3
+scheme R(E:de, SL:ds, D:dd, CT:dc)
+fd E -> SL,D
+fd D -> CT
+row e1 s1 d1 ct1
+`
+
+func TestRunOpsReplay(t *testing.T) {
+	script := `
+# a transactional department load: nulls resolve against each other
+begin
+insert e2 s2 d2 -
+save
+insert e3 s3 d2 ct2
+rollbackto
+insert e4 s4 d2 ct2
+commit
+
+# a doomed transaction: e5 restates d2's contract
+begin
+insert e5 s5 d2 ct3
+commit
+
+# per-op mutations outside any transaction
+update 1 SL s5
+delete 3
+`
+	dir := t.TempDir()
+	opsPath := dir + "/ops.txt"
+	if err := os.WriteFile(opsPath, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"incremental", "recheck"} {
+		var out, errOut strings.Builder
+		code := run([]string{"-maintenance", m, "-ops", opsPath}, strings.NewReader(employeesInput), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("[%s] exit %d, stderr: %s", m, code, errOut.String())
+		}
+		got := out.String()
+		for _, want := range []string{
+			"ops replay (" + m + " maintenance):",
+			"begin      ok",
+			"rollbackto ok",
+			"commit     ok",
+			"commit     rejected: store: commit rejected at staged op 0",
+			"update     ok",
+			"delete     ok",
+			"accepted 2 inserts, 1 updates, 1 deletes; 1 rejections",
+		} {
+			if !strings.Contains(got, want) {
+				t.Errorf("[%s] output missing %q:\n%s", m, want, got)
+			}
+		}
+		// The rolled-back insert (e3) must not appear in the settled state.
+		if strings.Contains(got, "e3") {
+			t.Errorf("[%s] rolled-back op leaked into the output:\n%s", m, got)
+		}
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-ops", dir + "/missing.txt"}, strings.NewReader(employeesInput), &out, &errOut); code != 2 {
+		t.Errorf("missing ops file: exit %d, want 2", code)
+	}
+}
+
+func TestRunOpsReplayBadScript(t *testing.T) {
+	dir := t.TempDir()
+	opsPath := dir + "/bad.txt"
+	if err := os.WriteFile(opsPath, []byte("commit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-ops", opsPath}, strings.NewReader(employeesInput), &out, &errOut); code != 2 {
+		t.Errorf("commit outside txn: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "commit outside a transaction") {
+		t.Errorf("missing diagnostic: %s", errOut.String())
 	}
 }

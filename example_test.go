@@ -1,6 +1,7 @@
 package fdnull_test
 
 import (
+	"errors"
 	"fmt"
 
 	fdnull "fdnull"
@@ -162,4 +163,45 @@ func ExampleNewStore() {
 	// e2 contract: ct1
 	// rejected: true
 	// view still has 2 tuples
+}
+
+// ExampleTxn shows the transactional write path: a department's worth
+// of rows whose nulls resolve against each other is staged and
+// committed as ONE write-set — one batched constraint check instead of
+// one per row — with a savepoint discarding a doomed sub-batch, and an
+// atomic rejection identifying the offending staged op.
+func ExampleTxn() {
+	s := fdnull.UniformScheme("EMP",
+		[]string{"E#", "D#", "CT"},
+		fdnull.IntDomain("dom", "v", 60))
+	fds := fdnull.MustParseFDs(s, "E# -> D#; D# -> CT")
+	st := fdnull.NewStore(s, fds, fdnull.StoreOptions{})
+
+	tx := st.Begin()
+	_ = tx.InsertRow("v1", "v9", "-")   // contract unknown
+	_ = tx.InsertRow("v2", "v9", "v20") // fixes department v9's contract
+	sp := tx.Save()
+	_ = tx.InsertRow("v3", "v9", "v21") // would contradict D# -> CT
+	_ = tx.RollbackTo(sp)               // ...discarded before commit
+	fmt.Println("commit:", tx.Commit())
+	fmt.Println("t1 contract:", st.TupleView(0)[s.MustAttr("CT")])
+
+	// A doomed write-set is rejected atomically; the error names the
+	// offending staged op and matches the ErrInconsistent sentinel.
+	tx2 := st.Begin()
+	_ = tx2.InsertRow("v4", "v10", "v22")
+	_ = tx2.InsertRow("v5", "v9", "v21") // restates v9's contract
+	err := tx2.Commit()
+	fmt.Println("inconsistent:", errors.Is(err, fdnull.ErrInconsistent))
+	var terr *fdnull.TxnError
+	if errors.As(err, &terr) {
+		fmt.Println("offending op:", terr.Op)
+	}
+	fmt.Println("tuples:", st.Len())
+	// Output:
+	// commit: <nil>
+	// t1 contract: v20
+	// inconsistent: true
+	// offending op: 1
+	// tuples: 2
 }

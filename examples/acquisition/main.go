@@ -61,8 +61,10 @@ func main() {
 	// A mutation the dependencies forbid: e1 restated with a different
 	// department. The store rejects it with the chase witness.
 	err = st.InsertRow("e1", "d2", "married")
+	// Constraint rejections match the ErrInconsistent sentinel (and only
+	// they do — structural errors don't); errors.As recovers the witness.
 	var ierr *fdnull.InconsistencyError
-	if errors.As(err, &ierr) {
+	if errors.Is(err, fdnull.ErrInconsistent) && errors.As(err, &ierr) {
 		fmt.Printf("\ninsert (e1, d2, married) rejected: %v\n", err)
 		fmt.Println("conflict witness (chased tentative instance):")
 		fmt.Print(ierr.Chase.Relation)

@@ -95,7 +95,42 @@ const (
 func ParseMaintenance(s string) (StoreMaintenance, error) { return store.ParseMaintenance(s) }
 
 // InconsistencyError is returned for mutations the dependencies forbid.
+// It wraps ErrInconsistent, so errors.Is(err, ErrInconsistent) matches.
 type InconsistencyError = store.InconsistencyError
+
+// ErrInconsistent is the sentinel every constraint rejection matches:
+// errors.Is(err, ErrInconsistent) distinguishes "the dependencies admit
+// no completion" from structural errors (arity, domain, duplicate,
+// range). Branch on this, never on error text.
+var ErrInconsistent = store.ErrInconsistent
+
+// The transaction lifecycle sentinels: ErrTxnConflict aborts a Commit
+// whose store changed since Begin (first committer wins — retry on a
+// fresh transaction); ErrTxnFinished reports use of an already
+// committed or rolled-back transaction.
+var (
+	ErrTxnConflict = store.ErrTxnConflict
+	ErrTxnFinished = store.ErrTxnFinished
+)
+
+// Txn is a staged write-set against a Store: Begin, stage
+// Insert/InsertRow/Update/Delete (with Save/RollbackTo savepoints),
+// then Commit applies the whole set as one multi-row delta with a
+// single constraint check — or rejects it atomically with a TxnError.
+type Txn = store.Txn
+
+// TxnSavepoint marks a position in a transaction's staged write-set.
+type TxnSavepoint = store.Savepoint
+
+// TxnError reports a rejected transaction commit: the offending staged
+// op plus the underlying cause (an *InconsistencyError carrying the
+// chase witness for constraint rejections).
+type TxnError = store.TxnError
+
+// ConcurrentTxn is a snapshot-isolated transaction against the
+// concurrent facade: lock-free staging over a begin-time COW snapshot,
+// commit under the write lock, first-committer-wins conflicts.
+type ConcurrentTxn = store.ConcurrentTxn
 
 // NewStore creates an empty guarded store.
 func NewStore(s *schema.Scheme, fds []fd.FD, opts StoreOptions) *Store {

@@ -1,0 +1,125 @@
+// deltabatch.go implements CheckDeltaBatch: multi-row delta-scoped FD
+// re-verification, the batch generalization of CheckDelta.
+//
+// When a chase-fixpoint instance is changed in k rows at once (the
+// store's transactional commit applies a whole write-set as one
+// multi-row delta), a definite new violation can only involve at least
+// one changed row, and any such pair lives inside the partition group
+// one of the changed rows lands in. CheckDeltaBatch therefore verifies
+// the *union* of the touched partition groups, each group exactly once
+// per FD no matter how many changed rows share it: a department's worth
+// of inserts into one group costs one group sweep, not k.
+//
+// Inside a touched group the sweep is symmetric — every pair of rows is
+// covered, not just seed-vs-others — because with a multi-row delta the
+// "other" rows of a group may themselves be new. On a constant
+// projection group that is one pass per determined attribute: the first
+// constant seen fixes the group's value, and any distinct constant is
+// the conflict no completion can repair (the unchanged rows agree by the
+// fixpoint invariant, so the pass degenerates to the seed rows' cost).
+// As with CheckDelta, a positive answer is final (the extended chase
+// would poison the cell); a negative answer defers to the caller's
+// NS-propagation for cascades.
+package eval
+
+import (
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// DeltaBatchResult reports a batch delta-scoped re-verification.
+type DeltaBatchResult struct {
+	// OK is false when some touched partition group contains a definite
+	// conflict: two tuples agreeing on an FD's determinant with distinct
+	// constants on a determined attribute.
+	OK bool
+	// FD, T1, T2, and Attr witness the first conflict found: the violated
+	// dependency, the pair of conflicting rows, and the Y-attribute where
+	// the constants clash. Zero-valued when OK.
+	FD     fd.FD
+	T1, T2 int
+	Attr   schema.Attr
+	// Checked counts rows examined across all touched classes; Groups
+	// counts distinct X-classes swept — constant-projection groups and
+	// sidecar identity classes alike, each at most once per FD; Sidecar
+	// counts null-sidecar rows re-analyzed for seeds carrying
+	// determinant marks.
+	Checked, Groups, Sidecar int
+}
+
+// CheckDeltaBatch re-verifies fds against the multi-row delta at the
+// row indices in seeds: it sweeps only the partition groups the seed
+// rows belong to, deduplicating groups shared by several seeds. The
+// rest of the instance is assumed conflict-free (the store's fixpoint
+// invariant held before the delta was applied); CheckDeltaBatch never
+// scans it.
+func CheckDeltaBatch(fds []fd.FD, r *relation.Relation, seeds []int) DeltaBatchResult {
+	res := DeltaBatchResult{OK: true}
+	// done marks rows whose group has already been swept for the current
+	// FD; group membership (and X-identity, an equivalence) partitions
+	// rows, so a swept row's id is a stable dedup key for its whole
+	// class.
+	done := make(map[int]bool, len(seeds))
+	var class []int
+	for _, f := range fds {
+		ix := r.IndexOn(f.X)
+		clear(done)
+		for _, ti := range seeds {
+			if done[ti] {
+				continue
+			}
+			done[ti] = true
+			t := r.Tuple(ti)
+			rows, ok := ix.Probe(t)
+			if !ok {
+				// ti carries marks (or nothing) on X: identical projections
+				// can only live in the sidecars. Collect the whole
+				// X-identical class first — with a multi-row delta the
+				// partners may themselves be new, so the sweep below must
+				// cover partner-vs-partner pairs, not just ti-vs-partner.
+				class = append(class[:0], ti)
+				for _, j := range ix.NullRows() {
+					if j == ti {
+						continue
+					}
+					res.Sidecar++
+					if t.IdenticalOn(r.Tuple(j), f.X) {
+						done[j] = true
+						class = append(class, j)
+					}
+				}
+				rows = class
+			}
+			if len(rows) <= 1 {
+				continue
+			}
+			res.Groups++
+			res.Checked += len(rows)
+			// One symmetric pass per determined attribute: the first
+			// constant fixes the class value, any distinct constant is the
+			// conflict no completion can repair.
+			for _, a := range f.Y.Attrs() {
+				firstRow := -1
+				var c string
+				for _, j := range rows {
+					done[j] = true
+					v := r.Tuple(j)[a]
+					if !v.IsConst() {
+						continue
+					}
+					if firstRow < 0 {
+						firstRow, c = j, v.Const()
+						continue
+					}
+					if v.Const() != c {
+						res.OK = false
+						res.FD, res.T1, res.T2, res.Attr = f, firstRow, j, a
+						return res
+					}
+				}
+			}
+		}
+	}
+	return res
+}

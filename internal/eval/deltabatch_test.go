@@ -1,0 +1,186 @@
+package eval_test
+
+// CheckDeltaBatch inherits CheckDelta's contract — sound rejections,
+// group-local work — and adds the batch guarantee: a touched group is
+// swept once per FD no matter how many delta rows share it. Soundness is
+// tested differentially against the chase on randomized fixpoint-plus-
+// write-set instances, the group dedup by counting.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/chase"
+	"fdnull/internal/eval"
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// fixpointPlusWriteSet builds a minimally incomplete instance and
+// appends k random delta tuples.
+func fixpointPlusWriteSet(rng *rand.Rand, s *schema.Scheme, fds []fd.FD, n, k int) (*relation.Relation, []int) {
+	raw := relation.New(s)
+	dom := s.Domain(0)
+	for i := 0; i < n; i++ {
+		row := make([]string, s.Arity())
+		for a := range row {
+			if rng.Intn(4) == 0 {
+				row[a] = "-"
+			} else {
+				row[a] = dom.Values[rng.Intn(dom.Size())]
+			}
+		}
+		_ = raw.InsertRow(row...)
+	}
+	res, err := chase.Run(raw, fds, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
+	if err != nil || !res.Consistent {
+		return nil, nil
+	}
+	r := res.Relation
+	var seeds []int
+	for j := 0; j < k; j++ {
+		t := make(relation.Tuple, s.Arity())
+		for a := range t {
+			if rng.Intn(5) == 0 {
+				t[a] = r.FreshNull()
+			} else {
+				t[a] = value.NewConst(dom.Values[rng.Intn(dom.Size())])
+			}
+		}
+		r.InsertUnchecked(t)
+		seeds = append(seeds, r.Len()-1)
+	}
+	return r, seeds
+}
+
+func TestCheckDeltaBatchSoundAgainstChase(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	fds := fd.MustParseSet(s, "A -> B; B -> C")
+	rejected, accepted := 0, 0
+	for trial := 0; trial < 400; trial++ {
+		r, seeds := fixpointPlusWriteSet(rng, s, fds, 1+rng.Intn(5), 1+rng.Intn(4))
+		if r == nil {
+			continue
+		}
+		verdict := eval.CheckDeltaBatch(fds, r, seeds)
+		ok, _, err := chase.WeaklySatisfiable(r, fds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verdict.OK {
+			rejected++
+			if ok {
+				t.Fatalf("trial %d: batch check rejected (%d vs %d on attr %d) but the chase accepts:\n%s",
+					trial, verdict.T1, verdict.T2, verdict.Attr, r)
+			}
+			u, v := r.Tuple(verdict.T1), r.Tuple(verdict.T2)
+			if !u.IdenticalOn(v, verdict.FD.X) {
+				t.Fatalf("trial %d: witness tuples do not agree on X:\n%s", trial, r)
+			}
+			if !u[verdict.Attr].IsConst() || !v[verdict.Attr].IsConst() ||
+				u[verdict.Attr].Const() == v[verdict.Attr].Const() {
+				t.Fatalf("trial %d: witness attr is not a constant clash:\n%s", trial, r)
+			}
+		} else {
+			accepted++
+		}
+	}
+	if rejected == 0 || accepted == 0 {
+		t.Fatalf("sweep degenerated: %d rejected, %d accepted", rejected, accepted)
+	}
+}
+
+// TestCheckDeltaBatchAgreesWithPerSeed: a batch verdict must agree with
+// the disjunction of the per-seed CheckDelta verdicts on the same
+// instance (any per-seed clash is a pair inside some touched group, and
+// vice versa for pairs involving one old row; new-new pairs are only
+// visible to the batch when both rows are seeds — which they are).
+func TestCheckDeltaBatchAgreesWithPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dom := schema.IntDomain("d", "v", 4)
+	s := schema.Uniform("R", []string{"A", "B", "C"}, dom)
+	fds := fd.MustParseSet(s, "A -> B; B -> C")
+	for trial := 0; trial < 300; trial++ {
+		r, seeds := fixpointPlusWriteSet(rng, s, fds, 1+rng.Intn(5), 1+rng.Intn(4))
+		if r == nil {
+			continue
+		}
+		batch := eval.CheckDeltaBatch(fds, r, seeds)
+		perSeed := true
+		for _, ti := range seeds {
+			if v := eval.CheckDelta(fds, r, ti); !v.OK {
+				perSeed = false
+				break
+			}
+		}
+		if batch.OK != perSeed {
+			t.Fatalf("trial %d: batch=%v per-seed=%v on:\n%s", trial, batch.OK, perSeed, r)
+		}
+	}
+}
+
+func TestCheckDeltaBatchGroupDedup(t *testing.T) {
+	// 2000 base rows in 250 groups of 8; a 32-row write-set landing in
+	// ONE group must sweep that group once per FD, not 32 times.
+	dom := schema.IntDomain("d", "v", 8000)
+	s := schema.Uniform("R", []string{"A", "B", "C", "D"}, dom)
+	fds := fd.MustParseSet(s, "A -> B; B -> C")
+	r := relation.New(s)
+	for i := 0; i < 2000; i++ {
+		g := i % 250
+		r.MustInsertRow(fmt.Sprintf("v%d", g+1), fmt.Sprintf("v%d", 1001+g),
+			fmt.Sprintf("v%d", 2001+g), fmt.Sprintf("v%d", 3001+i))
+	}
+	var seeds []int
+	for j := 0; j < 32; j++ {
+		r.InsertUnchecked(relation.Tuple{
+			value.NewConst("v7"), value.NewConst("v1007"),
+			value.NewConst("v2007"), value.NewConst(fmt.Sprintf("v%d", 6001+j))})
+		seeds = append(seeds, r.Len()-1)
+	}
+	verdict := eval.CheckDeltaBatch(fds, r, seeds)
+	if !verdict.OK {
+		t.Fatalf("consistent write-set rejected: %+v", verdict)
+	}
+	// One A-group and one B-group, each 8+32 rows, swept exactly once.
+	if verdict.Groups != 2 {
+		t.Errorf("Groups = %d, want 2 (one per FD)", verdict.Groups)
+	}
+	if verdict.Checked != 2*(8+32) {
+		t.Errorf("Checked = %d, want %d — group sweeps are not deduplicated", verdict.Checked, 2*(8+32))
+	}
+	if verdict.Sidecar != 0 {
+		t.Errorf("Sidecar = %d for an all-constant write-set, want 0", verdict.Sidecar)
+	}
+}
+
+// TestCheckDeltaBatchSidecarPairsSymmetric: with a multi-row delta,
+// two non-first members of one null-X identity class can clash with
+// each other while the first member is silent on Y (its cell is a
+// null). The sweep must cover partner-vs-partner pairs, in any seed
+// order.
+func TestCheckDeltaBatchSidecarPairsSymmetric(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 9)
+	s := schema.Uniform("R", []string{"A", "B"}, dom)
+	fds := fd.MustParseSet(s, "A -> B")
+	r := relation.New(s)
+	r.InsertUnchecked(relation.Tuple{value.NewNull(1), value.NewNull(2)}) // Y silent
+	r.InsertUnchecked(relation.Tuple{value.NewNull(1), value.NewConst("v1")})
+	r.InsertUnchecked(relation.Tuple{value.NewNull(1), value.NewConst("v2")})
+	for _, seeds := range [][]int{{0, 1, 2}, {1, 0, 2}, {2, 1, 0}, {0, 2, 1}} {
+		v := eval.CheckDeltaBatch(fds, r, seeds)
+		if v.OK {
+			t.Fatalf("seeds %v: definite partner-vs-partner clash missed", seeds)
+		}
+		u1, u2 := r.Tuple(v.T1), r.Tuple(v.T2)
+		if !u1[v.Attr].IsConst() || !u2[v.Attr].IsConst() ||
+			u1[v.Attr].Const() == u2[v.Attr].Const() {
+			t.Fatalf("seeds %v: witness is not a constant clash", seeds)
+		}
+	}
+}

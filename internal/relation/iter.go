@@ -1,0 +1,42 @@
+// iter.go implements range-over-func iteration for relations and views.
+//
+// All() returns the (index, tuple) sequence of the instance as an
+// iter.Seq2, so callers can write
+//
+//	for i, t := range r.All() { ... }
+//
+// instead of threading a callback through Each. The yielded tuples are
+// the stored rows themselves — no copying, no per-tuple allocation —
+// so, as with Tuples and View.Tuple, callers must not mutate them.
+package relation
+
+import "iter"
+
+// All returns an iterator over the instance's (index, tuple) pairs in
+// storage order. The yielded tuples are not copies: they must not be
+// mutated, and must not be retained across mutations of the relation
+// (take a View for that). Iterating allocates nothing.
+func (r *Relation) All() iter.Seq2[int, Tuple] {
+	return func(yield func(int, Tuple) bool) {
+		for i, t := range r.tuples {
+			if !yield(i, t) {
+				return
+			}
+		}
+	}
+}
+
+// All returns an iterator over the snapshot's (index, tuple) pairs in
+// storage order. The yielded tuples are immutable (the owning relation
+// clones rows before overwriting them while the snapshot is
+// outstanding) and safe to read from any goroutine; iterating allocates
+// nothing.
+func (v View) All() iter.Seq2[int, Tuple] {
+	return func(yield func(int, Tuple) bool) {
+		for i, t := range v.tuples {
+			if !yield(i, t) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package relation
+
+import (
+	"testing"
+
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+func iterFixture() *Relation {
+	s := schema.Uniform("R", []string{"A", "B", "C"}, schema.IntDomain("d", "v", 9))
+	return MustFromRows(s,
+		[]string{"v1", "v2", "-"},
+		[]string{"v2", "v3", "v4"},
+		[]string{"v3", "-", "v5"},
+	)
+}
+
+func TestAllIteratesInOrder(t *testing.T) {
+	r := iterFixture()
+	next := 0
+	for i, tup := range r.All() {
+		if i != next {
+			t.Fatalf("index %d out of order (want %d)", i, next)
+		}
+		if !tup.IdenticalOn(r.Tuple(i), r.Scheme().All()) {
+			t.Fatalf("row %d differs from Tuple(%d)", i, i)
+		}
+		next++
+	}
+	if next != r.Len() {
+		t.Fatalf("visited %d rows, want %d", next, r.Len())
+	}
+
+	// Early break stops the sequence.
+	seen := 0
+	for range r.All() {
+		seen++
+		break
+	}
+	if seen != 1 {
+		t.Fatalf("break visited %d rows", seen)
+	}
+}
+
+func TestViewAllIsStableAcrossMutation(t *testing.T) {
+	r := iterFixture()
+	v := r.View()
+	before := make([]string, 0, v.Len())
+	for _, tup := range v.All() {
+		before = append(before, tup.String())
+	}
+	r.SetCellDelta(0, 0, value.NewConst("v9"))
+	r.DeleteDelta(1)
+	i := 0
+	for _, tup := range v.All() {
+		if tup.String() != before[i] {
+			t.Fatalf("view row %d changed under iteration: %q -> %q", i, before[i], tup.String())
+		}
+		i++
+	}
+	if i != len(before) {
+		t.Fatalf("view iterated %d rows, want %d", i, len(before))
+	}
+}
+
+func TestAllAllocations(t *testing.T) {
+	r := iterFixture()
+	v := r.View()
+	cells := 0
+	if n := testing.AllocsPerRun(200, func() {
+		for _, tup := range r.All() {
+			cells += len(tup)
+		}
+	}); n != 0 {
+		t.Errorf("Relation.All allocates %.1f per full iteration, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		for _, tup := range v.All() {
+			cells += len(tup)
+		}
+	}); n != 0 {
+		t.Errorf("View.All allocates %.1f per full iteration, want 0", n)
+	}
+	if cells == 0 {
+		t.Fatal("iterators visited nothing")
+	}
+}

@@ -189,6 +189,20 @@ func (r *Relation) NextMark() int { return r.nextMark }
 // speculative mutation is rejected.
 func (r *Relation) SetNextMark(n int) { r.nextMark = n }
 
+// BumpVersion raises the mutation counter to at least v. Maintainers
+// that *replace* a stored relation with a rebuilt one (the store's
+// recheck commit adopts the chase's freshly built result) bump the new
+// instance past the old one's counter so version stays monotone across
+// the swap — readers and external caches rely on "version never
+// decreases" to detect change cheaply.
+func (r *Relation) BumpVersion(v uint64) {
+	r.mu.Lock()
+	if r.version < v {
+		r.version = v
+	}
+	r.mu.Unlock()
+}
+
 // mutated records a change to the tuple storage so cached indexes know
 // they are stale. Every mutating method must call it.
 func (r *Relation) mutated() {
@@ -211,16 +225,22 @@ func (r *Relation) noteMark(t Tuple) {
 // constants drawn from the attribute domains. Insert runs it before the
 // duplicate scan; the delta path (delta.go) shares it so error texts
 // cannot drift between the engines.
-func (r *Relation) ValidateNew(t Tuple) error {
-	if len(t) != r.scheme.Arity() {
+func (r *Relation) ValidateNew(t Tuple) error { return ValidateTuple(r.scheme, t) }
+
+// ValidateTuple is ValidateNew against a bare scheme, for callers that
+// must validate without touching any relation state — the store's
+// transaction staging is lock-free and may run concurrently with a
+// commit that swaps the instance out.
+func ValidateTuple(s *schema.Scheme, t Tuple) error {
+	if len(t) != s.Arity() {
 		return fmt.Errorf("relation %s: tuple arity %d, scheme arity %d",
-			r.scheme.Name(), len(t), r.scheme.Arity())
+			s.Name(), len(t), s.Arity())
 	}
 	for i, v := range t {
-		if v.IsConst() && !r.scheme.Domain(schema.Attr(i)).Contains(v.Const()) {
+		if v.IsConst() && !s.Domain(schema.Attr(i)).Contains(v.Const()) {
 			return fmt.Errorf("relation %s: value %q outside domain %q of attribute %s",
-				r.scheme.Name(), v.Const(), r.scheme.Domain(schema.Attr(i)).Name,
-				r.scheme.AttrName(schema.Attr(i)))
+				s.Name(), v.Const(), s.Domain(schema.Attr(i)).Name,
+				s.AttrName(schema.Attr(i)))
 		}
 	}
 	return nil

@@ -117,3 +117,78 @@ func (c *Concurrent) CheckStrong() bool {
 	defer c.mu.RUnlock()
 	return c.st.CheckStrong()
 }
+
+// ---- transactions: snapshot-isolated batched writes ----
+
+// ConcurrentTxn is a transaction against the concurrent facade. It
+// gives snapshot isolation with first-committer-wins conflict handling:
+//
+//   - Begin captures an O(1) copy-on-write snapshot (Snapshot) and the
+//     store version, under the read lock — concurrent with other
+//     readers and other Begins;
+//   - staging (Insert/InsertRow/Update/Delete/Save/RollbackTo) is pure
+//     bookkeeping on transaction-local state and takes NO lock — any
+//     number of transactions stage in parallel while readers read;
+//   - Commit takes the write lock for the single batched apply-and-
+//     check; writers therefore serialize at commit only. A transaction
+//     whose base version was overtaken aborts with ErrTxnConflict —
+//     retry against a fresh BeginTxn.
+//
+// One ConcurrentTxn must not be shared between goroutines; its reads
+// (Snapshot) are safe anywhere, like any View.
+type ConcurrentTxn struct {
+	c    *Concurrent
+	tx   *Txn
+	snap relation.View
+}
+
+// BeginTxn starts a snapshot-isolated transaction: the returned
+// transaction stages a write-set lock-free and applies it atomically —
+// one batched constraint check — when Commit takes the write lock.
+func (c *Concurrent) BeginTxn() *ConcurrentTxn {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return &ConcurrentTxn{c: c, tx: c.st.Begin(), snap: c.st.View()}
+}
+
+// Snapshot returns the transaction's begin-time snapshot: the committed
+// state this transaction's write-set was staged against. Reading it
+// takes no lock.
+func (t *ConcurrentTxn) Snapshot() relation.View { return t.snap }
+
+// Insert stages a tuple insert (lock-free).
+func (t *ConcurrentTxn) Insert(tup relation.Tuple) error { return t.tx.Insert(tup) }
+
+// InsertRow stages a row insert (lock-free); cells parse at commit.
+func (t *ConcurrentTxn) InsertRow(cells ...string) error { return t.tx.InsertRow(cells...) }
+
+// Update stages a cell overwrite (lock-free). Indices address the
+// begin-time snapshot plus earlier staged ops, exactly as for Txn.
+func (t *ConcurrentTxn) Update(ti int, a schema.Attr, v value.V) error {
+	return t.tx.Update(ti, a, v)
+}
+
+// Delete stages a tuple delete (lock-free).
+func (t *ConcurrentTxn) Delete(ti int) error { return t.tx.Delete(ti) }
+
+// Save marks a savepoint in the staged write-set.
+func (t *ConcurrentTxn) Save() Savepoint { return t.tx.Save() }
+
+// RollbackTo discards the ops staged after sp.
+func (t *ConcurrentTxn) RollbackTo(sp Savepoint) error { return t.tx.RollbackTo(sp) }
+
+// Rollback discards the transaction without taking any lock.
+func (t *ConcurrentTxn) Rollback() { t.tx.Rollback() }
+
+// Pending returns the number of staged ops.
+func (t *ConcurrentTxn) Pending() int { return t.tx.Pending() }
+
+// Commit applies the staged write-set under the write lock. It returns
+// ErrTxnConflict when another writer committed after this transaction's
+// Begin (first committer wins; retry with a fresh BeginTxn), or the
+// Txn.Commit rejection otherwise.
+func (t *ConcurrentTxn) Commit() error {
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	return t.tx.Commit()
+}

@@ -12,17 +12,18 @@
 // involve a tuple whose cells changed — initially just t. The engine
 // keeps that invariant inductively:
 //
-//  1. eval.CheckDelta probes the partition group t lands in for an
-//     immediate contradiction (two distinct constants forced together) —
-//     the cheap, common rejection;
-//  2. a worklist propagation fires the remaining rules: for each dirty
-//     tuple, the tuples agreeing with it on some FD's determinant are
-//     found through the delta-maintained X-partition index (hash probe
-//     for constant projections, null-sidecar scan only when the dirty
-//     tuple carries marks), and each forced Y-merge is substituted
-//     *eagerly into every occurrence of the mark* via a mark→cells
-//     index, re-dirtying the touched tuples. Pairwise min-mark merging
-//     reproduces the chase's canonical (min) class marks.
+// a worklist propagation fires the rules at group granularity: for each
+// dirty tuple, the tuples agreeing with it on some FD's determinant are
+// found through the delta-maintained X-partition index (hash probe for
+// constant projections, null-sidecar scan only when the dirty tuple
+// carries marks), the whole group is swept in one symmetric pass — a
+// distinct-constant pair rejects immediately, the extended chase's
+// poisoning configuration — and each forced Y-merge is substituted
+// *eagerly into every occurrence of the mark* via a mark→cells index,
+// re-dirtying the touched tuples. Min-mark merging reproduces the
+// chase's canonical (min) class marks, and groups shared by several
+// dirty rows are swept once per round, which is what lets the
+// transactional commit (txn.go) pay one sweep for a k-row write-set.
 //
 // Substitutions map identical cells to identical cells, so a group's
 // members keep agreeing on X while the worklist runs — stale probe
@@ -38,7 +39,6 @@
 package store
 
 import (
-	"fdnull/internal/eval"
 	"fdnull/internal/fd"
 	"fdnull/internal/relation"
 	"fdnull/internal/schema"
@@ -251,22 +251,45 @@ func (st *Store) deleteIncremental(ti int) error {
 // a contradiction (two distinct constants forced together), leaving the
 // partially substituted instance for the caller to roll back.
 func (st *Store) settle(seed int, und *undoLog) bool {
-	// Fast pre-check: an immediate clash inside the touched groups needs
-	// no substitutions at all, and is the common rejection shape.
-	if verdict := eval.CheckDelta(st.fds, st.rel, seed); !verdict.OK {
-		return false
+	return st.settleSeeds([]int{seed}, und)
+}
+
+// settleSeeds is the multi-seed propagation behind both the single-op
+// mutations and the transactional batch commit: it re-establishes the
+// fixpoint invariant after the rows in seeds changed, firing NS-rules at
+// *group* granularity. Each round sweeps, per FD, the partition groups
+// of the currently dirty rows — a group shared by many dirty rows is
+// swept once, which is what makes a k-row write-set into one group cost
+// one sweep instead of k — applying every forced substitution through
+// the mark occurrence index; rows touched by a substitution become the
+// next round's dirty set. It reports false on a contradiction, leaving
+// the partially substituted instance for the caller to roll back (und
+// may be nil when the caller rolls back by snapshot instead of by log).
+func (st *Store) settleSeeds(seeds []int, und *undoLog) bool {
+	p := propagation{st: st, und: und, nextSet: make(map[int]bool), done: make(map[int]bool)}
+	dirty := make([]int, 0, len(seeds))
+	for _, i := range seeds {
+		if !p.nextSet[i] {
+			p.nextSet[i] = true
+			dirty = append(dirty, i)
+		}
 	}
-	p := propagation{st: st, und: und, inQueue: map[int]bool{seed: true}}
-	p.queue = append(p.queue, seed)
-	for len(p.queue) > 0 {
-		i := p.queue[0]
-		p.queue = p.queue[1:]
-		p.inQueue[i] = false
+	clear(p.nextSet)
+	for len(dirty) > 0 {
 		for _, f := range st.fds {
-			if !p.fire(i, f) {
-				return false
+			clear(p.done)
+			for _, i := range dirty {
+				if p.done[i] {
+					continue
+				}
+				if !p.fireGroup(i, f) {
+					return false
+				}
 			}
 		}
+		dirty = append(dirty[:0], p.next...)
+		p.next = p.next[:0]
+		clear(p.nextSet)
 	}
 	return true
 }
@@ -274,33 +297,41 @@ func (st *Store) settle(seed int, und *undoLog) bool {
 type propagation struct {
 	st      *Store
 	und     *undoLog
-	queue   []int
-	inQueue map[int]bool
+	next    []int        // rows re-dirtied by substitutions (next round)
+	nextSet map[int]bool // membership for next
+	done    map[int]bool // rows whose group was swept for the current FD
 	scratch []int
+	marks   []int
 }
 
 func (p *propagation) dirty(i int) {
-	if !p.inQueue[i] {
-		p.inQueue[i] = true
-		p.queue = append(p.queue, i)
+	if !p.nextSet[i] {
+		p.nextSet[i] = true
+		p.next = append(p.next, i)
 	}
 }
 
-// fire applies FD f between tuple i and every tuple agreeing with it on
-// f.X, substituting forced Y-merges. Returns false on contradiction.
-func (p *propagation) fire(i int, f fd.FD) bool {
+// fireGroup applies FD f across the entire set of tuples agreeing with
+// tuple i on f.X — its constant-projection group, or its identical-
+// projection partners in the null sidecar — in one symmetric pass per
+// determined attribute, substituting the forced Y-merges and marking
+// every swept row done for f. Returns false on contradiction.
+func (p *propagation) fireGroup(i int, f fd.FD) bool {
 	rel := p.st.rel
 	ix := rel.IndexOn(f.X)
 	t := rel.Tuple(i)
 	p.scratch = p.scratch[:0]
 	if rows, ok := ix.Probe(t); ok {
-		// Substitutions may re-home rows mid-loop; iterate a private copy.
-		// Group members stay X-identical throughout (substitution maps
-		// identical cells to identical cells), so the copy stays valid.
+		// Substitutions may re-home rows mid-sweep; iterate a private
+		// copy. Group members stay X-identical throughout (substitution
+		// maps identical cells to identical cells), so the copy stays
+		// valid.
 		p.scratch = append(p.scratch, rows...)
 	} else {
 		// t carries marks on X: identical projections live in the null
-		// sidecar only.
+		// sidecar only. X-identity is an equivalence, so the partner set
+		// is the whole class and marking it done is sound.
+		p.scratch = append(p.scratch, i)
 		for _, j := range ix.NullRows() {
 			if j != i && t.IdenticalOn(rel.Tuple(j), f.X) {
 				p.scratch = append(p.scratch, j)
@@ -308,27 +339,63 @@ func (p *propagation) fire(i int, f fd.FD) bool {
 		}
 	}
 	for _, j := range p.scratch {
-		if j == i {
+		p.done[j] = true
+	}
+	if len(p.scratch) <= 1 {
+		return true
+	}
+	for _, a := range f.Y.Attrs() {
+		// One pass: the first constant fixes the class value (a distinct
+		// second constant is the contradiction the extended chase poisons);
+		// the marks collected alongside merge into it — or, with no
+		// constant, into the chase's canonical minimum mark (NS-rule b).
+		var constVal value.V
+		hasConst := false
+		p.marks = p.marks[:0]
+		for _, j := range p.scratch {
+			v := rel.Tuple(j)[a]
+			switch {
+			case v.IsConst():
+				if !hasConst {
+					hasConst, constVal = true, v
+				} else if v.Const() != constVal.Const() {
+					return false
+				}
+			case v.IsNull():
+				m := v.Mark()
+				known := false
+				for _, seen := range p.marks {
+					if seen == m {
+						known = true
+						break
+					}
+				}
+				if !known {
+					p.marks = append(p.marks, m)
+				}
+			}
+		}
+		if len(p.marks) == 0 {
 			continue
 		}
-		for _, a := range f.Y.Attrs() {
-			vi, vj := rel.Tuple(i)[a], rel.Tuple(j)[a]
-			switch {
-			case vi.Identical(vj):
-			case vi.IsConst() && vj.IsConst():
-				return false // distinct constants: the extended chase poisons here
-			case vi.IsNull() && vj.IsNull():
-				// NS-rule (b): merge the classes, keeping the chase's
-				// canonical (minimum) mark.
-				m1, m2 := vi.Mark(), vj.Mark()
-				if m1 > m2 {
-					m1, m2 = m2, m1
-				}
-				p.substitute(m2, value.NewNull(m1))
-			case vi.IsNull():
-				p.substitute(vi.Mark(), vj) // NS-rule (a)
-			default:
-				p.substitute(vj.Mark(), vi) // NS-rule (a)
+		if hasConst {
+			for _, m := range p.marks {
+				p.substitute(m, constVal) // NS-rule (a)
+			}
+			continue
+		}
+		if len(p.marks) == 1 {
+			continue
+		}
+		min := p.marks[0]
+		for _, m := range p.marks[1:] {
+			if m < min {
+				min = m
+			}
+		}
+		for _, m := range p.marks {
+			if m != min {
+				p.substitute(m, value.NewNull(min)) // NS-rule (b)
 			}
 		}
 	}
@@ -344,7 +411,9 @@ func (p *propagation) substitute(m int, v value.V) {
 	for _, ref := range refs {
 		old := st.rel.Tuple(ref.ti)[ref.a]
 		st.rel.SetCellDelta(ref.ti, ref.a, v)
-		p.und.cells = append(p.und.cells, undoCell{ref, old})
+		if p.und != nil {
+			p.und.cells = append(p.und.cells, undoCell{ref, old})
+		}
 		p.dirty(ref.ti)
 	}
 	if v.IsNull() {

@@ -86,8 +86,8 @@ func TestIncrementalRejectCarriesChaseWitness(t *testing.T) {
 		t.Fatalf("rejected = %d, want 1", rejected)
 	}
 	// A cascading rejection: the conflict is only reachable through a
-	// null-class substitution, so it escapes the CheckDelta pre-filter
-	// and must be caught (and rolled back) by the propagation itself.
+	// null-class substitution, so no single group sweep sees it up
+	// front — the propagation itself must catch it and roll back.
 	st2 := employeeStore(Options{Maintenance: MaintenanceIncremental})
 	for _, row := range [][]string{
 		{"e1", "s1", "d1", "-"},

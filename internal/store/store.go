@@ -28,17 +28,21 @@
 // Two engines maintain the invariant. MaintenanceRecheck is the original
 // path: clone the instance, apply the mutation, re-chase from scratch —
 // O(n) per write. MaintenanceIncremental (the default) exploits that the
-// stored instance is always a chase fixpoint: a single-tuple delta can
-// only fire NS-rules inside the partition groups it touches, so the
-// engine re-verifies just those groups (eval.CheckDelta), propagates
-// forced substitutions through a worklist over the delta-maintained
-// X-partition indexes (incremental.go), and costs O(affected group) per
-// accepted write. The engines agree verdict-for-verdict and state-for-
-// state; history_test.go replays randomized operation histories against
+// stored instance is always a chase fixpoint: a delta can only fire
+// NS-rules inside the partition groups it touches, so the engine sweeps
+// just those groups, propagating forced substitutions through a
+// worklist over the delta-maintained X-partition indexes
+// (incremental.go), and costs O(affected group) per accepted write; a
+// transactional commit (txn.go) applies a whole write-set as one
+// multi-row delta and pays one batched check (eval.CheckDeltaBatch)
+// plus one propagation for the set. The engines agree
+// verdict-for-verdict and state-for-state; history_test.go and
+// txn_history_test.go replay randomized operation histories against
 // both to prove it.
 package store
 
 import (
+	"errors"
 	"fmt"
 
 	"fdnull/internal/chase"
@@ -112,8 +116,18 @@ type Store struct {
 	inserts, updates, deletes, rejected int
 }
 
+// ErrInconsistent is the sentinel every constraint rejection matches:
+// errors.Is(err, ErrInconsistent) reports whether a mutation (or a
+// transaction commit) was refused because the dependencies admit no
+// completion of the tentative instance — as opposed to a structural
+// error (arity, domain, duplicate, out-of-range index), which does not
+// match. Callers should branch on this sentinel, never on error text.
+var ErrInconsistent = errors.New("store: the dependencies admit no completion")
+
 // InconsistencyError reports a rejected mutation: the chase of the
-// tentative instance produced `nothing`.
+// tentative instance produced `nothing`. It wraps ErrInconsistent, so
+// errors.Is(err, ErrInconsistent) matches it (and anything wrapping it,
+// like a TxnError).
 type InconsistencyError struct {
 	Op string
 	// Chase is the normal form of the *rejected* tentative instance; its
@@ -124,6 +138,10 @@ type InconsistencyError struct {
 func (e *InconsistencyError) Error() string {
 	return fmt.Sprintf("store: %s rejected: the dependencies admit no completion (chase found a contradiction)", e.Op)
 }
+
+// Unwrap ties the witness-carrying error to the ErrInconsistent
+// sentinel for errors.Is chains.
+func (e *InconsistencyError) Unwrap() error { return ErrInconsistent }
 
 // New creates an empty store over s guarded by fds.
 func New(s *schema.Scheme, fds []fd.FD, opts Options) *Store {
@@ -209,25 +227,27 @@ func (st *Store) incrementalMode() bool {
 	return st.opts.Maintenance == MaintenanceIncremental && !st.opts.ApplyXRules
 }
 
-// commit chases the tentative instance; on consistency it becomes the
-// stored state, otherwise the error carries the witness and the store is
-// untouched. This is the recheck engine's whole-instance path; the
-// incremental engine only reaches it through fallbacks (and Load).
-func (st *Store) commit(op string, tentative *relation.Relation) error {
+// resolve brings a tentative instance to the store's normal form: one
+// extended chase, plus — when configured — the Section 4 X-side
+// substitution rules iterated with re-chases. On consistency it returns
+// the resolved instance; on contradiction it returns the rejecting
+// chase result as the witness. It never touches store state, so the
+// rejection-attribution scan (txn.go: offendingOp) shares it and
+// decides prefixes under the store's configured semantics.
+func (st *Store) resolve(tentative *relation.Relation) (*relation.Relation, *chase.Result, error) {
 	res, err := chase.Run(tentative, st.fds, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	if !res.Consistent {
-		st.rejected++
-		return &InconsistencyError{Op: op, Chase: res}
+		return nil, res, nil
 	}
 	cur := res.Relation
 	if st.opts.ApplyXRules {
 		for {
 			next, subs, err := chase.ApplyXSubstitutions(cur, st.fds)
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
 			if len(subs) == 0 {
 				break
@@ -235,14 +255,29 @@ func (st *Store) commit(op string, tentative *relation.Relation) error {
 			// X-substitutions may enable further NS-rules.
 			res2, err := chase.Run(next, st.fds, chase.Options{Mode: chase.Extended, Engine: chase.Congruence})
 			if err != nil {
-				return err
+				return nil, nil, err
 			}
 			if !res2.Consistent {
-				st.rejected++
-				return &InconsistencyError{Op: op, Chase: res2}
+				return nil, res2, nil
 			}
 			cur = res2.Relation
 		}
+	}
+	return cur, nil, nil
+}
+
+// commit resolves the tentative instance; on consistency it becomes the
+// stored state, otherwise the error carries the witness and the store is
+// untouched. This is the recheck engine's whole-instance path; the
+// incremental engine only reaches it through fallbacks (and Load).
+func (st *Store) commit(op string, tentative *relation.Relation) error {
+	cur, rejected, err := st.resolve(tentative)
+	if err != nil {
+		return err
+	}
+	if rejected != nil {
+		st.rejected++
+		return &InconsistencyError{Op: op, Chase: rejected}
 	}
 	// The chase rebuilds its result relation, resetting the fresh-mark
 	// allocator to (max surviving mark)+1; restore monotonicity so a
@@ -252,6 +287,11 @@ func (st *Store) commit(op string, tentative *relation.Relation) error {
 	if nm := tentative.NextMark(); nm > cur.NextMark() {
 		cur.SetNextMark(nm)
 	}
+	// The rebuilt relation's mutation counter restarted from zero; carry
+	// it past the replaced instance's so Version stays monotone across
+	// recheck commits — readers (and snapshot-isolated transactions)
+	// detect change by "version moved", which a regression would break.
+	cur.BumpVersion(st.rel.Version() + 1)
 	st.rel = cur
 	st.invalidateInc() // the incremental state described the old instance
 	return nil
@@ -307,22 +347,32 @@ func (st *Store) InsertRow(cells ...string) error {
 // re-checked like any other mutation; overwriting anything with a fresh
 // null is an information retraction and is allowed.
 func (st *Store) Update(ti int, a schema.Attr, v value.V) error {
-	if ti < 0 || ti >= st.rel.Len() {
-		return fmt.Errorf("store: update of tuple %d out of range", ti)
-	}
-	if int(a) < 0 || int(a) >= st.scheme.Arity() {
-		return fmt.Errorf("store: update of attribute %d out of range", a)
-	}
-	if v.IsNothing() {
-		return fmt.Errorf("store: the inconsistent element cannot be stored")
-	}
-	if v.IsConst() && !st.scheme.Domain(a).Contains(v.Const()) {
-		return fmt.Errorf("store: value %q outside domain %q", v.Const(), st.scheme.Domain(a).Name)
+	if err := validateUpdate(st.scheme, st.rel.Len(), ti, a, v); err != nil {
+		return err
 	}
 	if st.incrementalMode() {
 		return st.updateIncremental(ti, a, v)
 	}
 	return st.updateRecheck(ti, a, v)
+}
+
+// validateUpdate is the structural half of Update, shared with the
+// transactional apply path (txn.go) so error texts cannot drift between
+// per-op and staged updates.
+func validateUpdate(s *schema.Scheme, n, ti int, a schema.Attr, v value.V) error {
+	if ti < 0 || ti >= n {
+		return fmt.Errorf("store: update of tuple %d out of range", ti)
+	}
+	if int(a) < 0 || int(a) >= s.Arity() {
+		return fmt.Errorf("store: update of attribute %d out of range", a)
+	}
+	if v.IsNothing() {
+		return fmt.Errorf("store: the inconsistent element cannot be stored")
+	}
+	if v.IsConst() && !s.Domain(a).Contains(v.Const()) {
+		return fmt.Errorf("store: value %q outside domain %q", v.Const(), s.Domain(a).Name)
+	}
+	return nil
 }
 
 func (st *Store) updateRecheck(ti int, a schema.Attr, v value.V) error {

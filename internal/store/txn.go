@@ -1,0 +1,597 @@
+// txn.go implements the store's transactional write path: a Txn stages
+// a write-set of inserts, updates, and deletes — with savepoints — and
+// Commit applies the whole set as ONE multi-row delta, so a k-op batch
+// pays roughly one incremental constraint check instead of k.
+//
+// # Semantics
+//
+// A transaction is atomic and checks constraints on the *final* state
+// only (deferred checking, like SQL's DEFERRABLE INITIALLY DEFERRED):
+// the staged ops are applied structurally in order, then one
+// re-verification — eval.CheckDeltaBatch over the union of the touched
+// partition groups plus one NS-propagation worklist seeded from all
+// staged cells (incremental engine), or one chase of the applied
+// write-set (recheck engine, the per-commit oracle) — decides the whole
+// commit. A write-set whose intermediate states would be rejected op by
+// op can therefore commit if its final state is consistent (insert a
+// doomed tuple, then delete it), and conversely a commit is rejected as
+// a unit: either every staged op takes effect or none does.
+//
+// Staged tuple indices address the transaction's own evolving state:
+// the committed instance as of Begin, plus the effects of earlier
+// staged ops applied in order (inserts append at Len, updates overwrite
+// in place, deletes swap the last row into the hole — both maintenance
+// engines apply staged deletes by swap-and-pop, so index evolution
+// inside a commit is engine-independent).
+//
+// Marked nulls are transaction-scoped: an explicit ⊥k ("-k") staged in
+// several rows of one write-set denotes the SAME unknown across all of
+// them (and ties into the committed instance's live ⊥k, if any),
+// because the whole set reaches the constraint check together. This is
+// stronger than op-by-op insertion, where a mark whose class was
+// substituted away mid-sequence reads as a fresh unknown when reused.
+//
+// # Isolation
+//
+// Commit validates that no mutation was *accepted* since Begin (the
+// store's monotone accepted-op count — rejected-and-rolled-back
+// mutations leave the committed state untouched and do not conflict);
+// a concurrent or interleaved writer that committed first aborts this
+// transaction with ErrTxnConflict. Combined with the concurrent facade
+// — readers keep lock-free copy-on-write snapshots, writers serialize
+// at commit — this is first-committer-wins snapshot isolation. The
+// conflict check is deliberately coarse (any committed write
+// conflicts): under a shared FD set the whole instance is one
+// constraint scope, so any concurrent write can change the chase
+// outcome of this write-set.
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"fdnull/internal/eval"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// Transaction-lifecycle sentinels; match with errors.Is.
+var (
+	// ErrTxnConflict aborts a Commit when the store changed after Begin:
+	// another transaction (or a direct per-op mutation) committed first.
+	// The transaction is finished; retry by beginning a new one.
+	ErrTxnConflict = errors.New("store: transaction conflict: the store changed since Begin")
+	// ErrTxnFinished reports a staged op or Commit on a transaction that
+	// was already committed or rolled back.
+	ErrTxnFinished = errors.New("store: transaction already committed or rolled back")
+)
+
+// TxnError reports a rejected Commit. It identifies the offending
+// staged op and wraps the underlying cause — an *InconsistencyError
+// carrying the chase witness for constraint rejections (so
+// errors.Is(err, ErrInconsistent) matches), or the structural error of
+// the op that failed to apply (arity, domain, duplicate, range).
+type TxnError struct {
+	// Op is the index of the offending staged op (0-based, in staging
+	// order after savepoint rollbacks). For a constraint rejection it is
+	// the earliest op whose prefix write-set already admits no
+	// completion; for a structural error, the op that failed to apply.
+	Op int
+	// OpDesc renders the offending op for error messages.
+	OpDesc string
+	// Err is the underlying rejection.
+	Err error
+}
+
+func (e *TxnError) Error() string {
+	return fmt.Sprintf("store: commit rejected at staged op %d (%s): %v", e.Op, e.OpDesc, e.Err)
+}
+
+// Unwrap exposes the underlying rejection to errors.Is / errors.As.
+func (e *TxnError) Unwrap() error { return e.Err }
+
+// Savepoint marks a position in a transaction's staged write-set; see
+// Txn.Save and Txn.RollbackTo.
+type Savepoint int
+
+type txnOpKind uint8
+
+const (
+	txnInsert txnOpKind = iota
+	txnUpdate
+	txnDelete
+)
+
+// txnOp is one staged operation. Ops are pure records: staging touches
+// no store state, so a transaction on the concurrent facade stages
+// without any lock.
+type txnOp struct {
+	kind txnOpKind
+	t    relation.Tuple // insert: explicit tuple (nil when row is set)
+	row  []string       // insert: raw cells, parsed at commit (fresh nulls draw from the committed allocator)
+	ti   int            // update/delete target
+	a    schema.Attr    // update attribute
+	v    value.V        // update value
+}
+
+func (op txnOp) describe(s *schema.Scheme) string {
+	switch op.kind {
+	case txnInsert:
+		if op.t != nil {
+			return "insert " + op.t.String()
+		}
+		return fmt.Sprintf("insert row %v", op.row)
+	case txnUpdate:
+		return fmt.Sprintf("update t%d %s := %s", op.ti, s.AttrName(op.a), op.v)
+	default:
+		return fmt.Sprintf("delete t%d", op.ti)
+	}
+}
+
+// Txn is a staged write-set against a Store. It is created by Begin,
+// mutated by the staging methods, and finished by exactly one Commit or
+// Rollback. A Txn is not safe for concurrent use by itself; the
+// concurrent facade's ConcurrentTxn documents the locking protocol.
+type Txn struct {
+	st           *Store
+	baseAccepted uint64
+	baseLen      int // committed row count at Begin
+	length       int // base rows + staged net effect, for eager range checks
+	ops          []txnOp
+	done         bool
+}
+
+// Begin starts a transaction. The staged write-set is applied — and
+// checked, once — by Commit; until then the store is unchanged and
+// reads see the committed state. Several transactions may be open
+// against one store; the first to commit wins and the rest abort with
+// ErrTxnConflict.
+func (st *Store) Begin() *Txn {
+	n := st.rel.Len()
+	return &Txn{st: st, baseAccepted: st.acceptedOps(), baseLen: n, length: n}
+}
+
+// acceptedOps counts the committed state changes. The transaction
+// conflict check compares it instead of the relation's low-level
+// version counter, which also advances on rejected-and-rolled-back
+// mutations that leave the committed state untouched.
+func (st *Store) acceptedOps() uint64 {
+	return uint64(st.inserts) + uint64(st.updates) + uint64(st.deletes)
+}
+
+// Pending returns the number of staged ops.
+func (tx *Txn) Pending() int { return len(tx.ops) }
+
+// Len returns the row count the instance will have after Commit: the
+// base instance plus the staged net effect.
+func (tx *Txn) Len() int { return tx.length }
+
+// Insert stages a tuple insert. Arity and domains are validated
+// eagerly; duplicate detection happens at commit, against the state the
+// earlier staged ops produce.
+func (tx *Txn) Insert(t relation.Tuple) error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	// Scheme-only validation: staging must not touch the relation, which
+	// a concurrent commit may be swapping out under the write lock.
+	if err := relation.ValidateTuple(tx.st.scheme, t); err != nil {
+		return err
+	}
+	tx.ops = append(tx.ops, txnOp{kind: txnInsert, t: t.Clone()})
+	tx.length++
+	return nil
+}
+
+// InsertRow stages an insert of a row of cell strings ("-" fresh null,
+// "-k" marked null, constants otherwise — see Relation.ParseRow). The
+// cells are parsed at commit time so fresh nulls draw their marks from
+// the committed allocator in staging order.
+func (tx *Txn) InsertRow(cells ...string) error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	if len(cells) != tx.st.scheme.Arity() {
+		return fmt.Errorf("relation %s: tuple arity %d, scheme arity %d",
+			tx.st.scheme.Name(), len(cells), tx.st.scheme.Arity())
+	}
+	tx.ops = append(tx.ops, txnOp{kind: txnInsert, row: append([]string(nil), cells...)})
+	tx.length++
+	return nil
+}
+
+// Update stages a cell overwrite. The index addresses the transaction's
+// evolving state (base rows first, staged inserts at Len and up).
+func (tx *Txn) Update(ti int, a schema.Attr, v value.V) error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	if err := validateUpdate(tx.st.scheme, tx.length, ti, a, v); err != nil {
+		return err
+	}
+	tx.ops = append(tx.ops, txnOp{kind: txnUpdate, ti: ti, a: a, v: v})
+	return nil
+}
+
+// Delete stages a tuple delete. Both engines apply staged deletes by
+// swap-and-pop (the last row moves into the hole), so later staged
+// indices evolve identically under either maintenance engine.
+func (tx *Txn) Delete(ti int) error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	if ti < 0 || ti >= tx.length {
+		return fmt.Errorf("store: delete of tuple %d out of range", ti)
+	}
+	tx.ops = append(tx.ops, txnOp{kind: txnDelete, ti: ti})
+	tx.length--
+	return nil
+}
+
+// Save returns a savepoint marking the current end of the staged
+// write-set. RollbackTo discards everything staged after it.
+func (tx *Txn) Save() Savepoint { return Savepoint(len(tx.ops)) }
+
+// RollbackTo discards the ops staged after sp, which must have been
+// returned by Save on this transaction and not invalidated by an
+// earlier RollbackTo. The transaction stays open.
+func (tx *Txn) RollbackTo(sp Savepoint) error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	if sp < 0 || int(sp) > len(tx.ops) {
+		return fmt.Errorf("store: savepoint %d out of range (0..%d)", sp, len(tx.ops))
+	}
+	tx.ops = tx.ops[:sp]
+	// Recompute the staged net length from the surviving ops.
+	tx.length = tx.baseLen
+	for _, op := range tx.ops {
+		switch op.kind {
+		case txnInsert:
+			tx.length++
+		case txnDelete:
+			tx.length--
+		}
+	}
+	return nil
+}
+
+// Rollback discards the transaction without touching the store.
+func (tx *Txn) Rollback() {
+	tx.done = true
+	tx.ops = nil
+}
+
+// Commit applies the staged write-set as one multi-row delta and
+// re-establishes minimal incompleteness with a single constraint check.
+// On success every staged op took effect; on error none did. The error
+// is ErrTxnConflict when the store changed since Begin, ErrTxnFinished
+// on a second finish, or a *TxnError identifying the offending staged
+// op — wrap-matching ErrInconsistent (with the chase witness available
+// via errors.As on *InconsistencyError) for constraint rejections.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return ErrTxnFinished
+	}
+	tx.done = true
+	st := tx.st
+	if len(tx.ops) == 0 {
+		return nil // an empty write-set applies nothing and conflicts with nothing
+	}
+	if st.acceptedOps() != tx.baseAccepted {
+		return ErrTxnConflict
+	}
+	if st.incrementalMode() {
+		return st.commitTxnIncremental(tx.ops)
+	}
+	return st.commitTxnRecheck(tx.ops)
+}
+
+// ---- structural application (shared by both engines) ----
+
+// appliedTxnOp describes the structural effect of one applied op, so
+// the incremental committer can maintain its mark-occurrence index and
+// seed set around the shared application.
+type appliedTxnOp struct {
+	kind    txnOpKind
+	row     int            // inserted row / updated row / delete slot
+	moved   int            // delete: previous index of the row swapped into the slot, or -1
+	old     value.V        // update: the overwritten value
+	val     value.V        // update: the written value
+	deleted relation.Tuple // delete: the removed tuple
+}
+
+// applyTxnOp applies one staged op to r through the delta mutators —
+// the same code path for both maintenance engines, so structural errors
+// (parse, arity, domain, duplicate, range) and index evolution are
+// engine-independent. Constraint checking is the caller's business.
+func applyTxnOp(s *schema.Scheme, r *relation.Relation, op txnOp) (appliedTxnOp, error) {
+	switch op.kind {
+	case txnInsert:
+		t := op.t
+		if t == nil {
+			var err error
+			t, err = r.ParseRow(op.row...)
+			if err != nil {
+				return appliedTxnOp{}, err
+			}
+		}
+		i, err := r.InsertDelta(t)
+		if err != nil {
+			return appliedTxnOp{}, err
+		}
+		return appliedTxnOp{kind: txnInsert, row: i, moved: -1}, nil
+	case txnUpdate:
+		if err := validateUpdate(s, r.Len(), op.ti, op.a, op.v); err != nil {
+			return appliedTxnOp{}, err
+		}
+		old := r.Tuple(op.ti)[op.a]
+		r.SetCellDelta(op.ti, op.a, op.v)
+		// An explicit marked null written from above the allocator bumps
+		// it immediately — a later staged InsertRow's "-" cell parses
+		// from this same allocator, and handing it the update's mark
+		// would silently alias two unrelated unknowns into one class.
+		if op.v.IsNull() && op.v.Mark() >= r.NextMark() {
+			r.SetNextMark(op.v.Mark() + 1)
+		}
+		return appliedTxnOp{kind: txnUpdate, row: op.ti, moved: -1, old: old, val: op.v}, nil
+	default:
+		if op.ti < 0 || op.ti >= r.Len() {
+			return appliedTxnOp{}, fmt.Errorf("store: delete of tuple %d out of range", op.ti)
+		}
+		del := r.Tuple(op.ti)
+		moved := r.DeleteDelta(op.ti)
+		return appliedTxnOp{kind: txnDelete, row: op.ti, moved: moved, deleted: del}, nil
+	}
+}
+
+// ---- incremental commit: one batch delta, one propagation ----
+
+// restoreTxnSnapshot rolls the instance back to the pre-commit snapshot
+// (O(rows) header copy; cells re-share with the snapshot) and restores
+// the fresh-mark allocator. The mark-occurrence index described the
+// speculative state and is rebuilt lazily.
+func (st *Store) restoreTxnSnapshot(snap relation.View, savedMark int) {
+	st.rel.Restore(snap)
+	st.rel.SetNextMark(savedMark)
+	st.invalidateInc()
+}
+
+// commitTxnIncremental applies the write-set through the delta mutators
+// (consecutive inserts via the relation's multi-row batch), then pays
+// ONE constraint check for the whole set: eval.CheckDeltaBatch over the
+// union of the touched partition groups, and one NS-propagation
+// seeded from every staged row. Rejections roll back and delegate to
+// the recheck committer, the per-commit oracle, so the error — witness,
+// offending-op attribution, counters — is identical between engines.
+//
+// Rollback strategy: a delete-free write-set only appends rows (at the
+// tail) and overwrites cells, so an undo log restores it exactly —
+// cells in reverse, then pop the appended tail — without ever touching
+// copy-on-write state. A write-set with deletes moves rows around
+// (swap-and-pop), so the committer instead anchors an O(1) snapshot
+// View up front and restores from it on failure; only such commits pay
+// the COW bookkeeping on the rows the propagation later touches.
+func (st *Store) commitTxnIncremental(ops []txnOp) error {
+	st.ensureInc()
+	savedMark := st.rel.NextMark()
+	baseLen := st.rel.Len()
+	hasDelete := false
+	for _, op := range ops {
+		if op.kind == txnDelete {
+			hasDelete = true
+			break
+		}
+	}
+	var snap relation.View
+	if hasDelete {
+		snap = st.rel.View()
+	}
+	und := &undoLog{insertedAt: -1, savedNextMark: savedMark}
+	seeds := make(map[int]bool, len(ops))
+	var counts [3]int
+
+	rollbackAll := func() {
+		if hasDelete {
+			st.restoreTxnSnapshot(snap, savedMark)
+			return
+		}
+		// Undo the cell overwrites in reverse, then pop the appended tail
+		// (inserts only ever append when no delete re-homes rows).
+		for k := len(und.cells) - 1; k >= 0; k-- {
+			c := und.cells[k]
+			st.rel.SetCellDelta(c.ref.ti, c.ref.a, c.old)
+		}
+		for i := st.rel.Len() - 1; i >= baseLen; i-- {
+			st.rel.DeleteDelta(i)
+		}
+		st.rel.SetNextMark(savedMark)
+		st.invalidateInc()
+	}
+	structuralFail := func(k int, err error) error {
+		rollbackAll()
+		return &TxnError{Op: k, OpDesc: ops[k].describe(st.scheme), Err: err}
+	}
+	toOracle := func() error {
+		rollbackAll()
+		return st.commitTxnRecheck(ops)
+	}
+
+	for k := 0; k < len(ops); k++ {
+		if ops[k].kind == txnInsert {
+			// Batch the maximal run of consecutive inserts through the
+			// relation's multi-row delta: one version bump, one cache
+			// sweep, duplicate probes against base plus earlier batch rows.
+			run := k
+			for run < len(ops) && ops[run].kind == txnInsert {
+				run++
+			}
+			ts := make([]relation.Tuple, 0, run-k)
+			for p := k; p < run; p++ {
+				t := ops[p].t
+				if t == nil {
+					var err error
+					t, err = st.rel.ParseRow(ops[p].row...)
+					if err != nil {
+						return structuralFail(p, err)
+					}
+				}
+				if t.HasNothingOn(st.scheme.All()) {
+					// A tuple carrying the inconsistent element can never be
+					// completed; the delta machinery does not analyze nothing
+					// sidecars, so the oracle derives the identical rejection.
+					return toOracle()
+				}
+				// Keep the allocator's noteMark effect in staging order: a
+				// later "-" cell must parse to a mark above any explicit
+				// "-k" an earlier op of this run carried, exactly as the
+				// oracle's op-by-op application allocates.
+				for _, v := range t {
+					if v.IsNull() && v.Mark() >= st.rel.NextMark() {
+						st.rel.SetNextMark(v.Mark() + 1)
+					}
+				}
+				ts = append(ts, t)
+			}
+			first, bad, err := st.rel.InsertDeltaBatch(ts)
+			if err != nil {
+				return structuralFail(k+bad, err)
+			}
+			for p := range ts {
+				i := first + p
+				for a, v := range st.rel.Tuple(i) {
+					if v.IsNull() {
+						st.addMarkRef(v.Mark(), cellRef{i, schema.Attr(a)})
+					}
+				}
+				seeds[i] = true
+			}
+			counts[txnInsert] += len(ts)
+			k = run - 1
+			continue
+		}
+		ap, err := applyTxnOp(st.scheme, st.rel, ops[k])
+		if err != nil {
+			return structuralFail(k, err)
+		}
+		counts[ap.kind]++
+		switch ap.kind {
+		case txnUpdate:
+			ref := cellRef{ap.row, ops[k].a}
+			und.cells = append(und.cells, undoCell{ref, ap.old})
+			if ap.old.IsNull() {
+				st.dropMarkRef(ap.old.Mark(), ref)
+			}
+			if ap.val.IsNull() {
+				st.addMarkRef(ap.val.Mark(), ref)
+			}
+			seeds[ap.row] = true
+		case txnDelete:
+			for a, v := range ap.deleted {
+				if v.IsNull() {
+					st.dropMarkRef(v.Mark(), cellRef{ap.row, schema.Attr(a)})
+				}
+			}
+			delete(seeds, ap.row)
+			if ap.moved >= 0 {
+				st.renumberMarkRefs(st.rel.Tuple(ap.row), ap.moved, ap.row)
+				if seeds[ap.moved] {
+					delete(seeds, ap.moved)
+					seeds[ap.row] = true
+				}
+			}
+		}
+	}
+
+	if len(seeds) > 0 {
+		seedList := make([]int, 0, len(seeds))
+		for i := range seeds {
+			seedList = append(seedList, i)
+		}
+		// The batch pre-filter rejects definite clashes before any
+		// substitution is speculated. settleSeeds would re-derive the same
+		// verdict while propagating — the overlap is deliberate: the
+		// pre-filter keeps the common rejection shape from mutating state
+		// at all, at ~a fifth of the accepted-commit cost.
+		if verdict := eval.CheckDeltaBatch(st.fds, st.rel, seedList); !verdict.OK {
+			return toOracle()
+		}
+		settleUnd := und
+		if hasDelete {
+			settleUnd = nil // rollback is by snapshot; no need to log
+		}
+		if !st.settleSeeds(seedList, settleUnd) {
+			return toOracle()
+		}
+	}
+	// Explicit marks staged by updates already advanced the allocator at
+	// apply time (applyTxnOp), identically under both engines, so there
+	// is no post-propagation bump to reconcile here.
+	st.inserts += counts[txnInsert]
+	st.updates += counts[txnUpdate]
+	st.deletes += counts[txnDelete]
+	return nil
+}
+
+// ---- recheck commit: one chase per commit (the oracle) ----
+
+// commitTxnRecheck clones the instance, applies the write-set
+// structurally (same delta mutators as the incremental engine, so
+// errors and index evolution agree), and runs ONE extended chase over
+// the result — this is the "one chase per commit" oracle the
+// incremental committer is differentially tested against and delegates
+// rejections to. On inconsistency the error attributes the earliest
+// staged op whose prefix already admits no completion and carries the
+// full commit's chase witness.
+func (st *Store) commitTxnRecheck(ops []txnOp) error {
+	tentative := st.rel.Clone()
+	var counts [3]int
+	for k := range ops {
+		if _, err := applyTxnOp(st.scheme, tentative, ops[k]); err != nil {
+			return &TxnError{Op: k, OpDesc: ops[k].describe(st.scheme), Err: err}
+		}
+		counts[ops[k].kind]++
+	}
+	if err := st.commit("commit", tentative); err != nil {
+		var ierr *InconsistencyError
+		if errors.As(err, &ierr) {
+			k := st.offendingOp(ops)
+			return &TxnError{Op: k, OpDesc: ops[k].describe(st.scheme), Err: ierr}
+		}
+		return err
+	}
+	st.inserts += counts[txnInsert]
+	st.updates += counts[txnUpdate]
+	st.deletes += counts[txnDelete]
+	return nil
+}
+
+// offendingOp attributes a rejected commit to the earliest staged op
+// whose prefix write-set is already unsatisfiable under the store's
+// configured semantics (resolve: chase plus the X-rules when enabled).
+// Prefix consistency is not monotone (a later delete can remove a
+// conflict), so the scan is linear; it only runs on the rejection
+// path, after the full write-set was found inconsistent — the final
+// prefix is the whole set, so an offender always exists.
+func (st *Store) offendingOp(ops []txnOp) int {
+	for k := 0; k < len(ops)-1; k++ {
+		tent := st.rel.Clone()
+		ok := true
+		for i := 0; i <= k; i++ {
+			if _, err := applyTxnOp(st.scheme, tent, ops[i]); err != nil {
+				// The full-set application succeeded, so a prefix cannot
+				// fail structurally; defensive only.
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if _, rejected, err := st.resolve(tent); err == nil && rejected != nil {
+			return k
+		}
+	}
+	return len(ops) - 1
+}

@@ -48,6 +48,16 @@ func TestReadPathAllocations(t *testing.T) {
 		t.Errorf("View allocates %.1f per snapshot, want 0", n)
 	}
 
+	// The range-over-func iterators share the no-allocation contract.
+	v := st.View()
+	if n := testing.AllocsPerRun(200, func() {
+		for _, tup := range v.All() {
+			cells += len(tup)
+		}
+	}); n != 0 {
+		t.Errorf("View.All allocates %.1f per full iteration, want 0", n)
+	}
+
 	// The eager paths still clone — that is their contract.
 	if st.Tuple(0)[0] != st.TupleView(0)[0] {
 		t.Error("Tuple and TupleView disagree")

@@ -226,6 +226,40 @@ func WriteHeavy(n, groups int, nullDensity float64, seed int64) (*schema.Scheme,
 	return s, fds, r, gen
 }
 
+// TxnWriteSet builds one conflict-free write-set of k rows over the
+// WriteHeavy scheme, all landing in partition group g: roughly half
+// the determined cells (B, C, D, E) are nulls that the commit's
+// propagation resolves against the group's constants — carried by the
+// base instance and by the write-set's own constant-bearing rows — and
+// the U1 ids draw from *nextUID so successive write-sets never collide.
+// This is the "insert a department's worth of tuples whose nulls
+// resolve against each other" workload of the transactional store's
+// benchmarks (fdbench E18, BenchmarkStoreTxn*).
+func TxnWriteSet(rng *rand.Rand, g, k int, nextUID *int) [][]string {
+	rows := make([][]string, k)
+	orNull := func(c string) string {
+		if rng.Intn(2) == 0 {
+			return "-"
+		}
+		return c
+	}
+	for j := range rows {
+		uid := *nextUID
+		*nextUID++
+		rows[j] = []string{
+			fmt.Sprintf("g%d", g+1),
+			orNull(fmt.Sprintf("b%d", g+1)),
+			orNull(fmt.Sprintf("c%d", g+1)),
+			orNull(fmt.Sprintf("d%d", g%13+1)),
+			orNull(fmt.Sprintf("e%d", g%11+1)),
+			fmt.Sprintf("u%d", uid),
+			fmt.Sprintf("w%d", uid%37+1),
+			fmt.Sprintf("x%d", uid%17+1),
+		}
+	}
+	return rows
+}
+
 // Employees generates an employee-style instance over the Figure 1.1
 // scheme shape with nEmp employees spread over nDept departments; null
 // density applies to the salary and contract columns (the "acquired

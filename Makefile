@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn smoke-fuzz lint fmt vet clean
+.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query smoke-fuzz lint fmt vet clean
 
 all: build test
 
@@ -50,6 +50,20 @@ bench-txn:
 # commits, first-committer-wins).
 smoke-txn:
 	$(GO) test -race -short -run 'TestTxnHistoryDifferential|TestTxnConcurrentStress' ./internal/store
+
+# The selection-engine comparison: the indexed planner (most selective
+# Eq/In/EqAttr conjunct pushed into an X-partition probe) vs the naive
+# scan, n={400,2000} both engines, plus the store's cached read path
+# (E19 asserts the >=5x bar with answer agreement at n=2000, p=8).
+bench-query:
+	$(GO) test -bench 'BenchmarkSelect|BenchmarkStoreQuery' -benchmem -run '^$$' .
+
+# Short-mode query smoke: the differential fuzz (both engines vs the
+# per-tuple EvalBrute oracle, `!` cells and shared marks included) and
+# the E19 sweep's agreement self-check in quick mode.
+smoke-query:
+	$(GO) test -short -run 'TestSelectDifferential|TestSelectAllDifferential' ./internal/query
+	$(GO) test -short -run 'TestQuerySweep|TestStoreQueryRefinement' ./cmd/fdbench ./internal/store
 
 # Seed-corpus fuzz smoke: the relio and predicate parsers must survive
 # their corpora (use `go test -fuzz` locally for open-ended exploration).

@@ -10,8 +10,9 @@
 // aligned tables of parameters vs. measured time. -engine selects the
 // default per-tuple evaluation engine used by the experiments that
 // evaluate FDs; E15 always runs both evaluation engines and compares
-// them, E16 does the same for the FD-discovery engines, and E17 for the
-// store's incremental vs recheck maintenance engines.
+// them, E16 does the same for the FD-discovery engines, E17 for the
+// store's incremental vs recheck maintenance engines, and E19 for the
+// query planner vs the naive selection scan.
 package main
 
 import (
@@ -51,6 +52,7 @@ var experiments = []experiment{
 	{"E16", "Partition vs naive FD-discovery engine — agreement and comparative sweep", runE16},
 	{"E17", "Incremental vs recheck store maintenance — agreement and comparative sweep", runE17},
 	{"E18", "Transactional batched commit vs per-op commits — agreement and comparative sweep", runE18},
+	{"E19", "Indexed vs naive selection engine — agreement and comparative sweep", runE19},
 }
 
 // benchEngine is the evaluation engine selected by -engine; experiments
@@ -64,7 +66,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E18) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E19) or 'all'")
 	quick := fs.Bool("quick", false, "smaller sweeps for smoke testing")
 	list := fs.Bool("list", false, "list experiments and exit")
 	engineFlag := fs.String("engine", "indexed", "per-tuple evaluation engine: indexed or naive")

@@ -110,6 +110,22 @@ func TestEngineSweep(t *testing.T) {
 	}
 }
 
+// TestQuerySweep runs E19 in quick mode: the selection engines must
+// agree answer-for-answer on the whole predicate battery (the 5x bar is
+// asserted by full runs only).
+func TestQuerySweep(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E19"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"|Q|", "indexed-seq", "speedup", "agree"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestEngineFlag(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run([]string{"-engine", "naive", "-quick", "-exp", "E12"}, &out, &errOut); code != 0 {

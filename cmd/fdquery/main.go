@@ -1,21 +1,38 @@
-// Command fdquery evaluates a three-valued selection over a relation with
+// Command fdquery evaluates three-valued selections over a relation with
 // nulls, using the least-extension semantics of Section 2 of the paper.
 // It partitions the tuples into certain answers (the predicate is true
 // under every completion) and possible answers (true under some).
 //
 // Usage:
 //
-//	fdquery -where 'MS = married' [-f file] [-chase] [-checkfds] [-engine indexed|naive]
+//	fdquery -where 'predicate' [-where 'predicate' ...] [-f file]
+//	        [-chase | -store] [-checkfds]
+//	        [-engine indexed|naive] [-workers N]
 //	fdquery -where 'MS in (married, single) and D# = d1' -f emp.txt
+//
+// -where may repeat; the predicates are evaluated as one batch over one
+// instance, fanned across -workers goroutines (query.SelectAll).
+//
+// -engine selects the selection engine: "indexed" (the default) pushes
+// the most selective Eq/In/EqAttr conjunct into an X-partition index
+// probe and evaluates the residual predicate on the candidates only;
+// "naive" full-scans (the differential ground truth).
 //
 // With -chase the instance is first brought to its minimally incomplete
 // form under the file's FDs, so forced nulls are substituted before the
-// query runs — queries then see everything the dependencies imply.
+// queries run — queries then see everything the dependencies imply.
+//
+// With -store the instance is loaded into a guarded store and the
+// queries are served from its snapshot through the version-keyed query
+// cache: besides the chase normalization (everything -chase gives), the
+// NS-rules' NEC classes share marks, so attribute-equality atoms the
+// raw data leaves open may be decided. A file that contradicts its FDs
+// is rejected.
 //
 // With -checkfds the file's FDs are first evaluated by the batch engine
-// (eval.CheckAll) and a per-FD satisfaction summary is printed before the
-// answers, so surprising query results can be traced to violated or
-// uncertain dependencies; -engine selects the indexed or naive evaluator.
+// (eval.CheckAll) and a per-FD satisfaction summary is printed before
+// the answers, so surprising query results can be traced to violated or
+// uncertain dependencies.
 //
 // Exit status: 0 on success (even with an empty answer), 2 on errors.
 package main
@@ -25,12 +42,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"fdnull/internal/chase"
 	"fdnull/internal/eval"
 	"fdnull/internal/query"
 	"fdnull/internal/relio"
+	"fdnull/internal/store"
 )
+
+// multiFlag accumulates repeated -where occurrences.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, "; ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
@@ -40,20 +65,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdquery", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	file := fs.String("f", "", "input file (default stdin)")
-	where := fs.String("where", "", "predicate, e.g. 'A = x and B in (y, z)'")
+	var wheres multiFlag
+	fs.Var(&wheres, "where", "predicate, e.g. 'A = x and B in (y, z)'; may repeat")
 	doChase := fs.Bool("chase", false, "chase to the minimally incomplete instance first")
+	useStore := fs.Bool("store", false, "serve the queries from a guarded store snapshot (chase + NEC-shared marks + query cache)")
 	checkFDs := fs.Bool("checkfds", false, "print a per-FD satisfaction summary before the answers")
-	engineFlag := fs.String("engine", "indexed", "evaluation engine for -checkfds: indexed or naive")
+	engineFlag := fs.String("engine", "indexed", "selection engine (and -checkfds evaluator): indexed or naive")
+	workers := fs.Int("workers", 0, "worker pool size for the predicate batch (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	engine, err := eval.ParseEngine(*engineFlag)
+	qEngine, err := query.ParseEngine(*engineFlag)
 	if err != nil {
 		fmt.Fprintf(stderr, "fdquery: %v\n", err)
 		return 2
 	}
-	if *where == "" {
+	// The two engine enums share their flag spellings by design.
+	evalEngine, err := eval.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(stderr, "fdquery: %v\n", err)
+		return 2
+	}
+	if len(wheres) == 0 {
 		fmt.Fprintln(stderr, "fdquery: -where is required")
+		return 2
+	}
+	if *doChase && *useStore {
+		fmt.Fprintln(stderr, "fdquery: -chase and -store are mutually exclusive (-store chases internally)")
 		return 2
 	}
 	in := stdin
@@ -76,7 +114,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if len(parsed.FDs) == 0 {
 			fmt.Fprintln(stdout, "no FDs declared; nothing to check")
 		} else {
-			batch := eval.CheckAll(parsed.FDs, r, eval.CheckOptions{Engine: engine})
+			batch := eval.CheckAll(parsed.FDs, r, eval.CheckOptions{Engine: evalEngine, Workers: *workers})
 			fmt.Fprintf(stdout, "FD satisfaction (%s engine, %d workers):\n", batch.Engine, batch.Workers)
 			for _, sum := range batch.Summaries {
 				if sum.Err != nil {
@@ -102,20 +140,41 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		r = res.Relation
 	}
-	pred, err := query.ParsePred(parsed.Scheme, *where)
-	if err != nil {
-		fmt.Fprintf(stderr, "fdquery: %v\n", err)
-		return 2
+	preds := make([]query.Pred, len(wheres))
+	for i, w := range wheres {
+		p, err := query.ParsePred(parsed.Scheme, w)
+		if err != nil {
+			fmt.Fprintf(stderr, "fdquery: %v\n", err)
+			return 2
+		}
+		preds[i] = p
 	}
-	res := query.Select(r, pred)
-	fmt.Fprintf(stdout, "predicate: %s\n", pred)
-	fmt.Fprintf(stdout, "\ncertain answers (%d):\n", len(res.Sure))
-	for _, i := range res.Sure {
-		fmt.Fprintf(stdout, "  t%-3d %s\n", i+1, r.Tuple(i))
+	opts := query.Options{Engine: qEngine, Workers: *workers}
+	var results []query.Result
+	if *useStore {
+		st, err := store.FromRelation(parsed.Scheme, parsed.FDs, r, store.Options{})
+		if err != nil {
+			fmt.Fprintf(stderr, "fdquery: -store: %v\n", err)
+			return 2
+		}
+		r = st.Snapshot() // print the normalized tuples the answers index
+		results = st.QueryAll(preds, opts)
+	} else {
+		results = query.SelectAll(r, preds, opts)
 	}
-	fmt.Fprintf(stdout, "\npossible answers (%d):\n", len(res.Maybe))
-	for _, i := range res.Maybe {
-		fmt.Fprintf(stdout, "  t%-3d %s\n", i+1, r.Tuple(i))
+	for i, res := range results {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprintf(stdout, "predicate: %s\n", preds[i])
+		fmt.Fprintf(stdout, "\ncertain answers (%d):\n", len(res.Sure))
+		for _, j := range res.Sure {
+			fmt.Fprintf(stdout, "  t%-3d %s\n", j+1, r.Tuple(j))
+		}
+		fmt.Fprintf(stdout, "\npossible answers (%d):\n", len(res.Maybe))
+		for _, j := range res.Maybe {
+			fmt.Fprintf(stdout, "  t%-3d %s\n", j+1, r.Tuple(j))
+		}
 	}
 	return 0
 }

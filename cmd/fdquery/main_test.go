@@ -115,3 +115,106 @@ func TestQueryBadEngine(t *testing.T) {
 		t.Errorf("bad engine should exit 2, got %d", code)
 	}
 }
+
+func TestQueryEngines(t *testing.T) {
+	// Both selection engines must print identical answers.
+	var outs [2]string
+	for i, engine := range []string{"indexed", "naive"} {
+		var out, errOut strings.Builder
+		code := run([]string{"-engine", engine, "-where", "MS = married and D# = d1"},
+			strings.NewReader(input), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("engine %s: exit %d: %s", engine, code, errOut.String())
+		}
+		outs[i] = out.String()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("engines disagree:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+func TestQueryMultiWhere(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-workers", "2", "-where", "MS = married", "-where", "D# = d1"},
+		strings.NewReader(input), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if n := strings.Count(out.String(), "predicate:"); n != 2 {
+		t.Errorf("want 2 predicate blocks, got %d:\n%s", n, out.String())
+	}
+}
+
+// TestQueryOutOfDomainDiagnostic pins the parse-time rejection: a typo'd
+// constant used to return a silently empty answer; now it is an error
+// naming the domain.
+func TestQueryOutOfDomainDiagnostic(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-where", "MS = marired"}, strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Fatalf("typo'd constant should exit 2, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "marired") || !strings.Contains(errOut.String(), "ms") {
+		t.Errorf("diagnostic should name the constant and domain: %s", errOut.String())
+	}
+}
+
+const storeInput = `
+domain emp = e1 e2 e3
+domain dep = d1 d2
+domain ms  = married single
+scheme R(E#:emp, D#:dep, MS:ms)
+fd E# -> MS
+row e1 d1 married
+row e1 d2 -
+row e2 d2 -
+`
+
+func TestQueryStoreRefines(t *testing.T) {
+	// Plain: only the explicit row is certain; the null rows are maybes.
+	var out, errOut strings.Builder
+	if code := run([]string{"-where", "MS = married"}, strings.NewReader(storeInput), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "certain answers (1)") ||
+		!strings.Contains(out.String(), "possible answers (2)") {
+		t.Errorf("plain run: want 1 certain / 2 possible:\n%s", out.String())
+	}
+	// -store: E# -> MS forces e1's second row to married (Maybe → Sure).
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-store", "-where", "MS = married"}, strings.NewReader(storeInput), &out, &errOut); code != 0 {
+		t.Fatalf("-store exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "certain answers (2)") ||
+		!strings.Contains(out.String(), "possible answers (1)") {
+		t.Errorf("-store run: want 2 certain / 1 possible:\n%s", out.String())
+	}
+}
+
+func TestQueryChaseStoreExclusive(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-chase", "-store", "-where", "MS = married"},
+		strings.NewReader(input), &out, &errOut); code != 2 {
+		t.Errorf("-chase with -store should exit 2, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "mutually exclusive") {
+		t.Errorf("error should explain the conflict: %s", errOut.String())
+	}
+}
+
+func TestQueryStoreRejectsInconsistent(t *testing.T) {
+	bad := `
+domain d = x y
+scheme R(A:d, B:d)
+fd A -> B
+row x x
+row x y
+`
+	var out, errOut strings.Builder
+	if code := run([]string{"-store", "-where", "A = x"}, strings.NewReader(bad), &out, &errOut); code != 2 {
+		t.Errorf("inconsistent instance with -store should exit 2, got %d", code)
+	}
+	if !strings.Contains(errOut.String(), "-store") {
+		t.Errorf("error should mention -store: %s", errOut.String())
+	}
+}

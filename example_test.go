@@ -78,6 +78,28 @@ func ExampleSelect() {
 	// Output: unknown true
 }
 
+// The FD-aware read path: the store keeps its instance chase-normalized,
+// so a value the dependencies force turns a merely possible answer into
+// a certain one; the indexed planner serves it from a partition probe.
+func ExampleStore_Query() {
+	s := fdnull.UniformScheme("R", []string{"E", "SL"}, fdnull.IntDomain("d", "s", 9))
+	fds := fdnull.MustParseFDs(s, "E -> SL")
+	st := fdnull.NewStore(s, fds, fdnull.StoreOptions{})
+	_ = st.InsertRow("s1", "s7")
+	_ = st.InsertRow("s2", "-") // salary unknown: only a possible answer
+	q := fdnull.Eq{Attr: s.MustAttr("SL"), Const: "s7"}
+	res := st.Query(q)
+	fmt.Println("sure:", res.Sure, "maybe:", res.Maybe)
+	// A second tuple for s2 lets E -> SL decide the null; the version
+	// move invalidates the cached answer and the maybe becomes sure.
+	_ = st.InsertRow("s2", "s7")
+	res = st.Query(q)
+	fmt.Println("sure:", res.Sure, "maybe:", res.Maybe)
+	// Output:
+	// sure: [0] maybe: [1]
+	// sure: [0 1 2] maybe: []
+}
+
 // TEST-FDs under the strong convention (Theorem 2): a null that could be
 // substituted to disagree makes strong satisfaction fail, with a witness
 // pair.

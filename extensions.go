@@ -41,15 +41,54 @@ type (
 	OrPred = query.Or
 )
 
-// SelectResult partitions a selection into certain and possible answers.
+// SelectResult partitions a selection into certain and possible answers
+// (both index lists ascending, engine-independent).
 type SelectResult = query.Result
 
+// QuerySource is the read surface selections evaluate over; both
+// *Relation and RelationView satisfy it, so snapshots query with zero
+// materialization.
+type QuerySource = query.Source
+
+// QueryOptions configure SelectWith/SelectAll: engine and worker count.
+type QueryOptions = query.Options
+
+// QueryEngine selects the selection strategy.
+type QueryEngine = query.Engine
+
+// The selection engines: QueryIndexed (the default) pushes the most
+// selective Eq/In/EqAttr conjunct into an X-partition index probe and
+// evaluates the residual predicate on the candidates only; QueryNaive
+// full-scans (the differential ground truth).
+const (
+	QueryIndexed = query.EngineIndexed
+	QueryNaive   = query.EngineNaive
+)
+
+// ParseQueryEngine parses the -engine flag values "indexed" and "naive".
+func ParseQueryEngine(s string) (QueryEngine, error) { return query.ParseEngine(s) }
+
 // Select evaluates a predicate three-valuedly on every tuple: Sure lists
-// tuples in the answer under every completion, Maybe under some.
-func Select(r *relation.Relation, p Pred) SelectResult { return query.Select(r, p) }
+// tuples in the answer under every completion, Maybe under some. Tuples
+// admitting no completion (a `!` cell, or a mark spanning domains with
+// empty intersection) are in neither list — no predicate holds on them.
+func Select(src QuerySource, p Pred) SelectResult { return query.Select(src, p) }
+
+// SelectWith is Select with an explicit engine choice.
+func SelectWith(src QuerySource, p Pred, opts QueryOptions) SelectResult {
+	return query.SelectWith(src, p, opts)
+}
+
+// SelectAll evaluates a predicate batch over one source, fanned across a
+// bounded worker pool, returning results in input order.
+func SelectAll(src QuerySource, preds []Pred, opts QueryOptions) []SelectResult {
+	return query.SelectAll(src, preds, opts)
+}
 
 // ParsePred parses the CLI predicate language, e.g.
-// "MS in (married, single) and not D# = d2".
+// "MS in (married, single) and not D# = d2". Constants are validated
+// against the attribute domains at parse time, and the keywords
+// not/and/or/in are reserved.
 func ParsePred(s *schema.Scheme, input string) (Pred, error) {
 	return query.ParsePred(s, input)
 }

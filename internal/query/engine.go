@@ -1,0 +1,145 @@
+// engine.go implements the indexed, batched selection engine.
+//
+// The naive Select full-scans the source per predicate: O(n) Eval calls
+// whatever the predicate's selectivity. The indexed engine (plan.go)
+// pushes the most selective Eq/In/EqAttr conjunct into a probe of the
+// source's X-partition index (relation.Index): only the probed group
+// plus the null sidecar can evaluate non-false, so the residual
+// predicate runs on those candidates alone. SelectAll fans a batch of
+// predicates over a bounded worker pool, mirroring eval.CheckAll.
+//
+// Both engines return identical Results (ascending tuple order);
+// differential_test.go asserts it on randomized workloads including
+// shared marks and `!` cells, with per-tuple EvalBrute as the oracle.
+package query
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// Engine selects a selection strategy.
+type Engine int
+
+const (
+	// EngineIndexed plans index probes for indexable conjuncts (the
+	// default), falling back to the scan when the predicate offers none.
+	EngineIndexed Engine = iota
+	// EngineNaive always evaluates by the full scan; kept as the ground
+	// truth the planner is differentially tested against.
+	EngineNaive
+)
+
+// String returns the flag spelling of the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineIndexed:
+		return "indexed"
+	case EngineNaive:
+		return "naive"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine parses the -engine flag values "indexed" and "naive".
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "indexed":
+		return EngineIndexed, nil
+	case "naive":
+		return EngineNaive, nil
+	}
+	return 0, fmt.Errorf("query: unknown engine %q (want indexed or naive)", s)
+}
+
+// Indexer is the optional capability of a Source the planner needs:
+// X-partition indexes over the same tuples All() yields.
+// *relation.Relation provides it from its version-invalidated cache;
+// relation.View builds one per call (an O(n) pass — worthwhile only when
+// amortized, which is why the store keeps a version-keyed snapshot-index
+// cache and hands the planner that instead).
+type Indexer interface {
+	IndexOn(set schema.AttrSet) *relation.Index
+}
+
+// Options configure SelectWith and SelectAll. The zero value means:
+// indexed engine, GOMAXPROCS workers.
+type Options struct {
+	// Engine selects the per-predicate strategy.
+	Engine Engine
+	// Workers bounds SelectAll's worker pool; ≤0 means
+	// runtime.GOMAXPROCS(0). SelectWith evaluates one predicate and
+	// ignores it.
+	Workers int
+}
+
+// SelectWith evaluates one predicate with the chosen engine. The indexed
+// engine requires the source to be an Indexer and the predicate to carry
+// at least one indexable conjunct; otherwise it degrades to the scan, so
+// the verdicts are engine-independent by construction.
+//
+// A bare relation.View also degrades to the scan: its IndexOn rebuilds
+// per call, so planning over it would pay one O(n) build per conjunct
+// just to probe once — strictly worse than the single O(n) scan. Views
+// get the planner only through an amortizing Indexer wrapper (the
+// store's version-keyed snapshot-index cache).
+func SelectWith(src Source, p Pred, opts Options) Result {
+	if opts.Engine == EngineIndexed {
+		if ix, ok := src.(Indexer); ok {
+			if _, bare := src.(relation.View); !bare {
+				if pl, ok := planFor(src, ix, p); ok {
+					return pl.run(src, p)
+				}
+			}
+		}
+	}
+	return Select(src, p)
+}
+
+// SelectAll evaluates every predicate of the batch over one source,
+// fanning the predicates out over a bounded worker pool, and returns the
+// results in input order. Index builds are shared through the source's
+// index cache (relation.IndexOn serializes them internally), so workers
+// only ever read immutable state; the source must not be mutated while
+// SelectAll runs.
+func SelectAll(src Source, preds []Pred, opts Options) []Result {
+	out := make([]Result, len(preds))
+	ForEachBounded(len(preds), opts.Workers, func(i int) {
+		out[i] = SelectWith(src, preds[i], opts)
+	})
+	return out
+}
+
+// ForEachBounded runs fn(0..n-1) over a worker pool of at most `workers`
+// goroutines (≤0 means GOMAXPROCS, never more than n). It is the batch
+// fan-out shared by SelectAll and the store's cached query batch; fn
+// must be safe to call concurrently for distinct indices.
+func ForEachBounded(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}

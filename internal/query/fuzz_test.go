@@ -37,6 +37,18 @@ func FuzzParsePred(f *testing.F) {
 		"",
 		"  \t\n ",
 		"A = x and B = A or C in (v1, v2) and not D# = d9",
+		// Out-of-domain constants and reserved words (the parse-time
+		// diagnostics added with the indexed engine).
+		"A = zz",
+		"A in (x, zz)",
+		"MS in (married, divorced)",
+		"or = x",
+		"in in (x)",
+		"not = x",
+		"A = or",
+		"A = not",
+		"A in (and, or)",
+		"NOT A = x AND B IN (y)",
 	} {
 		f.Add(seed)
 	}

@@ -10,6 +10,20 @@ package query
 //
 // An operand that names an attribute parses as attribute equality;
 // anything else is a constant. "and" binds tighter than "or".
+//
+// The keywords "not", "and", "or", and "in" are reserved, matched
+// case-insensitively, and always read as syntax in atom-head position —
+// an attribute carrying one of those names cannot be referenced and is
+// rejected with a clear error rather than silently mis-parsed. In
+// *operand* position (right of "=", or inside an "in" list) a keyword
+// spelling reads as a plain constant, never as an attribute reference.
+//
+// Constants are validated against the attribute's domain at parse time:
+// a typo'd attribute name on the right of "=" (or any constant outside
+// the domain) is a hard error, not an always-false comparison returning
+// a silently empty answer. Programmatic predicates (the Eq/In structs)
+// stay free to carry out-of-domain constants — they analytically
+// evaluate to false, as the least extension dictates.
 
 import (
 	"fmt"
@@ -146,12 +160,39 @@ func (p *parser) parseUnary() (Pred, error) {
 	}
 }
 
+// domainsIntersect reports whether the two domains share any value.
+func domainsIntersect(a, b *schema.Domain) bool {
+	if a == b {
+		return true
+	}
+	for _, v := range a.Values {
+		if b.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// reserved reports whether tok is a keyword of the predicate language
+// (case-insensitive, like the keywords themselves).
+func reserved(tok string) bool {
+	switch strings.ToLower(tok) {
+	case "not", "and", "or", "in":
+		return true
+	}
+	return false
+}
+
 func (p *parser) parseAtom() (Pred, error) {
 	name := p.next()
+	if reserved(name) {
+		return nil, fmt.Errorf("query: reserved word %q cannot start an atom (attributes named not/and/or/in cannot be referenced)", name)
+	}
 	attr, ok := p.s.Attr(name)
 	if !ok {
 		return nil, fmt.Errorf("query: unknown attribute %q", name)
 	}
+	dom := p.s.Domain(attr)
 	if p.eof() {
 		return nil, fmt.Errorf("query: attribute %q needs a comparison", name)
 	}
@@ -162,8 +203,20 @@ func (p *parser) parseAtom() (Pred, error) {
 			return nil, fmt.Errorf("query: %q = needs an operand", name)
 		}
 		operand := p.next()
-		if other, ok := p.s.Attr(operand); ok {
-			return EqAttr{A: attr, B: other}, nil
+		if !reserved(operand) {
+			if other, ok := p.s.Attr(operand); ok {
+				// An always-false comparison between attributes whose
+				// domains cannot intersect is the same silent-empty-answer
+				// trap as an out-of-domain constant: reject it.
+				if od := p.s.Domain(other); !domainsIntersect(dom, od) {
+					return nil, fmt.Errorf("query: attributes %q and %q have disjoint domains (%q, %q); the comparison is always false",
+						name, operand, dom.Name, od.Name)
+				}
+				return EqAttr{A: attr, B: other}, nil
+			}
+		}
+		if !dom.Contains(operand) {
+			return nil, fmt.Errorf("query: %q is neither an attribute nor a value of domain %q (attribute %q)", operand, dom.Name, name)
 		}
 		return Eq{Attr: attr, Const: operand}, nil
 	case strings.EqualFold(p.peek(), "in"):
@@ -188,6 +241,11 @@ func (p *parser) parseAtom() (Pred, error) {
 		}
 		if err := p.expect(")"); err != nil {
 			return nil, err
+		}
+		for _, v := range vals {
+			if !dom.Contains(v) {
+				return nil, fmt.Errorf("query: value %q is outside domain %q of attribute %q", v, dom.Name, name)
+			}
 		}
 		return In{Attr: attr, Values: vals}, nil
 	default:

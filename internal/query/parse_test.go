@@ -1,6 +1,7 @@
 package query
 
 import (
+	"strings"
 	"testing"
 
 	"fdnull/internal/relation"
@@ -24,8 +25,8 @@ func TestParsePredAtoms(t *testing.T) {
 	}{
 		{"MS = married", `#2 = "married"`},
 		{"A = B", "#0 = #1"},
-		{"MS in (married, single)", "#2 in {married,single}"},
-		{"MS in (married)", "#2 in {married}"},
+		{"MS in (married, single)", `#2 in {"married","single"}`},
+		{"MS in (married)", `#2 in {"married"}`},
 		{"not MS = married", `not(#2 = "married")`},
 		{"A = x1 and B = x2", `(#0 = "x1" and #1 = "x2")`},
 		{"A = x1 or B = x2 and MS = married", `(#0 = "x1" or (#1 = "x2" and #2 = "married"))`},
@@ -60,11 +61,86 @@ func TestParsePredErrors(t *testing.T) {
 		"not",                // bare not
 		"A = x1 and",         // dangling and
 		"A = x1 or or B = x", // double operator
+		// Typo'd or out-of-domain constants must be rejected at parse
+		// time, not silently parsed as always-false comparisons.
+		"A = x9",                    // out of dom(A) = {x1..x3}
+		"MS = x1",                   // right value, wrong attribute's domain
+		"A = BB",                    // typo'd attribute name ≠ silent constant
+		"MS in (married, divorced)", // one list value outside the domain
+		"A in (x1, x9)",
+		// Reserved words never reference attributes.
+		"or = x1",
+		"in in (x1)",
+		"and = x1 and A = x1",
+		// Attribute equality across disjoint domains is always false —
+		// the same silent-empty trap as an out-of-domain constant.
+		"A = MS",
+		"MS = B",
 	}
 	for _, in := range bad {
 		if _, err := ParsePred(s, in); err == nil {
 			t.Errorf("%q should fail to parse", in)
 		}
+	}
+}
+
+// TestParsePredDiagnostics pins the diagnostic texts of the two silent
+// failure modes the parser used to have: a typo'd operand and an
+// out-of-domain list value both name the domain and attribute involved.
+func TestParsePredDiagnostics(t *testing.T) {
+	s := parseScheme()
+	if _, err := ParsePred(s, "A = x9"); err == nil ||
+		!strings.Contains(err.Error(), `"x9"`) || !strings.Contains(err.Error(), `"da"`) {
+		t.Errorf("A = x9: error should name the constant and domain, got %v", err)
+	}
+	if _, err := ParsePred(s, "MS in (married, divorced)"); err == nil ||
+		!strings.Contains(err.Error(), `"divorced"`) || !strings.Contains(err.Error(), `"marital"`) {
+		t.Errorf("bad in-list: error should name the value and domain, got %v", err)
+	}
+	if _, err := ParsePred(s, "or = x1"); err == nil ||
+		!strings.Contains(err.Error(), "reserved") {
+		t.Errorf("reserved atom head: got %v", err)
+	}
+	if _, err := ParsePred(s, "A = MS"); err == nil ||
+		!strings.Contains(err.Error(), "disjoint") {
+		t.Errorf("disjoint attribute equality: got %v", err)
+	}
+}
+
+// TestParsePredReservedWords pins the reserved-word rule: not/and/or/in
+// are syntax in atom-head position (an attribute so named cannot be
+// referenced — clear error, not a mis-parse), while in operand position
+// a keyword spelling reads as a plain constant.
+func TestParsePredReservedWords(t *testing.T) {
+	kw := schema.MustNew("K", []string{"not", "A"}, []*schema.Domain{
+		schema.MustDomain("dk", "x", "y"),
+		schema.MustDomain("dv", "or", "and", "z"),
+	})
+	if _, err := ParsePred(kw, "not = x"); err == nil {
+		t.Error(`attribute named "not" must be unreferenceable`)
+	}
+	// "not A = z" still parses as negation, never as the attribute.
+	p, err := ParsePred(kw, "not A = z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(Not); !ok {
+		t.Errorf("not A = z parsed to %T, want Not", p)
+	}
+	// Keyword spellings as operand constants (they are in dom(A)).
+	p, err = ParsePred(kw, "A = or")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, ok := p.(Eq); !ok || eq.Const != "or" {
+		t.Errorf(`A = or parsed to %v, want the constant "or"`, p)
+	}
+	p, err = ParsePred(kw, "A in (or, and)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in, ok := p.(In); !ok || len(in.Values) != 2 {
+		t.Errorf("A in (or, and) parsed to %v", p)
 	}
 }
 
@@ -83,14 +159,16 @@ func TestParsePredEvaluates(t *testing.T) {
 	if got := p.Eval(s, r.Tuple(1)); got != tvl.False {
 		t.Errorf("tuple 1: %v (A≠B decides the conjunction)", got)
 	}
-	q, err := ParsePred(s, "MS = married or not A = x9")
+	q, err := ParsePred(s, "MS = married or not A = x3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	// x9 is outside dom(A)... wait, dom(A) is x1..x3, so A = x9 is false
-	// on constants and on nulls alike; its negation is true.
+	// A = x2 on tuple 1, so A = x3 is false and its negation true. (An
+	// out-of-domain constant like x9 no longer parses — see
+	// TestParsePredErrors — but the programmatic Eq still evaluates it to
+	// false: TestEqAtom.)
 	if got := q.Eval(s, r.Tuple(1)); got != tvl.True {
-		t.Errorf("out-of-domain negation: %v", got)
+		t.Errorf("negated false atom: %v", got)
 	}
 }
 

@@ -16,12 +16,15 @@
 // than enumerating substitutions — the paper's point that "syntactic query
 // transformations" make the evaluation practical ([Vassiliou 79]):
 //
-//   - attr = c   over a null is unknown, unless the domain forces it
-//     (singleton domains) — enumeration-free least extension;
-//   - attr ∈ S  over a null is true when dom ⊆ S, false when dom ∩ S = ∅,
-//     unknown otherwise;
+//   - attr = c   over a null is unknown, unless the cell's feasible
+//     values (its domain, narrowed by attributes sharing its mark) force
+//     it — enumeration-free least extension;
+//   - attr ∈ S  over a null is true when the feasible values are ⊆ S,
+//     false when disjoint from S, unknown otherwise;
 //   - attr1 = attr2 over nulls is true when both cells are the *same
-//     marked null* (they denote one value), unknown otherwise;
+//     marked null* (they denote one value) or both are forced to one
+//     equal constant, false when their feasible values cannot intersect,
+//     unknown otherwise;
 //   - boolean connectives are strong Kleene (the lub-compatible
 //     extensions of ∧, ∨, ¬).
 //
@@ -33,10 +36,28 @@
 // two unknowns is unknown). This is the same gap System C's rule 1 closes
 // for tautologies (Section 5's p ∨ ¬p discussion); EvalBrute computes the
 // exact whole-formula least extension when the completion space is small.
+//
+// # The contradictory-tuple convention
+//
+// A tuple that admits no completion denotes no real tuple, so it can
+// belong to no selection answer: every predicate — atom or connective
+// alike — evaluates to false on it. Two shapes of tuple qualify: one
+// carrying the inconsistent element `!` in any cell, and one whose
+// marked null is shared across attributes whose domains intersect
+// emptily (the single denoted value would have to lie in all of them).
+// The guard applies uniformly at every node of the formula (not(A = c)
+// is false on a contradictory tuple, not true), which is exactly what
+// EvalBrute computes: the least extension over an empty completion set
+// is the empty answer, and a tuple that is never in the answer is a
+// definite no. Without the uniform guard, Kleene negation over an
+// atom's per-cell false would manufacture a wrong definite yes on a
+// tuple that cannot exist.
 package query
 
 import (
 	"fmt"
+	"iter"
+	"slices"
 	"strings"
 
 	"fdnull/internal/relation"
@@ -45,10 +66,85 @@ import (
 )
 
 // Pred is a three-valued predicate over tuples of a fixed scheme.
+//
+// Implementations outside this package must honor two contracts: Eval
+// returns false on any tuple admitting no completion (the
+// contradictory-tuple convention below), and String renders the
+// predicate *unambiguously* — two predicates with different semantics
+// must render differently, because the store's query cache keys results
+// by the rendering (the package's own atoms quote their constants for
+// exactly this reason).
 type Pred interface {
 	// Eval returns the least-extension truth value of the predicate on t.
+	// On a tuple admitting no completion — a `!` cell anywhere, or a mark
+	// spanning domains with empty intersection — it returns false
+	// regardless of the predicate's shape (the contradictory-tuple
+	// convention above).
 	Eval(s *schema.Scheme, t relation.Tuple) tvl.T
 	fmt.Stringer
+}
+
+// contradictory reports whether t admits no completion — the uniform
+// guard every Eval applies before its own case analysis, so atoms and
+// connectives agree with EvalBrute's empty completion set on such
+// tuples. Two shapes qualify: a `!` cell anywhere, and a marked null
+// shared across attributes whose domains intersect emptily (the one
+// denoted value would have to lie in every carrying attribute's domain).
+func contradictory(s *schema.Scheme, t relation.Tuple) bool {
+	for _, v := range t {
+		if v.IsNothing() {
+			return true
+		}
+	}
+	for i, v := range t {
+		if !v.IsNull() || earlierMark(t, i) {
+			continue
+		}
+		// Fast path: a mark confined to one attribute, or repeated across
+		// attributes sharing one *Domain, is trivially satisfiable.
+		dom := s.Domain(schema.Attr(i))
+		mixed := false
+		for j := i + 1; j < len(t); j++ {
+			if t[j].IsNull() && t[j].Mark() == v.Mark() && s.Domain(schema.Attr(j)) != dom {
+				mixed = true
+				break
+			}
+		}
+		if mixed && !markSatisfiable(s, t, v.Mark(), dom) {
+			return true
+		}
+	}
+	return false
+}
+
+// earlierMark reports whether t[i]'s mark already occurred before i, so
+// each mark's satisfiability is checked once.
+func earlierMark(t relation.Tuple, i int) bool {
+	for j := 0; j < i; j++ {
+		if t[j].IsNull() && t[j].Mark() == t[i].Mark() {
+			return true
+		}
+	}
+	return false
+}
+
+// markSatisfiable reports whether some constant of dom lies in the
+// domain of every attribute carrying the mark — i.e. the mark's cells
+// admit a common substitution.
+func markSatisfiable(s *schema.Scheme, t relation.Tuple, mark int, dom *schema.Domain) bool {
+	for _, c := range dom.Values {
+		ok := true
+		for j, w := range t {
+			if w.IsNull() && w.Mark() == mark && !s.Domain(schema.Attr(j)).Contains(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 // Eq is the atom attr = const.
@@ -78,41 +174,124 @@ type And struct{ P, Q Pred }
 type Or struct{ P, Q Pred }
 
 func (e Eq) String() string { return fmt.Sprintf("#%d = %q", e.Attr, e.Const) }
+
+// String quotes each value (like Eq): the rendering doubles as a cache
+// key in the store's query cache, and unquoted joining would let
+// {`a,b`} and {`a`, `b`} collide.
 func (i In) String() string {
-	return fmt.Sprintf("#%d in {%s}", i.Attr, strings.Join(i.Values, ","))
+	quoted := make([]string, len(i.Values))
+	for k, v := range i.Values {
+		quoted[k] = fmt.Sprintf("%q", v)
+	}
+	return fmt.Sprintf("#%d in {%s}", i.Attr, strings.Join(quoted, ","))
 }
 func (e EqAttr) String() string { return fmt.Sprintf("#%d = #%d", e.A, e.B) }
 func (n Not) String() string    { return "not(" + n.P.String() + ")" }
 func (a And) String() string    { return "(" + a.P.String() + " and " + a.Q.String() + ")" }
 func (o Or) String() string     { return "(" + o.P.String() + " or " + o.Q.String() + ")" }
 
-// Eval for attr = c: a constant compares directly; a null's completions
-// cover the whole domain, so the lub is unknown unless the domain is the
-// singleton {c} (then every completion answers yes) or c is outside the
-// domain (every completion answers no).
-func (e Eq) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
-	v := t[e.Attr]
-	dom := s.Domain(e.Attr)
-	switch {
-	case v.IsConst():
-		return tvl.FromBool(v.Const() == e.Const)
-	case v.IsNothing():
-		return tvl.False // a contradictory cell equals no domain value
+// EvalTuple computes p's least-extension value on t: one
+// contradictory-tuple check, then the guard-free evaluation. It is what
+// every Eval method delegates to, and the engines' per-tuple entry point
+// (Select, the planner) — calling it directly guards once per tuple
+// instead of once per formula node.
+func EvalTuple(s *schema.Scheme, t relation.Tuple, p Pred) tvl.T {
+	if contradictory(s, t) {
+		return tvl.False
+	}
+	return evalRaw(s, t, p)
+}
+
+// evalRaw dispatches the package's own predicate shapes to their
+// guard-free evaluators (the caller has established the tuple admits a
+// completion); a Pred from outside the package evaluates through its
+// own Eval, which owes the convention by the interface contract.
+func evalRaw(s *schema.Scheme, t relation.Tuple, p Pred) tvl.T {
+	switch q := p.(type) {
+	case Eq:
+		return q.eval(s, t)
+	case In:
+		return q.eval(s, t)
+	case EqAttr:
+		return q.eval(s, t)
+	case Not:
+		return tvl.Not(evalRaw(s, t, q.P))
+	case And:
+		return tvl.And(evalRaw(s, t, q.P), evalRaw(s, t, q.Q))
+	case Or:
+		return tvl.Or(evalRaw(s, t, q.P), evalRaw(s, t, q.Q))
 	default:
-		if !dom.Contains(e.Const) {
-			return tvl.False
-		}
-		if dom.Size() == 1 {
-			return tvl.True
-		}
-		return tvl.Unknown
+		return p.Eval(s, t)
 	}
 }
 
-// Eval for attr ∈ S — the paper's married-or-single example: the lub over
-// all substitutions is true when the domain is covered by S, false when
-// disjoint from S, unknown otherwise.
+// feasibleValues returns the constants a null cell can complete to: the
+// cell's domain, narrowed by every other attribute carrying the same
+// mark (one unknown value must lie in all of them). The caller has
+// ruled out contradiction, so the result is non-empty; sharing within
+// one *Domain (the common case) returns the domain's own slice without
+// allocating.
+func feasibleValues(s *schema.Scheme, t relation.Tuple, a schema.Attr) []string {
+	dom := s.Domain(a)
+	mark := t[a].Mark()
+	narrowed := false
+	for j, w := range t {
+		if schema.Attr(j) != a && w.IsNull() && w.Mark() == mark && s.Domain(schema.Attr(j)) != dom {
+			narrowed = true
+			break
+		}
+	}
+	if !narrowed {
+		return dom.Values
+	}
+	var vals []string
+	for _, c := range dom.Values {
+		ok := true
+		for j, w := range t {
+			if w.IsNull() && w.Mark() == mark && !s.Domain(schema.Attr(j)).Contains(c) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			vals = append(vals, c)
+		}
+	}
+	return vals
+}
+
+// Eval for attr = c: a constant compares directly; a null's completions
+// cover its feasible values (the domain, narrowed by shared marks), so
+// the lub is unknown unless the feasible set is the singleton {c} (then
+// every completion answers yes) or c is outside it (every completion
+// answers no). A contradictory tuple is false by the package convention.
+func (e Eq) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	return EvalTuple(s, t, e)
+}
+
+func (e Eq) eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	v := t[e.Attr]
+	if v.IsConst() {
+		return tvl.FromBool(v.Const() == e.Const)
+	}
+	vals := feasibleValues(s, t, e.Attr)
+	if !slices.Contains(vals, e.Const) {
+		return tvl.False
+	}
+	if len(vals) == 1 {
+		return tvl.True
+	}
+	return tvl.Unknown
+}
+
+// Eval for attr ∈ S — the paper's married-or-single example: the lub
+// over all substitutions is true when the feasible values are covered by
+// S, false when disjoint from S, unknown otherwise.
 func (i In) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	return EvalTuple(s, t, i)
+}
+
+func (i In) eval(s *schema.Scheme, t relation.Tuple) tvl.T {
 	v := t[i.Attr]
 	inSet := func(c string) bool {
 		for _, x := range i.Values {
@@ -122,99 +301,116 @@ func (i In) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
 		}
 		return false
 	}
-	switch {
-	case v.IsConst():
+	if v.IsConst() {
 		return tvl.FromBool(inSet(v.Const()))
-	case v.IsNothing():
+	}
+	all, none := true, true
+	for _, c := range feasibleValues(s, t, i.Attr) {
+		if inSet(c) {
+			none = false
+		} else {
+			all = false
+		}
+	}
+	switch {
+	case all:
+		return tvl.True
+	case none:
 		return tvl.False
 	default:
-		dom := s.Domain(i.Attr)
-		all, none := true, true
-		for _, c := range dom.Values {
-			if inSet(c) {
-				none = false
-			} else {
-				all = false
-			}
-		}
-		switch {
-		case all:
-			return tvl.True
-		case none:
-			return tvl.False
-		default:
-			return tvl.Unknown
-		}
+		return tvl.Unknown
 	}
 }
 
 // Eval for attr1 = attr2: same marked null denotes one unknown value and
-// compares equal; otherwise any null leaves the comparison unknown except
-// when the two domains cannot intersect. Distinct constants compare
-// directly.
+// compares equal; distinct constants compare directly; otherwise the
+// comparison is decided over the cells' feasible value sets — false when
+// they cannot intersect, true when both are forced to the same
+// singleton, unknown in between. With the shared-mark narrowing this is
+// the exact least extension of the atom.
 func (e EqAttr) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
+	return EvalTuple(s, t, e)
+}
+
+func (e EqAttr) eval(s *schema.Scheme, t relation.Tuple) tvl.T {
 	a, b := t[e.A], t[e.B]
 	switch {
-	case a.IsNothing() || b.IsNothing():
-		return tvl.False
 	case a.IsConst() && b.IsConst():
 		return tvl.FromBool(a.Const() == b.Const())
 	case a.IsNull() && b.IsNull() && a.Mark() == b.Mark():
 		return tvl.True
+	case a.IsNull() && b.IsConst():
+		return nullVsConst(feasibleValues(s, t, e.A), b.Const())
+	case b.IsNull() && a.IsConst():
+		return nullVsConst(feasibleValues(s, t, e.B), a.Const())
 	default:
-		// A null against a constant outside its domain can never match;
-		// a singleton domain forces the null and decides the comparison.
-		if a.IsNull() && b.IsConst() {
-			return nullVsConst(s.Domain(e.A), b.Const())
-		}
-		if b.IsNull() && a.IsConst() {
-			return nullVsConst(s.Domain(e.B), a.Const())
-		}
-		da, db := s.Domain(e.A), s.Domain(e.B)
-		if !domainsIntersect(da, db) {
+		// Two independently marked nulls: each ranges over its own
+		// feasible set.
+		va, vb := feasibleValues(s, t, e.A), feasibleValues(s, t, e.B)
+		if !valuesIntersect(va, vb) {
 			return tvl.False
 		}
-		if da.Size() == 1 && db.Size() == 1 {
-			return tvl.FromBool(da.Values[0] == db.Values[0])
+		if len(va) == 1 && len(vb) == 1 {
+			return tvl.True // they intersect, so the two singletons agree
 		}
 		return tvl.Unknown
 	}
 }
 
-// nullVsConst decides null = c given the null's domain: impossible when c
-// is outside the domain, forced when the domain is the singleton {c}.
-func nullVsConst(dom *schema.Domain, c string) tvl.T {
-	if !dom.Contains(c) {
+// nullVsConst decides null = c over the null's feasible values:
+// impossible when c lies outside them, forced when they are the
+// singleton {c}.
+func nullVsConst(vals []string, c string) tvl.T {
+	if !slices.Contains(vals, c) {
 		return tvl.False
 	}
-	if dom.Size() == 1 {
+	if len(vals) == 1 {
 		return tvl.True
 	}
 	return tvl.Unknown
 }
 
-func domainsIntersect(a, b *schema.Domain) bool {
-	for _, v := range a.Values {
-		if b.Contains(v) {
+func valuesIntersect(a, b []string) bool {
+	for _, v := range a {
+		if slices.Contains(b, v) {
 			return true
 		}
 	}
 	return false
 }
 
+// Eval for ¬P is strong-Kleene negation. The contradictory-tuple guard
+// runs *before* the negation (inside EvalTuple): a tuple that exists in
+// no completion is a definite no for ¬P exactly as it is for P —
+// flipping the operand's false would fabricate a yes about a tuple that
+// isn't there.
 func (n Not) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
-	return tvl.Not(n.P.Eval(s, t))
+	return EvalTuple(s, t, n)
 }
 
 func (a And) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
-	return tvl.And(a.P.Eval(s, t), a.Q.Eval(s, t))
+	return EvalTuple(s, t, a)
 }
 
 func (o Or) Eval(s *schema.Scheme, t relation.Tuple) tvl.T {
-	return tvl.Or(o.P.Eval(s, t), o.Q.Eval(s, t))
+	return EvalTuple(s, t, o)
 }
 
-// Result partitions a selection's answer by certainty.
+// Source is the read surface a selection evaluates over: a stable set of
+// tuples with positional access and zero-allocation iteration. Both
+// *relation.Relation and relation.View satisfy it, so snapshots are
+// queried with zero materialization; the store's query path wraps a
+// begin-time COW snapshot in one. The source must not be mutated while a
+// selection runs (views are immutable by construction).
+type Source interface {
+	Scheme() *schema.Scheme
+	Len() int
+	Tuple(i int) relation.Tuple
+	All() iter.Seq2[int, relation.Tuple]
+}
+
+// Result partitions a selection's answer by certainty. Both lists are in
+// ascending tuple order regardless of the engine that produced them.
 type Result struct {
 	// Sure lists indices of tuples where the predicate is true: they
 	// belong to the answer under every completion.
@@ -224,14 +420,22 @@ type Result struct {
 	Maybe []int
 }
 
+// Equal reports that two results list the same answers with the same
+// certainty — the agreement check of the engine differentials.
+func (r Result) Equal(o Result) bool {
+	return slices.Equal(r.Sure, o.Sure) && slices.Equal(r.Maybe, o.Maybe)
+}
+
 // Select evaluates the predicate on every tuple and partitions the
-// instance into certain and possible answers (tuples evaluating to false
-// are dropped).
-func Select(r *relation.Relation, p Pred) Result {
+// source into certain and possible answers (tuples evaluating to false —
+// including every contradictory tuple — are dropped). This is the naive
+// full-scan engine, kept as the differential ground truth for the
+// planner; SelectWith picks the engine explicitly.
+func Select(src Source, p Pred) Result {
 	var res Result
-	s := r.Scheme()
-	for i, t := range r.Tuples() {
-		switch p.Eval(s, t) {
+	s := src.Scheme()
+	for i, t := range src.All() {
+		switch EvalTuple(s, t, p) {
 		case tvl.True:
 			res.Sure = append(res.Sure, i)
 		case tvl.Unknown:
@@ -250,7 +454,8 @@ func EvalBrute(s *schema.Scheme, t relation.Tuple, p Pred) (tvl.T, error) {
 		return tvl.Unknown, err
 	}
 	if len(comps) == 0 {
-		// A contradictory tuple: match the analytic convention (false).
+		// A contradictory tuple admits no completion, so it is in no
+		// answer: false — the convention every Eval guard mirrors.
 		return tvl.False, nil
 	}
 	var vals []tvl.T

@@ -157,6 +157,125 @@ func TestConnectives(t *testing.T) {
 	}
 }
 
+// TestContradictoryTupleConvention pins the package convention: a tuple
+// with a `!` cell anywhere denotes no tuple, so EVERY predicate — atoms
+// on other attributes, negations, disjunctions — is false on it, exactly
+// as EvalBrute's empty completion set dictates. The negation case is the
+// regression: Kleene-composing the atom's false used to answer true for
+// not(A = c) on a contradictory tuple, a wrong definite answer.
+func TestContradictoryTupleConvention(t *testing.T) {
+	dom := schema.IntDomain("d", "v", 3)
+	s := schema.Uniform("R", []string{"A", "B"}, dom)
+	tuples := []relation.Tuple{
+		{value.NewConst("v1"), value.NewNothing()}, // ! beside a constant
+		{value.NewNothing(), value.NewNothing()},   // all contradictory
+		{value.NewNull(1), value.NewNothing()},     // ! beside a null
+	}
+	// The second contradictory shape: one mark across attributes whose
+	// domains intersect emptily also admits no completion.
+	sd := schema.MustNew("S", []string{"A", "D"}, []*schema.Domain{
+		schema.IntDomain("d", "v", 3),
+		schema.MustDomain("one", "only"),
+	})
+	shared := relation.Tuple{value.NewNull(1), value.NewNull(1)}
+	for _, p := range []Pred{Not{Eq{0, "v1"}}, Eq{0, "v1"}, EqAttr{0, 1}, Not{EqAttr{0, 1}}} {
+		if got := p.Eval(sd, shared); got != tvl.False {
+			t.Errorf("disjoint-domain shared mark: %s = %v, want false", p, got)
+		}
+		want, err := EvalBrute(sd, shared, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want != tvl.False {
+			t.Fatalf("oracle drift on shared-mark tuple: %v", want)
+		}
+	}
+	preds := []Pred{
+		Eq{0, "v1"},                       // atom on the constant attribute
+		Eq{1, "v1"},                       // atom on the ! attribute
+		Not{Eq{0, "v1"}},                  // the regression: must NOT flip to true
+		Not{Eq{0, "v2"}},                  // negation of a false atom, same rule
+		Not{In{0, []string{"v1"}}},        // negated membership
+		Or{Eq{0, "v1"}, Not{Eq{0, "v1"}}}, // excluded middle is still no tuple
+		And{Eq{0, "v1"}, Eq{1, "v1"}},
+		EqAttr{0, 1},
+		Not{EqAttr{0, 1}},
+	}
+	for ti, tup := range tuples {
+		for _, p := range preds {
+			if got := p.Eval(s, tup); got != tvl.False {
+				t.Errorf("tuple %d: %s on %s = %v, want false (contradictory-tuple convention)", ti, p, tup, got)
+			}
+			want, err := EvalBrute(s, tup, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != tvl.False {
+				t.Fatalf("oracle drift: EvalBrute(%s, %s) = %v", p, tup, want)
+			}
+		}
+	}
+	// Select must drop contradictory tuples from both answer lists.
+	r := relation.New(s)
+	r.InsertUnchecked(relation.Tuple{value.NewConst("v1"), value.NewConst("v1")})
+	r.InsertUnchecked(relation.Tuple{value.NewConst("v1"), value.NewNothing()})
+	res := Select(r, Not{Eq{1, "v2"}})
+	if len(res.Sure) != 1 || res.Sure[0] != 0 || len(res.Maybe) != 0 {
+		t.Errorf("Select over a contradictory tuple: Sure=%v Maybe=%v, want Sure=[0]", res.Sure, res.Maybe)
+	}
+}
+
+// TestSharedMarkNarrowing pins atom exactness when one mark spans
+// attributes with *partially* overlapping domains: the denoted value
+// must lie in the intersection, which can decide atoms the raw domain
+// leaves unknown — and EvalBrute is the arbiter.
+func TestSharedMarkNarrowing(t *testing.T) {
+	s := schema.MustNew("S", []string{"A", "B"}, []*schema.Domain{
+		schema.MustDomain("da", "v1", "v2"),
+		schema.MustDomain("db", "v2", "v3"),
+	})
+	shared := relation.Tuple{value.NewNull(1), value.NewNull(1)} // forced to v2
+	cases := []struct {
+		p    Pred
+		want tvl.T
+	}{
+		{Eq{0, "v2"}, tvl.True},                 // only common completion
+		{Eq{0, "v1"}, tvl.False},                // v1 infeasible for the mark
+		{Eq{1, "v3"}, tvl.False},                //
+		{In{0, []string{"v2", "v3"}}, tvl.True}, // feasible set covered
+		{EqAttr{0, 1}, tvl.True},                // same mark anyway
+		{Not{Eq{0, "v2"}}, tvl.False},
+	}
+	for _, c := range cases {
+		if got := c.p.Eval(s, shared); got != c.want {
+			t.Errorf("%s on %s = %v, want %v", c.p, shared, got, c.want)
+		}
+		brute, err := EvalBrute(s, shared, c.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if brute != c.want {
+			t.Fatalf("oracle drift: EvalBrute(%s) = %v, want %v", c.p, brute, c.want)
+		}
+	}
+	// Two independent marks with singleton feasible sets decide EqAttr:
+	// narrow each through a singleton-domain partner attribute.
+	s4 := schema.MustNew("T", []string{"A", "B", "C", "D"}, []*schema.Domain{
+		schema.MustDomain("da", "v1", "v2"),
+		schema.MustDomain("db", "v2"),
+		schema.MustDomain("dc", "v2", "v3"),
+		schema.MustDomain("dd", "v2"),
+	})
+	tup := relation.Tuple{value.NewNull(1), value.NewNull(1), value.NewNull(2), value.NewNull(2)}
+	q := EqAttr{0, 2} // ⊥1 forced to v2 via B, ⊥2 forced to v2 via D
+	if got := q.Eval(s4, tup); got != tvl.True {
+		t.Errorf("doubly-forced EqAttr = %v, want true", got)
+	}
+	if brute, _ := EvalBrute(s4, tup, q); brute != tvl.True {
+		t.Fatalf("oracle drift: %v", brute)
+	}
+}
+
 func TestSelectPartition(t *testing.T) {
 	s := johnScheme()
 	ms := s.MustAttr("ms")
@@ -176,7 +295,7 @@ func TestSelectPartition(t *testing.T) {
 func TestStrings(t *testing.T) {
 	p := Or{And{Eq{0, "x"}, Not{In{1, []string{"a", "b"}}}}, EqAttr{0, 1}}
 	got := p.String()
-	want := `((#0 = "x" and not(#1 in {a,b})) or #0 = #1)`
+	want := `((#0 = "x" and not(#1 in {"a","b"})) or #0 = #1)`
 	if got != want {
 		t.Errorf("String = %q, want %q", got, want)
 	}

@@ -41,14 +41,19 @@ type Index struct {
 
 // BuildIndex partitions r's tuples by their projection on set.
 func BuildIndex(r *Relation, set schema.AttrSet) *Index {
+	return buildIndex(r.tuples, r.version, set)
+}
+
+// buildIndex is the shared partition pass of BuildIndex and View.IndexOn.
+func buildIndex(tuples []Tuple, version uint64, set schema.AttrSet) *Index {
 	ix := &Index{
 		set:     set,
 		attrs:   set.Attrs(),
-		groups:  make(map[string][]int, len(r.tuples)),
-		version: r.version,
+		groups:  make(map[string][]int, len(tuples)),
+		version: version,
 	}
 	var b strings.Builder
-	for i, t := range r.tuples {
+	for i, t := range tuples {
 		switch {
 		case t.HasNothingOn(set):
 			ix.nothing = append(ix.nothing, i)

@@ -47,6 +47,17 @@ func (v View) Tuple(i int) Tuple { return v.tuples[i] }
 // Version is the relation's mutation counter at snapshot time.
 func (v View) Version() uint64 { return v.version }
 
+// IndexOn builds an X-partition index over the snapshot's tuples
+// (index.go). A View is an immutable value, so unlike Relation.IndexOn
+// there is no cache behind this: every call pays one O(n) partition
+// pass. Callers that probe one snapshot repeatedly should hold on to the
+// result — the store's query path keeps a version-keyed snapshot-index
+// cache for exactly that. Row indices refer to the snapshot's ordering,
+// which is the owning relation's ordering at snapshot time.
+func (v View) IndexOn(set schema.AttrSet) *Index {
+	return buildIndex(v.tuples, v.version, set)
+}
+
 // Each calls fn for every tuple in order; fn returning false stops the
 // iteration. It performs no per-tuple allocation.
 func (v View) Each(fn func(i int, t Tuple) bool) {

@@ -1,0 +1,331 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/query"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+	"fdnull/internal/workload"
+)
+
+func refineScheme() (*schema.Scheme, []fd.FD) {
+	s := schema.MustNew("R", []string{"E#", "SL", "D#"}, []*schema.Domain{
+		schema.IntDomain("emp", "e", 4),
+		schema.IntDomain("sal", "s", 12),
+		schema.MustDomain("dep", "d1", "d2"),
+	})
+	return s, fd.MustParseSet(s, "E# -> SL")
+}
+
+// TestStoreQueryRefinement pins the FD-based refinement: the stored
+// instance is chase-normalized, so values the dependencies force decide
+// atoms that are Maybe on the raw input — and per-tuple EvalBrute over
+// the stored tuples confirms every promotion is a certainty, not a
+// guess.
+func TestStoreQueryRefinement(t *testing.T) {
+	for _, m := range []Maintenance{MaintenanceIncremental, MaintenanceRecheck} {
+		t.Run(m.String(), func(t *testing.T) {
+			s, fds := refineScheme()
+			rows := [][]string{
+				{"e1", "s10", "d1"},
+				{"e1", "-", "d2"}, // SL forced to s10 by E# -> SL
+				{"e2", "-", "d1"}, // SL genuinely unknown
+			}
+			st := New(s, fds, Options{Maintenance: m})
+			for _, row := range rows {
+				if err := st.InsertRow(row...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			p := query.Eq{Attr: s.MustAttr("SL"), Const: "s10"}
+
+			// The raw input leaves the forced tuple a possible answer...
+			raw := relation.MustFromRows(s, rows...)
+			rawRes := query.Select(raw, p)
+			if len(rawRes.Sure) != 1 || len(rawRes.Maybe) != 2 {
+				t.Fatalf("raw input: Sure=%v Maybe=%v, want 1 sure / 2 maybe", rawRes.Sure, rawRes.Maybe)
+			}
+			// ...the store has substituted it: Maybe → Sure. e2 stays Maybe.
+			res := st.Query(p)
+			if len(res.Sure) != 2 || len(res.Maybe) != 1 {
+				t.Fatalf("store query: Sure=%v Maybe=%v, want 2 sure / 1 maybe\n%s",
+					res.Sure, res.Maybe, st.Snapshot())
+			}
+			// The oracle: every verdict equals the least extension of the
+			// stored (normalized) tuple — atoms are exact.
+			assertBruteAgrees(t, st, p, res)
+
+			// NEC-class refinement of attribute equality: one tuple carries
+			// a user-shared mark across B and C; the dependencies then pull
+			// a second tuple's two independent fresh nulls into those NEC
+			// classes, deciding B = C on a tuple whose raw form left it open.
+			dom := schema.IntDomain("d", "v", 6)
+			s2 := schema.Uniform("S", []string{"A", "B", "C"}, dom)
+			fds2 := fd.MustParseSet(s2, "A -> B; A -> C")
+			st2 := New(s2, fds2, Options{Maintenance: m})
+			if err := st2.InsertRow("v1", "-1", "-1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := st2.InsertRow("v1", "-", "-"); err != nil {
+				t.Fatal(err)
+			}
+			eq := query.EqAttr{A: s2.MustAttr("B"), B: s2.MustAttr("C")}
+			raw2 := relation.MustFromRows(s2, []string{"v1", "-1", "-1"}, []string{"v1", "-", "-"})
+			if r := query.Select(raw2, eq); len(r.Sure) != 1 || len(r.Maybe) != 1 {
+				t.Fatalf("raw shared-mark input: Sure=%v Maybe=%v", r.Sure, r.Maybe)
+			}
+			res2 := st2.Query(eq)
+			if len(res2.Sure) != 2 || len(res2.Maybe) != 0 {
+				t.Fatalf("NEC refinement: Sure=%v Maybe=%v, want both sure\n%s",
+					res2.Sure, res2.Maybe, st2.Snapshot())
+			}
+			assertBruteAgrees(t, st2, eq, res2)
+		})
+	}
+}
+
+// assertBruteAgrees checks a store query result tuple-for-tuple against
+// query.EvalBrute on the stored instance.
+func assertBruteAgrees(t *testing.T, st *Store, p query.Pred, res query.Result) {
+	t.Helper()
+	verdict := make(map[int]tvl.T)
+	for _, i := range res.Sure {
+		verdict[i] = tvl.True
+	}
+	for _, i := range res.Maybe {
+		verdict[i] = tvl.Unknown
+	}
+	for i := 0; i < st.Len(); i++ {
+		want, err := query.EvalBrute(st.Scheme(), st.TupleView(i), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := verdict[i]
+		if !ok {
+			got = tvl.False
+		}
+		if got != want {
+			t.Fatalf("tuple %d %s: store=%v brute=%v", i, st.TupleView(i), got, want)
+		}
+	}
+}
+
+// TestStoreQueryDomainExhaustion is the paper's married-or-single query
+// served from the store: a domain-covering In is Sure even on a null.
+func TestStoreQueryDomainExhaustion(t *testing.T) {
+	s := schema.MustNew("R", []string{"name", "ms"}, []*schema.Domain{
+		schema.IntDomain("names", "p", 4),
+		schema.MustDomain("marital", "married", "single"),
+	})
+	st := New(s, nil, Options{})
+	if err := st.InsertRow("p1", "-"); err != nil {
+		t.Fatal(err)
+	}
+	ms := s.MustAttr("ms")
+	if res := st.Query(query.Eq{Attr: ms, Const: "married"}); len(res.Maybe) != 1 {
+		t.Errorf("Q: want John in Maybe, got %v/%v", res.Sure, res.Maybe)
+	}
+	if res := st.Query(query.In{Attr: ms, Values: []string{"married", "single"}}); len(res.Sure) != 1 {
+		t.Errorf("Q': want John in Sure, got %v/%v", res.Sure, res.Maybe)
+	}
+}
+
+func TestStoreQueryCache(t *testing.T) {
+	s, fds := refineScheme()
+	st := New(s, fds, Options{})
+	for _, row := range [][]string{{"e1", "s10", "d1"}, {"e2", "-", "d2"}} {
+		if err := st.InsertRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := query.Eq{Attr: s.MustAttr("D#"), Const: "d1"}
+	r1 := st.Query(p)
+	if h, m := st.QueryCacheStats(); h != 0 || m != 1 {
+		t.Fatalf("after first query: hits=%d misses=%d", h, m)
+	}
+	if r2 := st.Query(p); !r1.Equal(r2) {
+		t.Fatal("cached result differs")
+	}
+	if h, _ := st.QueryCacheStats(); h != 1 {
+		t.Fatal("second identical query must hit the cache")
+	}
+	// Engines cache under distinct keys but agree on the answer.
+	rn := st.QueryWith(p, query.Options{Engine: query.EngineNaive})
+	if !rn.Equal(r1) {
+		t.Fatal("naive engine disagrees with indexed")
+	}
+	if h, m := st.QueryCacheStats(); h != 1 || m != 2 {
+		t.Fatalf("engine key separation: hits=%d misses=%d", h, m)
+	}
+	// A mutation moves the version: the next query re-evaluates and sees
+	// the new tuple.
+	if err := st.InsertRow("e3", "s11", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	r3 := st.Query(p)
+	if r3.Equal(r1) {
+		t.Fatal("post-mutation query must see the new tuple")
+	}
+	if h, m := st.QueryCacheStats(); h != 1 || m != 3 {
+		t.Fatalf("version invalidation: hits=%d misses=%d", h, m)
+	}
+	if want := query.Select(st.Snapshot(), p); !r3.Equal(want) {
+		t.Fatal("post-mutation result wrong")
+	}
+}
+
+func TestStoreQueryAll(t *testing.T) {
+	s, fds := refineScheme()
+	st := New(s, fds, Options{})
+	for i := 1; i <= 4; i++ {
+		if err := st.InsertRow(fmt.Sprintf("e%d", i), "-", "d1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preds := []query.Pred{
+		query.Eq{Attr: 0, Const: "e1"},
+		query.Eq{Attr: 2, Const: "d1"},
+		query.In{Attr: 2, Values: []string{"d1", "d2"}},
+		query.Eq{Attr: 0, Const: "e1"}, // repeated: cache hit or coalesced in flight
+	}
+	batch := st.QueryAll(preds, query.Options{Workers: 3})
+	if len(batch) != len(preds) {
+		t.Fatalf("got %d results", len(batch))
+	}
+	for i, p := range preds {
+		if want := st.Query(p); !batch[i].Equal(want) {
+			t.Errorf("pred %d (%s): batch result differs", i, p)
+		}
+	}
+}
+
+// TestStoreQueryCacheBound: a stream of distinct predicates at one
+// version must not grow the result cache past its cap.
+func TestStoreQueryCacheBound(t *testing.T) {
+	s, fds := refineScheme()
+	st := New(s, fds, Options{})
+	if err := st.InsertRow("e1", "s10", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxCachedResults+50; i++ {
+		st.Query(query.In{Attr: 0, Values: []string{"e1", fmt.Sprintf("x%d", i)}})
+	}
+	st.qcache.mu.Lock()
+	n := len(st.qcache.results)
+	st.qcache.mu.Unlock()
+	if n > maxCachedResults {
+		t.Errorf("result cache grew to %d entries (cap %d)", n, maxCachedResults)
+	}
+	// Still serving: a repeat of the last predicate hits.
+	h0, _ := st.QueryCacheStats()
+	st.Query(query.In{Attr: 0, Values: []string{"e1", fmt.Sprintf("x%d", maxCachedResults+49)}})
+	if h1, _ := st.QueryCacheStats(); h1 != h0+1 {
+		t.Error("recently cached predicate should still hit")
+	}
+}
+
+// TestStoreQueryCoalescing: concurrent identical misses at one version
+// collapse onto a single evaluation — exactly one miss, everyone else a
+// (possibly in-flight) hit.
+func TestStoreQueryCoalescing(t *testing.T) {
+	s, fds := refineScheme()
+	c := NewConcurrent(s, fds, Options{})
+	for _, row := range [][]string{{"e1", "s10", "d1"}, {"e2", "-", "d2"}} {
+		if err := c.InsertRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := query.Eq{Attr: s.MustAttr("D#"), Const: "d1"}
+	const n = 8
+	results := make([]query.Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Query(p)
+		}(i)
+	}
+	wg.Wait()
+	hits, misses := c.QueryCacheStats()
+	if misses != 1 || hits != n-1 {
+		t.Errorf("coalescing: hits=%d misses=%d, want %d/1", hits, misses, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if !results[i].Equal(results[0]) {
+			t.Fatalf("coalesced results differ")
+		}
+	}
+}
+
+// TestConcurrentQuery races snapshot queries against writers: results
+// must always describe one consistent committed snapshot (run under
+// -race; the final quiesced answer is checked against the naive scan).
+func TestConcurrentQuery(t *testing.T) {
+	// The workload only provides the scheme/FD shape (domain sized for
+	// 100 employees); the store starts empty and the writers race.
+	s, fds, _ := workload.Employees(100, 2, 0, 42)
+	c := NewConcurrent(s, fds, Options{})
+	p := query.Eq{Attr: s.MustAttr("D#"), Const: "d1"}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				if err := c.InsertRow(fmt.Sprintf("e%d", 2+w*40+i), "-", fmt.Sprintf("d%d", 1+i%2), "full"); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				res := c.Query(p)
+				for j := 1; j < len(res.Sure); j++ {
+					if res.Sure[j] <= res.Sure[j-1] {
+						t.Error("Sure indices must be strictly ascending")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	final := c.Query(p)
+	if want := query.Select(c.Snapshot(), p); !final.Equal(want) {
+		t.Fatalf("quiesced query disagrees with the scan: %v vs %v", final, want)
+	}
+}
+
+// TestTxnQuerySnapshotIsolation: a transaction's Query reads its
+// begin-time snapshot even after other writers commit.
+func TestTxnQuerySnapshotIsolation(t *testing.T) {
+	s, fds := refineScheme()
+	c := NewConcurrent(s, fds, Options{})
+	if err := c.InsertRow("e1", "s10", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	p := query.Eq{Attr: s.MustAttr("D#"), Const: "d1"}
+	tx := c.BeginTxn()
+	defer tx.Rollback()
+	before := tx.Query(p)
+	if err := c.InsertRow("e2", "s11", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tx.Query(p); !got.Equal(before) {
+		t.Fatalf("txn query must be frozen at begin time: %v then %v", before, got)
+	}
+	if got := c.Query(p); got.Equal(before) {
+		t.Fatal("store query must see the committed insert")
+	}
+}

@@ -112,6 +112,9 @@ type Store struct {
 	rel    *relation.Relation
 	opts   Options
 	inc    *incState
+	// qcache backs the read path (query.go): version-keyed selection
+	// results and snapshot indexes.
+	qcache queryCache
 	// mutation counters, exposed for observability and tests.
 	inserts, updates, deletes, rejected int
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query smoke-fuzz lint fmt vet clean
+.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query bench-wal smoke-wal smoke-fuzz lint fmt vet clean
 
 all: build test
 
@@ -65,10 +65,25 @@ smoke-query:
 	$(GO) test -short -run 'TestSelectDifferential|TestSelectAllDifferential' ./internal/query
 	$(GO) test -short -run 'TestQuerySweep|TestStoreQueryRefinement' ./cmd/fdbench ./internal/store
 
-# Seed-corpus fuzz smoke: the relio and predicate parsers must survive
-# their corpora (use `go test -fuzz` locally for open-ended exploration).
+# The durable write path: E20 contrasts group commit against
+# fsync-per-commit (>=5x bar, every configuration reopened and checked
+# against an in-memory oracle) and archives the measurements.
+bench-wal:
+	$(GO) run ./cmd/fdbench -exp E20 -json BENCH_wal.json
+
+# Short-mode durability smoke: the crash-point exerciser (kill at every
+# record boundary + torn tails, reopen, compare to the oracle prefix)
+# and the concurrent txn history with crash/reopen ops under -race.
+smoke-wal:
+	$(GO) test -short -run 'TestCrashPointExerciser|TestSaveLoadEqualsCheckpointRecovery' ./internal/store
+	$(GO) test -race -short -run 'TestDurableConcurrentHistoryWithCrashes' ./internal/store
+
+# Seed-corpus fuzz smoke: the relio parser, the predicate parser, and
+# the WAL record decoder must survive their corpora (use `go test -fuzz`
+# locally for open-ended exploration).
 smoke-fuzz:
 	$(GO) test -short -run 'Fuzz' ./internal/relio ./internal/query
+	$(GO) test -short -run 'FuzzWAL' ./internal/store
 
 lint: fmt vet
 

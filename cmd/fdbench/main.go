@@ -4,24 +4,28 @@
 //
 // Usage:
 //
-//	fdbench [-exp E1,E2,... | -exp all] [-quick] [-engine indexed|naive]
+//	fdbench [-exp E1,E2,... | -exp all] [-quick] [-engine indexed|naive] [-json FILE]
 //
 // Each experiment prints a self-contained report; complexity sweeps print
 // aligned tables of parameters vs. measured time. -engine selects the
 // default per-tuple evaluation engine used by the experiments that
 // evaluate FDs; E15 always runs both evaluation engines and compares
 // them, E16 does the same for the FD-discovery engines, E17 for the
-// store's incremental vs recheck maintenance engines, and E19 for the
-// query planner vs the naive selection scan.
+// store's incremental vs recheck maintenance engines, E19 for the
+// query planner vs the naive selection scan, and E20 for the durable
+// store's group-commit vs fsync-per-commit write path. -json writes the
+// measurements experiments record (currently E20) as a JSON artifact.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"fdnull/internal/eval"
 )
@@ -53,6 +57,33 @@ var experiments = []experiment{
 	{"E17", "Incremental vs recheck store maintenance — agreement and comparative sweep", runE17},
 	{"E18", "Transactional batched commit vs per-op commits — agreement and comparative sweep", runE18},
 	{"E19", "Indexed vs naive selection engine — agreement and comparative sweep", runE19},
+	{"E20", "Durable WAL — group commit vs fsync-per-commit, recovery-checked", runE20},
+}
+
+// benchRecord is one machine-readable measurement; -json writes the
+// collected records so CI can archive benchmark artifacts.
+type benchRecord struct {
+	Exp     string  `json:"exp"`
+	Config  string  `json:"config"`
+	N       int     `json:"n"`
+	TotalNs int64   `json:"total_ns"`
+	NsPerOp int64   `json:"ns_per_op"`
+	OpsPerS float64 `json:"ops_per_sec"`
+	Speedup float64 `json:"speedup_vs_baseline"`
+}
+
+var benchRecords []benchRecord
+
+func recordBench(exp, config string, n int, total time.Duration, speedup float64) {
+	benchRecords = append(benchRecords, benchRecord{
+		Exp:     exp,
+		Config:  config,
+		N:       n,
+		TotalNs: total.Nanoseconds(),
+		NsPerOp: total.Nanoseconds() / int64(max(n, 1)),
+		OpsPerS: float64(n) / total.Seconds(),
+		Speedup: speedup,
+	})
 }
 
 // benchEngine is the evaluation engine selected by -engine; experiments
@@ -64,12 +95,14 @@ func main() {
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
+	benchRecords = nil
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E19) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E20) or 'all'")
 	quick := fs.Bool("quick", false, "smaller sweeps for smoke testing")
 	list := fs.Bool("list", false, "list experiments and exit")
 	engineFlag := fs.String("engine", "indexed", "per-tuple evaluation engine: indexed or naive")
+	jsonFlag := fs.String("json", "", "write machine-readable measurements to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -121,6 +154,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			failed++
 		}
 		fmt.Fprintln(stdout)
+	}
+	if *jsonFlag != "" && len(benchRecords) > 0 {
+		data, err := json.MarshalIndent(benchRecords, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "fdbench: encode -json: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*jsonFlag, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "fdbench: write -json: %v\n", err)
+			return 1
+		}
 	}
 	if failed > 0 {
 		return 1

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -149,5 +152,38 @@ func TestTableRendering(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 4 {
 		t.Errorf("expected header+separator+2 rows, got %d lines", len(lines))
+	}
+}
+
+// TestWALSweep runs E20 in quick mode: every durability configuration
+// must reopen to the oracle's exact state (the 5x group-commit bar is
+// asserted by full runs only), and -json must emit the measurements.
+func TestWALSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench_wal.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E20", "-json", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"fsync-per-commit", "group-commit-64", "nosync", "commits/s"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("-json artifact: %v", err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("-json artifact is not valid JSON: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("expected 3 records, got %d", len(records))
+	}
+	for _, r := range records {
+		if r["exp"] != "E20" || r["total_ns"].(float64) <= 0 {
+			t.Errorf("malformed record: %v", r)
+		}
 	}
 }

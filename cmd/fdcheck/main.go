@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fdcheck [-f file] [-algo sorted|bucket|pairwise] [-engine indexed|naive] [-workers N]
-//	        [-store] [-maintenance incremental|recheck] [-ops file]
+//	        [-store] [-maintenance incremental|recheck] [-ops file] [-dir DIR]
 //
 // With no -f the input is read from stdin. Per-tuple verdicts are computed
 // by the selected evaluation engine — the indexed engine (default) probes
@@ -35,6 +35,14 @@
 // Ops outside a transaction apply (and are checked) immediately; staged
 // ops apply atomically at commit with a single batched constraint
 // check, and a rejected commit reports the offending staged op.
+//
+// With -dir DIR the -ops replay runs against a durable store: every
+// accepted commit is write-ahead logged to DIR and survives restarts.
+// A fresh (empty or missing) DIR is seeded from the input's scheme,
+// FDs, and rows; an existing DIR is recovered from its checkpoint and
+// log — the input rows are ignored, and -maintenance must match the
+// engine the log was produced under. A checkpoint is taken on exit so
+// the next open replays only new commits.
 //
 // Exit status: 0 if the FD set is weakly satisfiable, 1 if not, 2 on
 // input errors.
@@ -67,7 +75,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	storeReplay := fs.Bool("store", false, "replay the rows as guarded store inserts and report rejections")
 	maintFlag := fs.String("maintenance", "incremental", "store maintenance engine for -store/-ops: incremental or recheck")
 	opsFile := fs.String("ops", "", "replay an operation script (insert/update/delete/begin/save/rollbackto/rollback/commit) against the loaded store")
+	dirFlag := fs.String("dir", "", "durable store directory for the -ops replay: commits are write-ahead logged and survive restarts")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dirFlag != "" && *opsFile == "" {
+		fmt.Fprintln(stderr, "fdcheck: -dir is only meaningful with -ops")
 		return 2
 	}
 	engine, err := fdnull.ParseEngine(*engineFlag)
@@ -180,8 +193,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			return 2
 		}
 		defer f.Close()
-		if err := replayOps(stdout, f, s, fds, r, maintenance); err != nil {
-			fmt.Fprintf(stderr, "fdcheck: %v\n", err)
+		var rerr error
+		if *dirFlag != "" {
+			rerr = replayOpsDurable(stdout, f, s, fds, r, maintenance, *dirFlag)
+		} else {
+			rerr = replayOpsMemory(stdout, f, s, fds, r, maintenance)
+		}
+		if rerr != nil {
+			fmt.Fprintf(stderr, "fdcheck: %v\n", rerr)
 			return 2
 		}
 	}
@@ -211,16 +230,78 @@ func replayStore(stdout io.Writer, s *fdnull.Scheme, fds []fdnull.FD, r *fdnull.
 	fmt.Fprint(stdout, indent(st.Snapshot().String(), "  "))
 }
 
-// replayOps replays an operation script — per-op mutations and
-// begin/save/rollbackto/rollback/commit transaction blocks — against a
-// store loaded from the input instance.
-func replayOps(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds []fdnull.FD, r *fdnull.Relation, m fdnull.StoreMaintenance) error {
+// opsTarget is the mutation surface the script interpreter drives:
+// either the in-memory store itself or a durable handle that
+// write-ahead logs each accepted commit before confirming it.
+type opsTarget interface {
+	Begin() *fdnull.Txn
+	InsertRow(cells ...string) error
+	Update(ti int, a fdnull.Attr, v fdnull.Value) error
+	Delete(ti int) error
+}
+
+// replayOpsMemory replays the script against an in-memory store seeded
+// with the loaded instance.
+func replayOpsMemory(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds []fdnull.FD, r *fdnull.Relation, m fdnull.StoreMaintenance) error {
 	st, err := fdnull.StoreFromRelation(s, fds, r, fdnull.StoreOptions{Maintenance: m})
 	if err != nil {
 		fmt.Fprintf(stdout, "\nops replay: the loaded instance is rejected: %v\n", err)
 		return nil
 	}
 	fmt.Fprintf(stdout, "\nops replay (%s maintenance):\n", m)
+	return replayOps(stdout, script, st, st)
+}
+
+// replayOpsDurable replays the script against a durable store in dir: a
+// fresh directory is created and seeded from the input's scheme, FDs,
+// and rows (each row a guarded, logged insert); an existing directory
+// is recovered from its checkpoint and log suffix, and the input rows
+// are ignored. A checkpoint on exit keeps the next open cheap.
+func replayOpsDurable(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds []fdnull.FD, r *fdnull.Relation, m fdnull.StoreMaintenance, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	fresh := len(entries) == 0
+	d, err := fdnull.OpenDurableStore(dir, fdnull.DurableOptions{
+		Store:  fdnull.StoreOptions{Maintenance: m},
+		Scheme: s,
+		FDs:    fds,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nops replay (%s maintenance, durable dir %s):\n", m, dir)
+	if fresh {
+		seeded := 0
+		for i := 0; i < r.Len(); i++ {
+			if err := d.Insert(r.Tuple(i).Clone()); err != nil {
+				fmt.Fprintf(stdout, "  seed t%-3d rejected: %v\n", i+1, err)
+			} else {
+				seeded++
+			}
+		}
+		fmt.Fprintf(stdout, "  fresh log: seeded %d of %d input rows\n", seeded, r.Len())
+	} else {
+		fmt.Fprintf(stdout, "  existing log: recovered %d tuples (input rows ignored)\n", d.Store().Len())
+	}
+	rerr := replayOps(stdout, script, d.Store(), d)
+	if rerr == nil {
+		if err := d.Checkpoint(); err != nil {
+			rerr = err
+		}
+	}
+	if err := d.Close(); rerr == nil {
+		rerr = err
+	}
+	return rerr
+}
+
+// replayOps replays an operation script — per-op mutations and
+// begin/save/rollbackto/rollback/commit transaction blocks — against
+// the target's commit surface; st is the underlying store, used for
+// fresh-null allocation and the final report.
+func replayOps(stdout io.Writer, script io.Reader, st *fdnull.Store, target opsTarget) error {
 	var tx *fdnull.Txn
 	var saves []fdnull.TxnSavepoint
 	report := func(line int, what string, err error) {
@@ -261,7 +342,7 @@ func replayOps(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds []fdnul
 			if inTxn {
 				return fmt.Errorf("ops line %d: begin inside an open transaction", line)
 			}
-			tx = st.Begin()
+			tx = target.Begin()
 			saves = saves[:0]
 			report(line, "begin", nil)
 		case "save":
@@ -298,7 +379,7 @@ func replayOps(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds []fdnul
 			if inTxn {
 				report(line, "insert*", tx.InsertRow(args...))
 			} else {
-				report(line, "insert", st.InsertRow(args...))
+				report(line, "insert", target.InsertRow(args...))
 			}
 		case "update":
 			if len(args) != 3 {
@@ -308,7 +389,7 @@ func replayOps(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds []fdnul
 			if err != nil || n < 1 {
 				return fmt.Errorf("ops line %d: bad tuple number %q", line, args[0])
 			}
-			a, ok := s.Attr(args[1])
+			a, ok := st.Scheme().Attr(args[1])
 			if !ok {
 				return fmt.Errorf("ops line %d: unknown attribute %q", line, args[1])
 			}
@@ -316,7 +397,7 @@ func replayOps(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds []fdnul
 			if inTxn {
 				report(line, "update*", tx.Update(n-1, a, v))
 			} else {
-				report(line, "update", st.Update(n-1, a, v))
+				report(line, "update", target.Update(n-1, a, v))
 			}
 		case "delete":
 			if len(args) != 1 {
@@ -329,7 +410,7 @@ func replayOps(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds []fdnul
 			if inTxn {
 				report(line, "delete*", tx.Delete(n-1))
 			} else {
-				report(line, "delete", st.Delete(n-1))
+				report(line, "delete", target.Delete(n-1))
 			}
 		default:
 			return fmt.Errorf("ops line %d: unknown op %q", line, cmd)

@@ -249,3 +249,68 @@ func TestRunOpsReplayBadScript(t *testing.T) {
 		t.Errorf("missing diagnostic: %s", errOut.String())
 	}
 }
+
+// TestRunOpsReplayDurable drives the -dir durable mode across three
+// process lifetimes: a fresh directory seeded from the input, a second
+// run that recovers the first run's commits from checkpoint + log, and
+// a third that must refuse to open under the other maintenance engine.
+func TestRunOpsReplayDurable(t *testing.T) {
+	dir := t.TempDir()
+	walDir := dir + "/wal"
+	ops1 := dir + "/ops1.txt"
+	ops2 := dir + "/ops2.txt"
+	if err := os.WriteFile(ops1, []byte("insert e2 s2 d2 -\nbegin\ninsert e3 s3 d2 ct2\ncommit\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ops2, []byte("delete 1\nupdate 2 SL s5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out1, errOut strings.Builder
+	if code := run([]string{"-ops", ops1, "-dir", walDir}, strings.NewReader(employeesInput), &out1, &errOut); code != 0 {
+		t.Fatalf("first run: exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{"durable dir", "fresh log: seeded 1 of 1 input rows", "commit     ok"} {
+		if !strings.Contains(out1.String(), want) {
+			t.Errorf("first run missing %q:\n%s", want, out1.String())
+		}
+	}
+
+	var out2 strings.Builder
+	errOut.Reset()
+	if code := run([]string{"-ops", ops2, "-dir", walDir}, strings.NewReader(employeesInput), &out2, &errOut); code != 0 {
+		t.Fatalf("second run: exit %d, stderr: %s", code, errOut.String())
+	}
+	got := out2.String()
+	for _, want := range []string{
+		"existing log: recovered 3 tuples (input rows ignored)",
+		"delete     ok",
+		"update     ok",
+		"accepted 0 inserts, 1 updates, 1 deletes",
+		// ct2 resolved the fresh null of e2's first-run insert; both must
+		// have survived the restart.
+		"e3  s3  d2  ct2",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("second run missing %q:\n%s", want, got)
+		}
+	}
+
+	// The log was produced under the incremental engine; reopening under
+	// recheck must be refused, not silently replayed.
+	var out3 strings.Builder
+	errOut.Reset()
+	if code := run([]string{"-maintenance", "recheck", "-ops", ops2, "-dir", walDir}, strings.NewReader(employeesInput), &out3, &errOut); code != 2 {
+		t.Fatalf("engine mismatch: exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "engine") {
+		t.Errorf("engine-mismatch diagnostic missing: %s", errOut.String())
+	}
+
+	// -dir without -ops is a usage error.
+	errOut.Reset()
+	var out4 strings.Builder
+	if code := run([]string{"-dir", walDir}, strings.NewReader(employeesInput), &out4, &errOut); code != 2 {
+		t.Errorf("-dir without -ops: exit %d, want 2", code)
+	}
+}

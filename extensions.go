@@ -207,6 +207,49 @@ func NewConcurrentStore(s *schema.Scheme, fds []fd.FD, opts StoreOptions) *Concu
 // caller must not use the bare store afterwards.
 func GuardStore(st *Store) *ConcurrentStore { return store.Guard(st) }
 
+// ---- Durability ----
+
+// DurableStore is a Store whose accepted commits are write-ahead logged
+// to a segmented, checksummed log and whose state survives process
+// death: reopening the directory replays the manifest's checkpoint plus
+// the log suffix and reconstructs the exact committed instance, marks
+// and allocator watermark included. A torn tail (a record cut short by
+// the crash) is truncated at the last valid record; corruption anywhere
+// already fsync'd fails the open with ErrWAL.
+type DurableStore = store.Durable
+
+// DurableOptions configure OpenDurableStore: group-commit interval,
+// segment rotation size, automatic checkpoint cadence, and the scheme
+// and FDs that seed a fresh directory.
+type DurableOptions = store.DurableOptions
+
+// ConcurrentDurableStore wraps a DurableStore in the RW-locked
+// concurrent facade: lock-free transaction staging, serialized
+// logged commits, snapshot-isolated reads.
+type ConcurrentDurableStore = store.DurableConcurrent
+
+// ErrWAL tags every write-ahead-log failure: a poisoned durable handle,
+// a refused open (engine mismatch, corrupt fsync'd segment, missing
+// checkpoint), or a failed checkpoint.
+var ErrWAL = store.ErrWAL
+
+// ErrDurableClosed reports an operation on a closed durable handle.
+var ErrDurableClosed = store.ErrDurableClosed
+
+// OpenDurableStore opens (or creates) a durable store in dir. A fresh
+// directory needs opts.Scheme and opts.FDs; reopening replays the
+// checkpoint and log suffix instead, and refuses a maintenance engine
+// different from the one the log was produced under.
+func OpenDurableStore(dir string, opts DurableOptions) (*DurableStore, error) {
+	return store.OpenDurable(dir, opts)
+}
+
+// OpenConcurrentDurableStore is OpenDurableStore wrapped in the
+// concurrent facade.
+func OpenConcurrentDurableStore(dir string, opts DurableOptions) (*ConcurrentDurableStore, error) {
+	return store.OpenDurableConcurrent(dir, opts)
+}
+
 // ---- Dependency discovery ----
 
 // DiscoverOptions bound the FD-discovery lattice search: determinant

@@ -15,6 +15,8 @@ func FuzzParse(f *testing.F) {
 	f.Add("domain = \n")
 	f.Add("row - ! -0 --1\n")
 	f.Add("domain d = x\nscheme R(A#:d, B:d)\nrow x x # comment\n")
+	f.Add("domain d = x\nscheme R(A:d)\nrow -2\nnextmark 9\n")
+	f.Add("domain d = x\nscheme R(A:d)\nnextmark 0\n")
 	f.Fuzz(func(t *testing.T, input string) {
 		parsed, err := Parse(strings.NewReader(input))
 		if err != nil {
@@ -32,6 +34,10 @@ func FuzzParse(f *testing.F) {
 			again.Relation.Len() != parsed.Relation.Len() ||
 			len(again.FDs) != len(parsed.FDs) {
 			t.Fatalf("round trip changed shape:\n%s", out)
+		}
+		if again.Relation.NextMark() != parsed.Relation.NextMark() {
+			t.Fatalf("round trip changed the allocator watermark: %d -> %d\n%s",
+				parsed.Relation.NextMark(), again.Relation.NextMark(), out)
 		}
 	})
 }

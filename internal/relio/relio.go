@@ -13,9 +13,23 @@
 //	row v1 -  y      # "-" fresh null
 //	row v2 -3 x      # "-3" marked null ⊥3
 //	row v1 !  y      # "!" the inconsistent element
+//	nextmark 7       # optional: fresh-mark allocator watermark
 //
 // Domains may be declared before or after the scheme line; every domain
 // referenced by the scheme must be declared somewhere in the file.
+//
+// The optional `nextmark` directive persists the fresh-mark allocator's
+// watermark: a store whose allocator advanced past its live marks (dead
+// unknowns, rejected speculations) must restore the exact watermark so a
+// recycled mark can never alias an unrelated unknown. Parse applies it
+// as a floor — the relation's allocator never ends up below (max mark
+// seen in the rows)+1.
+//
+// Parse accepts every instance Write can emit from a live store:
+// duplicate rows are kept in order (positions index an instance), and a
+// constant is valid if any domain of the scheme contains it — the chase
+// substitutes a marked null everywhere it occurs, which can carry one
+// column's constant into another.
 package relio
 
 import (
@@ -35,6 +49,24 @@ type File struct {
 	Scheme   *schema.Scheme
 	FDs      []fd.FD
 	Relation *relation.Relation
+	// NextMark, when positive, is the fresh-mark allocator watermark the
+	// file carries (the `nextmark` directive). Write emits it and Parse
+	// applies it to the relation as a floor.
+	NextMark int
+}
+
+// anyDomainContains reports whether some attribute domain of s contains
+// the constant c. Row cells are validated against this union rather
+// than the column's own domain: every constant in a store-reachable
+// instance entered through some column's domain, but chase substitution
+// can move it into a different column.
+func anyDomainContains(s *schema.Scheme, c string) bool {
+	for a := 0; a < s.Arity(); a++ {
+		if s.Domain(schema.Attr(a)).Contains(c) {
+			return true
+		}
+	}
+	return false
 }
 
 // Parse reads the textual format.
@@ -47,6 +79,7 @@ func Parse(r io.Reader) (*File, error) {
 	var attrNames, attrDoms []string
 	var fdLines []string
 	var rows [][]string
+	nextMark := 0
 	lineno := 0
 	for sc.Scan() {
 		lineno++
@@ -97,6 +130,12 @@ func Parse(r io.Reader) (*File, error) {
 			fdLines = append(fdLines, strings.TrimPrefix(line, "fd "))
 		case strings.HasPrefix(line, "row "):
 			rows = append(rows, strings.Fields(strings.TrimPrefix(line, "row ")))
+		case strings.HasPrefix(line, "nextmark "):
+			n := 0
+			if _, err := fmt.Sscanf(strings.TrimSpace(strings.TrimPrefix(line, "nextmark ")), "%d", &n); err != nil || n < 1 {
+				return nil, fmt.Errorf("relio: line %d: nextmark wants a positive integer", lineno)
+			}
+			nextMark = n
 		default:
 			return nil, fmt.Errorf("relio: line %d: unrecognized directive %q", lineno, line)
 		}
@@ -128,10 +167,32 @@ func Parse(r io.Reader) (*File, error) {
 		out.FDs = append(out.FDs, f)
 	}
 	for i, row := range rows {
-		if err := out.Relation.InsertRow(row...); err != nil {
+		if len(row) != s.Arity() {
+			return nil, fmt.Errorf("relio: row %d: %d cells, scheme %s has arity %d",
+				i+1, len(row), s.Name(), s.Arity())
+		}
+		t, err := out.Relation.ParseRow(row...)
+		if err != nil {
 			return nil, fmt.Errorf("relio: row %d: %v", i+1, err)
 		}
+		// Constants are validated against the union of the scheme's
+		// domains, not the column they appear in, and duplicate rows are
+		// accepted: the chase substitutes a marked null everywhere it
+		// occurs, which can land another column's constant in a cell or
+		// make two rows syntactically equal, and a file written from such
+		// an instance must load back verbatim (positions index it).
+		for a, v := range t {
+			if v.IsConst() && !anyDomainContains(s, v.Const()) {
+				return nil, fmt.Errorf("relio: row %d: value %q of attribute %s is in no domain of scheme %s",
+					i+1, v.Const(), s.AttrName(schema.Attr(a)), s.Name())
+			}
+		}
+		out.Relation.InsertUnchecked(t)
 	}
+	if nextMark > out.Relation.NextMark() {
+		out.Relation.SetNextMark(nextMark)
+	}
+	out.NextMark = out.Relation.NextMark()
 	return out, nil
 }
 
@@ -168,6 +229,11 @@ func Write(w io.Writer, f *File) error {
 	}
 	for _, dep := range f.FDs {
 		if _, err := fmt.Fprintf(w, "fd %s\n", dep.Format(s)); err != nil {
+			return err
+		}
+	}
+	if f.NextMark > 0 {
+		if _, err := fmt.Fprintf(w, "nextmark %d\n", f.NextMark); err != nil {
 			return err
 		}
 	}

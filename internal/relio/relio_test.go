@@ -111,3 +111,78 @@ func TestCommentsAndBlankLines(t *testing.T) {
 		t.Error("comment handling broke rows")
 	}
 }
+
+func TestNextMarkDirective(t *testing.T) {
+	// The directive is a floor: it can only raise the allocator above
+	// what the rows imply.
+	f, err := ParseString("domain d = x\nscheme R(A:d)\nrow -3\nnextmark 9\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NextMark != 9 || f.Relation.NextMark() != 9 {
+		t.Fatalf("nextmark floor not applied: file %d, relation %d", f.NextMark, f.Relation.NextMark())
+	}
+	// A directive below the row-implied watermark is ignored.
+	f, err = ParseString("domain d = x\nscheme R(A:d)\nrow -7\nnextmark 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Relation.NextMark() != 8 {
+		t.Fatalf("row-implied watermark lost: %d", f.Relation.NextMark())
+	}
+	// Round trip: Write emits the directive, Parse restores it exactly.
+	f.NextMark = f.Relation.NextMark()
+	out, err := WriteString(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "nextmark 8") {
+		t.Fatalf("directive not written:\n%s", out)
+	}
+	again, err := ParseString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.NextMark != 8 {
+		t.Fatalf("round trip changed watermark: %d", again.NextMark)
+	}
+	for _, bad := range []string{
+		"domain d = x\nscheme R(A:d)\nnextmark 0\n",
+		"domain d = x\nscheme R(A:d)\nnextmark -4\n",
+		"domain d = x\nscheme R(A:d)\nnextmark many\n",
+		"domain d = x\nscheme R(A:d)\nnextmark\n",
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("should reject %q", bad)
+		}
+	}
+}
+
+func TestParseAcceptsStoreReachableInstances(t *testing.T) {
+	// The chase substitutes a marked null everywhere it occurs, so a
+	// written instance can carry one column's constant in another column
+	// and can hold two syntactically equal rows. Parse must load both
+	// back verbatim — positions index an instance.
+	f, err := ParseString(
+		"domain emp = e1 e2\ndomain ct = full part\nscheme R(E:emp, C:ct)\n" +
+			"row e1 full\nrow e1 full\nrow full e2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Relation.Len() != 3 {
+		t.Fatalf("rows = %d", f.Relation.Len())
+	}
+	if f.Relation.Tuple(2)[0].Const() != "full" {
+		t.Error("cross-column constant not preserved")
+	}
+	// A constant in no domain at all is still a typo, not a reachable
+	// state, and a wrong-width row never round-trips.
+	for _, bad := range []string{
+		"domain emp = e1\nscheme R(E:emp)\nrow nope\n",
+		"domain emp = e1\nscheme R(E:emp)\nrow e1 e1\n",
+	} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("should reject %q", bad)
+		}
+	}
+}

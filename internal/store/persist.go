@@ -9,12 +9,15 @@ import (
 
 // Save writes the store — scheme, dependencies, and the current minimally
 // incomplete instance — in the relio text format. Null marks are
-// persisted, so NEC classes survive the round trip.
+// persisted, so NEC classes survive the round trip, and the fresh-mark
+// allocator watermark rides along as a `nextmark` directive so a
+// reloaded store can never recycle a mark the saved one already spent.
 func (st *Store) Save(w io.Writer) error {
 	return relio.Write(w, &relio.File{
 		Scheme:   st.scheme,
 		FDs:      st.fds,
 		Relation: st.rel,
+		NextMark: st.rel.NextMark(),
 	})
 }
 

@@ -1,0 +1,633 @@
+// recovery.go is the replay half of the durable store (wal.go is the
+// on-disk half): OpenDurable reconstructs the exact committed state
+// from the manifest's checkpoint plus the log suffix, and the Durable /
+// DurableConcurrent handles keep it current by appending one record per
+// accepted commit.
+//
+// # Recovery
+//
+//  1. Read MANIFEST; refuse to open under a different maintenance
+//     engine or X-rules setting than the log was produced under
+//     (replay is engine-pinned — op indices track engine-dependent
+//     tuple order).
+//  2. Load the checkpoint relio file VERBATIM — no re-chase. The
+//     checkpoint was materialized from a live store, so it is already a
+//     chase fixpoint, and re-chasing could reorder tuples, invalidating
+//     the op indices of every record logged after it.
+//  3. Scan the segments in order. Any undecodable record in an fsync'd
+//     (non-final) segment fails closed; in the final segment it is a
+//     torn tail — the file is truncated at the last valid record and
+//     appending resumes there.
+//  4. Replay each record with seq > ckptseq through the store's own
+//     commit paths: restore the logged pre-commit allocator watermark,
+//     then re-execute the write-set (per-op records through the
+//     matching Store method, transaction records through one
+//     Begin/stage/Commit). Both engines are deterministic functions of
+//     (state, allocator, write-set), so the recovered instance is
+//     bit-identical to the pre-crash committed state — crash_test.go
+//     proves it at every record boundary.
+//
+// A record that fails to re-apply (it was accepted when logged) means
+// the log and checkpoint disagree — tampering or a foreign checkpoint —
+// and recovery fails closed rather than guessing.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/relio"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// ErrDurableClosed reports an operation on a closed durable handle.
+var ErrDurableClosed = errors.New("store: durable store is closed")
+
+// DurableOptions configure OpenDurable / OpenDurableConcurrent.
+type DurableOptions struct {
+	// Store configures the wrapped store. On reopen the maintenance
+	// engine and X-rules setting must match the manifest; opening a log
+	// under the other engine is refused, because replay re-derives
+	// engine-dependent tuple order.
+	Store Options
+	// Scheme and FDs seed a FRESH directory (no manifest yet); both are
+	// required there and ignored on reopen, where the checkpoint file is
+	// the authority.
+	Scheme *schema.Scheme
+	FDs    []fd.FD
+	// GroupCommit fsyncs the log every N commits instead of every
+	// commit; <=1 means fsync-per-commit (the default). A crash loses at
+	// most the last GroupCommit-1 committed-but-unsynced records — each
+	// either replays completely or is truncated as a torn tail, never
+	// half-applied.
+	GroupCommit int
+	// SegmentBytes rotates the active segment once it passes this size
+	// (default 1 MiB). Everything outside the active segment is fsync'd.
+	SegmentBytes int
+	// CheckpointEvery takes an automatic checkpoint after N log records
+	// (0 = explicit Checkpoint calls only).
+	CheckpointEvery int
+	// RetainSegments keeps segments a checkpoint has subsumed instead of
+	// deleting them (the crash exerciser replays from any historical
+	// manifest; production has no reason to set it).
+	RetainSegments bool
+	// NoSync skips every fsync (benchmarks measuring the fsync cost
+	// itself; no durability claim survives it).
+	NoSync bool
+}
+
+func (o DurableOptions) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return 1 << 20
+	}
+	return int64(o.SegmentBytes)
+}
+
+// Durable is a Store whose accepted commits are write-ahead logged and
+// whose state survives process death: OpenDurable(dir, ...) brings back
+// exactly the committed state. It is not safe for concurrent use —
+// OpenDurableConcurrent wraps the same machinery in the RW-locked
+// facade. Any WAL failure poisons the handle: the failed commit IS in
+// memory but may not be on disk, so every later mutation returns the
+// poisoning error and the only honest move is to close and re-open.
+type Durable struct {
+	st   *Store
+	w    *walWriter
+	dir  string
+	opts DurableOptions
+	// recsSinceCkpt drives CheckpointEvery.
+	recsSinceCkpt int
+	ckptSeq       uint64
+	failed        error
+}
+
+// OpenDurable opens (or creates) a durable store in dir. A fresh dir
+// needs opts.Scheme and opts.FDs; a reopen replays checkpoint + log
+// suffix and ignores them.
+func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
+	st, w, ckptSeq, err := openWAL(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &Durable{st: st, w: w, dir: dir, opts: opts, ckptSeq: ckptSeq}
+	st.onCommit = d.logRecord
+	return d, nil
+}
+
+// Store returns the wrapped store for reads (Query, View, Snapshot,
+// CheckWeak, ...). Mutations MUST go through the Durable handle — the
+// wrapped store's mutators also work (the hook is installed), but only
+// the handle's methods observe poisoning.
+func (d *Durable) Store() *Store { return d.st }
+
+// Err returns the poisoning WAL error, or nil while the handle is
+// healthy.
+func (d *Durable) Err() error { return d.failed }
+
+func (d *Durable) logRecord(mode recMode, preMark int, ops []txnOp) error {
+	if d.failed != nil {
+		return d.failed
+	}
+	if _, err := d.w.append(mode, preMark, ops); err != nil {
+		d.failed = walError("append: %v", err)
+		return d.failed
+	}
+	d.recsSinceCkpt++
+	if d.opts.CheckpointEvery > 0 && d.recsSinceCkpt >= d.opts.CheckpointEvery {
+		if err := d.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Insert logs-then-confirms a tuple insert; see Store.Insert.
+func (d *Durable) Insert(t relation.Tuple) error {
+	if d.failed != nil {
+		return d.failed
+	}
+	return d.st.Insert(t)
+}
+
+// InsertRow inserts a row of cell strings durably; see Store.InsertRow.
+func (d *Durable) InsertRow(cells ...string) error {
+	if d.failed != nil {
+		return d.failed
+	}
+	return d.st.InsertRow(cells...)
+}
+
+// Update overwrites one cell durably; see Store.Update.
+func (d *Durable) Update(ti int, a schema.Attr, v value.V) error {
+	if d.failed != nil {
+		return d.failed
+	}
+	return d.st.Update(ti, a, v)
+}
+
+// Delete removes a tuple durably; see Store.Delete.
+func (d *Durable) Delete(ti int) error {
+	if d.failed != nil {
+		return d.failed
+	}
+	return d.st.Delete(ti)
+}
+
+// Begin starts a transaction whose Commit appends one log record for
+// the whole write-set.
+func (d *Durable) Begin() *Txn {
+	return d.st.Begin()
+}
+
+// Sync forces every appended record to disk, ending the group-commit
+// window early.
+func (d *Durable) Sync() error {
+	if d.failed != nil {
+		return d.failed
+	}
+	if err := d.w.sync(); err != nil {
+		d.failed = walError("sync: %v", err)
+		return d.failed
+	}
+	return nil
+}
+
+// Checkpoint snapshots the current state into a relio checkpoint file,
+// repoints the manifest at it, and prunes the log prefix it subsumes
+// (unless RetainSegments). The snapshot goes through an O(1)
+// copy-on-write view, so even under the concurrent facade writers never
+// stall for the serialization.
+func (d *Durable) Checkpoint() error {
+	if d.failed != nil {
+		return d.failed
+	}
+	if err := d.w.sync(); err != nil {
+		d.failed = walError("sync before checkpoint: %v", err)
+		return d.failed
+	}
+	view := d.st.View()
+	seq := d.w.nextSeq - 1
+	if err := writeCheckpoint(d.dir, d.st, view, d.st.rel.NextMark(), seq, d.opts); err != nil {
+		d.failed = err
+		return err
+	}
+	d.ckptSeq = seq
+	d.recsSinceCkpt = 0
+	if !d.opts.RetainSegments {
+		pruneWAL(d.dir, seq, d.w.name)
+	}
+	return nil
+}
+
+// Close syncs and closes the log. The handle is unusable afterwards.
+func (d *Durable) Close() error {
+	if d.failed != nil {
+		// Still release the file handle.
+		d.w.close()
+		return d.failed
+	}
+	if err := d.w.close(); err != nil {
+		d.failed = walError("close: %v", err)
+		return d.failed
+	}
+	d.failed = ErrDurableClosed
+	return nil
+}
+
+// ---- shared open/replay machinery ----
+
+// openWAL opens or creates the WAL directory and returns the recovered
+// store, the positioned writer, and the manifest's checkpoint seq.
+func openWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, error) {
+	if opts.Store.ApplyXRules && opts.Store.Maintenance == MaintenanceIncremental {
+		// incrementalMode() would silently run recheck; pin the manifest
+		// to what actually executes so reopen validation stays honest.
+		opts.Store.Maintenance = MaintenanceRecheck
+	}
+	manifestPath := filepath.Join(dir, manifestName)
+	if _, err := os.Stat(manifestPath); errors.Is(err, os.ErrNotExist) {
+		return initWAL(dir, opts)
+	} else if err != nil {
+		return nil, nil, 0, walError("stat manifest: %v", err)
+	}
+	return replayWAL(dir, opts)
+}
+
+// initWAL seeds a fresh directory: empty checkpoint, manifest, first
+// segment.
+func initWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, error) {
+	if opts.Scheme == nil {
+		return nil, nil, 0, walError("fresh durable dir %q needs DurableOptions.Scheme and FDs", dir)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, walError("create dir: %v", err)
+	}
+	st := New(opts.Scheme, opts.FDs, opts.Store)
+	if err := writeCheckpoint(dir, st, st.View(), st.rel.NextMark(), 0, opts); err != nil {
+		return nil, nil, 0, err
+	}
+	w := &walWriter{
+		dir:          dir,
+		nextSeq:      1,
+		groupCommit:  opts.GroupCommit,
+		segmentBytes: opts.segmentBytes(),
+		noSync:       opts.NoSync,
+	}
+	if err := w.newSegment(1); err != nil {
+		return nil, nil, 0, walError("create first segment: %v", err)
+	}
+	return st, w, 0, nil
+}
+
+// writeCheckpoint serializes a snapshot (lock-free, from a COW view)
+// into ckpt-<seq>.relio and atomically repoints the manifest at it.
+func writeCheckpoint(dir string, st *Store, view relation.View, watermark int, seq uint64, opts DurableOptions) error {
+	name := ckptName(seq)
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return walError("checkpoint: %v", err)
+	}
+	werr := relio.Write(f, &relio.File{
+		Scheme:   st.scheme,
+		FDs:      st.fds,
+		Relation: view.Materialize(),
+		NextMark: watermark,
+	})
+	if werr == nil && !opts.NoSync {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return walError("checkpoint: %v", werr)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return walError("checkpoint rename: %v", err)
+	}
+	if !opts.NoSync {
+		if err := syncDir(dir); err != nil {
+			return walError("checkpoint dir sync: %v", err)
+		}
+	}
+	m := walManifest{
+		maintenance: opts.Store.Maintenance,
+		xrules:      opts.Store.ApplyXRules,
+		checkpoint:  name,
+		ckptSeq:     seq,
+	}
+	if err := writeManifest(dir, m, opts.NoSync); err != nil {
+		return walError("manifest: %v", err)
+	}
+	return nil
+}
+
+// pruneWAL deletes segments and checkpoints a new checkpoint at ckptSeq
+// has subsumed. A segment is gone once the NEXT segment starts at or
+// before ckptSeq+1 (so every record in it has seq <= ckptSeq); the
+// active segment always stays. Pruning is advisory — failures leave
+// garbage, never lose data — so errors are ignored.
+func pruneWAL(dir string, ckptSeq uint64, activeName string) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return
+	}
+	for i, name := range segs {
+		if name == activeName || i+1 >= len(segs) {
+			break
+		}
+		nextFirst, ok := parseSegName(segs[i+1])
+		if !ok || nextFirst > ckptSeq+1 {
+			break
+		}
+		os.Remove(filepath.Join(dir, name))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if seq, ok := parseCkptName(e.Name()); ok && seq < ckptSeq {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// replayWAL recovers: manifest, checkpoint, then the log suffix.
+func replayWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, nil, 0, walError("read manifest: %v", err)
+	}
+	m, err := parseManifest(string(mb))
+	if err != nil {
+		return nil, nil, 0, walError("%v", err)
+	}
+	if m.maintenance != opts.Store.Maintenance || m.xrules != opts.Store.ApplyXRules {
+		return nil, nil, 0, walError(
+			"log at %q was written under maintenance=%s xrules=%t; refusing to replay under maintenance=%s xrules=%t (op indices are engine-dependent)",
+			dir, m.maintenance, m.xrules, opts.Store.Maintenance, opts.Store.ApplyXRules)
+	}
+
+	ckb, err := os.ReadFile(filepath.Join(dir, m.checkpoint))
+	if err != nil {
+		return nil, nil, 0, walError("read checkpoint %s: %v", m.checkpoint, err)
+	}
+	parsed, err := relio.ParseString(string(ckb))
+	if err != nil {
+		return nil, nil, 0, walError("parse checkpoint %s: %v", m.checkpoint, err)
+	}
+	// Adopt the checkpoint verbatim — it is a fixpoint materialized from
+	// a live store, and replay's op indices depend on its exact tuple
+	// order, which a re-chase could permute.
+	st := New(parsed.Scheme, parsed.FDs, opts.Store)
+	st.rel = parsed.Relation
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, 0, walError("list segments: %v", err)
+	}
+	if len(segs) == 0 {
+		// All segments pruned or never created (a crash between manifest
+		// and first segment); resume at the seq after the checkpoint.
+		w := &walWriter{
+			dir: dir, nextSeq: m.ckptSeq + 1,
+			groupCommit: opts.GroupCommit, segmentBytes: opts.segmentBytes(), noSync: opts.NoSync,
+		}
+		if err := w.newSegment(m.ckptSeq + 1); err != nil {
+			return nil, nil, 0, walError("create segment: %v", err)
+		}
+		w.syncedSeq = m.ckptSeq
+		return st, w, m.ckptSeq, nil
+	}
+
+	firstSeg, _ := parseSegName(segs[0])
+	if firstSeg > m.ckptSeq+1 {
+		return nil, nil, 0, walError("log gap: checkpoint covers seqs <=%d but the oldest segment starts at %d", m.ckptSeq, firstSeg)
+	}
+	expect := firstSeg
+	var lastName string
+	var lastEnd int64
+	for i, name := range segs {
+		first, _ := parseSegName(name)
+		if first != expect {
+			return nil, nil, 0, walError("segment %s starts at seq %d, want %d (missing or reordered segment)", name, first, expect)
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, 0, walError("read segment %s: %v", name, err)
+		}
+		recs, end, scanErr := scanSegment(data)
+		if scanErr != nil {
+			if i != len(segs)-1 {
+				// Every non-final segment was fsync'd at rotation; an
+				// undecodable record there is corruption, not a torn tail.
+				return nil, nil, 0, walError("segment %s: %v", name, scanErr)
+			}
+			if end == 0 && len(recs) == 0 {
+				// Even the magic header is torn (crash during segment
+				// creation); recreate the file below.
+				end = 0
+			}
+			// Torn tail in the active segment: drop everything from the
+			// first invalid byte on. Truncation happens after replay so a
+			// replay failure leaves the log untouched for inspection.
+		}
+		for _, rec := range recs {
+			if rec.seq != expect {
+				return nil, nil, 0, walError("segment %s: record seq %d, want %d (log not contiguous)", name, rec.seq, expect)
+			}
+			expect++
+			if rec.seq <= m.ckptSeq {
+				continue // already inside the checkpoint
+			}
+			if err := replayRecord(st, rec); err != nil {
+				return nil, nil, 0, walError("replay seq %d: %v", rec.seq, err)
+			}
+		}
+		lastName, lastEnd = name, int64(end)
+	}
+
+	// Seal the torn tail (if any) and position the writer at the end of
+	// the final segment.
+	f, err := os.OpenFile(filepath.Join(dir, lastName), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, 0, walError("open active segment: %v", err)
+	}
+	if lastEnd < int64(len(walMagic)) {
+		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+			f.Close()
+			return nil, nil, 0, walError("rewrite segment header: %v", err)
+		}
+		lastEnd = int64(len(walMagic))
+	}
+	if err := f.Truncate(lastEnd); err != nil {
+		f.Close()
+		return nil, nil, 0, walError("truncate torn tail: %v", err)
+	}
+	if !opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, 0, walError("sync active segment: %v", err)
+		}
+	}
+	if _, err := f.Seek(lastEnd, 0); err != nil {
+		f.Close()
+		return nil, nil, 0, walError("seek active segment: %v", err)
+	}
+	w := &walWriter{
+		dir: dir, f: f, name: lastName, size: lastEnd,
+		nextSeq: expect, syncedOff: lastEnd, syncedSeq: expect - 1,
+		groupCommit: opts.GroupCommit, segmentBytes: opts.segmentBytes(), noSync: opts.NoSync,
+	}
+	return st, w, m.ckptSeq, nil
+}
+
+// replayRecord re-executes one logged commit through the store's own
+// commit paths. The hook is not installed yet, so nothing is re-logged.
+func replayRecord(st *Store, rec walRecord) error {
+	// FreshNull calls between commits advanced the allocator without a
+	// record of their own; restore the logged watermark so re-parsed "-"
+	// cells and explicit marks land exactly where they originally did.
+	if rec.preMark > st.rel.NextMark() {
+		st.rel.SetNextMark(rec.preMark)
+	}
+	switch rec.mode {
+	case recPerOp:
+		if len(rec.ops) != 1 {
+			return fmt.Errorf("per-op record carries %d ops", len(rec.ops))
+		}
+		op := rec.ops[0]
+		switch op.kind {
+		case txnInsert:
+			if op.t != nil {
+				return st.Insert(op.t)
+			}
+			return st.InsertRow(op.row...)
+		case txnUpdate:
+			return st.Update(op.ti, op.a, op.v)
+		default:
+			return st.Delete(op.ti)
+		}
+	case recTxn:
+		tx := st.Begin()
+		for i, op := range rec.ops {
+			var err error
+			switch op.kind {
+			case txnInsert:
+				if op.t != nil {
+					err = tx.Insert(op.t)
+				} else {
+					err = tx.InsertRow(op.row...)
+				}
+			case txnUpdate:
+				err = tx.Update(op.ti, op.a, op.v)
+			default:
+				err = tx.Delete(op.ti)
+			}
+			if err != nil {
+				tx.Rollback()
+				return fmt.Errorf("stage op %d: %v", i, err)
+			}
+		}
+		return tx.Commit()
+	}
+	return fmt.Errorf("unknown record mode %d", rec.mode)
+}
+
+// ---- the concurrent durable facade ----
+
+// DurableConcurrent is a Concurrent whose accepted commits are
+// write-ahead logged: many readers and transaction stagers in parallel,
+// writers serialized at commit, one log record per accepted commit
+// (appended under the facade's write lock, so log order IS commit
+// order). Checkpoints capture their snapshot under the write lock —
+// O(rows) header copy — and serialize it outside, so writers never
+// stall for the disk.
+type DurableConcurrent struct {
+	c *Concurrent
+	d *Durable
+}
+
+// OpenDurableConcurrent opens (or recovers) dir like OpenDurable and
+// wraps the store in the RW-locked facade.
+func OpenDurableConcurrent(dir string, opts DurableOptions) (*DurableConcurrent, error) {
+	d, err := OpenDurable(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DurableConcurrent{c: Guard(d.st), d: d}, nil
+}
+
+// Concurrent returns the guarded facade; all reads and mutations go
+// through it (the WAL hook rides along on the inner store, under the
+// facade's write lock).
+func (dc *DurableConcurrent) Concurrent() *Concurrent { return dc.c }
+
+// Err returns the poisoning WAL error, or nil while healthy.
+func (dc *DurableConcurrent) Err() error {
+	dc.c.mu.RLock()
+	defer dc.c.mu.RUnlock()
+	return dc.d.failed
+}
+
+// Sync forces the group-commit window closed under the write lock.
+func (dc *DurableConcurrent) Sync() error {
+	dc.c.mu.Lock()
+	defer dc.c.mu.Unlock()
+	return dc.d.Sync()
+}
+
+// Checkpoint snapshots under the write lock (O(rows) view capture) and
+// serializes the snapshot lock-free, then repoints the manifest.
+// Concurrent writers keep committing — and logging — throughout; the
+// checkpoint simply pins the seq it captured.
+func (dc *DurableConcurrent) Checkpoint() error {
+	dc.c.mu.Lock()
+	if dc.d.failed != nil {
+		err := dc.d.failed
+		dc.c.mu.Unlock()
+		return err
+	}
+	if err := dc.d.w.sync(); err != nil {
+		dc.d.failed = walError("sync before checkpoint: %v", err)
+		dc.c.mu.Unlock()
+		return dc.d.failed
+	}
+	view := dc.d.st.View()
+	watermark := dc.d.st.rel.NextMark()
+	seq := dc.d.w.nextSeq - 1
+	dc.c.mu.Unlock()
+
+	// Lock-free: the view is immutable; writers COW around it.
+	if err := writeCheckpoint(dc.d.dir, dc.d.st, view, watermark, seq, dc.d.opts); err != nil {
+		dc.c.mu.Lock()
+		dc.d.failed = err
+		dc.c.mu.Unlock()
+		return err
+	}
+
+	dc.c.mu.Lock()
+	dc.d.ckptSeq = seq
+	dc.d.recsSinceCkpt = 0
+	activeName := dc.d.w.name
+	dc.c.mu.Unlock()
+	if !dc.d.opts.RetainSegments {
+		pruneWAL(dc.d.dir, seq, activeName)
+	}
+	return nil
+}
+
+// Close syncs and closes the log under the write lock.
+func (dc *DurableConcurrent) Close() error {
+	dc.c.mu.Lock()
+	defer dc.c.mu.Unlock()
+	return dc.d.Close()
+}

@@ -117,6 +117,21 @@ type Store struct {
 	qcache queryCache
 	// mutation counters, exposed for observability and tests.
 	inserts, updates, deletes, rejected int
+	// onCommit, when set, observes every ACCEPTED top-level mutation —
+	// exactly one call per accepted Insert/InsertRow/Update/Delete or
+	// Txn.Commit, with the logical write-set as staged (never the
+	// substituted post-state), the mode it was applied under, and the
+	// fresh-mark allocator watermark as of just before the mutation
+	// (FreshNull advances the allocator without a commit, so replay must
+	// restore the pre-commit watermark before re-parsing "-" cells). The
+	// durability layer (wal.go/recovery.go) hooks it to append one WAL
+	// record per commit; replay re-executes the same ops through the
+	// same commit path, which is deterministic given identical prior
+	// state, engine, and allocator. A hook error propagates to the
+	// mutation's caller AFTER the in-memory state changed — the hook
+	// owner is responsible for fail-stop semantics (Durable poisons
+	// itself so every later mutation errors).
+	onCommit func(mode recMode, preMark int, ops []txnOp) error
 }
 
 // ErrInconsistent is the sentinel every constraint rejection matches:
@@ -170,6 +185,11 @@ func (st *Store) FDs() []fd.FD { return append([]fd.FD(nil), st.fds...) }
 
 // Len returns the number of stored tuples.
 func (st *Store) Len() int { return st.rel.Len() }
+
+// NextMark returns the fresh-mark allocator watermark: the mark the next
+// FreshNull (or "-" cell) would take. Save, checkpoints, and WAL records
+// persist it so a recycled mark can never alias an unrelated unknown.
+func (st *Store) NextMark() int { return st.rel.NextMark() }
 
 // Snapshot returns a deep copy of the stored (minimally incomplete)
 // instance. For read-only iteration prefer View, which is O(1).
@@ -300,14 +320,31 @@ func (st *Store) commit(op string, tentative *relation.Relation) error {
 	return nil
 }
 
+// logCommit forwards an accepted mutation's write-set to the onCommit
+// hook, if any. It runs after the in-memory state changed; callers
+// return its error so a failed append surfaces to the mutating caller.
+func (st *Store) logCommit(mode recMode, preMark int, ops []txnOp) error {
+	if st.onCommit == nil {
+		return nil
+	}
+	return st.onCommit(mode, preMark, ops)
+}
+
 // Insert adds a tuple (validated against the scheme) and re-establishes
 // minimal incompleteness. On contradiction the insert is rejected and the
 // store unchanged.
 func (st *Store) Insert(t relation.Tuple) error {
+	pre := st.rel.NextMark()
+	var err error
 	if st.incrementalMode() {
-		return st.insertIncremental(t, st.rel.NextMark())
+		err = st.insertIncremental(t, pre)
+	} else {
+		err = st.insertRecheck(t)
 	}
-	return st.insertRecheck(t)
+	if err != nil {
+		return err
+	}
+	return st.logCommit(recPerOp, pre, []txnOp{{kind: txnInsert, t: t.Clone()}})
 }
 
 func (st *Store) insertRecheck(t relation.Tuple) error {
@@ -325,24 +362,29 @@ func (st *Store) insertRecheck(t relation.Tuple) error {
 // InsertRow parses and inserts a row of cell strings ("-" fresh null,
 // "-k" marked null, constants otherwise).
 func (st *Store) InsertRow(cells ...string) error {
+	pre := st.rel.NextMark()
 	if st.incrementalMode() {
-		saved := st.rel.NextMark()
 		t, err := st.rel.ParseRow(cells...)
 		if err != nil {
-			st.rel.SetNextMark(saved)
+			st.rel.SetNextMark(pre)
 			return err
 		}
-		return st.insertIncremental(t, saved)
+		if err := st.insertIncremental(t, pre); err != nil {
+			return err
+		}
+	} else {
+		tentative := st.rel.Clone()
+		if err := tentative.InsertRow(cells...); err != nil {
+			return err
+		}
+		if err := st.commit("insert", tentative); err != nil {
+			return err
+		}
+		st.inserts++
 	}
-	tentative := st.rel.Clone()
-	if err := tentative.InsertRow(cells...); err != nil {
-		return err
-	}
-	if err := st.commit("insert", tentative); err != nil {
-		return err
-	}
-	st.inserts++
-	return nil
+	// Log the raw cells, not the parsed tuple: replay re-parses from the
+	// identical allocator state, so "-" cells draw the same fresh marks.
+	return st.logCommit(recPerOp, pre, []txnOp{{kind: txnInsert, row: append([]string(nil), cells...)}})
 }
 
 // Update overwrites one cell and re-establishes minimal incompleteness.
@@ -353,10 +395,17 @@ func (st *Store) Update(ti int, a schema.Attr, v value.V) error {
 	if err := validateUpdate(st.scheme, st.rel.Len(), ti, a, v); err != nil {
 		return err
 	}
+	pre := st.rel.NextMark()
+	var err error
 	if st.incrementalMode() {
-		return st.updateIncremental(ti, a, v)
+		err = st.updateIncremental(ti, a, v)
+	} else {
+		err = st.updateRecheck(ti, a, v)
 	}
-	return st.updateRecheck(ti, a, v)
+	if err != nil {
+		return err
+	}
+	return st.logCommit(recPerOp, pre, []txnOp{{kind: txnUpdate, ti: ti, a: a, v: v}})
 }
 
 // validateUpdate is the structural half of Update, shared with the
@@ -396,16 +445,20 @@ func (st *Store) Delete(ti int) error {
 	if ti < 0 || ti >= st.rel.Len() {
 		return fmt.Errorf("store: delete of tuple %d out of range", ti)
 	}
+	pre := st.rel.NextMark()
 	if st.incrementalMode() {
-		return st.deleteIncremental(ti)
+		if err := st.deleteIncremental(ti); err != nil {
+			return err
+		}
+	} else {
+		tentative := st.rel.Clone()
+		tentative.Delete(ti)
+		if err := st.commit("delete", tentative); err != nil {
+			return err
+		}
+		st.deletes++
 	}
-	tentative := st.rel.Clone()
-	tentative.Delete(ti)
-	if err := st.commit("delete", tentative); err != nil {
-		return err
-	}
-	st.deletes++
-	return nil
+	return st.logCommit(recPerOp, pre, []txnOp{{kind: txnDelete, ti: ti}})
 }
 
 // CheckStrong reports whether the stored instance strongly satisfies the

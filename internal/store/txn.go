@@ -282,10 +282,17 @@ func (tx *Txn) Commit() error {
 	if st.acceptedOps() != tx.baseAccepted {
 		return ErrTxnConflict
 	}
+	pre := st.rel.NextMark()
+	var err error
 	if st.incrementalMode() {
-		return st.commitTxnIncremental(tx.ops)
+		err = st.commitTxnIncremental(tx.ops)
+	} else {
+		err = st.commitTxnRecheck(tx.ops)
 	}
-	return st.commitTxnRecheck(tx.ops)
+	if err != nil {
+		return err
+	}
+	return st.logCommit(recTxn, pre, tx.ops)
 }
 
 // ---- structural application (shared by both engines) ----

@@ -88,6 +88,18 @@ func (o DurableOptions) segmentBytes() int64 {
 	return int64(o.SegmentBytes)
 }
 
+// normalized pins the options to the engine that actually executes:
+// Incremental+ApplyXRules silently runs recheck (incrementalMode()), so
+// the manifest — and the handle's own copy, which later checkpoints
+// pin into new manifests — must say recheck, or a reopen with the very
+// same options would be refused forever.
+func (o DurableOptions) normalized() DurableOptions {
+	if o.Store.ApplyXRules && o.Store.Maintenance == MaintenanceIncremental {
+		o.Store.Maintenance = MaintenanceRecheck
+	}
+	return o
+}
+
 // Durable is a Store whose accepted commits are write-ahead logged and
 // whose state survives process death: OpenDurable(dir, ...) brings back
 // exactly the committed state. It is not safe for concurrent use —
@@ -104,12 +116,21 @@ type Durable struct {
 	recsSinceCkpt int
 	ckptSeq       uint64
 	failed        error
+	// ckptInFlight is set while DurableConcurrent.Checkpoint serializes
+	// a snapshot outside the facade's write lock. Auto-checkpoints (which
+	// run under that lock) skip while it is set, so two checkpoints never
+	// write MANIFEST.tmp concurrently and a finished checkpoint can never
+	// repoint the manifest behind a newer one whose pruneWAL already ran.
+	// Read and written only under the facade's write lock (plain Durable
+	// is single-threaded and never sets it).
+	ckptInFlight bool
 }
 
 // OpenDurable opens (or creates) a durable store in dir. A fresh dir
 // needs opts.Scheme and opts.FDs; a reopen replays checkpoint + log
 // suffix and ignores them.
 func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
+	opts = opts.normalized()
 	st, w, ckptSeq, err := openWAL(dir, opts)
 	if err != nil {
 		return nil, err
@@ -138,10 +159,19 @@ func (d *Durable) logRecord(mode recMode, preMark int, ops []txnOp) error {
 		return d.failed
 	}
 	d.recsSinceCkpt++
-	if d.opts.CheckpointEvery > 0 && d.recsSinceCkpt >= d.opts.CheckpointEvery {
-		if err := d.Checkpoint(); err != nil {
-			return err
+	if d.opts.CheckpointEvery > 0 && d.recsSinceCkpt >= d.opts.CheckpointEvery && !d.ckptInFlight {
+		if err := d.w.sync(); err != nil {
+			// The triggering commit may not be on disk yet; this IS its
+			// error.
+			d.failed = walError("sync before checkpoint: %v", err)
+			return d.failed
 		}
+		// The commit is durable from here on. A failure in the checkpoint
+		// itself poisons the handle (Checkpoint sets d.failed, so every
+		// LATER mutation reports it) but is not this commit's error —
+		// returning it would tell the caller a durably applied commit
+		// failed.
+		d.Checkpoint()
 	}
 	return nil
 }
@@ -242,13 +272,10 @@ func (d *Durable) Close() error {
 // ---- shared open/replay machinery ----
 
 // openWAL opens or creates the WAL directory and returns the recovered
-// store, the positioned writer, and the manifest's checkpoint seq.
+// store, the positioned writer, and the manifest's checkpoint seq. The
+// caller passes opts already normalized() — manifest validation and
+// manifest writes must both see the pinned engine.
 func openWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, error) {
-	if opts.Store.ApplyXRules && opts.Store.Maintenance == MaintenanceIncremental {
-		// incrementalMode() would silently run recheck; pin the manifest
-		// to what actually executes so reopen validation stays honest.
-		opts.Store.Maintenance = MaintenanceRecheck
-	}
 	manifestPath := filepath.Join(dir, manifestName)
 	if _, err := os.Stat(manifestPath); errors.Is(err, os.ErrNotExist) {
 		return initWAL(dir, opts)
@@ -588,7 +615,11 @@ func (dc *DurableConcurrent) Sync() error {
 // Checkpoint snapshots under the write lock (O(rows) view capture) and
 // serializes the snapshot lock-free, then repoints the manifest.
 // Concurrent writers keep committing — and logging — throughout; the
-// checkpoint simply pins the seq it captured.
+// checkpoint simply pins the seq it captured. Checkpoints never
+// overlap: while one is serializing outside the lock, a concurrent
+// Checkpoint call returns nil without doing anything (the in-flight
+// checkpoint covers a seq at most CheckpointEvery-ish older) and
+// auto-checkpoints are skipped.
 func (dc *DurableConcurrent) Checkpoint() error {
 	dc.c.mu.Lock()
 	if dc.d.failed != nil {
@@ -596,25 +627,31 @@ func (dc *DurableConcurrent) Checkpoint() error {
 		dc.c.mu.Unlock()
 		return err
 	}
+	if dc.d.ckptInFlight {
+		dc.c.mu.Unlock()
+		return nil
+	}
 	if err := dc.d.w.sync(); err != nil {
 		dc.d.failed = walError("sync before checkpoint: %v", err)
 		dc.c.mu.Unlock()
 		return dc.d.failed
 	}
+	dc.d.ckptInFlight = true
 	view := dc.d.st.View()
 	watermark := dc.d.st.rel.NextMark()
 	seq := dc.d.w.nextSeq - 1
 	dc.c.mu.Unlock()
 
 	// Lock-free: the view is immutable; writers COW around it.
-	if err := writeCheckpoint(dc.d.dir, dc.d.st, view, watermark, seq, dc.d.opts); err != nil {
-		dc.c.mu.Lock()
+	err := writeCheckpoint(dc.d.dir, dc.d.st, view, watermark, seq, dc.d.opts)
+
+	dc.c.mu.Lock()
+	dc.d.ckptInFlight = false
+	if err != nil {
 		dc.d.failed = err
 		dc.c.mu.Unlock()
 		return err
 	}
-
-	dc.c.mu.Lock()
 	dc.d.ckptSeq = seq
 	dc.d.recsSinceCkpt = 0
 	activeName := dc.d.w.name

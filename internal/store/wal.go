@@ -53,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -253,7 +254,9 @@ func (r *walReader) value() (value.V, error) {
 		if err != nil {
 			return value.V{}, err
 		}
-		if m < 1 || m > 1<<31 {
+		// MaxInt32, not 1<<31: the bound must survive int(m) on 32-bit
+		// platforms without going negative.
+		if m < 1 || m > math.MaxInt32 {
 			return value.V{}, fmt.Errorf("null mark %d out of range", m)
 		}
 		return value.NewNull(int(m)), nil
@@ -309,7 +312,7 @@ func (r *walReader) op() (txnOp, error) {
 		if err != nil {
 			return txnOp{}, err
 		}
-		if ti > 1<<40 || a >= schema.MaxAttrs {
+		if ti > math.MaxInt32 || a >= schema.MaxAttrs {
 			return txnOp{}, fmt.Errorf("update target t%d/attr %d out of range", ti, a)
 		}
 		v, err := r.value()
@@ -322,7 +325,7 @@ func (r *walReader) op() (txnOp, error) {
 		if err != nil {
 			return txnOp{}, err
 		}
-		if ti > 1<<40 {
+		if ti > math.MaxInt32 {
 			return txnOp{}, fmt.Errorf("delete target t%d out of range", ti)
 		}
 		return txnOp{kind: txnDelete, ti: int(ti)}, nil
@@ -358,7 +361,7 @@ func decodeWALPayload(p []byte) (walRecord, error) {
 	if err != nil {
 		return rec, err
 	}
-	if pre < 1 || pre > 1<<31 {
+	if pre < 1 || pre > math.MaxInt32 {
 		return rec, fmt.Errorf("pre-commit watermark %d out of range", pre)
 	}
 	rec.preMark = int(pre)

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"fdnull/internal/relation"
@@ -66,6 +67,10 @@ func TestWALFrameFailsClosed(t *testing.T) {
 	lying := append([]byte{}, good...)
 	lying[0], lying[1], lying[2], lying[3] = 0xff, 0xff, 0xff, 0x7f
 	cases["length-lying"] = lying
+	// Values that would overflow int on a 32-bit platform must be
+	// rejected at the bound, not truncated by the cast.
+	cases["watermark-overflow"] = encodeWALRecord(1, recPerOp, 1<<31, []txnOp{{kind: txnDelete, ti: 3}})
+	cases["target-overflow"] = encodeWALRecord(1, recPerOp, 1, []txnOp{{kind: txnDelete, ti: 1 << 31}})
 	// Valid CRC over a payload whose internal counts lie.
 	for name, data := range cases {
 		if _, _, err := decodeWALFrame(data, 0); err == nil {
@@ -127,6 +132,63 @@ func TestOpenDurableFreshAndReopen(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestOpenDurableXRulesNormalized is the regression test for the
+// normalization bug: Incremental+ApplyXRules silently executes as
+// recheck, and the handle used to keep the UNnormalized options, so the
+// first explicit Checkpoint wrote a manifest (maintenance=incremental
+// xrules=true) that no reopen — which normalizes — could ever match,
+// bricking the directory. The same options must round-trip through any
+// number of checkpoints and reopens.
+func TestOpenDurableXRulesNormalized(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	opts := employeeDurableOpts(MaintenanceIncremental)
+	opts.Store.ApplyXRules = true
+	d, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatalf("fresh open: %v", err)
+	}
+	if err := d.InsertRow("e1", "s1", "d1", "ct1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// A record after the checkpoint, so reopen also exercises replay.
+	if err := d.InsertRow("e2", "-", "d2", "-"); err != nil {
+		t.Fatal(err)
+	}
+	want := d.Store().Snapshot()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := parseManifest(readFileT(t, filepath.Join(dir, manifestName)))
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if m.maintenance != MaintenanceRecheck {
+		t.Fatalf("manifest pins maintenance=%s; want recheck, the engine that actually executes under xrules", m.maintenance)
+	}
+
+	// Reopening with the exact same options the caller used must work...
+	re, err := OpenDurable(dir, DurableOptions{Store: Options{Maintenance: MaintenanceIncremental, ApplyXRules: true}})
+	if err != nil {
+		t.Fatalf("reopen with identical options: %v", err)
+	}
+	if !relation.Equal(re.Store().Snapshot(), want) {
+		t.Fatalf("recovered state diverged:\nwant:\n%s\ngot:\n%s", want, re.Store().Snapshot())
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and so must the normalized spelling of the same engine.
+	re2, err := OpenDurable(dir, DurableOptions{Store: Options{Maintenance: MaintenanceRecheck, ApplyXRules: true}})
+	if err != nil {
+		t.Fatalf("reopen with normalized options: %v", err)
+	}
+	re2.Close()
 }
 
 func TestOpenDurableFreshNeedsScheme(t *testing.T) {
@@ -326,6 +388,46 @@ func TestDurablePoisonsOnWALFailure(t *testing.T) {
 	}
 }
 
+// TestAutoCheckpointFailureDoesNotFailCommit: once a commit is
+// appended and fsync'd, a failure in the auto-checkpoint it happened to
+// trigger is NOT that commit's error — logRecord returns nil, the
+// poisoning is reported by Err() and by every later mutation, and the
+// commit survives recovery.
+func TestAutoCheckpointFailureDoesNotFailCommit(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	opts := employeeDurableOpts(MaintenanceIncremental)
+	opts.CheckpointEvery = 2
+	d, err := OpenDurable(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InsertRow("e1", "s1", "d1", "ct1"); err != nil {
+		t.Fatal(err)
+	}
+	// Break checkpointing only: the segment file stays open and writable,
+	// but writeCheckpoint's temp file lands in a directory that is gone.
+	d.dir = filepath.Join(dir, "missing")
+	if err := d.InsertRow("e2", "s2", "d2", "ct2"); err != nil {
+		t.Fatalf("durably appended commit reported failure because its auto-checkpoint failed: %v", err)
+	}
+	if d.Err() == nil {
+		t.Fatal("handle not poisoned after the checkpoint failure")
+	}
+	if err := d.InsertRow("e3", "s3", "d1", "ct1"); !errors.Is(err, ErrWAL) {
+		t.Fatalf("mutation after poisoning: got %v, want ErrWAL", err)
+	}
+	d.Close()
+	// Both commits are on disk; recovery proves the second one survived.
+	re, err := OpenDurable(dir, DurableOptions{Store: opts.Store})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := re.Store().Len(); got != 2 {
+		t.Fatalf("recovered %d tuples, want 2 (the checkpoint-triggering commit was durable)", got)
+	}
+}
+
 // TestSaveLoadEqualsCheckpointRecovery pins persist.go as the
 // checkpoint oracle: for the same committed state, (a) a Save/Load
 // round-trip and (b) checkpoint-plus-empty-log recovery must agree on
@@ -464,5 +566,75 @@ func TestDurableConcurrentBasics(t *testing.T) {
 	defer re.Close()
 	if !relation.Equal(re.Concurrent().Snapshot().Materialize(), snap.Materialize()) {
 		t.Fatal("concurrent durable recovery diverged")
+	}
+}
+
+// TestDurableConcurrentCheckpointRace hammers explicit Checkpoint calls
+// against writers whose commits keep firing auto-checkpoints
+// (CheckpointEvery). Overlapping checkpoints used to interleave writes
+// to the same MANIFEST.tmp and could repoint the manifest backwards
+// past segments a newer checkpoint had already pruned, making reopen
+// fail with a log gap; checkpoints are now serialized by the in-flight
+// flag. Run under -race.
+func TestDurableConcurrentCheckpointRace(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	opts := employeeDurableOpts(MaintenanceIncremental)
+	opts.CheckpointEvery = 3
+	opts.GroupCommit = 4
+	opts.SegmentBytes = 256 // frequent rotation so pruning has segments to eat
+	dc, err := OpenDurableConcurrent(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dc.Concurrent()
+	emp := opts.Scheme
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				k := g*30 + i
+				row := []string{
+					emp.Domain(0).Values[k%len(emp.Domain(0).Values)], "-",
+					emp.Domain(2).Values[k%len(emp.Domain(2).Values)], "-",
+				}
+				// Constraint rejections are expected (duplicate keys across
+				// goroutines); only a WAL failure is a bug here.
+				if err := c.InsertRow(row...); errors.Is(err, ErrWAL) {
+					t.Errorf("writer %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if err := dc.Checkpoint(); err != nil {
+				t.Errorf("explicit checkpoint %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := dc.Err(); err != nil {
+		t.Fatalf("handle poisoned: %v", err)
+	}
+	if err := dc.Checkpoint(); err != nil {
+		t.Fatalf("final checkpoint: %v", err)
+	}
+	snap := c.Snapshot()
+	if err := dc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurableConcurrent(dir, DurableOptions{Store: opts.Store})
+	if err != nil {
+		t.Fatalf("reopen after checkpoint storm: %v", err)
+	}
+	defer re.Close()
+	if !relation.Equal(re.Concurrent().Snapshot().Materialize(), snap.Materialize()) {
+		t.Fatal("recovery diverged after concurrent checkpoints")
 	}
 }

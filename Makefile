@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query bench-wal smoke-wal smoke-fuzz lint fmt vet clean
+.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query bench-wal smoke-wal bench-faults smoke-faults smoke-fuzz errsweep lint fmt vet clean
 
 all: build test
 
@@ -78,6 +78,20 @@ smoke-wal:
 	$(GO) test -short -run 'TestCrashPointExerciser|TestSaveLoadEqualsCheckpointRecovery' ./internal/store
 	$(GO) test -race -short -run 'TestDurableConcurrentHistoryWithCrashes' ./internal/store
 
+# The fault-injectable I/O layer: E21 measures the iox.FS indirection on
+# the durable commit path (<=5% bar on the nosync pair; the fsync'd pair
+# is reported for context) and proves degraded-mode serving + Recover().
+bench-faults:
+	$(GO) run ./cmd/fdbench -exp E21 -json BENCH_faults.json
+
+# Short-mode fault-injection smoke under the race detector: the
+# fault-at-every-I/O-call sweep (strided), a reduced randomized
+# multi-fault storm, the recovery-path sweep, and the degraded-mode /
+# transient-retry contracts — plus the iox injector's own tests.
+smoke-faults:
+	$(GO) test -race -short -run 'TestFaultAtEveryIOCall|TestRandomizedFaultSchedules|TestReopenFaultSweep|TestStrayTmpPruned|TestDegraded|TestTransientRetryHeals|TestConcurrentHealthAndRecover' ./internal/store
+	$(GO) test -race -short ./internal/iox
+
 # Seed-corpus fuzz smoke: the relio parser, the predicate parser, and
 # the WAL record decoder must survive their corpora (use `go test -fuzz`
 # locally for open-ended exploration).
@@ -85,7 +99,13 @@ smoke-fuzz:
 	$(GO) test -short -run 'Fuzz' ./internal/relio ./internal/query
 	$(GO) test -short -run 'FuzzWAL' ./internal/store
 
-lint: fmt vet
+# errsweep flags discarded error returns of durability-relevant calls
+# (Close/Sync/Rename/Remove/...) on the I/O packages; each deliberate
+# discard must carry an `errcheck:ok <reason>` annotation.
+errsweep:
+	$(GO) run ./cmd/errsweep
+
+lint: fmt vet errsweep
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

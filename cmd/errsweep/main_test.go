@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sweepSource(t *testing.T, src string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return sweepFile(path)
+}
+
+func TestFlagsBareDiscards(t *testing.T) {
+	findings := sweepSource(t, `package p
+func f(c interface{ Close() error; Sync() error }) {
+	c.Close()
+	defer c.Sync()
+	go c.Close()
+}
+`)
+	if len(findings) != 3 {
+		t.Fatalf("want 3 findings (stmt, defer, go), got %d: %v", len(findings), findings)
+	}
+}
+
+func TestAnnotationBlesses(t *testing.T) {
+	findings := sweepSource(t, `package p
+func f(c interface{ Close() error; Remove(string) error }) {
+	c.Close() // errcheck:ok close-after-fsync cannot lose synced data
+	// errcheck:ok advisory cleanup, next line
+	c.Remove("x")
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("annotated discards were flagged: %v", findings)
+	}
+}
+
+func TestAnnotationNeedsReason(t *testing.T) {
+	findings := sweepSource(t, `package p
+func f(c interface{ Close() error }) {
+	c.Close() // errcheck:ok
+}
+`)
+	if len(findings) != 1 {
+		t.Fatalf("a reasonless errcheck:ok must not bless, got %v", findings)
+	}
+}
+
+func TestCheckedAndUnwatchedCallsPass(t *testing.T) {
+	findings := sweepSource(t, `package p
+func f(c interface{ Close() error; Lock() }) error {
+	c.Lock()
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return c.Close()
+}
+`)
+	if len(findings) != 0 {
+		t.Fatalf("checked or unwatched calls were flagged: %v", findings)
+	}
+}
+
+// TestRepoIsClean runs the sweep over the real target packages — the
+// same invocation CI uses — so a new bare discard fails the suite even
+// before CI.
+func TestRepoIsClean(t *testing.T) {
+	for _, dir := range []string{"../../internal/iox", "../../internal/store"} {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || filepath.Ext(name) != ".go" || len(name) > 8 && name[len(name)-8:] == "_test.go" {
+				continue
+			}
+			if f := sweepFile(filepath.Join(dir, name)); len(f) > 0 {
+				t.Errorf("%v", f)
+			}
+		}
+	}
+}

@@ -12,9 +12,10 @@
 // evaluate FDs; E15 always runs both evaluation engines and compares
 // them, E16 does the same for the FD-discovery engines, E17 for the
 // store's incremental vs recheck maintenance engines, E19 for the
-// query planner vs the naive selection scan, and E20 for the durable
-// store's group-commit vs fsync-per-commit write path. -json writes the
-// measurements experiments record (currently E20) as a JSON artifact.
+// query planner vs the naive selection scan, E20 for the durable
+// store's group-commit vs fsync-per-commit write path, and E21 for the
+// fault-injectable I/O layer's indirection cost. -json writes the
+// measurements experiments record (E20, E21) as a JSON artifact.
 package main
 
 import (
@@ -58,6 +59,7 @@ var experiments = []experiment{
 	{"E18", "Transactional batched commit vs per-op commits — agreement and comparative sweep", runE18},
 	{"E19", "Indexed vs naive selection engine — agreement and comparative sweep", runE19},
 	{"E20", "Durable WAL — group commit vs fsync-per-commit, recovery-checked", runE20},
+	{"E21", "Fault-injectable I/O layer — iox indirection cost and degraded-mode serving", runE21},
 }
 
 // benchRecord is one machine-readable measurement; -json writes the
@@ -98,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	benchRecords = nil
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E20) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E21) or 'all'")
 	quick := fs.Bool("quick", false, "smaller sweeps for smoke testing")
 	list := fs.Bool("list", false, "list experiments and exit")
 	engineFlag := fs.String("engine", "indexed", "per-tuple evaluation engine: indexed or naive")

@@ -187,3 +187,41 @@ func TestWALSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultLayerSweep runs E21 in quick mode: both pairs must complete
+// with oracle-identical recovery, the degraded-mode serving check must
+// pass (it asserts unconditionally), and -json must emit all four
+// measurements. The 5% indirection bar is asserted by full runs only.
+func TestFaultLayerSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench_faults.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E21", "-json", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"fsync64/direct-os-baseline", "fsync64/durable-via-iox",
+		"nosync/direct-os-baseline", "nosync/durable-via-iox",
+		"Degraded-mode check", "Recover()",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("-json artifact: %v", err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("-json artifact is not valid JSON: %v", err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("expected 4 records, got %d", len(records))
+	}
+	for _, r := range records {
+		if r["exp"] != "E21" || r["total_ns"].(float64) <= 0 {
+			t.Errorf("malformed record: %v", r)
+		}
+	}
+}

@@ -271,6 +271,14 @@ func replayOpsDurable(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds 
 	if err != nil {
 		return err
 	}
+	if h := d.Health(); h.Degraded {
+		// The state recovered but durability could not be established
+		// (read-only volume, blocked segment): report and refuse — a
+		// replay whose commits cannot reach the disk would lie.
+		printHealth(stdout, h)
+		d.Close() // errcheck:ok the degradation cause below subsumes the close error
+		return fmt.Errorf("durable dir %s opened in degraded read-only mode: %w", dir, h.Err)
+	}
 	fmt.Fprintf(stdout, "\nops replay (%s maintenance, durable dir %s):\n", m, dir)
 	if fresh {
 		seeded := 0
@@ -291,10 +299,21 @@ func replayOpsDurable(stdout io.Writer, script io.Reader, s *fdnull.Scheme, fds 
 			rerr = err
 		}
 	}
+	printHealth(stdout, d.Health())
 	if err := d.Close(); rerr == nil {
 		rerr = err
 	}
 	return rerr
+}
+
+// printHealth renders the one-line durability summary for -dir runs.
+func printHealth(stdout io.Writer, h fdnull.DurableHealth) {
+	fmt.Fprintf(stdout, "  health: mode=%s synced=%d next=%d ckpt=%d syncs=%d retries=%d degradations=%d",
+		h.Mode, h.SyncedSeq, h.NextSeq, h.CheckpointSeq, h.Syncs, h.Retries, h.Degradations)
+	if h.Err != nil {
+		fmt.Fprintf(stdout, " err=%q", h.Err)
+	}
+	fmt.Fprintln(stdout)
 }
 
 // replayOps replays an operation script — per-op mutations and

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -270,7 +272,8 @@ func TestRunOpsReplayDurable(t *testing.T) {
 	if code := run([]string{"-ops", ops1, "-dir", walDir}, strings.NewReader(employeesInput), &out1, &errOut); code != 0 {
 		t.Fatalf("first run: exit %d, stderr: %s", code, errOut.String())
 	}
-	for _, want := range []string{"durable dir", "fresh log: seeded 1 of 1 input rows", "commit     ok"} {
+	for _, want := range []string{"durable dir", "fresh log: seeded 1 of 1 input rows", "commit     ok",
+		"health: mode=healthy"} {
 		if !strings.Contains(out1.String(), want) {
 			t.Errorf("first run missing %q:\n%s", want, out1.String())
 		}
@@ -312,5 +315,67 @@ func TestRunOpsReplayDurable(t *testing.T) {
 	var out4 strings.Builder
 	if code := run([]string{"-dir", walDir}, strings.NewReader(employeesInput), &out4, &errOut); code != 2 {
 		t.Errorf("-dir without -ops: exit %d, want 2", code)
+	}
+}
+
+// TestRunDurableDegradedExit: a directory whose state recovers but
+// whose log cannot accept appends opens degraded — fdcheck must print
+// the health line and exit nonzero instead of pretending to replay.
+func TestRunDurableDegradedExit(t *testing.T) {
+	dir := t.TempDir()
+	walDir := dir + "/wal"
+	ops := dir + "/ops.txt"
+	if err := os.WriteFile(ops, []byte("insert e2 s2 d2 ct2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-ops", ops, "-dir", walDir}, strings.NewReader(employeesInput), &out, &errOut); code != 0 {
+		t.Fatalf("seed run: exit %d, stderr: %s", code, errOut.String())
+	}
+
+	// Remove every segment and squat a directory on the name the next
+	// segment must take (ckptseq+1 from the manifest), so recovery finds
+	// the full state but cannot establish a writer.
+	mb, err := os.ReadFile(walDir + "/MANIFEST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptSeq := -1
+	for _, line := range strings.Split(string(mb), "\n") {
+		if f := strings.Fields(line); len(f) == 2 && f[0] == "ckptseq" {
+			if ckptSeq, err = strconv.Atoi(f[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if ckptSeq < 0 {
+		t.Fatalf("no ckptseq in manifest:\n%s", mb)
+	}
+	entries, err := os.ReadDir(walDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			if err := os.Remove(walDir + "/" + e.Name()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	squat := fmt.Sprintf("%s/wal-%020d.seg", walDir, ckptSeq+1)
+	if err := os.Mkdir(squat, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-ops", ops, "-dir", walDir}, strings.NewReader(employeesInput), &out, &errOut); code != 2 {
+		t.Fatalf("degraded dir: exit %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "health: mode=degraded") {
+		t.Errorf("degraded health line missing:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "degraded") {
+		t.Errorf("degraded diagnostic missing: %s", errOut.String())
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fdnull/internal/chase"
 	"fdnull/internal/discover"
 	"fdnull/internal/fd"
+	"fdnull/internal/iox"
 	"fdnull/internal/query"
 	"fdnull/internal/relation"
 	"fdnull/internal/schema"
@@ -235,6 +236,63 @@ var ErrWAL = store.ErrWAL
 
 // ErrDurableClosed reports an operation on a closed durable handle.
 var ErrDurableClosed = store.ErrDurableClosed
+
+// ErrTransient tags WAL failures whose root cause is transient-class
+// (out of space, interrupted call) — errors.Is(err, ErrTransient)
+// distinguishes "retry may heal this" from a permanent disk fault.
+// Transient faults on whole-rewrite units (segment creation, checkpoint
+// and manifest temp files) are already retried internally with bounded
+// backoff; one that still escapes was retried and kept failing.
+var ErrTransient = store.ErrTransient
+
+// ErrDegraded tags every mutation rejected because the durable handle
+// is in degraded read-only mode: an unrecoverable log failure (a failed
+// fsync on the active segment, say) stops mutations but keeps queries
+// and snapshots serving the in-memory state. The error also wraps the
+// degradation's root cause, which matches ErrWAL. DurableStore.Health
+// reports the state; DurableStore.Recover re-establishes durability
+// once the filesystem heals.
+var ErrDegraded = store.ErrDegraded
+
+// DurableHealth is a point-in-time snapshot of a durable handle's
+// durability state and I/O counters (mode, synced/next/checkpoint seq,
+// fsync/retry/degradation counts, root cause while degraded), as
+// returned by DurableStore.Health and ConcurrentDurableStore.Health.
+type DurableHealth = store.Health
+
+// FS is the filesystem interface all durable I/O goes through
+// (DurableOptions.FS; nil means the production passthrough OSFS).
+// Implementations can interpose fault injection, instrumentation, or an
+// alternative backing store.
+type FS = iox.FS
+
+// OSFS returns the production passthrough filesystem (the default).
+func OSFS() FS { return iox.OS }
+
+// FaultInjectionFS wraps an FS and fails chosen I/O calls
+// deterministically — the 1-based call index selects the site, the
+// Fault the manifestation (error, short write, failed fsync with page
+// drop). Built for crash-consistency test harnesses; see NewFaultFS.
+type FaultInjectionFS = iox.FaultFS
+
+// Fault is one planned injection for FaultInjectionFS: a kind (outright
+// error or short write) and an errno (EIO by default).
+type Fault = iox.Fault
+
+// Fault kinds for FaultInjectionFS plans.
+const (
+	// FaultErr fails the call outright.
+	FaultErr = iox.FaultErr
+	// FaultShortWrite writes half the buffer, then fails.
+	FaultShortWrite = iox.FaultShortWrite
+)
+
+// NewFaultFS wraps inner (nil means OSFS) with a plan mapping 1-based
+// I/O call indices to faults. A nil plan counts calls without injecting
+// — run a workload once to enumerate its fault-injectable sites.
+func NewFaultFS(inner FS, plan map[uint64]Fault) *FaultInjectionFS {
+	return iox.NewFaultFS(inner, plan)
+}
 
 // OpenDurableStore opens (or creates) a durable store in dir. A fresh
 // directory needs opts.Scheme and opts.FDs; reopening replays the

@@ -1,0 +1,324 @@
+package iox
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultKind selects how an injected fault manifests.
+type FaultKind uint8
+
+const (
+	// FaultErr fails the call outright: no bytes are written, no rename
+	// or remove is performed, the error is returned as-is.
+	FaultErr FaultKind = iota
+	// FaultShortWrite writes the first half of the buffer, then fails —
+	// the torn-record case. On calls that are not writes it behaves
+	// like FaultErr.
+	FaultShortWrite
+)
+
+// Fault is one planned injection. Err defaults to EIO (permanent); use
+// syscall.ENOSPC or syscall.EINTR to exercise the transient taxonomy.
+type Fault struct {
+	Kind FaultKind
+	Err  error
+}
+
+func (f Fault) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return syscall.EIO
+}
+
+// FaultFS wraps an inner FS and fails chosen calls deterministically.
+// Every FS and File method call increments one global counter; a plan
+// maps 1-based call indices to faults. Running the same deterministic
+// workload twice produces the same call sequence, so a count pass (nil
+// plan, read Calls afterwards) enumerates every injectable site.
+//
+// Sync faults follow the fsyncgate model: a failed fsync means the
+// kernel may have discarded the dirty pages, so the injector truncates
+// the file back to its last successfully-synced size and poisons the
+// fd — every later write or sync on it keeps failing. A writer that
+// obeys the contract (abandon the fd, reopen, rewrite) never notices;
+// one that retries the same fd is caught by the exerciser.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	calls    uint64
+	plan     map[uint64]Fault
+	injected uint64
+}
+
+// NewFaultFS wraps inner (nil means OS) with the given plan. A nil or
+// empty plan counts calls without injecting — the enumeration pass.
+func NewFaultFS(inner FS, plan map[uint64]Fault) *FaultFS {
+	if inner == nil {
+		inner = OS
+	}
+	return &FaultFS{inner: inner, plan: plan}
+}
+
+// Calls returns how many I/O calls have been observed so far.
+func (ffs *FaultFS) Calls() uint64 {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	return ffs.calls
+}
+
+// Injected returns how many faults have fired.
+func (ffs *FaultFS) Injected() uint64 {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	return ffs.injected
+}
+
+// SetPlan replaces the fault plan; SetPlan(nil) heals the filesystem
+// (already-poisoned fds stay poisoned — a broken fd does not recover
+// because the disk did).
+func (ffs *FaultFS) SetPlan(plan map[uint64]Fault) {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.plan = plan
+}
+
+// step counts one call and reports the fault planned for it, if any.
+func (ffs *FaultFS) step(op, name string) (Fault, error, bool) {
+	ffs.mu.Lock()
+	defer ffs.mu.Unlock()
+	ffs.calls++
+	f, ok := ffs.plan[ffs.calls]
+	if !ok {
+		return Fault{}, nil, false
+	}
+	ffs.injected++
+	return f, fmt.Errorf("iox: injected fault at call %d (%s %s): %w", ffs.calls, op, name, f.err()), true
+}
+
+func (ffs *FaultFS) Open(name string) (File, error) {
+	if _, err, ok := ffs.step("open", name); ok {
+		return nil, err
+	}
+	f, err := ffs.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: ffs, f: f, name: name}, nil
+}
+
+func (ffs *FaultFS) Create(name string) (File, error) {
+	if _, err, ok := ffs.step("create", name); ok {
+		return nil, err
+	}
+	f, err := ffs.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	// A created (or truncated) file starts empty: nothing is durable yet.
+	return &faultFile{fs: ffs, f: f, name: name}, nil
+}
+
+func (ffs *FaultFS) OpenRW(name string) (File, error) {
+	if _, err, ok := ffs.step("openrw", name); ok {
+		return nil, err
+	}
+	f, err := ffs.inner.OpenRW(name)
+	if err != nil {
+		return nil, err
+	}
+	// An existing file's on-disk bytes are assumed durable at open: only
+	// writes made through this fd are at risk from a failed sync.
+	size := int64(0)
+	if fi, serr := ffs.inner.Stat(name); serr == nil {
+		size = fi.Size()
+	}
+	return &faultFile{fs: ffs, f: f, name: name, size: size, synced: size}, nil
+}
+
+func (ffs *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err, ok := ffs.step("rename", oldpath); ok {
+		return err
+	}
+	return ffs.inner.Rename(oldpath, newpath)
+}
+
+func (ffs *FaultFS) Remove(name string) error {
+	if _, err, ok := ffs.step("remove", name); ok {
+		return err
+	}
+	return ffs.inner.Remove(name)
+}
+
+func (ffs *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if _, err, ok := ffs.step("readdir", name); ok {
+		return nil, err
+	}
+	return ffs.inner.ReadDir(name)
+}
+
+func (ffs *FaultFS) ReadFile(name string) ([]byte, error) {
+	if _, err, ok := ffs.step("readfile", name); ok {
+		return nil, err
+	}
+	return ffs.inner.ReadFile(name)
+}
+
+func (ffs *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if _, err, ok := ffs.step("stat", name); ok {
+		return nil, err
+	}
+	return ffs.inner.Stat(name)
+}
+
+func (ffs *FaultFS) MkdirAll(name string, perm os.FileMode) error {
+	if _, err, ok := ffs.step("mkdirall", name); ok {
+		return err
+	}
+	return ffs.inner.MkdirAll(name, perm)
+}
+
+func (ffs *FaultFS) SyncDir(dir string) error {
+	if _, err, ok := ffs.step("syncdir", dir); ok {
+		return err
+	}
+	return ffs.inner.SyncDir(dir)
+}
+
+// faultFile tracks the logical size and the durably-synced prefix of
+// one open file so sync faults can model the fsyncgate page drop.
+type faultFile struct {
+	fs   *FaultFS
+	f    File
+	name string
+
+	pos    int64 // write cursor (os.File semantics: starts at 0)
+	size   int64
+	synced int64 // size at the last successful Sync (or at open)
+	broken error // set after a failed Sync: the fd must not be written again
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fault, ferr, ok := f.fs.step("write", f.name)
+	if f.broken != nil {
+		return 0, f.broken
+	}
+	if ok {
+		if fault.Kind == FaultShortWrite && len(p) > 0 {
+			n, _ := f.f.Write(p[:len(p)/2])
+			f.pos += int64(n)
+			if f.pos > f.size {
+				f.size = f.pos
+			}
+			return n, ferr
+		}
+		return 0, ferr
+	}
+	n, err := f.f.Write(p)
+	f.pos += int64(n)
+	if f.pos > f.size {
+		f.size = f.pos
+	}
+	return n, err
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	fault, ferr, ok := f.fs.step("writeat", f.name)
+	if f.broken != nil {
+		return 0, f.broken
+	}
+	if ok {
+		if fault.Kind == FaultShortWrite && len(p) > 0 {
+			n, _ := f.f.WriteAt(p[:len(p)/2], off)
+			if off+int64(n) > f.size {
+				f.size = off + int64(n)
+			}
+			return n, ferr
+		}
+		return 0, ferr
+	}
+	n, err := f.f.WriteAt(p, off)
+	if off+int64(n) > f.size {
+		f.size = off + int64(n)
+	}
+	return n, err
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if _, err, ok := f.fs.step("readat", f.name); ok {
+		return 0, err
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if _, err, ok := f.fs.step("seek", f.name); ok {
+		return 0, err
+	}
+	pos, err := f.f.Seek(offset, whence)
+	if err == nil {
+		f.pos = pos
+	}
+	return pos, err
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if _, err, ok := f.fs.step("truncate", f.name); ok {
+		return err
+	}
+	if f.broken != nil {
+		return f.broken
+	}
+	if err := f.f.Truncate(size); err != nil {
+		return err
+	}
+	f.size = size
+	if f.synced > size {
+		f.synced = size
+	}
+	return nil
+}
+
+// Sync applies the fsyncgate model on an injected fault: the dirty
+// (unsynced) suffix is dropped from the underlying file — as if the
+// kernel discarded the pages — and the fd is poisoned so retrying it
+// keeps failing. A writer must abandon the fd and rewrite through a
+// fresh one; data written since the last good sync is gone.
+func (f *faultFile) Sync() error {
+	_, ferr, ok := f.fs.step("sync", f.name)
+	if f.broken != nil {
+		return f.broken
+	}
+	if ok {
+		if f.synced < f.size {
+			// Model the page-cache drop with a real truncate so a later
+			// reopen observes exactly what a post-crash disk would hold.
+			if terr := f.f.Truncate(f.synced); terr == nil {
+				f.size = f.synced
+			}
+		}
+		f.broken = ferr
+		return ferr
+	}
+	if err := f.f.Sync(); err != nil {
+		f.broken = err
+		return err
+	}
+	f.synced = f.size
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	_, ferr, ok := f.fs.step("close", f.name)
+	// Always release the real fd — hundreds of exerciser runs must not
+	// leak descriptors.
+	cerr := f.f.Close()
+	if ok {
+		return ferr
+	}
+	return cerr
+}

@@ -1,0 +1,111 @@
+// Package iox is the narrow waist between the durable store and the
+// operating system: every byte the WAL, checkpoint, and manifest code
+// reads or writes goes through the FS interface. Production uses OS, a
+// thin passthrough to package os; tests use FaultFS (fault.go), a
+// deterministic injector that fails the Nth I/O call with a chosen
+// fault so the fault-schedule exerciser can prove that no disk-error
+// schedule loses acknowledged-durable data.
+//
+// The interface is deliberately small — exactly the calls the store
+// makes, nothing speculative — so a fault plan over "call N" is
+// meaningful and exhaustive: counting a history's calls and then
+// injecting at every index covers every I/O the store can perform.
+package iox
+
+import (
+	"errors"
+	"io"
+	"os"
+	"syscall"
+)
+
+// File is an open file the store writes or reads. *os.File satisfies it
+// directly.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	// WriteAt writes at an absolute offset (segment header repair).
+	WriteAt(p []byte, off int64) (int, error)
+	// Seek positions the write cursor (resuming an existing segment).
+	Seek(offset int64, whence int) (int64, error)
+	// Truncate cuts the file to size (sealing a torn tail).
+	Truncate(size int64) error
+	// Sync flushes to stable storage. After a FAILED Sync the durable
+	// state of the file is unknown (the kernel may have dropped the
+	// dirty pages and cleared the error — the "fsyncgate" semantics):
+	// the caller must not retry Sync on the same fd, and must treat
+	// everything written since the last successful Sync as lost.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem the durable store performs all I/O through.
+type FS interface {
+	// Open opens an existing file read-only.
+	Open(name string) (File, error)
+	// Create opens name read-write, creating or truncating it.
+	Create(name string) (File, error)
+	// OpenRW opens an existing file read-write without truncating
+	// (resuming the active WAL segment).
+	OpenRW(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (os.FileInfo, error)
+	MkdirAll(name string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so the creations and renames inside it
+	// are durable, not just the file contents.
+	SyncDir(dir string) error
+}
+
+// OS is the production filesystem: a thin passthrough to package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenRW(name string) (File, error) {
+	return os.OpenFile(name, os.O_RDWR, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+func (osFS) ReadFile(name string) ([]byte, error)       { return os.ReadFile(name) }
+func (osFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+
+func (osFS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		// A close error on a read-only directory fd after a successful
+		// fsync cannot un-sync the directory; still, nothing is lost by
+		// reporting it.
+		err = cerr
+	}
+	return err
+}
+
+// Transient reports whether err is a transient-class I/O failure — one
+// a caller may heal by retrying the whole operation with fresh file
+// descriptors (out-of-space and interrupted-call errnos). Permanent
+// faults (EIO, EBADF, a closed file) are not transient: retrying cannot
+// help, and pretending otherwise only delays failing closed.
+func Transient(err error) bool {
+	return errors.Is(err, syscall.ENOSPC) ||
+		errors.Is(err, syscall.EDQUOT) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN)
+}

@@ -1,0 +1,182 @@
+package iox
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("syncdir: %v", err)
+	}
+	b, err := OS.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("readfile: %q, %v", b, err)
+	}
+	if err := OS.Rename(path, path+"2"); err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	g, err := OS.OpenRW(path + "2")
+	if err != nil {
+		t.Fatalf("openrw: %v", err)
+	}
+	if _, err := g.Seek(0, 2); err != nil {
+		t.Fatalf("seek: %v", err)
+	}
+	if _, err := g.Write([]byte("!")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := g.Truncate(5); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if b, _ := OS.ReadFile(path + "2"); string(b) != "hello" {
+		t.Fatalf("after append+truncate: %q", b)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if !Transient(syscall.ENOSPC) || !Transient(syscall.EINTR) || !Transient(syscall.EAGAIN) {
+		t.Fatal("ENOSPC/EINTR/EAGAIN must classify transient")
+	}
+	if Transient(syscall.EIO) || Transient(os.ErrClosed) || Transient(errors.New("boom")) {
+		t.Fatal("EIO/closed/unknown must classify permanent")
+	}
+	// Classification must survive wrapping — callers see wrapped chains.
+	wrapped := os.NewSyscallError("write", syscall.ENOSPC)
+	if !Transient(wrapped) {
+		t.Fatal("wrapped ENOSPC must classify transient")
+	}
+}
+
+func TestFaultFSCountsAndInjects(t *testing.T) {
+	dir := t.TempDir()
+	run := func(ffs *FaultFS) error {
+		f, err := ffs.Create(filepath.Join(dir, "f"))
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write([]byte("abcd")); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	count := NewFaultFS(OS, nil)
+	if err := run(count); err != nil {
+		t.Fatalf("count pass: %v", err)
+	}
+	n := count.Calls()
+	if n != 4 { // create, write, sync, close
+		t.Fatalf("counted %d calls, want 4", n)
+	}
+	// Injecting at every call site must fail the run with the planned errno.
+	for i := uint64(1); i <= n; i++ {
+		ffs := NewFaultFS(OS, map[uint64]Fault{i: {Err: syscall.ENOSPC}})
+		err := run(ffs)
+		if err == nil {
+			t.Fatalf("fault at call %d: run succeeded", i)
+		}
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("fault at call %d: error %v does not match ENOSPC", i, err)
+		}
+		if ffs.Injected() != 1 {
+			t.Fatalf("fault at call %d: injected %d times", i, ffs.Injected())
+		}
+	}
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	ffs := NewFaultFS(OS, map[uint64]Fault{2: {Kind: FaultShortWrite, Err: syscall.ENOSPC}})
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if err == nil || n != 4 {
+		t.Fatalf("short write: n=%d err=%v, want 4 bytes and an error", n, err)
+	}
+	f.Close()
+	if b, _ := os.ReadFile(path); string(b) != "abcd" {
+		t.Fatalf("on-disk bytes %q, want the torn half", b)
+	}
+}
+
+// TestFaultFSFsyncgate proves the fsyncgate model: a failed Sync drops
+// the unsynced suffix from the file and poisons the fd, so a writer
+// retrying the same descriptor keeps failing and the on-disk state is
+// exactly the last successfully-synced prefix.
+func TestFaultFSFsyncgate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	ffs := NewFaultFS(OS, map[uint64]Fault{5: {Err: syscall.EIO}}) // the 2nd sync
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Write([]byte("durable|")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err != nil { // call 3: survives
+		t.Fatalf("first sync: %v", err)
+	}
+	if _, err := f.Write([]byte("doomed")); err != nil { // call 4
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); err == nil { // call 5: injected
+		t.Fatal("second sync should fail")
+	}
+	// fsyncgate: retrying the same fd must keep failing, for writes too.
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync retry on a poisoned fd should fail")
+	}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write on a poisoned fd should fail")
+	}
+	f.Close()
+	if b, _ := os.ReadFile(path); string(b) != "durable|" {
+		t.Fatalf("on-disk bytes %q, want only the synced prefix", b)
+	}
+}
+
+func TestFaultFSHealing(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS, map[uint64]Fault{1: {Err: syscall.EIO}})
+	if _, err := ffs.Create(filepath.Join(dir, "f")); err == nil {
+		t.Fatal("planned fault did not fire")
+	}
+	ffs.SetPlan(nil)
+	f, err := ffs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatalf("healed create: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

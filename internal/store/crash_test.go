@@ -30,6 +30,7 @@ import (
 	"sync"
 	"testing"
 
+	"fdnull/internal/iox"
 	"fdnull/internal/relation"
 	"fdnull/internal/schema"
 	"fdnull/internal/value"
@@ -70,7 +71,7 @@ type segImage struct {
 // closed cleanly, so every segment must scan without error.
 func loadSegImages(t *testing.T, dir string) []segImage {
 	t.Helper()
-	names, err := listSegments(dir)
+	names, err := listSegments(iox.OS, dir)
 	if err != nil {
 		t.Fatalf("list segments: %v", err)
 	}

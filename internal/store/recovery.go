@@ -1,23 +1,27 @@
 // recovery.go is the replay half of the durable store (wal.go is the
-// on-disk half): OpenDurable reconstructs the exact committed state
-// from the manifest's checkpoint plus the log suffix, and the Durable /
-// DurableConcurrent handles keep it current by appending one record per
-// accepted commit.
+// on-disk half, faults.go the robustness layer): OpenDurable
+// reconstructs the exact committed state from the manifest's checkpoint
+// plus the log suffix, and the Durable / DurableConcurrent handles keep
+// it current by appending one record per accepted commit.
 //
 // # Recovery
 //
 //  1. Read MANIFEST; refuse to open under a different maintenance
 //     engine or X-rules setting than the log was produced under
 //     (replay is engine-pinned — op indices track engine-dependent
-//     tuple order).
+//     tuple order). Stray *.tmp leftovers from a crash mid-rename are
+//     pruned, never interpreted.
 //  2. Load the checkpoint relio file VERBATIM — no re-chase. The
 //     checkpoint was materialized from a live store, so it is already a
 //     chase fixpoint, and re-chasing could reorder tuples, invalidating
 //     the op indices of every record logged after it.
-//  3. Scan the segments in order. Any undecodable record in an fsync'd
-//     (non-final) segment fails closed; in the final segment it is a
-//     torn tail — the file is truncated at the last valid record and
-//     appending resumes there.
+//  3. Scan the segments in order. Any undecodable record NOT subsumed
+//     by the checkpoint fails closed if it is outside the final
+//     segment; in the final segment it is a torn tail — the file is
+//     truncated at the last valid record and appending resumes there.
+//     Gaps and tears entirely at or below the checkpoint seq are
+//     tolerated: a degraded-mode Recover() abandons its old (possibly
+//     torn) active segment and covers it with a fresh checkpoint.
 //  4. Replay each record with seq > ckptseq through the store's own
 //     commit paths: restore the logged pre-commit allocator watermark,
 //     then re-execute the write-set (per-op records through the
@@ -25,11 +29,18 @@
 //     Begin/stage/Commit). Both engines are deterministic functions of
 //     (state, allocator, write-set), so the recovered instance is
 //     bit-identical to the pre-crash committed state — crash_test.go
-//     proves it at every record boundary.
+//     proves it at every record boundary, fault_test.go under every
+//     single-fault I/O schedule.
 //
 // A record that fails to re-apply (it was accepted when logged) means
 // the log and checkpoint disagree — tampering or a foreign checkpoint —
 // and recovery fails closed rather than guessing.
+//
+// If the state is fully recovered but the writer cannot be established
+// (the active segment cannot be sealed or created — say the volume
+// remounted read-only), the open SUCCEEDS in degraded read-only mode
+// instead of failing: queries serve, mutations return ErrDegraded, and
+// Recover() re-establishes durability once the filesystem heals.
 package store
 
 import (
@@ -37,8 +48,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"fdnull/internal/fd"
+	"fdnull/internal/iox"
 	"fdnull/internal/relation"
 	"fdnull/internal/relio"
 	"fdnull/internal/schema"
@@ -79,6 +93,22 @@ type DurableOptions struct {
 	// NoSync skips every fsync (benchmarks measuring the fsync cost
 	// itself; no durability claim survives it).
 	NoSync bool
+	// FS is the filesystem all durable I/O goes through; nil means the
+	// production passthrough (iox.OS). Tests install iox.FaultFS to
+	// inject deterministic disk-fault schedules.
+	FS iox.FS
+	// RetryAttempts bounds how many times a TRANSIENT fault (iox
+	// .Transient: ENOSPC/EINTR class) is retried on operations that are
+	// safe to rerun whole — fresh-fd segment creation, checkpoint and
+	// manifest temp writes. 0 means the default (3); negative disables
+	// retries. A failed fsync on a live fd is never retried regardless.
+	RetryAttempts int
+	// RetryBackoff is the first retry's delay, doubling per retry
+	// (default 500µs, capped near 64ms).
+	RetryBackoff time.Duration
+	// RetrySleep replaces time.Sleep between retries (deterministic
+	// tests); nil means time.Sleep.
+	RetrySleep func(time.Duration)
 }
 
 func (o DurableOptions) segmentBytes() int64 {
@@ -104,18 +134,28 @@ func (o DurableOptions) normalized() DurableOptions {
 // whose state survives process death: OpenDurable(dir, ...) brings back
 // exactly the committed state. It is not safe for concurrent use —
 // OpenDurableConcurrent wraps the same machinery in the RW-locked
-// facade. Any WAL failure poisons the handle: the failed commit IS in
-// memory but may not be on disk, so every later mutation returns the
-// poisoning error and the only honest move is to close and re-open.
+// facade.
+//
+// An unrecoverable WAL failure does not kill the handle: it DEGRADES it
+// to read-only (faults.go). The failed commit is in memory but may not
+// be on disk; queries and snapshots keep serving, every later mutation
+// returns ErrDegraded wrapping the root cause, Health() reports the
+// state, and Recover() re-establishes durability with a fresh
+// checkpoint + segment.
 type Durable struct {
 	st   *Store
 	w    *walWriter
 	dir  string
 	opts DurableOptions
+	env  *ioEnv
 	// recsSinceCkpt drives CheckpointEvery.
 	recsSinceCkpt int
 	ckptSeq       uint64
-	failed        error
+	// mode/cause implement degraded read-only mode (faults.go): the
+	// zero mode is healthy; degrade() moves to modeDegraded with the
+	// first root cause; Close moves to modeClosed.
+	mode  uint8
+	cause error
 	// ckptInFlight is set while DurableConcurrent.Checkpoint serializes
 	// a snapshot outside the facade's write lock. Auto-checkpoints (which
 	// run under that lock) skip while it is set, so two checkpoints never
@@ -128,88 +168,119 @@ type Durable struct {
 
 // OpenDurable opens (or creates) a durable store in dir. A fresh dir
 // needs opts.Scheme and opts.FDs; a reopen replays checkpoint + log
-// suffix and ignores them.
+// suffix and ignores them. When the state is fully recovered but a
+// writable segment cannot be established, the handle opens in degraded
+// read-only mode instead of failing (check Health().Degraded).
 func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 	opts = opts.normalized()
-	st, w, ckptSeq, err := openWAL(dir, opts)
+	env := newIOEnv(opts)
+	rec, err := openWAL(env, dir, opts)
 	if err != nil {
 		return nil, err
 	}
-	d := &Durable{st: st, w: w, dir: dir, opts: opts, ckptSeq: ckptSeq}
-	st.onCommit = d.logRecord
+	d := &Durable{st: rec.st, w: rec.w, dir: dir, opts: opts, env: env, ckptSeq: rec.ckptSeq}
+	if rec.degraded != nil {
+		d.mode = modeDegraded
+		d.cause = rec.degraded
+		env.degradations++
+	}
+	d.st.onCommit = d.logRecord
+	d.st.preCommit = d.gate
 	return d, nil
 }
 
 // Store returns the wrapped store for reads (Query, View, Snapshot,
 // CheckWeak, ...). Mutations MUST go through the Durable handle — the
-// wrapped store's mutators also work (the hook is installed), but only
-// the handle's methods observe poisoning.
+// wrapped store's mutators also work (both hooks are installed), and
+// the preCommit gate rejects them once the handle is degraded or
+// closed, before any in-memory state changes.
 func (d *Durable) Store() *Store { return d.st }
 
-// Err returns the poisoning WAL error, or nil while the handle is
-// healthy.
-func (d *Durable) Err() error { return d.failed }
+// Err returns the degradation root cause, ErrDurableClosed after Close,
+// or nil while the handle is healthy.
+func (d *Durable) Err() error {
+	switch d.mode {
+	case modeDegraded:
+		return d.cause
+	case modeClosed:
+		return ErrDurableClosed
+	}
+	return nil
+}
 
 func (d *Durable) logRecord(mode recMode, preMark int, ops []txnOp) error {
-	if d.failed != nil {
-		return d.failed
+	if err := d.gate(); err != nil {
+		return err
 	}
 	if _, err := d.w.append(mode, preMark, ops); err != nil {
-		d.failed = walError("append: %v", err)
-		return d.failed
+		return d.degrade(walFail(err, "append"))
+	}
+	if d.w.needsRotation() {
+		// Seal the active segment first: the fsync covers this record if
+		// it is still inside the group-commit window, so a seal failure
+		// IS the commit's error.
+		if err := d.w.sync(); err != nil {
+			return d.degrade(walFail(err, "sync at rotation"))
+		}
+		// The record is durable from here on; a failure starting the next
+		// segment breaks the writer (degrade) but must not be reported as
+		// this commit's failure.
+		if err := d.w.rotate(); err != nil {
+			d.degrade(walFail(err, "rotate segment"))
+			return nil
+		}
 	}
 	d.recsSinceCkpt++
 	if d.opts.CheckpointEvery > 0 && d.recsSinceCkpt >= d.opts.CheckpointEvery && !d.ckptInFlight {
 		if err := d.w.sync(); err != nil {
 			// The triggering commit may not be on disk yet; this IS its
 			// error.
-			d.failed = walError("sync before checkpoint: %v", err)
-			return d.failed
+			return d.degrade(walFail(err, "sync before checkpoint"))
 		}
 		// The commit is durable from here on. A failure in the checkpoint
-		// itself poisons the handle (Checkpoint sets d.failed, so every
-		// LATER mutation reports it) but is not this commit's error —
-		// returning it would tell the caller a durably applied commit
-		// failed.
-		d.Checkpoint()
+		// itself degrades the handle (Checkpoint does that, so every LATER
+		// mutation reports it) but is not this commit's error — returning
+		// it would tell the caller a durably applied commit failed.
+		d.Checkpoint() // errcheck:ok a checkpoint failure degrades the handle itself; not this commit's error
 	}
 	return nil
 }
 
 // Insert logs-then-confirms a tuple insert; see Store.Insert.
 func (d *Durable) Insert(t relation.Tuple) error {
-	if d.failed != nil {
-		return d.failed
+	if err := d.gate(); err != nil {
+		return err
 	}
 	return d.st.Insert(t)
 }
 
 // InsertRow inserts a row of cell strings durably; see Store.InsertRow.
 func (d *Durable) InsertRow(cells ...string) error {
-	if d.failed != nil {
-		return d.failed
+	if err := d.gate(); err != nil {
+		return err
 	}
 	return d.st.InsertRow(cells...)
 }
 
 // Update overwrites one cell durably; see Store.Update.
 func (d *Durable) Update(ti int, a schema.Attr, v value.V) error {
-	if d.failed != nil {
-		return d.failed
+	if err := d.gate(); err != nil {
+		return err
 	}
 	return d.st.Update(ti, a, v)
 }
 
 // Delete removes a tuple durably; see Store.Delete.
 func (d *Durable) Delete(ti int) error {
-	if d.failed != nil {
-		return d.failed
+	if err := d.gate(); err != nil {
+		return err
 	}
 	return d.st.Delete(ti)
 }
 
 // Begin starts a transaction whose Commit appends one log record for
-// the whole write-set.
+// the whole write-set. On a degraded handle staging works but Commit is
+// rejected by the preCommit gate before any state changes.
 func (d *Durable) Begin() *Txn {
 	return d.st.Begin()
 }
@@ -217,12 +288,11 @@ func (d *Durable) Begin() *Txn {
 // Sync forces every appended record to disk, ending the group-commit
 // window early.
 func (d *Durable) Sync() error {
-	if d.failed != nil {
-		return d.failed
+	if err := d.gate(); err != nil {
+		return err
 	}
 	if err := d.w.sync(); err != nil {
-		d.failed = walError("sync: %v", err)
-		return d.failed
+		return d.degrade(walFail(err, "sync"))
 	}
 	return nil
 }
@@ -233,72 +303,112 @@ func (d *Durable) Sync() error {
 // copy-on-write view, so even under the concurrent facade writers never
 // stall for the serialization.
 func (d *Durable) Checkpoint() error {
-	if d.failed != nil {
-		return d.failed
+	if err := d.gate(); err != nil {
+		return err
 	}
 	if err := d.w.sync(); err != nil {
-		d.failed = walError("sync before checkpoint: %v", err)
-		return d.failed
+		return d.degrade(walFail(err, "sync before checkpoint"))
 	}
 	view := d.st.View()
 	seq := d.w.nextSeq - 1
-	if err := writeCheckpoint(d.dir, d.st, view, d.st.rel.NextMark(), seq, d.opts); err != nil {
-		d.failed = err
+	if err := writeCheckpoint(d.env, d.dir, d.st, view, d.st.rel.NextMark(), seq, d.opts); err != nil {
+		d.degrade(err)
 		return err
 	}
 	d.ckptSeq = seq
 	d.recsSinceCkpt = 0
 	if !d.opts.RetainSegments {
-		pruneWAL(d.dir, seq, d.w.name)
+		pruneWAL(d.env.fs, d.dir, seq, d.w.name)
 	}
 	return nil
 }
 
-// Close syncs and closes the log. The handle is unusable afterwards.
+// Close syncs and closes the log. The handle is unusable afterwards
+// (mutations return ErrDurableClosed). Closing a DEGRADED handle never
+// touches the abandoned fd's durability (fsyncgate): it just releases
+// the descriptor and returns the degradation cause.
 func (d *Durable) Close() error {
-	if d.failed != nil {
-		// Still release the file handle.
-		d.w.close()
-		return d.failed
+	switch d.mode {
+	case modeClosed:
+		return ErrDurableClosed
+	case modeDegraded:
+		if d.w.f != nil {
+			d.w.f.Close() // errcheck:ok abandoned post-fault fd; syncing it is forbidden, closing it is best-effort
+			d.w.f = nil
+		}
+		cause := d.cause
+		d.mode = modeClosed
+		return cause
 	}
 	if err := d.w.close(); err != nil {
-		d.failed = walError("close: %v", err)
-		return d.failed
+		// The final sync (or close) failed: the unsynced suffix may be
+		// gone. Degrade rather than close, so the caller can Recover()
+		// and retry — or Close again to give up.
+		return d.degrade(walFail(err, "close"))
 	}
-	d.failed = ErrDurableClosed
+	d.mode = modeClosed
 	return nil
 }
 
 // ---- shared open/replay machinery ----
 
-// openWAL opens or creates the WAL directory and returns the recovered
-// store, the positioned writer, and the manifest's checkpoint seq. The
-// caller passes opts already normalized() — manifest validation and
-// manifest writes must both see the pinned engine.
-func openWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, error) {
+// recovered is openWAL's result: the reconstructed store, the writer
+// (fileless when degraded != nil), the manifest's checkpoint seq, and —
+// when the state was recovered but durability could not be established
+// — the cause the handle starts degraded with.
+type recovered struct {
+	st       *Store
+	w        *walWriter
+	ckptSeq  uint64
+	degraded error
+}
+
+// openWAL opens or creates the WAL directory. The caller passes opts
+// already normalized() — manifest validation and manifest writes must
+// both see the pinned engine.
+func openWAL(env *ioEnv, dir string, opts DurableOptions) (recovered, error) {
 	manifestPath := filepath.Join(dir, manifestName)
-	if _, err := os.Stat(manifestPath); errors.Is(err, os.ErrNotExist) {
-		return initWAL(dir, opts)
+	if _, err := env.fs.Stat(manifestPath); errors.Is(err, os.ErrNotExist) {
+		return initWAL(env, dir, opts)
 	} else if err != nil {
-		return nil, nil, 0, walError("stat manifest: %v", err)
+		return recovered{}, walFail(err, "stat manifest")
 	}
-	return replayWAL(dir, opts)
+	pruneStrayTmp(env.fs, dir)
+	return replayWAL(env, dir, opts)
+}
+
+// pruneStrayTmp removes leftover "*.tmp" files — a crash between
+// writing MANIFEST.tmp / a checkpoint temp and its rename leaves one
+// behind. A temp file is by construction never referenced by the
+// manifest, so removal can never lose state; failures are advisory
+// (every scan ignores the *.tmp suffix anyway).
+func pruneStrayTmp(fs iox.FS, dir string) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			fs.Remove(filepath.Join(dir, e.Name())) // errcheck:ok advisory cleanup of unreferenced temp files
+		}
+	}
 }
 
 // initWAL seeds a fresh directory: empty checkpoint, manifest, first
 // segment.
-func initWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, error) {
+func initWAL(env *ioEnv, dir string, opts DurableOptions) (recovered, error) {
 	if opts.Scheme == nil {
-		return nil, nil, 0, walError("fresh durable dir %q needs DurableOptions.Scheme and FDs", dir)
+		return recovered{}, walError("fresh durable dir %q needs DurableOptions.Scheme and FDs", dir)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, 0, walError("create dir: %v", err)
+	if err := env.retry(func() error { return env.fs.MkdirAll(dir, 0o755) }); err != nil {
+		return recovered{}, walFail(err, "create dir")
 	}
 	st := New(opts.Scheme, opts.FDs, opts.Store)
-	if err := writeCheckpoint(dir, st, st.View(), st.rel.NextMark(), 0, opts); err != nil {
-		return nil, nil, 0, err
+	if err := writeCheckpoint(env, dir, st, st.View(), st.rel.NextMark(), 0, opts); err != nil {
+		return recovered{}, err
 	}
 	w := &walWriter{
+		env:          env,
 		dir:          dir,
 		nextSeq:      1,
 		groupCommit:  opts.GroupCommit,
@@ -306,43 +416,59 @@ func initWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, error
 		noSync:       opts.NoSync,
 	}
 	if err := w.newSegment(1); err != nil {
-		return nil, nil, 0, walError("create first segment: %v", err)
+		return recovered{}, walFail(err, "create first segment")
 	}
-	return st, w, 0, nil
+	return recovered{st: st, w: w}, nil
 }
 
 // writeCheckpoint serializes a snapshot (lock-free, from a COW view)
 // into ckpt-<seq>.relio and atomically repoints the manifest at it.
-func writeCheckpoint(dir string, st *Store, view relation.View, watermark int, seq uint64, opts DurableOptions) error {
+// The checkpoint-file replacement and the manifest replacement are each
+// one transient-retry unit: every attempt rewrites its temp file
+// through fresh fds, so no failed fsync is ever retried on a live fd.
+func writeCheckpoint(env *ioEnv, dir string, st *Store, view relation.View, watermark int, seq uint64, opts DurableOptions) error {
 	name := ckptName(seq)
 	tmp := filepath.Join(dir, name+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return walError("checkpoint: %v", err)
-	}
-	werr := relio.Write(f, &relio.File{
+	img := &relio.File{
 		Scheme:   st.scheme,
 		FDs:      st.fds,
 		Relation: view.Materialize(),
 		NextMark: watermark,
-	})
-	if werr == nil && !opts.NoSync {
-		werr = f.Sync()
 	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp)
-		return walError("checkpoint: %v", werr)
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		return walError("checkpoint rename: %v", err)
-	}
-	if !opts.NoSync {
-		if err := syncDir(dir); err != nil {
-			return walError("checkpoint dir sync: %v", err)
+	err := env.retry(func() error {
+		f, err := env.fs.Create(tmp)
+		if err != nil {
+			return err
 		}
+		ok := false
+		defer func() {
+			if !ok {
+				f.Close()          // errcheck:ok failed attempt; the fd is abandoned either way
+				env.fs.Remove(tmp) // errcheck:ok best-effort cleanup; open() prunes stray *.tmp too
+			}
+		}()
+		if err := relio.Write(f, img); err != nil {
+			return err
+		}
+		if !opts.NoSync {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := env.fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+			return err
+		}
+		ok = true
+		if opts.NoSync {
+			return nil
+		}
+		return env.fs.SyncDir(dir)
+	})
+	if err != nil {
+		return walFail(err, "checkpoint %s", name)
 	}
 	m := walManifest{
 		maintenance: opts.Store.Maintenance,
@@ -350,8 +476,8 @@ func writeCheckpoint(dir string, st *Store, view relation.View, watermark int, s
 		checkpoint:  name,
 		ckptSeq:     seq,
 	}
-	if err := writeManifest(dir, m, opts.NoSync); err != nil {
-		return walError("manifest: %v", err)
+	if err := writeManifest(env, dir, m, opts.NoSync); err != nil {
+		return walFail(err, "manifest")
 	}
 	return nil
 }
@@ -361,8 +487,8 @@ func writeCheckpoint(dir string, st *Store, view relation.View, watermark int, s
 // before ckptSeq+1 (so every record in it has seq <= ckptSeq); the
 // active segment always stays. Pruning is advisory — failures leave
 // garbage, never lose data — so errors are ignored.
-func pruneWAL(dir string, ckptSeq uint64, activeName string) {
-	segs, err := listSegments(dir)
+func pruneWAL(fs iox.FS, dir string, ckptSeq uint64, activeName string) {
+	segs, err := listSegments(fs, dir)
 	if err != nil {
 		return
 	}
@@ -374,42 +500,49 @@ func pruneWAL(dir string, ckptSeq uint64, activeName string) {
 		if !ok || nextFirst > ckptSeq+1 {
 			break
 		}
-		os.Remove(filepath.Join(dir, name))
+		fs.Remove(filepath.Join(dir, name)) // errcheck:ok advisory pruning; the recovery scan tolerates subsumed leftovers
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		if seq, ok := parseCkptName(e.Name()); ok && seq < ckptSeq {
-			os.Remove(filepath.Join(dir, e.Name()))
+			fs.Remove(filepath.Join(dir, e.Name())) // errcheck:ok advisory pruning; only the manifest's checkpoint is authoritative
 		}
 	}
 }
 
 // replayWAL recovers: manifest, checkpoint, then the log suffix.
-func replayWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, error) {
-	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+//
+// The segment scan enforces one principle: every seq ABOVE the
+// manifest's checkpoint seq must be decoded exactly once, contiguously;
+// seqs at or below it may be missing, torn, or gapped — the checkpoint
+// already contains their effects. (Recover() legitimately leaves an
+// abandoned, possibly-torn old active segment behind a fresh
+// checkpoint; real corruption of needed records still fails closed.)
+func replayWAL(env *ioEnv, dir string, opts DurableOptions) (recovered, error) {
+	mb, err := readFileRetry(env, filepath.Join(dir, manifestName))
 	if err != nil {
-		return nil, nil, 0, walError("read manifest: %v", err)
+		return recovered{}, walFail(err, "read manifest")
 	}
 	m, err := parseManifest(string(mb))
 	if err != nil {
-		return nil, nil, 0, walError("%v", err)
+		return recovered{}, walError("%v", err)
 	}
 	if m.maintenance != opts.Store.Maintenance || m.xrules != opts.Store.ApplyXRules {
-		return nil, nil, 0, walError(
+		return recovered{}, walError(
 			"log at %q was written under maintenance=%s xrules=%t; refusing to replay under maintenance=%s xrules=%t (op indices are engine-dependent)",
 			dir, m.maintenance, m.xrules, opts.Store.Maintenance, opts.Store.ApplyXRules)
 	}
 
-	ckb, err := os.ReadFile(filepath.Join(dir, m.checkpoint))
+	ckb, err := readFileRetry(env, filepath.Join(dir, m.checkpoint))
 	if err != nil {
-		return nil, nil, 0, walError("read checkpoint %s: %v", m.checkpoint, err)
+		return recovered{}, walFail(err, "read checkpoint %s", m.checkpoint)
 	}
 	parsed, err := relio.ParseString(string(ckb))
 	if err != nil {
-		return nil, nil, 0, walError("parse checkpoint %s: %v", m.checkpoint, err)
+		return recovered{}, walError("parse checkpoint %s: %v", m.checkpoint, err)
 	}
 	// Adopt the checkpoint verbatim — it is a fixpoint materialized from
 	// a live store, and replay's op indices depend on its exact tuple
@@ -417,27 +550,34 @@ func replayWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, err
 	st := New(parsed.Scheme, parsed.FDs, opts.Store)
 	st.rel = parsed.Relation
 
-	segs, err := listSegments(dir)
+	segs, err := listSegments(env.fs, dir)
 	if err != nil {
-		return nil, nil, 0, walError("list segments: %v", err)
+		return recovered{}, walFail(err, "list segments")
+	}
+	newWriter := func() *walWriter {
+		return &walWriter{
+			env: env, dir: dir,
+			groupCommit: opts.GroupCommit, segmentBytes: opts.segmentBytes(), noSync: opts.NoSync,
+		}
 	}
 	if len(segs) == 0 {
 		// All segments pruned or never created (a crash between manifest
 		// and first segment); resume at the seq after the checkpoint.
-		w := &walWriter{
-			dir: dir, nextSeq: m.ckptSeq + 1,
-			groupCommit: opts.GroupCommit, segmentBytes: opts.segmentBytes(), noSync: opts.NoSync,
-		}
-		if err := w.newSegment(m.ckptSeq + 1); err != nil {
-			return nil, nil, 0, walError("create segment: %v", err)
-		}
+		w := newWriter()
+		w.nextSeq = m.ckptSeq + 1
 		w.syncedSeq = m.ckptSeq
-		return st, w, m.ckptSeq, nil
+		if err := w.newSegment(m.ckptSeq + 1); err != nil {
+			// The state is fully recovered; only appending is impossible.
+			// Serve degraded instead of dying (Recover() retries later).
+			return recovered{st: st, w: w, ckptSeq: m.ckptSeq,
+				degraded: walFail(err, "create segment")}, nil
+		}
+		return recovered{st: st, w: w, ckptSeq: m.ckptSeq}, nil
 	}
 
 	firstSeg, _ := parseSegName(segs[0])
 	if firstSeg > m.ckptSeq+1 {
-		return nil, nil, 0, walError("log gap: checkpoint covers seqs <=%d but the oldest segment starts at %d", m.ckptSeq, firstSeg)
+		return recovered{}, walError("log gap: checkpoint covers seqs <=%d but the oldest segment starts at %d", m.ckptSeq, firstSeg)
 	}
 	expect := firstSeg
 	var lastName string
@@ -445,80 +585,118 @@ func replayWAL(dir string, opts DurableOptions) (*Store, *walWriter, uint64, err
 	for i, name := range segs {
 		first, _ := parseSegName(name)
 		if first != expect {
-			return nil, nil, 0, walError("segment %s starts at seq %d, want %d (missing or reordered segment)", name, first, expect)
+			if first > expect && first <= m.ckptSeq+1 {
+				// The gap [expect, first) is entirely subsumed by the
+				// checkpoint — a Recover() started this segment right after
+				// its checkpoint, abandoning whatever preceded it.
+				expect = first
+			} else {
+				return recovered{}, walError("segment %s starts at seq %d, want %d (missing or reordered segment)", name, first, expect)
+			}
 		}
-		data, err := os.ReadFile(filepath.Join(dir, name))
+		data, err := readFileRetry(env, filepath.Join(dir, name))
 		if err != nil {
-			return nil, nil, 0, walError("read segment %s: %v", name, err)
+			return recovered{}, walFail(err, "read segment %s", name)
 		}
 		recs, end, scanErr := scanSegment(data)
-		if scanErr != nil {
-			if i != len(segs)-1 {
-				// Every non-final segment was fsync'd at rotation; an
-				// undecodable record there is corruption, not a torn tail.
-				return nil, nil, 0, walError("segment %s: %v", name, scanErr)
-			}
-			if end == 0 && len(recs) == 0 {
-				// Even the magic header is torn (crash during segment
-				// creation); recreate the file below.
-				end = 0
-			}
-			// Torn tail in the active segment: drop everything from the
-			// first invalid byte on. Truncation happens after replay so a
-			// replay failure leaves the log untouched for inspection.
-		}
 		for _, rec := range recs {
 			if rec.seq != expect {
-				return nil, nil, 0, walError("segment %s: record seq %d, want %d (log not contiguous)", name, rec.seq, expect)
+				if rec.seq > expect && rec.seq <= m.ckptSeq+1 {
+					// In-segment gap subsumed by the checkpoint (a failed
+					// append's seq was never reused before Recover()).
+					expect = rec.seq
+				} else {
+					return recovered{}, walError("segment %s: record seq %d, want %d (log not contiguous)", name, rec.seq, expect)
+				}
 			}
 			expect++
 			if rec.seq <= m.ckptSeq {
 				continue // already inside the checkpoint
 			}
 			if err := replayRecord(st, rec); err != nil {
-				return nil, nil, 0, walError("replay seq %d: %v", rec.seq, err)
+				return recovered{}, walError("replay seq %d: %v", rec.seq, err)
 			}
 		}
+		if scanErr != nil && i != len(segs)-1 {
+			// A sealed segment normally never tears. The one legal tear is
+			// an abandoned pre-Recover() active segment whose every record
+			// — decoded or torn — sits at or below the checkpoint seq; then
+			// the next segment's contiguity check proves nothing needed is
+			// missing. A tear above the checkpoint is corruption of
+			// records replay needs: fail closed.
+			if expect > m.ckptSeq+1 {
+				return recovered{}, walError("segment %s: %v", name, scanErr)
+			}
+		}
+		// (In the final segment a scan error is the torn tail: drop
+		// everything from the first invalid byte on. Truncation happens
+		// after replay so a replay failure leaves the log untouched for
+		// inspection.)
 		lastName, lastEnd = name, int64(end)
+	}
+	if expect < m.ckptSeq+1 {
+		// The log ends inside the checkpoint's coverage (its tail was
+		// dropped by a failed sync before Recover() checkpointed); new
+		// records must still take seqs the checkpoint does not claim.
+		expect = m.ckptSeq + 1
 	}
 
 	// Seal the torn tail (if any) and position the writer at the end of
-	// the final segment.
-	f, err := os.OpenFile(filepath.Join(dir, lastName), os.O_RDWR, 0o644)
+	// the final segment. From here on the STATE is fully recovered: any
+	// failure establishing the writer degrades the open instead of
+	// failing it.
+	ckptSeq := m.ckptSeq
+	degradedOpen := func(cause error, f iox.File) (recovered, error) {
+		if f != nil {
+			f.Close() // errcheck:ok abandoned fd on the degraded-open path
+		}
+		w := newWriter()
+		w.nextSeq = expect
+		w.syncedSeq = expect - 1
+		return recovered{st: st, w: w, ckptSeq: ckptSeq, degraded: cause}, nil
+	}
+	f, err := env.fs.OpenRW(filepath.Join(dir, lastName))
 	if err != nil {
-		return nil, nil, 0, walError("open active segment: %v", err)
+		return degradedOpen(walFail(err, "open active segment"), nil)
 	}
 	if lastEnd < int64(len(walMagic)) {
 		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
-			f.Close()
-			return nil, nil, 0, walError("rewrite segment header: %v", err)
+			return degradedOpen(walFail(err, "rewrite segment header"), f)
 		}
 		lastEnd = int64(len(walMagic))
 	}
 	if err := f.Truncate(lastEnd); err != nil {
-		f.Close()
-		return nil, nil, 0, walError("truncate torn tail: %v", err)
+		return degradedOpen(walFail(err, "truncate torn tail"), f)
 	}
 	if !opts.NoSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
-			return nil, nil, 0, walError("sync active segment: %v", err)
+			return degradedOpen(walFail(err, "sync active segment"), f)
 		}
 	}
 	if _, err := f.Seek(lastEnd, 0); err != nil {
-		f.Close()
-		return nil, nil, 0, walError("seek active segment: %v", err)
+		return degradedOpen(walFail(err, "seek active segment"), f)
 	}
-	w := &walWriter{
-		dir: dir, f: f, name: lastName, size: lastEnd,
-		nextSeq: expect, syncedOff: lastEnd, syncedSeq: expect - 1,
-		groupCommit: opts.GroupCommit, segmentBytes: opts.segmentBytes(), noSync: opts.NoSync,
-	}
-	return st, w, m.ckptSeq, nil
+	w := newWriter()
+	w.f, w.name, w.size = f, lastName, lastEnd
+	w.nextSeq, w.syncedOff, w.syncedSeq = expect, lastEnd, expect-1
+	return recovered{st: st, w: w, ckptSeq: ckptSeq}, nil
+}
+
+// readFileRetry reads a whole file under the transient-retry budget.
+// Reads are idempotent, so rerunning the whole read is always safe.
+func readFileRetry(env *ioEnv, path string) ([]byte, error) {
+	var b []byte
+	err := env.retry(func() error {
+		var err error
+		b, err = env.fs.ReadFile(path)
+		return err
+	})
+	return b, err
 }
 
 // replayRecord re-executes one logged commit through the store's own
-// commit paths. The hook is not installed yet, so nothing is re-logged.
+// commit paths. The hooks are not installed yet, so nothing is
+// re-logged or gated.
 func replayRecord(st *Store, rec walRecord) error {
 	// FreshNull calls between commits advanced the allocator without a
 	// record of their own; restore the logged watermark so re-parsed "-"
@@ -598,11 +776,12 @@ func OpenDurableConcurrent(dir string, opts DurableOptions) (*DurableConcurrent,
 // facade's write lock).
 func (dc *DurableConcurrent) Concurrent() *Concurrent { return dc.c }
 
-// Err returns the poisoning WAL error, or nil while healthy.
+// Err returns the degradation root cause (or ErrDurableClosed), or nil
+// while healthy.
 func (dc *DurableConcurrent) Err() error {
 	dc.c.mu.RLock()
 	defer dc.c.mu.RUnlock()
-	return dc.d.failed
+	return dc.d.Err()
 }
 
 // Sync forces the group-commit window closed under the write lock.
@@ -622,8 +801,7 @@ func (dc *DurableConcurrent) Sync() error {
 // auto-checkpoints are skipped.
 func (dc *DurableConcurrent) Checkpoint() error {
 	dc.c.mu.Lock()
-	if dc.d.failed != nil {
-		err := dc.d.failed
+	if err := dc.d.gate(); err != nil {
 		dc.c.mu.Unlock()
 		return err
 	}
@@ -632,23 +810,25 @@ func (dc *DurableConcurrent) Checkpoint() error {
 		return nil
 	}
 	if err := dc.d.w.sync(); err != nil {
-		dc.d.failed = walError("sync before checkpoint: %v", err)
+		err = dc.d.degrade(walFail(err, "sync before checkpoint"))
 		dc.c.mu.Unlock()
-		return dc.d.failed
+		return err
 	}
 	dc.d.ckptInFlight = true
 	view := dc.d.st.View()
 	watermark := dc.d.st.rel.NextMark()
 	seq := dc.d.w.nextSeq - 1
+	env, dir, opts := dc.d.env, dc.d.dir, dc.d.opts
+	st := dc.d.st
 	dc.c.mu.Unlock()
 
 	// Lock-free: the view is immutable; writers COW around it.
-	err := writeCheckpoint(dc.d.dir, dc.d.st, view, watermark, seq, dc.d.opts)
+	err := writeCheckpoint(env, dir, st, view, watermark, seq, opts)
 
 	dc.c.mu.Lock()
 	dc.d.ckptInFlight = false
 	if err != nil {
-		dc.d.failed = err
+		dc.d.degrade(err)
 		dc.c.mu.Unlock()
 		return err
 	}
@@ -656,8 +836,8 @@ func (dc *DurableConcurrent) Checkpoint() error {
 	dc.d.recsSinceCkpt = 0
 	activeName := dc.d.w.name
 	dc.c.mu.Unlock()
-	if !dc.d.opts.RetainSegments {
-		pruneWAL(dc.d.dir, seq, activeName)
+	if !opts.RetainSegments {
+		pruneWAL(env.fs, dir, seq, activeName)
 	}
 	return nil
 }

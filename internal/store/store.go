@@ -132,6 +132,21 @@ type Store struct {
 	// owner is responsible for fail-stop semantics (Durable poisons
 	// itself so every later mutation errors).
 	onCommit func(mode recMode, preMark int, ops []txnOp) error
+	// preCommit, when set, is consulted BEFORE a top-level mutation (or a
+	// Txn.Commit) touches any state; a non-nil error rejects the mutation
+	// with the store untouched. The durability layer installs it so a
+	// degraded (read-only) or closed durable handle refuses mutations up
+	// front — the onCommit hook alone fires too late for that, its error
+	// arrives after the in-memory state already changed.
+	preCommit func() error
+}
+
+// gateCommit consults the preCommit hook, if any.
+func (st *Store) gateCommit() error {
+	if st.preCommit == nil {
+		return nil
+	}
+	return st.preCommit()
 }
 
 // ErrInconsistent is the sentinel every constraint rejection matches:
@@ -334,6 +349,9 @@ func (st *Store) logCommit(mode recMode, preMark int, ops []txnOp) error {
 // minimal incompleteness. On contradiction the insert is rejected and the
 // store unchanged.
 func (st *Store) Insert(t relation.Tuple) error {
+	if err := st.gateCommit(); err != nil {
+		return err
+	}
 	pre := st.rel.NextMark()
 	var err error
 	if st.incrementalMode() {
@@ -362,6 +380,9 @@ func (st *Store) insertRecheck(t relation.Tuple) error {
 // InsertRow parses and inserts a row of cell strings ("-" fresh null,
 // "-k" marked null, constants otherwise).
 func (st *Store) InsertRow(cells ...string) error {
+	if err := st.gateCommit(); err != nil {
+		return err
+	}
 	pre := st.rel.NextMark()
 	if st.incrementalMode() {
 		t, err := st.rel.ParseRow(cells...)
@@ -392,6 +413,9 @@ func (st *Store) InsertRow(cells ...string) error {
 // re-checked like any other mutation; overwriting anything with a fresh
 // null is an information retraction and is allowed.
 func (st *Store) Update(ti int, a schema.Attr, v value.V) error {
+	if err := st.gateCommit(); err != nil {
+		return err
+	}
 	if err := validateUpdate(st.scheme, st.rel.Len(), ti, a, v); err != nil {
 		return err
 	}
@@ -442,6 +466,9 @@ func (st *Store) updateRecheck(ti int, a schema.Attr, v value.V) error {
 // engine removes the tuple by swap-and-pop, so the order of the remaining
 // tuples is engine-dependent (the stored *set* is identical).
 func (st *Store) Delete(ti int) error {
+	if err := st.gateCommit(); err != nil {
+		return err
+	}
 	if ti < 0 || ti >= st.rel.Len() {
 		return fmt.Errorf("store: delete of tuple %d out of range", ti)
 	}

@@ -279,6 +279,9 @@ func (tx *Txn) Commit() error {
 	if len(tx.ops) == 0 {
 		return nil // an empty write-set applies nothing and conflicts with nothing
 	}
+	if err := st.gateCommit(); err != nil {
+		return err
+	}
 	if st.acceptedOps() != tx.baseAccepted {
 		return ErrTxnConflict
 	}

@@ -54,12 +54,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
-	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 
+	"fdnull/internal/iox"
 	"fdnull/internal/schema"
 	"fdnull/internal/value"
 )
@@ -169,6 +169,16 @@ func appendWALOp(b []byte, op txnOp) []byte {
 }
 
 // encodeWALRecord renders one framed record: length, CRC, payload.
+// EncodeInsertRecordForBench returns the exact on-disk frame an
+// InsertRow commit appends (clone included), so fdbench's E21 baseline
+// loop pays identical encode cost with direct file calls and the
+// measured residual is the iox indirection plus writer bookkeeping,
+// nothing else. Not part of the durability API.
+func EncodeInsertRecordForBench(seq uint64, preMark int, row []string) []byte {
+	return encodeWALRecord(seq, recPerOp, preMark,
+		[]txnOp{{kind: txnInsert, row: append([]string(nil), row...)}})
+}
+
 func encodeWALRecord(seq uint64, mode recMode, preMark int, ops []txnOp) []byte {
 	payload := make([]byte, 0, 16+16*len(ops))
 	payload = binary.AppendUvarint(payload, seq)
@@ -470,13 +480,16 @@ func parseCkptName(name string) (uint64, bool) {
 
 // listSegments returns the segment filenames in dir sorted by the seq
 // they are named with (lexicographic order of the zero-padded names).
-func listSegments(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fs iox.FS, dir string) ([]string, error) {
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var segs []string
 	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
 		if _, ok := parseSegName(e.Name()); ok {
 			segs = append(segs, e.Name())
 		}
@@ -485,25 +498,18 @@ func listSegments(dir string) ([]string, error) {
 	return segs, nil
 }
 
-// syncDir fsyncs a directory so file creations and renames inside it
-// are durable, not just the file contents.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
-}
-
 // ---- the segment writer ----
 
 // walWriter appends framed records to the active segment, tracking the
 // durable prefix (syncedOff/syncedSeq) so the crash exerciser can model
-// a power failure as "everything past the synced offset is gone".
+// a power failure as "everything past the synced offset is gone". All
+// I/O goes through env.fs; env also supplies the transient-retry budget
+// and the counters Health() reports. f is nil while the handle is
+// degraded with no usable segment (every write path is gated first).
 type walWriter struct {
+	env          *ioEnv
 	dir          string
-	f            *os.File
+	f            iox.File
 	name         string // active segment filename
 	size         int64
 	nextSeq      uint64
@@ -516,26 +522,43 @@ type walWriter struct {
 }
 
 // newSegment creates (or truncates) the segment that will hold seq as
-// its first record and makes it the active one.
+// its first record and makes it the active one. The whole creation is
+// one transient-retry unit: each attempt opens a fresh fd and rewrites
+// the header, so retrying after a failed fsync is safe here (unlike on
+// a live appending fd, where it never is).
 func (w *walWriter) newSegment(seq uint64) error {
 	name := segName(seq)
-	f, err := os.OpenFile(filepath.Join(w.dir, name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	path := filepath.Join(w.dir, name)
+	var f iox.File
+	err := w.env.retry(func() error {
+		var err error
+		f, err = w.env.fs.Create(path)
+		if err != nil {
+			return err
+		}
+		ok := false
+		defer func() {
+			if !ok {
+				f.Close()             // errcheck:ok failed attempt; the fd is abandoned either way
+				w.env.fs.Remove(path) // errcheck:ok best-effort cleanup; a leftover is truncated on the next attempt
+			}
+		}()
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			return err
+		}
+		if !w.noSync {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+			if err := w.env.fs.SyncDir(w.dir); err != nil {
+				return err
+			}
+		}
+		ok = true
+		return nil
+	})
 	if err != nil {
 		return err
-	}
-	if _, err := f.Write([]byte(walMagic)); err != nil {
-		f.Close()
-		return err
-	}
-	if !w.noSync {
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return err
-		}
-		if err := syncDir(w.dir); err != nil {
-			f.Close()
-			return err
-		}
 	}
 	w.f, w.name, w.size = f, name, int64(len(walMagic))
 	w.syncedOff = w.size
@@ -545,8 +568,13 @@ func (w *walWriter) newSegment(seq uint64) error {
 
 // append logs one commit and returns its seq. The record is written
 // immediately; whether it is fsync'd now or with the group depends on
-// the group-commit setting.
+// the group-commit setting. Rotation is the caller's job (needsRotation
+// / rotate) because a rotation failure after the record is durable must
+// not be reported as the commit's failure.
 func (w *walWriter) append(mode recMode, preMark int, ops []txnOp) (uint64, error) {
+	if w.f == nil {
+		return 0, errors.New("no active segment")
+	}
 	seq := w.nextSeq
 	rec := encodeWALRecord(seq, mode, preMark, ops)
 	if _, err := w.f.Write(rec); err != nil {
@@ -560,30 +588,35 @@ func (w *walWriter) append(mode recMode, preMark int, ops []txnOp) (uint64, erro
 			return 0, err
 		}
 	}
-	if w.size >= w.segmentBytes {
-		// Rotation seals the old segment: fsync it so only the active
-		// segment can ever hold a torn or unsynced tail, then start the
-		// next one named by the seq it will receive first.
-		if err := w.sync(); err != nil {
-			return 0, err
-		}
-		if err := w.f.Close(); err != nil {
-			return 0, err
-		}
-		if err := w.newSegment(w.nextSeq); err != nil {
-			return 0, err
-		}
-	}
 	return seq, nil
 }
 
+// needsRotation reports that the active segment passed its size bound.
+func (w *walWriter) needsRotation() bool { return w.f != nil && w.size >= w.segmentBytes }
+
+// rotate starts the next segment. The caller has already fsync'd the
+// active segment (the seal is ack-relevant; rotation is not), so every
+// byte outside the new active segment is durable.
+func (w *walWriter) rotate() error {
+	// Close error after a successful fsync cannot un-sync the sealed
+	// bytes, so it is durability-benign and deliberately dropped.
+	w.f.Close() // errcheck:ok close-after-fsync cannot lose synced data
+	w.f = nil
+	return w.newSegment(w.nextSeq)
+}
+
 // sync makes every appended record durable and advances the durable
-// prefix markers.
+// prefix markers. A failure here is fsyncgate territory: the caller
+// must degrade the handle and abandon the fd, never retry the fsync.
 func (w *walWriter) sync() error {
+	if w.f == nil {
+		return errors.New("no active segment")
+	}
 	if !w.noSync {
 		if err := w.f.Sync(); err != nil {
 			return err
 		}
+		w.env.syncs++
 	}
 	w.syncedOff = w.size
 	if w.nextSeq > 1 {
@@ -683,31 +716,43 @@ func parseManifest(data string) (walManifest, error) {
 }
 
 // writeManifest replaces dir's manifest atomically: temp file, fsync,
-// rename over MANIFEST, fsync the directory.
-func writeManifest(dir string, m walManifest, noSync bool) error {
+// rename over MANIFEST, fsync the directory. The whole replacement is
+// one transient-retry unit — every attempt rewrites the temp file
+// through a fresh fd, re-renames, and re-syncs the directory, so no
+// attempt ever retries a failed fsync on a live fd.
+func writeManifest(env *ioEnv, dir string, m walManifest, noSync bool) error {
 	tmp := filepath.Join(dir, manifestName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := f.WriteString(m.render()); err != nil {
-		f.Close()
-		return err
-	}
-	if !noSync {
-		if err := f.Sync(); err != nil {
-			f.Close()
+	rendered := []byte(m.render())
+	return env.retry(func() error {
+		f, err := env.fs.Create(tmp)
+		if err != nil {
 			return err
 		}
-	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
-		return err
-	}
-	if noSync {
-		return nil
-	}
-	return syncDir(dir)
+		ok := false
+		defer func() {
+			if !ok {
+				f.Close()          // errcheck:ok failed attempt; the fd is abandoned either way
+				env.fs.Remove(tmp) // errcheck:ok best-effort cleanup; open() prunes stray *.tmp too
+			}
+		}()
+		if _, err := f.Write(rendered); err != nil {
+			return err
+		}
+		if !noSync {
+			if err := f.Sync(); err != nil {
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := env.fs.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+			return err
+		}
+		ok = true
+		if noSync {
+			return nil
+		}
+		return env.fs.SyncDir(dir)
+	})
 }

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"testing"
 
+	"fdnull/internal/iox"
 	"fdnull/internal/relation"
 	"fdnull/internal/value"
 )
@@ -231,7 +232,7 @@ func TestWALRotationAndPruning(t *testing.T) {
 			t.Fatalf("insert %d: %v", i, err)
 		}
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iox.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestWALRotationAndPruning(t *testing.T) {
 	if err := d.Checkpoint(); err != nil {
 		t.Fatalf("checkpoint: %v", err)
 	}
-	pruned, err := listSegments(dir)
+	pruned, err := listSegments(iox.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Tear the last record: drop its final 3 bytes.
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iox.OS, dir)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("segments: %v (%v)", segs, err)
 	}
@@ -335,7 +336,7 @@ func TestWALCorruptSealedSegmentFailsClosed(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(iox.OS, dir)
 	if err != nil || len(segs) < 2 {
 		t.Fatalf("want >=2 segments, got %v (%v)", segs, err)
 	}

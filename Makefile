@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query bench-wal smoke-wal bench-faults smoke-faults smoke-fuzz errsweep lint fmt vet clean
+.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query bench-wal smoke-wal bench-faults smoke-faults bench-shard smoke-shard smoke-serve smoke-fuzz errsweep lint fmt vet clean
 
 all: build test
 
@@ -91,6 +91,25 @@ bench-faults:
 smoke-faults:
 	$(GO) test -race -short -run 'TestFaultAtEveryIOCall|TestRandomizedFaultSchedules|TestReopenFaultSweep|TestStrayTmpPruned|TestDegraded|TestTransientRetryHeals|TestConcurrentHealthAndRecover' ./internal/store
 	$(GO) test -race -short ./internal/iox
+
+# The hash-sharded store: E22 sweeps commit cost over S={1,2,4,8} on the
+# recheck engine (>=3x bar at S=8 for key-affine disjoint-key batches,
+# every configuration state-checked against the unsharded oracle), plus
+# the cross-shard 2PC price and the concurrent incremental sweep.
+bench-shard:
+	$(GO) run ./cmd/fdbench -exp E22 -json BENCH_shard.json
+
+# Short-mode sharding smoke under the race detector: the sharded history
+# exerciser (lockstep vs the unsharded oracle, verdict classes and state),
+# the 2PC atomicity stress (SnapshotAll cuts), and the routing/txn units.
+smoke-shard:
+	$(GO) test -race -short -run 'TestSharded' ./internal/store
+
+# Short-mode daemon smoke under the race detector: boot fdserve, hit it
+# with concurrent authenticated clients over the wire (cross-shard txns,
+# auth gating, tenant isolation), restart a durable tenant, shut down.
+smoke-serve:
+	$(GO) test -race -short -run 'TestServe|TestRunFlagErrors' ./cmd/fdserve
 
 # Seed-corpus fuzz smoke: the relio parser, the predicate parser, and
 # the WAL record decoder must survive their corpora (use `go test -fuzz`

@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	errsweep [dir ...]   # default: internal/iox internal/store
+//	errsweep [dir ...]   # default: internal/iox internal/store cmd/fdserve
 //
 // Exits 1 listing file:line for every unannotated discard. Test files
 // are skipped: tests discard errors on purpose while arranging fixtures.
@@ -41,7 +41,7 @@ const marker = "errcheck:ok "
 func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
-		dirs = []string{"internal/iox", "internal/store"}
+		dirs = []string{"internal/iox", "internal/store", "cmd/fdserve"}
 	}
 	var findings []string
 	for _, dir := range dirs {

@@ -13,9 +13,10 @@
 // them, E16 does the same for the FD-discovery engines, E17 for the
 // store's incremental vs recheck maintenance engines, E19 for the
 // query planner vs the naive selection scan, E20 for the durable
-// store's group-commit vs fsync-per-commit write path, and E21 for the
-// fault-injectable I/O layer's indirection cost. -json writes the
-// measurements experiments record (E20, E21) as a JSON artifact.
+// store's group-commit vs fsync-per-commit write path, E21 for the
+// fault-injectable I/O layer's indirection cost, and E22 for the
+// hash-sharded store's commit cost vs shard count. -json writes the
+// measurements experiments record (E20, E21, E22) as a JSON artifact.
 package main
 
 import (
@@ -60,31 +61,38 @@ var experiments = []experiment{
 	{"E19", "Indexed vs naive selection engine — agreement and comparative sweep", runE19},
 	{"E20", "Durable WAL — group commit vs fsync-per-commit, recovery-checked", runE20},
 	{"E21", "Fault-injectable I/O layer — iox indirection cost and degraded-mode serving", runE21},
+	{"E22", "Hash-sharded store — commit cost vs shard count, with 2PC and oracle agreement", runE22},
 }
 
 // benchRecord is one machine-readable measurement; -json writes the
-// collected records so CI can archive benchmark artifacts.
+// collected records so CI can archive benchmark artifacts. The schema
+// is shared by every committed BENCH_*.json: experiment id, config
+// label, op count, per-op and total wall time, throughput, speedup vs
+// the experiment's stated baseline (1.0 for the baseline itself), and
+// the run date.
 type benchRecord struct {
-	Exp     string  `json:"exp"`
-	Config  string  `json:"config"`
-	N       int     `json:"n"`
-	TotalNs int64   `json:"total_ns"`
-	NsPerOp int64   `json:"ns_per_op"`
-	OpsPerS float64 `json:"ops_per_sec"`
-	Speedup float64 `json:"speedup_vs_baseline"`
+	Experiment string  `json:"experiment"`
+	Config     string  `json:"config"`
+	N          int     `json:"n"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	OpsPerS    float64 `json:"ops_per_sec"`
+	TotalNs    int64   `json:"total_ns"`
+	Speedup    float64 `json:"speedup"`
+	Date       string  `json:"date"`
 }
 
 var benchRecords []benchRecord
 
 func recordBench(exp, config string, n int, total time.Duration, speedup float64) {
 	benchRecords = append(benchRecords, benchRecord{
-		Exp:     exp,
-		Config:  config,
-		N:       n,
-		TotalNs: total.Nanoseconds(),
-		NsPerOp: total.Nanoseconds() / int64(max(n, 1)),
-		OpsPerS: float64(n) / total.Seconds(),
-		Speedup: speedup,
+		Experiment: exp,
+		Config:     config,
+		N:          n,
+		NsPerOp:    total.Nanoseconds() / int64(max(n, 1)),
+		OpsPerS:    float64(n) / total.Seconds(),
+		TotalNs:    total.Nanoseconds(),
+		Speedup:    speedup,
+		Date:       time.Now().UTC().Format("2006-01-02"),
 	})
 }
 
@@ -100,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	benchRecords = nil
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E21) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E22) or 'all'")
 	quick := fs.Bool("quick", false, "smaller sweeps for smoke testing")
 	list := fs.Bool("list", false, "list experiments and exit")
 	engineFlag := fs.String("engine", "indexed", "per-tuple evaluation engine: indexed or naive")

@@ -182,7 +182,7 @@ func TestWALSweep(t *testing.T) {
 		t.Fatalf("expected 3 records, got %d", len(records))
 	}
 	for _, r := range records {
-		if r["exp"] != "E20" || r["total_ns"].(float64) <= 0 {
+		if r["experiment"] != "E20" || r["total_ns"].(float64) <= 0 || r["date"] == "" {
 			t.Errorf("malformed record: %v", r)
 		}
 	}
@@ -220,7 +220,45 @@ func TestFaultLayerSweep(t *testing.T) {
 		t.Fatalf("expected 4 records, got %d", len(records))
 	}
 	for _, r := range records {
-		if r["exp"] != "E21" || r["total_ns"].(float64) <= 0 {
+		if r["experiment"] != "E21" || r["total_ns"].(float64) <= 0 || r["date"] == "" {
+			t.Errorf("malformed record: %v", r)
+		}
+	}
+}
+
+// TestShardSweep runs E22 in quick mode: every shard count must match
+// the unsharded oracle's final state tuple-for-tuple and keep the weak
+// invariant (the 3x bar at S=8 is asserted by full runs only), and
+// -json must emit one record per configuration in the shared schema.
+func TestShardSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench_shard.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E22", "-json", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"recheck/S=1", "recheck/S=8", "recheck/S=8/cross-shard-2pc",
+		"incremental/S=1/4-writers", "incremental/S=8/4-writers", "vs S=1",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("-json artifact: %v", err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("-json artifact is not valid JSON: %v", err)
+	}
+	if len(records) != 7 {
+		t.Fatalf("expected 7 records (5 recheck + 2 incremental), got %d", len(records))
+	}
+	for _, r := range records {
+		if r["experiment"] != "E22" || r["total_ns"].(float64) <= 0 ||
+			r["speedup"].(float64) <= 0 || r["date"] == "" {
 			t.Errorf("malformed record: %v", r)
 		}
 	}

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func writeTestConfig(t *testing.T, durableDir string) string {
+	t.Helper()
+	dir := t.TempDir()
+	durable := ""
+	if durableDir != "" {
+		durable = fmt.Sprintf(`, "dir": %q`, durableDir)
+	}
+	cfg := fmt.Sprintf(`{"tenants": [
+	  {"name": "hr", "token": "hr-secret", "shards": 4, "key": ["K"],
+	   "scheme": {"name": "R", "attrs": [
+	     {"name": "K", "domain": {"name": "key", "prefix": "k", "size": 512}},
+	     {"name": "A", "domain": {"name": "alpha", "prefix": "a", "size": 16}},
+	     {"name": "B", "domain": {"name": "beta", "prefix": "b", "size": 16}}]},
+	   "fds": "K -> A; K -> B"%s},
+	  {"name": "ops", "token": "ops-secret", "key": ["E#"],
+	   "scheme": {"name": "S", "attrs": [
+	     {"name": "E#", "domain": {"name": "emp", "prefix": "e", "size": 32}},
+	     {"name": "SL", "domain": {"name": "sal", "values": ["low", "high"]}}]},
+	   "fds": "E# -> SL"}
+	]}`, durable)
+	path := filepath.Join(dir, "tenants.json")
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatalf("write config: %v", err)
+	}
+	return path
+}
+
+func startTestServer(t *testing.T, cfgPath string) *server {
+	t.Helper()
+	cfg, err := loadConfig(cfgPath)
+	if err != nil {
+		t.Fatalf("loadConfig: %v", err)
+	}
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	if err := srv.listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.serve()
+	return srv
+}
+
+// client is a minimal line-protocol driver for the tests.
+type client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+func dialClient(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &client{conn: conn, sc: sc}
+}
+
+func (c *client) call(t *testing.T, req map[string]any) map[string]any {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if _, err := c.conn.Write(append(data, '\n')); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if !c.sc.Scan() {
+		t.Fatalf("connection closed mid-call (req %v): %v", req, c.sc.Err())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response %q: %v", c.sc.Text(), err)
+	}
+	return resp
+}
+
+func (c *client) mustOK(t *testing.T, req map[string]any) map[string]any {
+	t.Helper()
+	resp := c.call(t, req)
+	if resp["ok"] != true {
+		t.Fatalf("request %v failed: %v", req, resp["error"])
+	}
+	return resp
+}
+
+// TestServeSmoke is the smoke-serve workload: boot the daemon, hit it
+// with N concurrent authenticated clients doing cross-shard txns on one
+// tenant and singleton ops on another, verify isolation and the
+// constraint invariant over the wire, then shut down cleanly.
+func TestServeSmoke(t *testing.T) {
+	srv := startTestServer(t, writeTestConfig(t, ""))
+	addr := srv.addr()
+
+	// Auth gating: wrong token refused, ops before auth refused.
+	c := dialClient(t, addr)
+	if resp := c.call(t, map[string]any{"op": "len"}); resp["ok"] == true {
+		t.Fatalf("unauthenticated op accepted")
+	}
+	if resp := c.call(t, map[string]any{"op": "auth", "tenant": "hr", "token": "wrong"}); resp["ok"] == true {
+		t.Fatalf("bad token accepted")
+	}
+	if resp := c.call(t, map[string]any{"op": "auth", "tenant": "nope", "token": "x"}); resp["ok"] == true {
+		t.Fatalf("unknown tenant accepted")
+	}
+	c.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
+	c.mustOK(t, map[string]any{"op": "ping"})
+	c.conn.Close() // errcheck:ok test client teardown
+
+	clients := 6
+	txnsPer := 8
+	if testing.Short() {
+		clients, txnsPer = 3, 4
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := dialClient(t, addr)
+			defer cl.conn.Close() // errcheck:ok test client teardown
+			cl.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
+			for j := 0; j < txnsPer; j++ {
+				// A 3-row batch with disjoint keys per client: routinely
+				// spans shards, so commits exercise the 2PC path.
+				base := (w*txnsPer + j) * 3
+				ops := make([]map[string]any, 0, 3)
+				for r := 0; r < 3; r++ {
+					ops = append(ops, map[string]any{
+						"op":  "insert",
+						"row": []string{fmt.Sprintf("k%d", base+r+1), fmt.Sprintf("a%d", w+1), "-"},
+					})
+				}
+				resp := cl.call(t, map[string]any{"op": "txn", "ops": ops})
+				if resp["ok"] != true && resp["conflict"] != true {
+					t.Errorf("client %d txn %d: %v", w, j, resp["error"])
+					return
+				}
+				if resp["conflict"] == true {
+					j-- // first-committer-wins abort: retry the batch
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	admin := dialClient(t, addr)
+	defer admin.conn.Close() // errcheck:ok test client teardown
+	admin.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
+	want := float64(clients * txnsPer * 3)
+	if resp := admin.mustOK(t, map[string]any{"op": "len"}); resp["n"] != want {
+		t.Fatalf("len over the wire: %v, want %v", resp["n"], want)
+	}
+	if resp := admin.mustOK(t, map[string]any{"op": "check"}); resp["weak"] != true {
+		t.Fatalf("weak satisfiability lost: %v", resp)
+	}
+	if resp := admin.mustOK(t, map[string]any{"op": "stats"}); resp["shards"] != float64(4) || resp["inserts"] != want {
+		t.Fatalf("stats over the wire: %v", resp)
+	}
+	q := admin.mustOK(t, map[string]any{"op": "query", "where": "A = a1"})
+	sure, _ := q["sure"].([]any)
+	if len(sure) != txnsPer*3 {
+		t.Fatalf("query sure answers: %d, want %d", len(sure), txnsPer*3)
+	}
+
+	// Constraint rejection surfaces as rejected=true: k1 already has a
+	// forced A value a1 (client 0 inserted it), clash with a16.
+	if resp := admin.call(t, map[string]any{"op": "insert", "row": []string{"k1", "a16", "-"}}); resp["ok"] == true || resp["rejected"] != true {
+		t.Fatalf("constraint violation not rejected: %v", resp)
+	}
+
+	// Tenant isolation: the second tenant neither sees hr's rows nor
+	// accepts hr's token.
+	other := dialClient(t, addr)
+	defer other.conn.Close() // errcheck:ok test client teardown
+	if resp := other.call(t, map[string]any{"op": "auth", "tenant": "ops", "token": "hr-secret"}); resp["ok"] == true {
+		t.Fatalf("cross-tenant token accepted")
+	}
+	other.mustOK(t, map[string]any{"op": "auth", "tenant": "ops", "token": "ops-secret"})
+	if resp := other.mustOK(t, map[string]any{"op": "len"}); resp["n"] != float64(0) {
+		t.Fatalf("tenant isolation broken: ops sees %v tuples", resp["n"])
+	}
+	other.mustOK(t, map[string]any{"op": "insert", "row": []string{"e1", "low"}})
+	other.mustOK(t, map[string]any{"op": "update", "match": []string{"e1", "low"}, "attr": "SL", "value": "high"})
+	if resp := other.mustOK(t, map[string]any{"op": "len"}); resp["n"] != float64(1) {
+		t.Fatalf("ops tenant len: %v", resp["n"])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The listener is gone after shutdown.
+	if _, err := net.DialTimeout("tcp", addr, 200*time.Millisecond); err == nil {
+		t.Fatalf("listener still accepting after shutdown")
+	}
+}
+
+// TestServeDurableTenant proves a durable tenant's state survives a
+// daemon restart: insert over the wire, shut down (which checkpoints
+// through Close), boot a second server on the same directory, read the
+// rows back.
+func TestServeDurableTenant(t *testing.T) {
+	wal := t.TempDir()
+	cfgPath := writeTestConfig(t, wal)
+	srv := startTestServer(t, cfgPath)
+
+	c := dialClient(t, srv.addr())
+	c.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
+	c.mustOK(t, map[string]any{"op": "txn", "ops": []map[string]any{
+		{"op": "insert", "row": []string{"k1", "a1", "-"}},
+		{"op": "insert", "row": []string{"k2", "a2", "b2"}},
+		{"op": "insert", "row": []string{"k3", "-", "b3"}},
+	}})
+	c.conn.Close() // errcheck:ok test client teardown
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	re := startTestServer(t, cfgPath)
+	c2 := dialClient(t, re.addr())
+	defer c2.conn.Close() // errcheck:ok test client teardown
+	c2.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
+	if resp := c2.mustOK(t, map[string]any{"op": "len"}); resp["n"] != float64(3) {
+		t.Fatalf("durable tenant lost rows across restart: %v", resp["n"])
+	}
+	if resp := c2.mustOK(t, map[string]any{"op": "check"}); resp["weak"] != true {
+		t.Fatalf("recovered tenant unsatisfiable: %v", resp)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := re.shutdown(ctx2); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestRunFlagErrors pins the CLI entry's failure modes (missing config,
+// unreadable config) without booting a daemon.
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 1 || !strings.Contains(errb.String(), "-config is required") {
+		t.Fatalf("missing -config: code %d, stderr %q", code, errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-config", "/nonexistent/tenants.json"}, &out, &errb); code != 1 {
+		t.Fatalf("unreadable config accepted: %d", code)
+	}
+}

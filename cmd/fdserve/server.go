@@ -1,0 +1,542 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	fdnull "fdnull"
+)
+
+// ---- tenant configuration ----
+
+// domainSpec is one attribute domain: either an explicit value list or
+// the {prefix1 … prefixN} integer family.
+type domainSpec struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values,omitempty"`
+	Prefix string   `json:"prefix,omitempty"`
+	Size   int      `json:"size,omitempty"`
+}
+
+type attrSpec struct {
+	Name   string     `json:"name"`
+	Domain domainSpec `json:"domain"`
+}
+
+type schemeSpec struct {
+	Name  string     `json:"name"`
+	Attrs []attrSpec `json:"attrs"`
+}
+
+// tenantSpec is one named isolated store: its scheme, dependency set,
+// shard layout, auth token, and optional durable directory.
+type tenantSpec struct {
+	Name        string     `json:"name"`
+	Token       string     `json:"token"`
+	Shards      int        `json:"shards,omitempty"` // default 1
+	Key         []string   `json:"key"`              // shard-key attribute names
+	Scheme      schemeSpec `json:"scheme"`
+	FDs         string     `json:"fds"`                   // "X -> Y; ..." syntax
+	Maintenance string     `json:"maintenance,omitempty"` // incremental | recheck
+	Dir         string     `json:"dir,omitempty"`         // durable when set
+}
+
+type serverConfig struct {
+	Tenants []tenantSpec `json:"tenants"`
+}
+
+func loadConfig(path string) (*serverConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg serverConfig
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("config %s: %w", path, err)
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("config %s: no tenants", path)
+	}
+	return &cfg, nil
+}
+
+func buildDomain(sp domainSpec) (*fdnull.Domain, error) {
+	switch {
+	case len(sp.Values) > 0 && sp.Prefix != "":
+		return nil, fmt.Errorf("domain %s: values and prefix/size are mutually exclusive", sp.Name)
+	case len(sp.Values) > 0:
+		return fdnull.NewDomain(sp.Name, sp.Values...)
+	case sp.Prefix != "" && sp.Size > 0:
+		return fdnull.IntDomain(sp.Name, sp.Prefix, sp.Size), nil
+	default:
+		return nil, fmt.Errorf("domain %s: need values or prefix+size", sp.Name)
+	}
+}
+
+// tenant is one running store plus its auth token.
+type tenant struct {
+	name   string
+	token  string
+	scheme *fdnull.Scheme
+	store  *fdnull.ShardedStore
+}
+
+func buildTenant(sp tenantSpec) (*tenant, error) {
+	if sp.Name == "" {
+		return nil, errors.New("tenant without a name")
+	}
+	names := make([]string, 0, len(sp.Scheme.Attrs))
+	doms := make([]*fdnull.Domain, 0, len(sp.Scheme.Attrs))
+	for _, a := range sp.Scheme.Attrs {
+		d, err := buildDomain(a.Domain)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: %w", sp.Name, err)
+		}
+		names = append(names, a.Name)
+		doms = append(doms, d)
+	}
+	scheme, err := fdnull.NewScheme(sp.Scheme.Name, names, doms)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: %w", sp.Name, err)
+	}
+	fds, err := fdnull.ParseFDs(scheme, sp.FDs)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: %w", sp.Name, err)
+	}
+	key, err := scheme.Set(sp.Key...)
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: shard key: %w", sp.Name, err)
+	}
+	maint := fdnull.MaintenanceIncremental
+	if sp.Maintenance != "" {
+		maint, err = fdnull.ParseMaintenance(sp.Maintenance)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s: %w", sp.Name, err)
+		}
+	}
+	shards := sp.Shards
+	if shards == 0 {
+		shards = 1
+	}
+	sopts := fdnull.ShardedStoreOptions{
+		Shards: shards,
+		Key:    key,
+		Store:  fdnull.StoreOptions{Maintenance: maint},
+	}
+	var st *fdnull.ShardedStore
+	if sp.Dir != "" {
+		st, err = fdnull.OpenShardedStore(sp.Dir, scheme, fds, sopts, fdnull.DurableOptions{})
+	} else {
+		st, err = fdnull.NewShardedStore(scheme, fds, sopts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tenant %s: %w", sp.Name, err)
+	}
+	return &tenant{name: sp.Name, token: sp.Token, scheme: scheme, store: st}, nil
+}
+
+// ---- wire protocol ----
+//
+// Newline-delimited JSON over TCP; one request per line, one response
+// per line. Every connection must authenticate first:
+//
+//	{"op":"auth","tenant":"hr","token":"..."}
+//
+// and is bound to that tenant afterwards. Ops:
+//
+//	ping                         liveness
+//	insert  row=[cells]          guarded insert ("-" fresh null, "-k" ⊥k)
+//	update  match=[cells] attr value   overwrite one cell of the committed
+//	                             tuple identical to match (cells "-k"/"!"
+//	                             literal, "-" refused: ambiguous)
+//	delete  match=[cells]        remove the committed tuple
+//	txn     ops=[{op,...}]       apply a write-set atomically (2PC when
+//	                             it spans shards)
+//	query   where="A = a1 & ..." three-valued selection; sure/maybe rows
+//	check                        weak+strong satisfiability of the union
+//	stats                        logical op counters and shard count
+//	len                          total tuples
+//
+// Responses: {"ok":true,...} or {"ok":false,"error":"...",
+// "conflict":true|"rejected":true} for first-committer-wins aborts and
+// constraint rejections respectively.
+
+type wireOp struct {
+	Op    string   `json:"op"`
+	Row   []string `json:"row,omitempty"`
+	Match []string `json:"match,omitempty"`
+	Attr  string   `json:"attr,omitempty"`
+	Value string   `json:"value,omitempty"`
+}
+
+type request struct {
+	Op     string   `json:"op"`
+	Tenant string   `json:"tenant,omitempty"`
+	Token  string   `json:"token,omitempty"`
+	Row    []string `json:"row,omitempty"`
+	Match  []string `json:"match,omitempty"`
+	Attr   string   `json:"attr,omitempty"`
+	Value  string   `json:"value,omitempty"`
+	Ops    []wireOp `json:"ops,omitempty"`
+	Where  string   `json:"where,omitempty"`
+}
+
+type response struct {
+	OK       bool       `json:"ok"`
+	Error    string     `json:"error,omitempty"`
+	Conflict bool       `json:"conflict,omitempty"`
+	Rejected bool       `json:"rejected,omitempty"`
+	Tenant   string     `json:"tenant,omitempty"`
+	N        *int       `json:"n,omitempty"`
+	Sure     [][]string `json:"sure,omitempty"`
+	Maybe    [][]string `json:"maybe,omitempty"`
+	Weak     *bool      `json:"weak,omitempty"`
+	Strong   *bool      `json:"strong,omitempty"`
+	Inserts  int        `json:"inserts,omitempty"`
+	Updates  int        `json:"updates,omitempty"`
+	Deletes  int        `json:"deletes,omitempty"`
+	Rejects  int        `json:"rejects,omitempty"`
+	Shards   int        `json:"shards,omitempty"`
+}
+
+func errResponse(err error) response {
+	return response{
+		OK:       false,
+		Error:    err.Error(),
+		Conflict: errors.Is(err, fdnull.ErrTxnConflict),
+		Rejected: errors.Is(err, fdnull.ErrInconsistent),
+	}
+}
+
+// parseMatchCell parses one cell of a content-addressing match row:
+// constants verbatim, "-k" the marked null ⊥k, "!" refused (nothing is
+// never stored), bare "-" refused (a fresh null cannot match anything).
+func parseMatchCell(c string) (fdnull.Value, error) {
+	switch {
+	case c == "-":
+		return fdnull.Value{}, errors.New("bare \"-\" cannot address a committed tuple; use the explicit \"-k\" mark")
+	case c == "!":
+		return fdnull.Value{}, errors.New("the inconsistent element is never stored")
+	case strings.HasPrefix(c, "-"):
+		k, err := strconv.Atoi(c[1:])
+		if err != nil || k < 0 {
+			return fdnull.Value{}, fmt.Errorf("bad null cell %q", c)
+		}
+		return fdnull.NullValue(k), nil
+	default:
+		return fdnull.Const(c), nil
+	}
+}
+
+func (t *tenant) parseMatch(cells []string) (fdnull.Tuple, error) {
+	if len(cells) != t.scheme.Arity() {
+		return nil, fmt.Errorf("match arity %d, scheme arity %d", len(cells), t.scheme.Arity())
+	}
+	tup := make(fdnull.Tuple, len(cells))
+	for i, c := range cells {
+		v, err := parseMatchCell(c)
+		if err != nil {
+			return nil, err
+		}
+		tup[i] = v
+	}
+	return tup, nil
+}
+
+// parseValue parses an update's new cell: like a match cell, plus bare
+// "-" drawing a fresh mark from the tenant's global allocator.
+func (t *tenant) parseValue(c string) (fdnull.Value, error) {
+	if c == "-" {
+		return t.store.FreshNull(), nil
+	}
+	return parseMatchCell(c)
+}
+
+func (t *tenant) resolveAttr(name string) (fdnull.Attr, error) {
+	a, ok := t.scheme.Attr(name)
+	if !ok {
+		return 0, fmt.Errorf("no attribute %q in scheme %s", name, t.scheme.Name())
+	}
+	return a, nil
+}
+
+// stageOp stages one wire op into an open sharded transaction.
+func (t *tenant) stageOp(tx *fdnull.ShardedTxn, op wireOp) error {
+	switch op.Op {
+	case "insert":
+		return tx.InsertRow(op.Row...)
+	case "update":
+		match, err := t.parseMatch(op.Match)
+		if err != nil {
+			return err
+		}
+		a, err := t.resolveAttr(op.Attr)
+		if err != nil {
+			return err
+		}
+		v, err := t.parseValue(op.Value)
+		if err != nil {
+			return err
+		}
+		return tx.Update(match, a, v)
+	case "delete":
+		match, err := t.parseMatch(op.Match)
+		if err != nil {
+			return err
+		}
+		return tx.Delete(match)
+	default:
+		return fmt.Errorf("unknown txn op %q", op.Op)
+	}
+}
+
+func renderRows(ts []fdnull.Tuple) [][]string {
+	out := make([][]string, len(ts))
+	for i, tup := range ts {
+		row := make([]string, len(tup))
+		for j, v := range tup {
+			row[j] = v.String()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// ---- server ----
+
+type server struct {
+	tenants map[string]*tenant
+	ln      net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining bool
+	wg       sync.WaitGroup
+}
+
+func newServer(cfg *serverConfig) (*server, error) {
+	srv := &server{tenants: make(map[string]*tenant), conns: make(map[net.Conn]struct{})}
+	for _, sp := range cfg.Tenants {
+		if _, dup := srv.tenants[sp.Name]; dup {
+			return nil, fmt.Errorf("duplicate tenant %q", sp.Name)
+		}
+		tn, err := buildTenant(sp)
+		if err != nil {
+			srv.closeTenants() // errcheck:ok abandoning a partially built tenant set
+			return nil, err
+		}
+		srv.tenants[sp.Name] = tn
+	}
+	return srv, nil
+}
+
+func (srv *server) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv.ln = ln
+	return nil
+}
+
+func (srv *server) addr() string { return srv.ln.Addr().String() }
+
+// serve accepts until the listener closes (shutdown) and returns after
+// every accepted connection was registered.
+func (srv *server) serve() {
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			return // listener closed: shutting down
+		}
+		srv.mu.Lock()
+		if srv.draining {
+			srv.mu.Unlock()
+			conn.Close() // errcheck:ok refusing a connection that raced shutdown
+			continue
+		}
+		srv.conns[conn] = struct{}{}
+		srv.wg.Add(1)
+		srv.mu.Unlock()
+		go func() {
+			defer func() {
+				srv.mu.Lock()
+				delete(srv.conns, conn)
+				srv.mu.Unlock()
+				conn.Close() // errcheck:ok second close after protocol EOF is a no-op
+				srv.wg.Done()
+			}()
+			srv.handle(conn)
+		}()
+	}
+}
+
+// shutdown stops accepting, waits for in-flight connections up to the
+// context deadline, force-closes stragglers, and closes every tenant
+// store (checkpointing durable ones through their Close path).
+func (srv *server) shutdown(ctx context.Context) error {
+	srv.mu.Lock()
+	srv.draining = true
+	srv.mu.Unlock()
+	if srv.ln != nil {
+		srv.ln.Close() // errcheck:ok double close on shutdown race is fine
+	}
+	done := make(chan struct{})
+	go func() {
+		srv.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		srv.mu.Lock()
+		for conn := range srv.conns {
+			conn.Close() // errcheck:ok force-closing drained stragglers
+		}
+		srv.mu.Unlock()
+		<-done
+	}
+	return srv.closeTenants()
+}
+
+func (srv *server) closeTenants() error {
+	var first error
+	for _, tn := range srv.tenants {
+		if err := tn.store.Close(); err != nil && first == nil {
+			first = fmt.Errorf("tenant %s: %w", tn.name, err)
+		}
+	}
+	return first
+}
+
+// handle speaks the line protocol on one connection.
+func (srv *server) handle(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	out := bufio.NewWriter(conn)
+	enc := json.NewEncoder(out)
+	var bound *tenant
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var req request
+		var resp response
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			resp = errResponse(fmt.Errorf("bad request: %w", err))
+		} else if req.Op == "auth" {
+			tn, err := srv.authenticate(req)
+			if err != nil {
+				resp = errResponse(err)
+			} else {
+				bound = tn
+				resp = response{OK: true, Tenant: tn.name}
+			}
+		} else if bound == nil {
+			resp = errResponse(errors.New("authenticate first: {\"op\":\"auth\",\"tenant\":...,\"token\":...}"))
+		} else {
+			resp = srv.dispatch(bound, req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// authenticate binds a connection to a tenant. The token comparison is
+// constant-time; the tenant-existence probe is not hidden (names are
+// not secrets here).
+func (srv *server) authenticate(req request) (*tenant, error) {
+	tn, ok := srv.tenants[req.Tenant]
+	if !ok {
+		return nil, fmt.Errorf("unknown tenant %q", req.Tenant)
+	}
+	if subtle.ConstantTimeCompare([]byte(tn.token), []byte(req.Token)) != 1 {
+		return nil, errors.New("bad token")
+	}
+	return tn, nil
+}
+
+func intp(n int) *int    { return &n }
+func boolp(b bool) *bool { return &b }
+
+func (srv *server) dispatch(tn *tenant, req request) response {
+	switch req.Op {
+	case "ping":
+		return response{OK: true, Tenant: tn.name}
+	case "insert":
+		if err := tn.store.InsertRow(req.Row...); err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true}
+	case "update":
+		match, err := tn.parseMatch(req.Match)
+		if err != nil {
+			return errResponse(err)
+		}
+		a, err := tn.resolveAttr(req.Attr)
+		if err != nil {
+			return errResponse(err)
+		}
+		v, err := tn.parseValue(req.Value)
+		if err != nil {
+			return errResponse(err)
+		}
+		if err := tn.store.UpdateTuple(match, a, v); err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true}
+	case "delete":
+		match, err := tn.parseMatch(req.Match)
+		if err != nil {
+			return errResponse(err)
+		}
+		if err := tn.store.DeleteTuple(match); err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true}
+	case "txn":
+		tx := tn.store.BeginTxn()
+		for _, op := range req.Ops {
+			if err := tn.stageOp(tx, op); err != nil {
+				tx.Rollback()
+				return errResponse(err)
+			}
+		}
+		if err := tx.Commit(); err != nil {
+			return errResponse(err)
+		}
+		return response{OK: true, N: intp(len(req.Ops))}
+	case "query":
+		p, err := fdnull.ParsePred(tn.scheme, req.Where)
+		if err != nil {
+			return errResponse(err)
+		}
+		sure, maybe := tn.store.SelectTuples(p, fdnull.QueryOptions{})
+		return response{OK: true, Sure: renderRows(sure), Maybe: renderRows(maybe)}
+	case "check":
+		return response{OK: true, Weak: boolp(tn.store.CheckWeak()), Strong: boolp(tn.store.CheckStrong())}
+	case "stats":
+		ins, upd, del, rej := tn.store.Stats()
+		return response{OK: true, Inserts: ins, Updates: upd, Deletes: del, Rejects: rej, Shards: tn.store.NumShards()}
+	case "len":
+		return response{OK: true, N: intp(tn.store.Len())}
+	default:
+		return errResponse(fmt.Errorf("unknown op %q", req.Op))
+	}
+}

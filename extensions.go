@@ -308,6 +308,39 @@ func OpenConcurrentDurableStore(dir string, opts DurableOptions) (*ConcurrentDur
 	return store.OpenDurableConcurrent(dir, opts)
 }
 
+// ---- Sharded store ----
+
+// ShardedStore is a hash-sharded constraint-maintained store: S
+// independent concurrent shards routed by the constant projection on a
+// shard key that must be a subset of every dependency's LHS (which
+// makes the chase shard-local and the sharding sound). Single-shard
+// transactions lock only their home shard; cross-shard write-sets
+// commit via lightweight two-phase commit under every touched shard's
+// lock, so no reader ever observes a partial cross-shard commit.
+type ShardedStore = store.Sharded
+
+// ShardedStoreOptions configure NewShardedStore / OpenShardedStore:
+// shard count, routing key, and the per-shard store options.
+type ShardedStoreOptions = store.ShardedOptions
+
+// ShardedTxn is a staged write-set against a sharded store. Updates and
+// deletes are content-addressed by a committed tuple (per-shard indices
+// are meaningless to facade clients).
+type ShardedTxn = store.ShardedTxn
+
+// NewShardedStore creates an empty in-memory sharded store.
+func NewShardedStore(s *schema.Scheme, fds []fd.FD, opts ShardedStoreOptions) (*ShardedStore, error) {
+	return store.NewSharded(s, fds, opts)
+}
+
+// OpenShardedStore opens (or creates) a durable sharded store: each
+// shard write-ahead logs to its own dir/shard-NN subdirectory.
+// Durability is per shard; cross-shard crash atomicity is NOT provided
+// (there is no coordinator record).
+func OpenShardedStore(dir string, s *schema.Scheme, fds []fd.FD, opts ShardedStoreOptions, dopts DurableOptions) (*ShardedStore, error) {
+	return store.OpenShardedDurable(dir, s, fds, opts, dopts)
+}
+
 // ---- Dependency discovery ----
 
 // DiscoverOptions bound the FD-discovery lattice search: determinant

@@ -150,3 +150,20 @@ func (r *Relation) IndexOn(set schema.AttrSet) *Index {
 	r.indexes[set] = ix
 	return ix
 }
+
+// ConstKeyOn returns the unambiguous encoding of t's constant
+// projection on attrs — the same length-prefixed cell encoding the
+// X-partition group keys use, so identical projections (and only those)
+// share an encoding. It reports ok=false when any projected cell is a
+// marked null or the inconsistent element: constant routing (hash
+// sharding on a key) is undefined for such tuples.
+func ConstKeyOn(t Tuple, attrs []schema.Attr) (string, bool) {
+	var b strings.Builder
+	for _, a := range attrs {
+		if !t[a].IsConst() {
+			return "", false
+		}
+		writeKeyPart(&b, t[a].Const())
+	}
+	return b.String(), true
+}

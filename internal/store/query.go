@@ -36,13 +36,20 @@ import (
 // invalidation story — any accepted mutation moves it, and the first
 // query at the new version resets the maps. Safe for concurrent use.
 type queryCache struct {
-	mu       sync.Mutex
-	version  uint64
-	results  map[string]query.Result
+	mu      sync.Mutex
+	version uint64
+	results map[string]query.Result
+	// order lists the results keys oldest-first; eviction at capacity
+	// pops the front, so the entry just published by a coalesced
+	// in-flight miss — always the back — is never the victim.
+	order    []string
 	indexes  map[schema.AttrSet]*relation.Index
 	inflight map[string]*inflightSelect
 	hits     uint64
 	misses   uint64
+	// limit overrides maxCachedResults when positive (tests exercise
+	// eviction without publishing a thousand distinct selections).
+	limit int
 }
 
 // inflightSelect coalesces concurrent identical selections: the first
@@ -68,6 +75,7 @@ func (qc *queryCache) syncLocked(ver uint64) bool {
 	if ver > qc.version {
 		qc.version = ver
 		qc.results = nil
+		qc.order = nil
 		qc.indexes = nil
 		// Orphaned in-flight entries are harmless: their leaders hold
 		// direct pointers and still close done for any joined waiters.
@@ -132,10 +140,39 @@ func cacheKey(e query.Engine, p query.Pred) string {
 // store at a stable version serving a stream of *distinct* predicates
 // (point probes across a key space, client-supplied -where strings)
 // must not grow memory without limit waiting for the next write to
-// reset the maps. When full, one arbitrary entry is evicted (map
-// iteration order) — O(1), and any evicted selection simply
-// re-evaluates on its next use.
+// reset the maps. When full, the OLDEST entry is evicted before the
+// new one is inserted — never an arbitrary map-order victim, which
+// could be the entry a coalesced in-flight miss just published, making
+// every joiner arriving after the leader re-register a miss at the
+// same version (see TestQueryCacheEvictOldestNotPublished).
 const maxCachedResults = 1024
+
+// capLocked is the effective result-cache bound (qc.mu held).
+func (qc *queryCache) capLocked() int {
+	if qc.limit > 0 {
+		return qc.limit
+	}
+	return maxCachedResults
+}
+
+// publishLocked stores res under key (qc.mu held, cache already synced
+// to the publishing version). Eviction runs before the insert and pops
+// keys oldest-first, so the key being published — appended to the back
+// of the order — can never be selected as the victim.
+func (qc *queryCache) publishLocked(key string, res query.Result) {
+	if qc.results == nil {
+		qc.results = make(map[string]query.Result)
+	}
+	if _, exists := qc.results[key]; !exists {
+		for len(qc.results) >= qc.capLocked() && len(qc.order) > 0 {
+			victim := qc.order[0]
+			qc.order = qc.order[1:]
+			delete(qc.results, victim)
+		}
+		qc.order = append(qc.order, key)
+	}
+	qc.results[key] = res
+}
 
 // selectCached answers one selection over snapshot v, serving and
 // feeding the version-keyed result cache. Concurrent identical misses
@@ -193,16 +230,7 @@ func (qc *queryCache) selectCached(v relation.View, p query.Pred, opts query.Opt
 	fl.res, fl.ok = res, true
 	qc.mu.Lock()
 	if qc.syncLocked(ver) {
-		if qc.results == nil {
-			qc.results = make(map[string]query.Result)
-		}
-		if len(qc.results) >= maxCachedResults {
-			for k := range qc.results {
-				delete(qc.results, k)
-				break
-			}
-		}
-		qc.results[key] = res
+		qc.publishLocked(key, res)
 	}
 	qc.mu.Unlock()
 	return res

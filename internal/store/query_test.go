@@ -329,3 +329,69 @@ func TestTxnQuerySnapshotIsolation(t *testing.T) {
 		t.Fatal("store query must see the committed insert")
 	}
 }
+
+// TestQueryCacheEvictOldestNotPublished pins the eviction-order bugfix:
+// publishing into a full result cache must evict the OLDEST entry, not
+// an arbitrary map-order victim — under the old arbitrary eviction the
+// victim could be the entry another leader had just published, so every
+// joiner arriving after that leader re-registered a miss at the same
+// version. Each iteration uses a fresh store; the survival assertions
+// fail with probability ~1/2 per iteration under map-order eviction.
+func TestQueryCacheEvictOldestNotPublished(t *testing.T) {
+	pred := func(s *schema.Scheme, i int) query.Pred {
+		return query.Eq{Attr: s.MustAttr("SL"), Const: fmt.Sprintf("s%d", i)}
+	}
+	for iter := 0; iter < 20; iter++ {
+		s, fds := refineScheme()
+		st := New(s, fds, Options{})
+		if err := st.InsertRow("e1", "s1", "d1"); err != nil {
+			t.Fatal(err)
+		}
+		st.qcache.limit = 2
+		st.Query(pred(s, 1)) // miss, cached (oldest)
+		st.Query(pred(s, 2)) // miss, cached
+		st.Query(pred(s, 3)) // miss, published at capacity: must evict s1 only
+		h0, m0 := st.QueryCacheStats()
+		st.Query(pred(s, 3)) // the just-published entry must have survived
+		st.Query(pred(s, 2)) // ...and so must every entry newer than the victim
+		if h1, m1 := st.QueryCacheStats(); h1 != h0+2 || m1 != m0 {
+			t.Fatalf("iter %d: eviction hit a surviving entry: hits %d->%d misses %d->%d",
+				iter, h0, h1, m0, m1)
+		}
+		st.Query(pred(s, 1)) // the oldest entry is the one that went
+		if _, m2 := st.QueryCacheStats(); m2 != m0+1 {
+			t.Fatalf("iter %d: oldest entry was not the victim", iter)
+		}
+	}
+
+	// The coalescing contract at capacity: one leader, n-1 joiners, the
+	// published entry survives its own publish — exactly one miss, and
+	// an immediate repeat is a hit.
+	s, fds := refineScheme()
+	c := NewConcurrent(s, fds, Options{})
+	if err := c.InsertRow("e1", "s1", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	c.st.qcache.limit = 1
+	c.Query(pred(s, 1)) // fills the 1-entry cache
+	_, m0 := c.QueryCacheStats()
+	p := pred(s, 2)
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Query(p)
+		}()
+	}
+	wg.Wait()
+	if _, m1 := c.QueryCacheStats(); m1 != m0+1 {
+		t.Fatalf("coalesced group at capacity: misses %d -> %d, want exactly one", m0, m1)
+	}
+	h1, _ := c.QueryCacheStats()
+	c.Query(p)
+	if h2, _ := c.QueryCacheStats(); h2 != h1+1 {
+		t.Fatal("entry published by the coalesced miss was evicted by its own publish")
+	}
+}

@@ -1,0 +1,569 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/query"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// shardScheme builds R(K, A, B) with K -> A and K -> B: the key {K} is
+// a subset of every LHS, so it is a legal shard key.
+func shardScheme() (*schema.Scheme, []fd.FD) {
+	s := schema.MustNew("R",
+		[]string{"K", "A", "B"},
+		[]*schema.Domain{
+			schema.IntDomain("key", "k", 64),
+			schema.IntDomain("alpha", "a", 16),
+			schema.IntDomain("beta", "b", 16),
+		})
+	return s, fd.MustParseSet(s, "K -> A; K -> B")
+}
+
+func mustSharded(t *testing.T, shards int, opts Options) (*Sharded, *schema.Scheme, []fd.FD) {
+	t.Helper()
+	s, fds := shardScheme()
+	sh, err := NewSharded(s, fds, ShardedOptions{Shards: shards, Key: fd.MustParseSet(s, "K -> A")[0].X, Store: opts})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	return sh, s, fds
+}
+
+// stateKeys renders a relation's content as a sorted multiset of tuple
+// strings — the shard-order-independent state identity used everywhere
+// sharded and unsharded stores are compared.
+func stateKeys(r *relation.Relation) []string {
+	keys := make([]string, 0, r.Len())
+	for _, t := range r.Tuples() {
+		keys = append(keys, t.String())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameState(a, b *relation.Relation) bool {
+	ka, kb := stateKeys(a), stateKeys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestShardedOptionsValidation(t *testing.T) {
+	s, fds := shardScheme()
+	key := fd.MustParseSet(s, "K -> A")[0].X
+	cases := []struct {
+		name string
+		opts ShardedOptions
+		want string
+	}{
+		{"zero shards", ShardedOptions{Shards: 0, Key: key}, "at least 1 shard"},
+		{"empty key", ShardedOptions{Shards: 2}, "non-empty shard key"},
+		{"key not in every LHS", ShardedOptions{Shards: 2, Key: fd.MustParseSet(s, "A -> B")[0].X}, "not a subset of the LHS"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewSharded(s, fds, tc.opts)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+	if _, err := NewSharded(s, fds, ShardedOptions{Shards: 4, Key: key}); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+func TestShardedRoutingDeterministic(t *testing.T) {
+	sh, s, _ := mustSharded(t, 8, Options{})
+	seen := map[int]int{}
+	for i := 1; i <= 64; i++ {
+		tup := relation.Tuple{value.NewConst(fmt.Sprintf("k%d", i)), value.NewConst("a1"), value.NewConst("b1")}
+		si, err := sh.ShardOf(tup)
+		if err != nil {
+			t.Fatalf("ShardOf: %v", err)
+		}
+		// Same key, different non-key cells: must co-route.
+		tup2 := relation.Tuple{value.NewConst(fmt.Sprintf("k%d", i)), sh.FreshNull(), value.NewConst("b2")}
+		if sj, _ := sh.ShardOf(tup2); sj != si {
+			t.Fatalf("key k%d routed to %d and %d", i, si, sj)
+		}
+		seen[si]++
+	}
+	if len(seen) < 4 {
+		t.Fatalf("64 keys landed on only %d of 8 shards: %v", len(seen), seen)
+	}
+	// Null on the key attribute cannot be routed.
+	bad := relation.Tuple{sh.FreshNull(), value.NewConst("a1"), value.NewConst("b1")}
+	if _, err := sh.ShardOf(bad); err == nil {
+		t.Fatalf("null key routed without error")
+	}
+	if err := sh.Insert(bad); err == nil {
+		t.Fatalf("insert with null key accepted")
+	}
+	var terr *TxnError
+	if err := sh.InsertRow("-", "a1", "b1"); !errors.As(err, &terr) {
+		t.Fatalf("row insert with null key: want *TxnError, got %v", err)
+	}
+	_ = s
+}
+
+func TestShardedBasicOpsMatchOracle(t *testing.T) {
+	for _, m := range []Maintenance{MaintenanceIncremental, MaintenanceRecheck} {
+		t.Run(m.String(), func(t *testing.T) {
+			sh, s, fds := mustSharded(t, 4, Options{Maintenance: m})
+			oracle := New(s, fds, Options{Maintenance: m})
+
+			rows := [][]string{
+				{"k1", "a1", "b1"},
+				{"k2", "-", "b2"},
+				{"k3", "a3", "-"},
+				{"k4", "-7", "-7"},
+				{"k5", "a5", "b5"},
+			}
+			for _, row := range rows {
+				if err := sh.InsertRow(row...); err != nil {
+					t.Fatalf("sharded insert %v: %v", row, err)
+				}
+				if err := oracle.InsertRow(row...); err != nil {
+					t.Fatalf("oracle insert %v: %v", row, err)
+				}
+			}
+			if sh.Len() != oracle.Len() {
+				t.Fatalf("len: sharded %d oracle %d", sh.Len(), oracle.Len())
+			}
+			if sh.NextMark() != oracle.NextMark() {
+				t.Fatalf("allocator: sharded %d oracle %d", sh.NextMark(), oracle.NextMark())
+			}
+			if !sameState(sh.Snapshot(), oracle.Snapshot()) {
+				t.Fatalf("state diverged:\nsharded %v\noracle  %v", stateKeys(sh.Snapshot()), stateKeys(oracle.Snapshot()))
+			}
+
+			// Content-addressed update and delete, mirrored by index on the
+			// oracle.
+			match := relation.Tuple{value.NewConst("k1"), value.NewConst("a1"), value.NewConst("b1")}
+			if err := sh.UpdateTuple(match, s.MustAttr("B"), value.NewConst("b9")); err != nil {
+				t.Fatalf("sharded update: %v", err)
+			}
+			if err := oracle.Update(oracle.Find(match), s.MustAttr("B"), value.NewConst("b9")); err != nil {
+				t.Fatalf("oracle update: %v", err)
+			}
+			match5 := relation.Tuple{value.NewConst("k5"), value.NewConst("a5"), value.NewConst("b5")}
+			if err := sh.DeleteTuple(match5); err != nil {
+				t.Fatalf("sharded delete: %v", err)
+			}
+			if err := oracle.Delete(oracle.Find(match5)); err != nil {
+				t.Fatalf("oracle delete: %v", err)
+			}
+			if !sameState(sh.Snapshot(), oracle.Snapshot()) {
+				t.Fatalf("state diverged after update/delete:\nsharded %v\noracle  %v",
+					stateKeys(sh.Snapshot()), stateKeys(oracle.Snapshot()))
+			}
+			i1, u1, d1, r1 := sh.Stats()
+			i2, u2, d2, r2 := oracle.Stats()
+			if i1 != i2 || u1 != u2 || d1 != d2 || r1 != r2 {
+				t.Fatalf("stats diverged: sharded (%d,%d,%d,%d) oracle (%d,%d,%d,%d)", i1, u1, d1, r1, i2, u2, d2, r2)
+			}
+			if !sh.CheckWeak() || !oracle.CheckWeak() {
+				t.Fatalf("weak satisfiability lost")
+			}
+		})
+	}
+}
+
+// TestShardedTxnCrossShard drives one transaction whose write-set spans
+// several shards and proves it commits atomically: SnapshotAll taken
+// after the commit shows every op applied, and a rejected cross-shard
+// set leaves every shard untouched and the allocator restored.
+func TestShardedTxnCrossShard(t *testing.T) {
+	for _, m := range []Maintenance{MaintenanceIncremental, MaintenanceRecheck} {
+		t.Run(m.String(), func(t *testing.T) {
+			sh, _, _ := mustSharded(t, 4, Options{Maintenance: m})
+			tx := sh.BeginTxn()
+			shardsTouched := map[int]bool{}
+			for i := 1; i <= 8; i++ {
+				row := []string{fmt.Sprintf("k%d", i), "-", fmt.Sprintf("b%d", i%8+1)}
+				if err := tx.InsertRow(row...); err != nil {
+					t.Fatalf("stage: %v", err)
+				}
+				tup := relation.Tuple{value.NewConst(fmt.Sprintf("k%d", i)), value.NewConst("a1"), value.NewConst("b1")}
+				si, _ := sh.ShardOf(tup)
+				shardsTouched[si] = true
+			}
+			if len(shardsTouched) < 2 {
+				t.Fatalf("workload does not span shards: %v", shardsTouched)
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			if sh.Len() != 8 {
+				t.Fatalf("len after cross-shard commit: %d", sh.Len())
+			}
+			total := 0
+			for _, v := range sh.SnapshotAll() {
+				total += v.Len()
+			}
+			if total != 8 {
+				t.Fatalf("SnapshotAll sees %d of 8 tuples", total)
+			}
+
+			// A cross-shard set with one violating op must leave every shard
+			// untouched and restore the allocator watermark.
+			preMark := sh.NextMark()
+			preLen := sh.Len()
+			_, _, _, preRej := sh.Stats()
+			tx = sh.BeginTxn()
+			if err := tx.InsertRow("k40", "-", "b1"); err != nil {
+				t.Fatalf("stage: %v", err)
+			}
+			// k1 already has some A value forced; inserting k1 with a
+			// different constant A violates K -> A on k1's shard.
+			cur := sh.Snapshot()
+			var k1A string
+			for _, tup := range cur.Tuples() {
+				if tup[0].IsConst() && tup[0].Const() == "k1" && tup[1].IsConst() {
+					k1A = tup[1].Const()
+				}
+			}
+			clash := "a2"
+			if k1A == "a2" {
+				clash = "a3"
+			}
+			if k1A == "" {
+				// A is still null for k1; make the clash un-unifiable by
+				// inserting two different constants for k40 instead.
+				if err := tx.InsertRow("k40", "a2", "b1"); err != nil {
+					t.Fatalf("stage: %v", err)
+				}
+				if err := tx.InsertRow("k40", "a3", "b1"); err != nil {
+					t.Fatalf("stage: %v", err)
+				}
+			} else {
+				if err := tx.InsertRow("k1", clash, "b1"); err != nil {
+					t.Fatalf("stage: %v", err)
+				}
+			}
+			err := tx.Commit()
+			if err == nil {
+				t.Fatalf("violating cross-shard commit accepted")
+			}
+			if !errors.Is(err, ErrInconsistent) {
+				t.Fatalf("want ErrInconsistent, got %v", err)
+			}
+			var terr *TxnError
+			if !errors.As(err, &terr) {
+				t.Fatalf("want *TxnError, got %T", err)
+			}
+			if sh.Len() != preLen {
+				t.Fatalf("rejected commit changed length: %d -> %d", preLen, sh.Len())
+			}
+			if sh.NextMark() != preMark {
+				t.Fatalf("rejected commit leaked marks: %d -> %d", preMark, sh.NextMark())
+			}
+			if _, _, _, rej := sh.Stats(); rej != preRej+1 {
+				t.Fatalf("rejected counter: %d -> %d", preRej, rej)
+			}
+			if !sh.CheckWeak() {
+				t.Fatalf("weak satisfiability lost")
+			}
+		})
+	}
+}
+
+func TestShardedTxnConflict(t *testing.T) {
+	sh, _, _ := mustSharded(t, 4, Options{})
+	if err := sh.InsertRow("k1", "a1", "b1"); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	home := func(k string) int {
+		si, err := sh.ShardOf(relation.Tuple{value.NewConst(k), value.NewConst("a1"), value.NewConst("b1")})
+		if err != nil {
+			t.Fatalf("ShardOf: %v", err)
+		}
+		return si
+	}
+	// Find two keys on k1's shard and one key elsewhere.
+	sameShard, otherShard := "", ""
+	for i := 2; i <= 64 && (sameShard == "" || otherShard == ""); i++ {
+		k := fmt.Sprintf("k%d", i)
+		if home(k) == home("k1") {
+			if sameShard == "" {
+				sameShard = k
+			}
+		} else if otherShard == "" {
+			otherShard = k
+		}
+	}
+	if sameShard == "" || otherShard == "" {
+		t.Fatalf("could not find co-resident and foreign keys")
+	}
+
+	// Overlapping shard: first committer wins, second aborts.
+	tx1, tx2 := sh.BeginTxn(), sh.BeginTxn()
+	if err := tx1.InsertRow(sameShard, "a2", "b2"); err != nil {
+		t.Fatalf("stage tx1: %v", err)
+	}
+	if err := tx2.InsertRow("k1", "a1", "b2"); err != nil {
+		t.Fatalf("stage tx2: %v", err)
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatalf("tx1 commit: %v", err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("tx2: want ErrTxnConflict, got %v", err)
+	}
+
+	// Disjoint shards: both commit — the sharded facade admits exactly
+	// the histories the per-shard constraint scope allows. (Re-insert
+	// the same key with the same A/B: a syntactic duplicate would be
+	// rejected, so bump B consistently via a fresh key on each shard.)
+	sameShard2 := ""
+	for i := 2; i <= 64 && sameShard2 == ""; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if k != sameShard && home(k) == home("k1") {
+			sameShard2 = k
+		}
+	}
+	if sameShard2 == "" {
+		t.Fatalf("could not find a second co-resident key")
+	}
+	tx3, tx4 := sh.BeginTxn(), sh.BeginTxn()
+	if err := tx3.InsertRow(sameShard2, "a2", "b3"); err != nil {
+		t.Fatalf("stage tx3: %v", err)
+	}
+	if err := tx4.InsertRow(otherShard, "a4", "b4"); err != nil {
+		t.Fatalf("stage tx4: %v", err)
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatalf("tx3 commit: %v", err)
+	}
+	if err := tx4.Commit(); err != nil {
+		t.Fatalf("tx4 commit (disjoint shard, should not conflict): %v", err)
+	}
+}
+
+func TestShardedCrossShardKeyMove(t *testing.T) {
+	sh, s, _ := mustSharded(t, 8, Options{})
+	if err := sh.InsertRow("k1", "a1", "b1"); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	match := relation.Tuple{value.NewConst("k1"), value.NewConst("a1"), value.NewConst("b1")}
+	from, _ := sh.ShardOf(match)
+	// Find a key constant that hashes to a different shard.
+	target := ""
+	for i := 2; i <= 64; i++ {
+		k := fmt.Sprintf("k%d", i)
+		tup := relation.Tuple{value.NewConst(k), value.NewConst("a1"), value.NewConst("b1")}
+		if si, _ := sh.ShardOf(tup); si != from {
+			target = k
+			break
+		}
+	}
+	if target == "" {
+		t.Fatalf("all keys co-resident; cannot exercise a move")
+	}
+	if err := sh.UpdateTuple(match, s.MustAttr("K"), value.NewConst(target)); err != nil {
+		t.Fatalf("cross-shard key move: %v", err)
+	}
+	moved := relation.Tuple{value.NewConst(target), value.NewConst("a1"), value.NewConst("b1")}
+	if si, j := sh.Find(moved); j < 0 || si == from {
+		t.Fatalf("moved tuple at shard %d index %d", si, j)
+	}
+	if _, j := sh.Find(match); j >= 0 {
+		t.Fatalf("source tuple still present after move")
+	}
+	if ins, upd, del, _ := sh.Stats(); ins != 1 || upd != 1 || del != 0 {
+		t.Fatalf("move miscounted: inserts=%d updates=%d deletes=%d (want 1,1,0)", ins, upd, del)
+	}
+
+	// Writing a null to the key attribute is refused at staging.
+	tx := sh.BeginTxn()
+	if err := tx.Update(moved, s.MustAttr("K"), sh.FreshNull()); err == nil {
+		t.Fatalf("null write to key attribute accepted")
+	}
+	tx.Rollback()
+
+	// A null-bearing tuple cannot migrate (marks are shard-scoped). Seed
+	// it under a key the move above did not touch.
+	seedK := "k60"
+	if seedK == target {
+		seedK = "k61"
+	}
+	if err := sh.InsertRow(seedK, "-", "b2"); err != nil {
+		t.Fatalf("seed null-bearing: %v", err)
+	}
+	var nullTup relation.Tuple
+	for _, v := range sh.SnapshotAll() {
+		for i := 0; i < v.Len(); i++ {
+			if tup := v.Tuple(i); tup[0].IsConst() && tup[0].Const() == seedK {
+				nullTup = tup.Clone()
+			}
+		}
+	}
+	home2, _ := sh.ShardOf(nullTup)
+	moveTo := ""
+	for i := 3; i <= 64; i++ {
+		k := fmt.Sprintf("k%d", i)
+		tup := nullTup.Clone()
+		tup[0] = value.NewConst(k)
+		if si, _ := sh.ShardOf(tup); si != home2 {
+			moveTo = k
+			break
+		}
+	}
+	if moveTo != "" {
+		err := sh.UpdateTuple(nullTup, s.MustAttr("K"), value.NewConst(moveTo))
+		if err == nil || !strings.Contains(err.Error(), "shard-scoped") {
+			t.Fatalf("null-bearing cross-shard move: want shard-scoped refusal, got %v", err)
+		}
+	}
+}
+
+// TestShardedTxnWriteSetOrdering pins the slot simulation: deletes and
+// updates later in one write-set address the committed state as evolved
+// by the set's own earlier swap-and-pop deletes.
+func TestShardedTxnWriteSetOrdering(t *testing.T) {
+	sh, s, _ := mustSharded(t, 1, Options{}) // one shard: all ops collide in one stream
+	rows := [][]string{{"k1", "a1", "b1"}, {"k2", "a2", "b2"}, {"k3", "a3", "b3"}}
+	for _, r := range rows {
+		if err := sh.InsertRow(r...); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+	}
+	tup := func(k, a, b string) relation.Tuple {
+		return relation.Tuple{value.NewConst(k), value.NewConst(a), value.NewConst(b)}
+	}
+	tx := sh.BeginTxn()
+	if err := tx.Delete(tup("k1", "a1", "b1")); err != nil { // swap-and-pop moves k3 into slot 0
+		t.Fatalf("stage delete: %v", err)
+	}
+	if err := tx.Update(tup("k3", "a3", "b3"), s.MustAttr("B"), value.NewConst("b9")); err != nil {
+		t.Fatalf("stage update: %v", err)
+	}
+	if err := tx.Delete(tup("k2", "a2", "b2")); err != nil {
+		t.Fatalf("stage delete 2: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if sh.Len() != 1 {
+		t.Fatalf("len after mixed write-set: %d", sh.Len())
+	}
+	if _, j := sh.Find(tup("k3", "a3", "b9")); j < 0 {
+		t.Fatalf("update after delete addressed the wrong slot: state %v", stateKeys(sh.Snapshot()))
+	}
+
+	// Double-delete of the same tuple in one write-set is structural.
+	tx = sh.BeginTxn()
+	if err := tx.Delete(tup("k3", "a3", "b9")); err != nil {
+		t.Fatalf("stage: %v", err)
+	}
+	if err := tx.Delete(tup("k3", "a3", "b9")); err != nil {
+		t.Fatalf("stage: %v", err)
+	}
+	err := tx.Commit()
+	var terr *TxnError
+	if !errors.As(err, &terr) || !strings.Contains(err.Error(), "already deleted") {
+		t.Fatalf("double delete: want already-deleted *TxnError, got %v", err)
+	}
+	if sh.Len() != 1 {
+		t.Fatalf("failed write-set mutated state")
+	}
+}
+
+func TestShardedQueryAndFind(t *testing.T) {
+	sh, s, _ := mustSharded(t, 4, Options{})
+	for i := 1; i <= 12; i++ {
+		if err := sh.InsertRow(fmt.Sprintf("k%d", i), fmt.Sprintf("a%d", i%4+1), "b1"); err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+	}
+	p, err := query.ParsePred(s, "A = a1")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sure, maybe := sh.SelectTuples(p, query.Options{})
+	if len(maybe) != 0 {
+		t.Fatalf("all-constant instance produced maybe answers: %v", maybe)
+	}
+	want := 0
+	for _, tup := range sh.Snapshot().Tuples() {
+		if tup[1].Const() == "a1" {
+			want++
+		}
+	}
+	if len(sure) != want {
+		t.Fatalf("SelectTuples: %d sure, want %d", len(sure), want)
+	}
+	for _, tup := range sure {
+		if si, j := sh.Find(tup); j < 0 || si < 0 {
+			t.Fatalf("answer tuple %s not findable", tup)
+		}
+	}
+}
+
+func TestShardedDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, fds := shardScheme()
+	key := fd.MustParseSet(s, "K -> A")[0].X
+	sopts := ShardedOptions{Shards: 4, Key: key}
+	sh, err := OpenShardedDurable(dir, s, fds, sopts, DurableOptions{})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	tx := sh.BeginTxn()
+	for i := 1; i <= 8; i++ {
+		if err := tx.InsertRow(fmt.Sprintf("k%d", i), "-", "b1"); err != nil {
+			t.Fatalf("stage: %v", err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	wantState := stateKeys(sh.Snapshot())
+	wantMark := sh.NextMark()
+	if err := sh.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Shard-count mismatch must be refused before any recovery runs.
+	if _, err := OpenShardedDurable(dir, s, fds, ShardedOptions{Shards: 2, Key: key}, DurableOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "shard directories") {
+		t.Fatalf("shard-count mismatch: want refusal, got %v", err)
+	}
+
+	re, err := OpenShardedDurable(dir, s, fds, sopts, DurableOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close() // errcheck:ok test teardown
+	got := stateKeys(re.Snapshot())
+	if fmt.Sprint(got) != fmt.Sprint(wantState) {
+		t.Fatalf("state lost across reopen:\nwant %v\ngot  %v", wantState, got)
+	}
+	if re.NextMark() < wantMark {
+		t.Fatalf("allocator regressed across reopen: %d < %d", re.NextMark(), wantMark)
+	}
+	if err := re.InsertRow("k9", "-", "b2"); err != nil {
+		t.Fatalf("insert after reopen: %v", err)
+	}
+	if !re.CheckWeak() {
+		t.Fatalf("weak satisfiability lost after reopen")
+	}
+}

@@ -285,17 +285,43 @@ func (tx *Txn) Commit() error {
 	if st.acceptedOps() != tx.baseAccepted {
 		return ErrTxnConflict
 	}
-	pre := st.rel.NextMark()
-	var err error
-	if st.incrementalMode() {
-		err = st.commitTxnIncremental(tx.ops)
-	} else {
-		err = st.commitTxnRecheck(tx.ops)
-	}
+	p, err := st.prepareTxn(tx.ops)
 	if err != nil {
 		return err
 	}
-	return st.logCommit(recTxn, pre, tx.ops)
+	p.apply()
+	return st.logCommit(recTxn, p.preMark, tx.ops)
+}
+
+// ---- two-phase decomposition (the sharded 2PC building block) ----
+
+// preparedTxn is a write-set that passed validation and constraint
+// checking but whose outcome is still undecided: exactly one of apply
+// or discard must follow, under the same exclusion that covered
+// prepareTxn (nothing may mutate the store in between). Txn.Commit is
+// prepare-then-apply on one store; the sharded coordinator prepares on
+// every touched shard first and only then applies (or discards) on all
+// of them, so no shard ever exposes a half-committed cross-shard set.
+type preparedTxn struct {
+	st      *Store
+	ops     []txnOp
+	preMark int    // allocator watermark before prepare, for logCommit
+	apply   func() // finalize: adopt the resolved state, bump counters
+	discard func() // roll every structural effect back; no-op when prepare staged on a clone
+}
+
+// prepareTxn runs the configured engine's whole commit pipeline —
+// structural application, one batched constraint check, NS-propagation
+// or chase — stopping just short of the point of no return. A non-nil
+// error means the write-set is rejected and the store is already back
+// to its pre-prepare state (rejections roll back internally, exactly as
+// Txn.Commit always did); constraint rejections bump the rejected
+// counter on this store only, since only the rejecting shard refused.
+func (st *Store) prepareTxn(ops []txnOp) (*preparedTxn, error) {
+	if st.incrementalMode() {
+		return st.prepareTxnIncremental(ops)
+	}
+	return st.prepareTxnRecheck(ops)
 }
 
 // ---- structural application (shared by both engines) ----
@@ -368,13 +394,17 @@ func (st *Store) restoreTxnSnapshot(snap relation.View, savedMark int) {
 	st.invalidateInc()
 }
 
-// commitTxnIncremental applies the write-set through the delta mutators
-// (consecutive inserts via the relation's multi-row batch), then pays
-// ONE constraint check for the whole set: eval.CheckDeltaBatch over the
-// union of the touched partition groups, and one NS-propagation
-// seeded from every staged row. Rejections roll back and delegate to
-// the recheck committer, the per-commit oracle, so the error — witness,
-// offending-op attribution, counters — is identical between engines.
+// prepareTxnIncremental applies the write-set through the delta
+// mutators (consecutive inserts via the relation's multi-row batch),
+// then pays ONE constraint check for the whole set: eval.CheckDeltaBatch
+// over the union of the touched partition groups, and one
+// NS-propagation seeded from every staged row. Rejections roll back and
+// delegate to the recheck preparer, the per-commit oracle, so the error
+// — witness, offending-op attribution, counters — is identical between
+// engines. The store carries the settled state in place after a
+// successful prepare (covered by the caller's exclusion); apply only
+// finalizes the mutation counters, and discard restores the pre-prepare
+// state through the same undo log / snapshot the rejection path uses.
 //
 // Rollback strategy: a delete-free write-set only appends rows (at the
 // tail) and overwrites cells, so an undo log restores it exactly —
@@ -383,7 +413,7 @@ func (st *Store) restoreTxnSnapshot(snap relation.View, savedMark int) {
 // (swap-and-pop), so the committer instead anchors an O(1) snapshot
 // View up front and restores from it on failure; only such commits pay
 // the COW bookkeeping on the rows the propagation later touches.
-func (st *Store) commitTxnIncremental(ops []txnOp) error {
+func (st *Store) prepareTxnIncremental(ops []txnOp) (*preparedTxn, error) {
 	st.ensureInc()
 	savedMark := st.rel.NextMark()
 	baseLen := st.rel.Len()
@@ -419,13 +449,13 @@ func (st *Store) commitTxnIncremental(ops []txnOp) error {
 		st.rel.SetNextMark(savedMark)
 		st.invalidateInc()
 	}
-	structuralFail := func(k int, err error) error {
+	structuralFail := func(k int, err error) (*preparedTxn, error) {
 		rollbackAll()
-		return &TxnError{Op: k, OpDesc: ops[k].describe(st.scheme), Err: err}
+		return nil, &TxnError{Op: k, OpDesc: ops[k].describe(st.scheme), Err: err}
 	}
-	toOracle := func() error {
+	toOracle := func() (*preparedTxn, error) {
 		rollbackAll()
-		return st.commitTxnRecheck(ops)
+		return st.prepareTxnRecheck(ops)
 	}
 
 	for k := 0; k < len(ops); k++ {
@@ -538,43 +568,70 @@ func (st *Store) commitTxnIncremental(ops []txnOp) error {
 	// Explicit marks staged by updates already advanced the allocator at
 	// apply time (applyTxnOp), identically under both engines, so there
 	// is no post-propagation bump to reconcile here.
-	st.inserts += counts[txnInsert]
-	st.updates += counts[txnUpdate]
-	st.deletes += counts[txnDelete]
-	return nil
+	return &preparedTxn{
+		st:      st,
+		ops:     ops,
+		preMark: savedMark,
+		apply: func() {
+			st.inserts += counts[txnInsert]
+			st.updates += counts[txnUpdate]
+			st.deletes += counts[txnDelete]
+		},
+		discard: rollbackAll,
+	}, nil
 }
 
 // ---- recheck commit: one chase per commit (the oracle) ----
 
-// commitTxnRecheck clones the instance, applies the write-set
+// prepareTxnRecheck clones the instance, applies the write-set
 // structurally (same delta mutators as the incremental engine, so
 // errors and index evolution agree), and runs ONE extended chase over
 // the result — this is the "one chase per commit" oracle the
-// incremental committer is differentially tested against and delegates
+// incremental preparer is differentially tested against and delegates
 // rejections to. On inconsistency the error attributes the earliest
 // staged op whose prefix already admits no completion and carries the
-// full commit's chase witness.
-func (st *Store) commitTxnRecheck(ops []txnOp) error {
+// full commit's chase witness. The store itself is untouched until
+// apply adopts the resolved clone, so discard has nothing to undo.
+func (st *Store) prepareTxnRecheck(ops []txnOp) (*preparedTxn, error) {
+	preMark := st.rel.NextMark()
 	tentative := st.rel.Clone()
 	var counts [3]int
 	for k := range ops {
 		if _, err := applyTxnOp(st.scheme, tentative, ops[k]); err != nil {
-			return &TxnError{Op: k, OpDesc: ops[k].describe(st.scheme), Err: err}
+			return nil, &TxnError{Op: k, OpDesc: ops[k].describe(st.scheme), Err: err}
 		}
 		counts[ops[k].kind]++
 	}
-	if err := st.commit("commit", tentative); err != nil {
-		var ierr *InconsistencyError
-		if errors.As(err, &ierr) {
-			k := st.offendingOp(ops)
-			return &TxnError{Op: k, OpDesc: ops[k].describe(st.scheme), Err: ierr}
-		}
-		return err
+	cur, rejectedChase, err := st.resolve(tentative)
+	if err != nil {
+		return nil, err
 	}
-	st.inserts += counts[txnInsert]
-	st.updates += counts[txnUpdate]
-	st.deletes += counts[txnDelete]
-	return nil
+	if rejectedChase != nil {
+		st.rejected++
+		k := st.offendingOp(ops)
+		return nil, &TxnError{Op: k, OpDesc: ops[k].describe(st.scheme),
+			Err: &InconsistencyError{Op: "commit", Chase: rejectedChase}}
+	}
+	// Mirror Store.commit's adoption bookkeeping: keep the allocator
+	// monotone past marks FreshNull may have handed out, and the version
+	// counter monotone past the replaced instance's.
+	if nm := tentative.NextMark(); nm > cur.NextMark() {
+		cur.SetNextMark(nm)
+	}
+	cur.BumpVersion(st.rel.Version() + 1)
+	return &preparedTxn{
+		st:      st,
+		ops:     ops,
+		preMark: preMark,
+		apply: func() {
+			st.rel = cur
+			st.invalidateInc() // the incremental state described the old instance
+			st.inserts += counts[txnInsert]
+			st.updates += counts[txnUpdate]
+			st.deletes += counts[txnDelete]
+		},
+		discard: func() {},
+	}, nil
 }
 
 // offendingOp attributes a rejected commit to the earliest staged op

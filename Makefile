@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query bench-wal smoke-wal bench-faults smoke-faults bench-shard smoke-shard smoke-serve smoke-fuzz errsweep lint fmt vet clean
+.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query bench-wal smoke-wal bench-faults smoke-faults bench-shard smoke-shard smoke-serve bench-load smoke-load smoke-fuzz errsweep lint fmt vet clean
 
 all: build test
 
@@ -107,9 +107,29 @@ smoke-shard:
 
 # Short-mode daemon smoke under the race detector: boot fdserve, hit it
 # with concurrent authenticated clients over the wire (cross-shard txns,
-# auth gating, tenant isolation), restart a durable tenant, shut down.
+# auth gating, tenant isolation, protocol abuse), restart a durable
+# tenant, shut down; plus the CLI wrapper's flag handling.
 smoke-serve:
-	$(GO) test -race -short -run 'TestServe|TestRunFlagErrors' ./cmd/fdserve
+	$(GO) test -race -short -run 'TestServe|TestLoadConfigErrors' ./internal/serve
+	$(GO) test -race -short -run 'TestRunFlagErrors' ./cmd/fdserve
+
+# The open-loop load simulator: E23 contrasts the closed-loop mean with
+# open-loop tail latency under Poisson arrivals and Zipf skew, sweeps
+# offered rate to the saturation knee at S={1,8} (>=3x bar, every point
+# state-checked against the replay oracle), and drives a live fdserve
+# daemon over TCP; the measurements are archived as BENCH_latency.json.
+bench-load:
+	$(GO) run ./cmd/fdbench -exp E23 -json BENCH_latency.json
+
+# Short-mode load-simulator smoke under the race detector: a
+# deterministic-seed open-loop run against both targets (in-process
+# sharded store with oracle replay; live daemon with over-the-wire
+# verification), schedule reproducibility, and the fdload CLI's
+# same-seed rerun contract.
+smoke-load:
+	$(GO) test -race -short -run 'TestRunStoreOracle|TestRunReproducibility|TestSweep' ./internal/loadsim
+	$(GO) test -race -short -run 'TestServeOpenLoop' ./internal/serve
+	$(GO) test -race -short -run 'TestRerunReproducesOpCounts' ./cmd/fdload
 
 # Seed-corpus fuzz smoke: the relio parser, the predicate parser, and
 # the WAL record decoder must survive their corpora (use `go test -fuzz`

@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	errsweep [dir ...]   # default: internal/iox internal/store cmd/fdserve
+//	errsweep [dir ...]   # default: internal/iox internal/store internal/serve
+//	                     #          internal/loadsim cmd/fdserve cmd/fdload
 //
 // Exits 1 listing file:line for every unannotated discard. Test files
 // are skipped: tests discard errors on purpose while arranging fixtures.
@@ -41,7 +42,10 @@ const marker = "errcheck:ok "
 func main() {
 	dirs := os.Args[1:]
 	if len(dirs) == 0 {
-		dirs = []string{"internal/iox", "internal/store", "cmd/fdserve"}
+		dirs = []string{
+			"internal/iox", "internal/store", "internal/serve",
+			"internal/loadsim", "cmd/fdserve", "cmd/fdload",
+		}
 	}
 	var findings []string
 	for _, dir := range dirs {

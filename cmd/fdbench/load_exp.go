@@ -1,0 +1,409 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"fdnull/internal/loadsim"
+	"fdnull/internal/serve"
+	"fdnull/internal/store"
+	"fdnull/internal/workload"
+)
+
+// E23: the open-loop load simulator against the store and the daemon.
+//
+// Closed-loop benchmarks (every other experiment here) issue the next
+// request only when the previous one returns: a saturated target slows
+// its own load, so the measured mean is pure service time and the
+// queueing delay production clients actually feel never appears — the
+// coordinated-omission trap. E23 drives the other way: Poisson arrivals
+// at a fixed offered rate regardless of completions, latency measured
+// from the SCHEDULED arrival, so waiting behind a backlog counts.
+//
+// Three legs, all on the KV workload (internal/workload.KV) with
+// Zipf-skewed key popularity and a write-heavy mix. The mix balances
+// key additions (inserts plus txn batches, 14% of ops) against deletes
+// (14%), so the live key population does a reflected random walk around
+// BaseKeys instead of growing with every processed op — necessary for a
+// fair sweep, because per-commit maintenance cost scales with n/S and a
+// growing store would charge high-rate points for their own volume:
+//
+//  1. Closed-loop baseline at S∈{1,8} on the recheck engine: the mean
+//     per-op service time the sharded store's scope reduction buys
+//     (E22's effect, re-measured through the simulator's sessions).
+//  2. Open-loop rate sweep at S∈{1,8}: offered rate doubles until the
+//     achieved/offered utilization falls under 85% — the saturation
+//     knee. The sweep reports p50/p99/p999 per point; past the knee the
+//     tails explode while the closed-loop mean would still look calm.
+//     The full run asserts the same bar E22 proves sequentially: S=8
+//     saturation throughput at least 3x S=1, because single-op commits
+//     chase ~n/S tuples instead of n (algorithmic, so it holds on a
+//     single-core host).
+//  3. A live fdserve daemon (internal/serve, S=8, in-process listener,
+//     real TCP) under the same open-loop spec with concurrent
+//     authenticated connections, state verified over the wire.
+//
+// Every leg's final store state is checked against an oracle replaying
+// base ∪ accepted-inserts ∖ deletes into an unsharded store before its
+// numbers count (final-state equality is maintenance-engine-independent,
+// so the replay uses the incremental engine to keep the check cheap).
+
+// e23Spec is the shared workload shape; legs override Rate/Duration.
+func e23Spec(quick bool) loadsim.Spec {
+	sp := loadsim.Spec{
+		Seed:    23,
+		Workers: 8,
+		Arrival: loadsim.ArrivalPoisson,
+		Mix: loadsim.Mix{
+			loadsim.OpRead: 15, loadsim.OpInsert: 10, loadsim.OpUpdate: 50,
+			loadsim.OpDelete: 14, loadsim.OpTxn: 1,
+		},
+		BaseKeys: 512,
+		KeySkew:  1.2,
+		Tenants:  1,
+		TxnSize:  4,
+		Duration: time.Second,
+		Warmup:   250 * time.Millisecond,
+	}
+	if quick {
+		sp.BaseKeys = 128
+		sp.Duration = 250 * time.Millisecond
+		sp.Warmup = 80 * time.Millisecond
+	}
+	return sp
+}
+
+// e23Stores builds and preloads the per-tenant sharded recheck stores
+// for sp.
+func e23Stores(sp loadsim.Spec, shards int) ([]*store.Sharded, func(int) []string, error) {
+	bound, err := loadsim.KeyBound(sp)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, fds, row := workload.KV(bound)
+	stores := make([]*store.Sharded, sp.Tenants)
+	for tn := range stores {
+		sh, err := store.NewSharded(s, fds, store.ShardedOptions{
+			Shards: shards, Key: fds[0].X,
+			Store: store.Options{Maintenance: store.MaintenanceRecheck},
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		for k := 0; k < sp.BaseKeys; k++ {
+			if err := sh.InsertRow(row(k)...); err != nil {
+				return nil, nil, fmt.Errorf("preload key %d: %v", k, err)
+			}
+		}
+		stores[tn] = sh
+	}
+	return stores, row, nil
+}
+
+// e23Oracle replays each tenant's accepted state delta into a fresh
+// unsharded store and demands tuple-identical final states.
+func e23Oracle(sp loadsim.Spec, res *loadsim.Result, stores []*store.Sharded) error {
+	bound, err := loadsim.KeyBound(sp)
+	if err != nil {
+		return err
+	}
+	s, fds, row := workload.KV(bound)
+	for tn, sh := range stores {
+		deleted := make(map[int]bool, len(res.DeletedKeys[tn]))
+		for _, k := range res.DeletedKeys[tn] {
+			deleted[k] = true
+		}
+		oracle := store.New(s, fds, store.Options{Maintenance: store.MaintenanceIncremental})
+		for k := 0; k < sp.BaseKeys; k++ {
+			if err := oracle.InsertRow(row(k)...); err != nil {
+				return fmt.Errorf("oracle base key %d: %v", k, err)
+			}
+		}
+		for _, k := range res.InsertedKeys[tn] {
+			if deleted[k] {
+				continue
+			}
+			if err := oracle.InsertRow(row(k)...); err != nil {
+				return fmt.Errorf("oracle inserted key %d: %v", k, err)
+			}
+		}
+		want, got := shardStateKeys(oracle.Snapshot()), shardStateKeys(sh.Snapshot())
+		if len(want) != len(got) {
+			return fmt.Errorf("tenant %d: %d tuples, oracle has %d", tn, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return fmt.Errorf("tenant %d: state diverged from the oracle at %s", tn, got[i])
+			}
+		}
+		if !sh.CheckWeak() {
+			return fmt.Errorf("tenant %d: final state violates the weak-convention invariant", tn)
+		}
+	}
+	if res.Errors > 0 {
+		return fmt.Errorf("%d unclassified errors, first: %s", res.Errors, res.FirstError)
+	}
+	return nil
+}
+
+// recordLoad appends a benchRecord carrying the open-loop latency
+// fields.
+func recordLoad(config string, res *loadsim.Result, speedup float64) {
+	recordBench("E23", config, res.Done, res.Elapsed, speedup)
+	r := &benchRecords[len(benchRecords)-1]
+	r.P50Ns = res.Hist.Quantile(0.50)
+	r.P99Ns = res.Hist.Quantile(0.99)
+	r.P999Ns = res.Hist.Quantile(0.999)
+	r.AchievedOpsPerS = res.AchievedRate
+}
+
+func e23OpenRow(t *table, config string, res *loadsim.Result) {
+	t.add(config,
+		fmt.Sprintf("%.0f", res.OfferedRate),
+		fmt.Sprintf("%.0f", res.AchievedRate),
+		fmt.Sprintf("%.0f%%", 100*res.AchievedRate/res.OfferedRate),
+		time.Duration(res.Hist.Quantile(0.50)).String(),
+		time.Duration(res.Hist.Quantile(0.99)).String(),
+		time.Duration(res.Hist.Quantile(0.999)).String(),
+		time.Duration(res.Hist.Max()).String())
+}
+
+func runE23(w io.Writer, quick bool) error {
+	shardCounts := []int{1, 8}
+
+	// Leg 1: closed-loop baseline — mean service time, queueing hidden.
+	fmt.Fprintf(w, "  closed-loop baseline (recheck engine): mean service time, queueing invisible\n")
+	cl := e23Spec(quick)
+	cl.Warmup = 0
+	cl.Rate = 1000 // schedule-count knob only: closed-loop ignores arrival instants
+	cl.Duration = 1200 * time.Millisecond
+	if quick {
+		cl.Duration = 300 * time.Millisecond
+	}
+	t1 := &table{header: []string{"config", "n", "wall", "mean/op", "ops/s", "vs S=1"}}
+	closedMean := make(map[int]float64)
+	for _, shards := range shardCounts {
+		stores, row, err := e23Stores(cl, shards)
+		if err != nil {
+			return err
+		}
+		res, err := loadsim.RunClosed(cl, loadsim.NewStoreTarget(stores, row, 1))
+		if err != nil {
+			return err
+		}
+		if err := e23Oracle(cl, res, stores); err != nil {
+			return fmt.Errorf("closed/S=%d: %v", shards, err)
+		}
+		closedMean[shards] = res.Hist.Mean()
+		speedup := closedMean[shardCounts[0]] / res.Hist.Mean()
+		cfg := fmt.Sprintf("closed/S=%d", shards)
+		t1.add(cfg, fmt.Sprint(res.Done), res.Elapsed.Round(time.Millisecond).String(),
+			time.Duration(int64(res.Hist.Mean())).String(),
+			fmt.Sprintf("%.0f", res.AchievedRate), fmt.Sprintf("%.1fx", speedup))
+		recordLoad(cfg, res, speedup)
+	}
+	t1.write(w)
+
+	// Leg 2: open-loop saturation sweep — offered rate doubles until the
+	// target stops absorbing it; tails measured from scheduled arrivals.
+	rates := []float64{250, 500, 1000, 2000, 4000, 8000, 16000}
+	if quick {
+		rates = []float64{400, 1600}
+	}
+	type point struct {
+		shards int
+		res    *loadsim.Result
+	}
+	var points []point
+	saturation := make(map[int]float64)
+	for _, shards := range shardCounts {
+		for _, rate := range rates {
+			sp := e23Spec(quick)
+			sp.Rate = rate
+			stores, row, err := e23Stores(sp, shards)
+			if err != nil {
+				return err
+			}
+			res, err := loadsim.Run(sp, loadsim.NewStoreTarget(stores, row, 1))
+			if err != nil {
+				return err
+			}
+			if err := e23Oracle(sp, res, stores); err != nil {
+				return fmt.Errorf("open/S=%d/rate=%.0f: %v", shards, rate, err)
+			}
+			points = append(points, point{shards, res})
+			if res.AchievedRate > saturation[shards] {
+				saturation[shards] = res.AchievedRate
+			}
+			if !quick && res.AchievedRate < 0.85*rate {
+				break // past the knee: achieved throughput has flattened
+			}
+		}
+	}
+	fmt.Fprintf(w, "\n  open-loop saturation sweep (Poisson arrivals, Zipf keys): latency from SCHEDULED arrival\n")
+	t2 := &table{header: []string{"config", "offered/s", "achieved/s", "util", "p50", "p99", "p999", "max"}}
+	for _, p := range points {
+		cfg := fmt.Sprintf("open/S=%d/rate=%.0f", p.shards, p.res.OfferedRate)
+		e23OpenRow(t2, cfg, p.res)
+		recordLoad(cfg, p.res, p.res.AchievedRate/saturation[shardCounts[0]])
+	}
+	t2.write(w)
+	ratio := saturation[8] / saturation[1]
+	fmt.Fprintf(w, "  saturation: S=1 %.0f/s, S=8 %.0f/s (%.1fx); closed-loop S=8 mean %s vs open-loop p99 at the knee\n",
+		saturation[1], saturation[8], ratio, time.Duration(int64(closedMean[8])))
+	if !quick && ratio < 3 {
+		return fmt.Errorf("open-loop saturation failed the 3x bar at S=8 (%.1fx)", ratio)
+	}
+
+	// Leg 3: the live daemon — same spec over real TCP with concurrent
+	// authenticated connections, state verified over the wire.
+	sp := e23Spec(quick)
+	sp.Rate = 1500
+	if quick {
+		sp.Rate = 400
+	}
+	res, err := e23Serve(w, sp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n  live fdserve daemon (internal/serve, S=8, TCP, %d connections)\n", sp.Workers*sp.Tenants)
+	t3 := &table{header: []string{"config", "offered/s", "achieved/s", "util", "p50", "p99", "p999", "max"}}
+	cfg := fmt.Sprintf("open/serve/rate=%.0f", sp.Rate)
+	e23OpenRow(t3, cfg, res)
+	recordLoad(cfg, res, 1)
+	t3.write(w)
+	return nil
+}
+
+// e23Serve boots an in-process fdserve daemon, preloads the base keys
+// over the wire, runs sp open-loop against it, and verifies the final
+// state over the wire (len must equal the accepted accounting, the weak
+// invariant must hold).
+func e23Serve(w io.Writer, sp loadsim.Spec) (*loadsim.Result, error) {
+	bound, err := loadsim.KeyBound(sp)
+	if err != nil {
+		return nil, err
+	}
+	_, _, row := workload.KV(bound)
+	cfg := &serve.Config{Tenants: []serve.TenantSpec{{
+		Name: "bench", Token: "bench-token", Shards: 8, Key: []string{"K"},
+		Scheme: serve.SchemeSpec{Name: "KV", Attrs: []serve.AttrSpec{
+			{Name: "K", Domain: serve.DomainSpec{Name: "key", Prefix: "k", Size: bound}},
+			{Name: "A", Domain: serve.DomainSpec{Name: "alpha", Prefix: "a", Size: 64}},
+			{Name: "B", Domain: serve.DomainSpec{Name: "beta", Prefix: "b", Size: 64}},
+		}},
+		FDs: "K -> A; K -> B",
+	}}}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		srv.CloseTenants() // errcheck:ok startup failed; listener never opened
+		return nil, err
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(w, "  (daemon shutdown: %v)\n", err)
+		}
+	}()
+
+	c, err := e23Dial(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+	if err := c.mustOK(map[string]any{"op": "auth", "tenant": "bench", "token": "bench-token"}); err != nil {
+		return nil, err
+	}
+	for k := 0; k < sp.BaseKeys; k++ {
+		if err := c.mustOK(map[string]any{"op": "insert", "row": row(k)}); err != nil {
+			return nil, fmt.Errorf("wire preload key %d: %v", k, err)
+		}
+	}
+
+	tgt := loadsim.NewWireTarget(srv.Addr(), []loadsim.WireAuth{{Tenant: "bench", Token: "bench-token"}}, row, 1)
+	res, err := loadsim.Run(sp, tgt)
+	if cerr := tgt.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Errors > 0 {
+		return nil, fmt.Errorf("wire leg: %d unclassified errors, first: %s", res.Errors, res.FirstError)
+	}
+	wantLen := sp.BaseKeys + len(res.InsertedKeys[0]) - len(res.DeletedKeys[0])
+	lenResp, err := c.call(map[string]any{"op": "len"})
+	if err != nil {
+		return nil, err
+	}
+	if n, _ := lenResp["n"].(float64); int(n) != wantLen {
+		return nil, fmt.Errorf("wire leg: len %v over the wire, accepted accounting says %d", lenResp["n"], wantLen)
+	}
+	checkResp, err := c.call(map[string]any{"op": "check"})
+	if err != nil {
+		return nil, err
+	}
+	if checkResp["weak"] != true {
+		return nil, fmt.Errorf("wire leg: weak satisfiability lost under load")
+	}
+	return res, nil
+}
+
+// e23Client is the minimal line-protocol client the wire leg uses for
+// preload and verification (the load itself goes through
+// loadsim.WireTarget).
+type e23Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+func e23Dial(addr string) (*e23Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	return &e23Client{conn: conn, sc: sc}, nil
+}
+
+func (c *e23Client) close() { c.conn.Close() } // errcheck:ok bench client teardown
+
+func (c *e23Client) call(req map[string]any) (map[string]any, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.conn.Write(append(data, '\n')); err != nil {
+		return nil, err
+	}
+	if !c.sc.Scan() {
+		return nil, fmt.Errorf("connection closed mid-call: %v", c.sc.Err())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, fmt.Errorf("bad response %q: %v", c.sc.Text(), err)
+	}
+	return resp, nil
+}
+
+func (c *e23Client) mustOK(req map[string]any) error {
+	resp, err := c.call(req)
+	if err != nil {
+		return err
+	}
+	if resp["ok"] != true {
+		return fmt.Errorf("request %v failed: %v", req, resp["error"])
+	}
+	return nil
+}

@@ -14,9 +14,11 @@
 // store's incremental vs recheck maintenance engines, E19 for the
 // query planner vs the naive selection scan, E20 for the durable
 // store's group-commit vs fsync-per-commit write path, E21 for the
-// fault-injectable I/O layer's indirection cost, and E22 for the
-// hash-sharded store's commit cost vs shard count. -json writes the
-// measurements experiments record (E20, E21, E22) as a JSON artifact.
+// fault-injectable I/O layer's indirection cost, E22 for the
+// hash-sharded store's commit cost vs shard count, and E23 for the
+// open-loop load simulator (closed-loop mean vs open-loop tail latency,
+// saturation sweep, live fdserve daemon). -json writes the measurements
+// experiments record (E20, E21, E22, E23) as a JSON artifact.
 package main
 
 import (
@@ -62,6 +64,7 @@ var experiments = []experiment{
 	{"E20", "Durable WAL — group commit vs fsync-per-commit, recovery-checked", runE20},
 	{"E21", "Fault-injectable I/O layer — iox indirection cost and degraded-mode serving", runE21},
 	{"E22", "Hash-sharded store — commit cost vs shard count, with 2PC and oracle agreement", runE22},
+	{"E23", "Open-loop load — closed-loop mean vs open-loop tails, saturation sweep, live daemon", runE23},
 }
 
 // benchRecord is one machine-readable measurement; -json writes the
@@ -69,7 +72,9 @@ var experiments = []experiment{
 // is shared by every committed BENCH_*.json: experiment id, config
 // label, op count, per-op and total wall time, throughput, speedup vs
 // the experiment's stated baseline (1.0 for the baseline itself), and
-// the run date.
+// the run date. Latency-measuring experiments (E23) additionally fill
+// the optional quantile and achieved-throughput fields; closed-loop
+// experiments leave them zero and they are omitted.
 type benchRecord struct {
 	Experiment string  `json:"experiment"`
 	Config     string  `json:"config"`
@@ -79,6 +84,13 @@ type benchRecord struct {
 	TotalNs    int64   `json:"total_ns"`
 	Speedup    float64 `json:"speedup"`
 	Date       string  `json:"date"`
+	// Optional open-loop latency measurements: latency quantiles in
+	// nanoseconds and the achieved (absorbed) throughput under the
+	// offered rate OpsPerS.
+	P50Ns           int64   `json:"p50_ns,omitempty"`
+	P99Ns           int64   `json:"p99_ns,omitempty"`
+	P999Ns          int64   `json:"p999_ns,omitempty"`
+	AchievedOpsPerS float64 `json:"achieved_ops_per_sec,omitempty"`
 }
 
 var benchRecords []benchRecord
@@ -108,7 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	benchRecords = nil
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E22) or 'all'")
+	expFlag := fs.String("exp", "all", "comma-separated experiment ids (E1..E23) or 'all'")
 	quick := fs.Bool("quick", false, "smaller sweeps for smoke testing")
 	list := fs.Bool("list", false, "list experiments and exit")
 	engineFlag := fs.String("engine", "indexed", "per-tuple evaluation engine: indexed or naive")

@@ -226,6 +226,96 @@ func TestFaultLayerSweep(t *testing.T) {
 	}
 }
 
+// TestLoadSweep runs E23 in quick mode: both closed-loop baselines and
+// every open-loop point must match the replay oracle's final state and
+// finish with zero unclassified errors, the live-daemon leg must verify
+// its state over the wire, and -json must emit one record per
+// measurement with the open-loop latency fields filled (the 3x
+// saturation bar is asserted by full runs only).
+func TestLoadSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench_load.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E23", "-json", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"closed/S=1", "closed/S=8", "open/S=1/rate=400", "open/S=8/rate=1600",
+		"open/serve/rate=400", "p999", "saturation:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("-json artifact: %v", err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("-json artifact is not valid JSON: %v", err)
+	}
+	if len(records) != 7 {
+		t.Fatalf("expected 7 records (2 closed + 4 open + 1 serve), got %d", len(records))
+	}
+	for _, r := range records {
+		if r["experiment"] != "E23" || r["total_ns"].(float64) <= 0 || r["date"] == "" {
+			t.Errorf("malformed record: %v", r)
+		}
+		p50, _ := r["p50_ns"].(float64)
+		p99, _ := r["p99_ns"].(float64)
+		p999, _ := r["p999_ns"].(float64)
+		achieved, _ := r["achieved_ops_per_sec"].(float64)
+		if !(0 < p50 && p50 <= p99 && p99 <= p999) || achieved <= 0 {
+			t.Errorf("latency fields out of order in %v", r)
+		}
+	}
+}
+
+// TestBenchArtifactSchema strict-decodes every committed BENCH_*.json
+// at the repo root against the benchRecord schema: an experiment that
+// drifts the artifact format (renamed field, wrong type, stray key)
+// fails here instead of surprising a downstream consumer.
+func TestBenchArtifactSchema(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no committed BENCH_*.json artifacts")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		var records []benchRecord
+		if err := dec.Decode(&records); err != nil {
+			t.Errorf("%s: does not match the benchRecord schema: %v", filepath.Base(path), err)
+			continue
+		}
+		if len(records) == 0 {
+			t.Errorf("%s: empty artifact", filepath.Base(path))
+		}
+		for i, r := range records {
+			if r.Experiment == "" || r.Config == "" || r.N <= 0 || r.TotalNs <= 0 ||
+				r.OpsPerS <= 0 || r.Speedup <= 0 || r.Date == "" {
+				t.Errorf("%s[%d]: incomplete record %+v", filepath.Base(path), i, r)
+			}
+			// The latency fields are optional but must be coherent when
+			// any of them is present.
+			if r.P50Ns != 0 || r.P99Ns != 0 || r.P999Ns != 0 {
+				if !(0 < r.P50Ns && r.P50Ns <= r.P99Ns && r.P99Ns <= r.P999Ns) ||
+					r.AchievedOpsPerS <= 0 {
+					t.Errorf("%s[%d]: incoherent latency fields %+v", filepath.Base(path), i, r)
+				}
+			}
+		}
+	}
+}
+
 // TestShardSweep runs E22 in quick mode: every shard count must match
 // the unsharded oracle's final state tuple-for-tuple and keep the weak
 // invariant (the 3x bar at S=8 is asserted by full runs only), and

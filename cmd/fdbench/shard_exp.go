@@ -7,11 +7,10 @@ import (
 	"sync"
 	"time"
 
-	"fdnull/internal/fd"
 	"fdnull/internal/relation"
-	"fdnull/internal/schema"
 	"fdnull/internal/store"
 	"fdnull/internal/value"
+	"fdnull/internal/workload"
 )
 
 // E22: the hash-sharded store's commit cost vs shard count.
@@ -37,31 +36,6 @@ import (
 // reports multi-writer throughput at S=1 vs S=8 (lock splitting) for
 // observability without asserting a bar — on a single-core host the
 // numbers mostly reflect scheduling, not contention relief.
-
-func shardBenchScheme(keys int) (*schema.Scheme, []fd.FD) {
-	s := schema.MustNew("R",
-		[]string{"K", "A", "B"},
-		[]*schema.Domain{
-			schema.IntDomain("key", "k", keys),
-			schema.IntDomain("alpha", "a", 64),
-			schema.IntDomain("beta", "b", 64),
-		})
-	return s, fd.MustParseSet(s, "K -> A; K -> B")
-}
-
-// shardBenchRows enumerates the workload: n rows with distinct constant
-// keys.
-func shardBenchRows(n int) [][]string {
-	rows := make([][]string, 0, n)
-	for r := 0; r < n; r++ {
-		rows = append(rows, []string{
-			fmt.Sprintf("k%d", r+1),
-			fmt.Sprintf("a%d", r%64+1),
-			fmt.Sprintf("b%d", r%64+1),
-		})
-	}
-	return rows
-}
 
 // shardBenchChunk batches rows in enumeration order, oblivious to the
 // router: under S>1 a batch's consecutive keys hash apart, so nearly
@@ -124,9 +98,12 @@ func runE22(w io.Writer, quick bool) error {
 	if quick {
 		n = 240
 	}
-	s, fds := shardBenchScheme(n + 8)
+	s, fds, kvRow := workload.KV(n + 8)
 	key := fds[0].X
-	allRows := shardBenchRows(n)
+	allRows := make([][]string, n)
+	for r := range allRows {
+		allRows[r] = kvRow(r)
+	}
 	oracleTxns := shardBenchChunk(allRows, batch)
 
 	// The unsharded oracle state all configurations must reproduce.

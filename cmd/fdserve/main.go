@@ -2,7 +2,7 @@
 // behind a TCP line protocol — the multi-tenant daemon over the
 // hash-sharded store. Each tenant is a scheme + FD set + sharded store
 // (optionally durable) guarded by an auth token; clients speak
-// newline-delimited JSON (see server.go for the ops).
+// newline-delimited JSON (see internal/serve for the ops).
 //
 // Usage:
 //
@@ -38,9 +38,10 @@ import (
 	"io"
 	"os"
 	"os/signal"
-	"sort"
 	"syscall"
 	"time"
+
+	"fdnull/internal/serve"
 )
 
 func main() {
@@ -60,38 +61,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "fdserve: -config is required")
 		return 1
 	}
-	cfg, err := loadConfig(*configPath)
+	cfg, err := serve.LoadConfig(*configPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "fdserve: %v\n", err)
 		return 1
 	}
-	srv, err := newServer(cfg)
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "fdserve: %v\n", err)
 		return 1
 	}
-	if err := srv.listen(*addr); err != nil {
+	if err := srv.Listen(*addr); err != nil {
 		fmt.Fprintf(stderr, "fdserve: %v\n", err)
-		srv.closeTenants() // errcheck:ok startup failed; listener never opened
+		srv.CloseTenants() // errcheck:ok startup failed; listener never opened
 		return 1
 	}
-	names := make([]string, 0, len(srv.tenants))
-	for name, tn := range srv.tenants {
-		names = append(names, fmt.Sprintf("%s (S=%d)", name, tn.store.NumShards()))
-	}
-	sort.Strings(names)
-	fmt.Fprintf(stdout, "fdserve: listening on %s\n", srv.addr())
-	fmt.Fprintf(stdout, "fdserve: tenants: %v\n", names)
+	fmt.Fprintf(stdout, "fdserve: listening on %s\n", srv.Addr())
+	fmt.Fprintf(stdout, "fdserve: tenants: %v\n", srv.TenantInfo())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	go srv.serve()
+	go srv.Serve()
 	<-ctx.Done()
 	stop()
 	fmt.Fprintln(stdout, "fdserve: draining")
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.shutdown(dctx); err != nil {
+	if err := srv.Shutdown(dctx); err != nil {
 		fmt.Fprintf(stderr, "fdserve: shutdown: %v\n", err)
 		return 1
 	}

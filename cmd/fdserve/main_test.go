@@ -1,0 +1,19 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFlagErrors pins the CLI entry's failure modes (missing config,
+// unreadable config) without booting a daemon.
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 1 || !strings.Contains(errb.String(), "-config is required") {
+		t.Fatalf("missing -config: code %d, stderr %q", code, errb.String())
+	}
+	errb.Reset()
+	if code := run([]string{"-config", "/nonexistent/tenants.json"}, &out, &errb); code != 1 {
+		t.Fatalf("unreadable config accepted: %d", code)
+	}
+}

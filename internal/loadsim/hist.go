@@ -1,0 +1,194 @@
+// hist.go implements the latency histogram the open-loop runner records
+// into: HDR-style log-bucketed counters — exact buckets below 2^subBits,
+// then 2^subBits linear sub-buckets per power of two — so any recorded
+// value lands in a bucket whose width is at most value/2^subBits and
+// every quantile estimate carries a bounded relative error of
+// 1/2^subBits (~1.6% at subBits=6), independent of the distribution.
+//
+// A Hist is deliberately NOT thread-safe: the runner gives each worker
+// its own histogram (and one per timeline second), so the record path is
+// a plain array increment with no locks or atomics, and the final
+// numbers come from merging the per-worker histograms after the run.
+// Merge is associative and commutative (bucket-wise addition), which the
+// unit tests pin, so the merge order across workers cannot change any
+// reported quantile.
+package loadsim
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"time"
+)
+
+// subBits is the sub-bucket resolution: 2^subBits linear buckets per
+// octave, bounding quantile relative error by 2^-subBits.
+const subBits = 6
+
+// Hist is a log-bucketed histogram of non-negative int64 samples
+// (latencies in nanoseconds). The zero value is ready to use.
+type Hist struct {
+	// counts[octave*2^subBits + sub]; octave 0 holds the exact values
+	// 0..2^subBits-1, octave k>0 holds [2^(subBits+k-1), 2^(subBits+k))
+	// split into 2^subBits equal sub-buckets. Grown on demand.
+	counts []uint64
+	n      uint64
+	sum    int64
+	max    int64
+	min    int64
+}
+
+// bucketOf maps a sample to its bucket index.
+func bucketOf(v int64) int {
+	if v < 1<<subBits {
+		return int(v)
+	}
+	// msb >= subBits; octave 1 starts at 2^subBits.
+	msb := bits.Len64(uint64(v)) - 1
+	octave := msb - subBits + 1
+	sub := int(v>>(msb-subBits)) - (1 << subBits)
+	return octave<<subBits + sub
+}
+
+// bucketHigh is the inclusive upper bound of bucket i — the value
+// Quantile reports, so estimates never undershoot the true sample.
+func bucketHigh(i int) int64 {
+	octave := i >> subBits
+	sub := int64(i & (1<<subBits - 1))
+	if octave == 0 {
+		return sub
+	}
+	return (1<<subBits+sub+1)<<(octave-1) - 1
+}
+
+// Record adds one sample. Negative samples are clamped to zero (the
+// runner can observe a sub-tick negative queueing delay from clock
+// granularity).
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bucketOf(v)
+	if i >= len(h.counts) {
+		grown := make([]uint64, (i/(1<<subBits)+1)<<subBits)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Hist) Min() int64 { return h.min }
+
+// Mean returns the exact mean of the recorded samples (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Merge adds o's samples into h. Bucket-wise addition: associative,
+// commutative, and quantile-exact with respect to recording the union
+// of the two sample streams into one histogram.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if len(o.counts) > len(h.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+}
+
+// Quantile returns the q-quantile (q in [0,1]) as the inclusive upper
+// bound of the bucket holding the ceil(q*n)-th smallest sample, so the
+// estimate is >= the true order statistic and at most a factor
+// 1+2^-subBits above it. Empty histograms report 0.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	rank := uint64(q * float64(h.n))
+	if float64(rank) < q*float64(h.n) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			hi := bucketHigh(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Summary renders the standard quantile line for human output.
+func (h *Hist) Summary() string {
+	return fmt.Sprintf("p50=%s p90=%s p99=%s p999=%s max=%s",
+		time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.90)),
+		time.Duration(h.Quantile(0.99)), time.Duration(h.Quantile(0.999)),
+		time.Duration(h.max))
+}
+
+// exactQuantile is the sorted-slice oracle the histogram's error bound
+// is tested against (exported to the tests via export_test-style use in
+// the same package).
+func exactQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if !sort.SliceIsSorted(sorted, func(i, j int) bool { return sorted[i] < sorted[j] }) {
+		panic("exactQuantile: input not sorted")
+	}
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

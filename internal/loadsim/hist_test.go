@@ -1,0 +1,157 @@
+package loadsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// relBound is the histogram's guaranteed quantile error: estimates are
+// >= the exact order statistic and at most a factor 1+2^-subBits above
+// it (see bucketHigh).
+const relBound = 1.0 + 1.0/(1<<subBits)
+
+// distributions the error bound is exercised on: the shapes latency
+// actually takes (uniform noise, exponential service, lognormal-ish
+// heavy tails, bimodal fast-path/slow-path).
+var distributions = []struct {
+	name string
+	draw func(rng *rand.Rand) int64
+}{
+	{"uniform", func(rng *rand.Rand) int64 { return rng.Int63n(2_000_000_000) }},
+	{"exponential", func(rng *rand.Rand) int64 { return int64(rng.ExpFloat64() * 5e6) }},
+	{"lognormal", func(rng *rand.Rand) int64 { return int64(math.Exp(rng.NormFloat64()*2 + 12)) }},
+	{"bimodal", func(rng *rand.Rand) int64 {
+		if rng.Intn(10) == 0 {
+			return 50_000_000 + rng.Int63n(1_000_000_000)
+		}
+		return 10_000 + rng.Int63n(100_000)
+	}},
+	{"tiny", func(rng *rand.Rand) int64 { return rng.Int63n(64) }},
+}
+
+// TestHistQuantileErrorBound pins the log-bucket quantile error against
+// the exact sorted-slice oracle on randomized latency distributions:
+// never below the true order statistic, never more than relBound above.
+func TestHistQuantileErrorBound(t *testing.T) {
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for _, dist := range distributions {
+		for seed := int64(1); seed <= 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			n := 1000 + rng.Intn(9000)
+			var h Hist
+			samples := make([]int64, n)
+			for i := range samples {
+				samples[i] = dist.draw(rng)
+				h.Record(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			if h.Count() != uint64(n) {
+				t.Fatalf("%s/%d: count %d, want %d", dist.name, seed, h.Count(), n)
+			}
+			if h.Max() != samples[n-1] || h.Min() != samples[0] {
+				t.Fatalf("%s/%d: min/max %d/%d, want %d/%d",
+					dist.name, seed, h.Min(), h.Max(), samples[0], samples[n-1])
+			}
+			for _, q := range quantiles {
+				exact := exactQuantile(samples, q)
+				est := h.Quantile(q)
+				if est < exact {
+					t.Errorf("%s/%d q=%v: estimate %d below exact %d", dist.name, seed, q, est, exact)
+				}
+				if float64(est) > float64(exact)*relBound {
+					t.Errorf("%s/%d q=%v: estimate %d exceeds exact %d by more than %.4fx",
+						dist.name, seed, q, est, exact, relBound)
+				}
+			}
+		}
+	}
+}
+
+// TestHistMergeAssociative pins bucket-wise merge semantics: any
+// grouping of worker histograms — including recording everything into
+// one — yields identical counts, extrema, and quantiles.
+func TestHistMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	streams := make([][]int64, 3)
+	for i := range streams {
+		n := 500 + rng.Intn(2000)
+		streams[i] = make([]int64, n)
+		for j := range streams[i] {
+			streams[i][j] = distributions[i%len(distributions)].draw(rng)
+		}
+	}
+	record := func(vals ...[]int64) *Hist {
+		var h Hist
+		for _, vs := range vals {
+			for _, v := range vs {
+				h.Record(v)
+			}
+		}
+		return &h
+	}
+	hs := func(i int) *Hist { return record(streams[i]) }
+
+	// ((a+b)+c)
+	left := hs(0)
+	left.Merge(hs(1))
+	left.Merge(hs(2))
+	// (a+(b+c))
+	right := hs(1)
+	right.Merge(hs(2))
+	a := hs(0)
+	a.Merge(right)
+	// everything in one histogram
+	one := record(streams[0], streams[1], streams[2])
+	// merge order permuted
+	perm := hs(2)
+	perm.Merge(hs(0))
+	perm.Merge(hs(1))
+
+	for name, h := range map[string]*Hist{"right-assoc": a, "single": one, "permuted": perm} {
+		if h.Count() != left.Count() || h.Max() != left.Max() || h.Min() != left.Min() || h.Mean() != left.Mean() {
+			t.Fatalf("%s: summary stats diverge from left-assoc merge", name)
+		}
+		for q := 0.0; q <= 1.0; q += 0.001 {
+			if h.Quantile(q) != left.Quantile(q) {
+				t.Fatalf("%s: quantile %v diverges: %d vs %d", name, q, h.Quantile(q), left.Quantile(q))
+			}
+		}
+	}
+
+	// Merging an empty or nil histogram is the identity.
+	empty := &Hist{}
+	before := left.Count()
+	left.Merge(empty)
+	left.Merge(nil)
+	if left.Count() != before {
+		t.Fatalf("merging empty changed the count")
+	}
+}
+
+// TestHistEdgeCases pins the degenerate paths: empty histogram, single
+// sample, negative clamp, and the Summary rendering.
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram should report zeros")
+	}
+	h.Record(-5)
+	if h.Count() != 1 || h.Max() != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("negative samples should clamp to zero: %+v", h)
+	}
+	var one Hist
+	one.Record(123456)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := one.Quantile(q)
+		if got < 123456 || float64(got) > 123456*relBound {
+			t.Fatalf("single-sample quantile %v = %d out of bound", q, got)
+		}
+	}
+	if s := one.Summary(); s == "" {
+		t.Fatal("empty summary")
+	}
+	_ = time.Duration(0)
+}

@@ -1,0 +1,293 @@
+package loadsim
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func baseSpec() Spec {
+	return Spec{
+		Seed:     42,
+		Rate:     2000,
+		Duration: 2 * time.Second,
+		Warmup:   200 * time.Millisecond,
+		Mix:      Mix{OpRead: 50, OpInsert: 25, OpUpdate: 10, OpDelete: 5, OpTxn: 8, OpDiscover: 2},
+		BaseKeys: 100,
+		Tenants:  3,
+	}
+}
+
+// TestScheduleDeterminism pins the reproducibility contract: equal
+// specs yield byte-identical schedules (arrival instants, kinds, keys,
+// tenants), and IssuedCounts agrees with the schedule it summarizes.
+func TestScheduleDeterminism(t *testing.T) {
+	for _, arrival := range []Arrival{ArrivalFixed, ArrivalPoisson} {
+		sp := baseSpec()
+		sp.Arrival = arrival
+		sp.KeySkew = 1.2
+		sp.TenantSkew = 1.5
+		if err := sp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		a, b := schedule(sp), schedule(sp)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: same spec produced different schedules", arrival)
+		}
+		counts, err := IssuedCounts(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromSched := make(map[string]int)
+		for _, r := range a {
+			fromSched[r.kind.String()]++
+		}
+		if !reflect.DeepEqual(counts, fromSched) {
+			t.Fatalf("%s: IssuedCounts %v disagrees with schedule %v", arrival, counts, fromSched)
+		}
+		sp2 := sp
+		sp2.Seed = sp.Seed + 1
+		if reflect.DeepEqual(schedule(sp2), a) {
+			t.Fatalf("%s: different seeds produced identical schedules", arrival)
+		}
+	}
+}
+
+// TestFixedArrival pins the fixed process: request i arrives exactly at
+// i/rate, so the count over the horizon is rate×horizon.
+func TestFixedArrival(t *testing.T) {
+	sp := baseSpec()
+	sp.Arrival = ArrivalFixed
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	reqs := schedule(sp)
+	want := int(sp.Rate * (sp.Duration + sp.Warmup).Seconds())
+	if len(reqs) != want {
+		t.Fatalf("fixed arrivals: %d requests, want %d", len(reqs), want)
+	}
+	for i, r := range reqs {
+		want := time.Duration(float64(i) / sp.Rate * float64(time.Second))
+		if r.at != want {
+			t.Fatalf("request %d at %v, want %v", i, r.at, want)
+		}
+	}
+}
+
+// TestPoissonArrival checks the memoryless process statistically: the
+// arrival count concentrates near rate×horizon (sd ≈ √n, so ±10% is
+// ~6 sigma at n=4400) and the mean gap near 1/rate.
+func TestPoissonArrival(t *testing.T) {
+	sp := baseSpec()
+	sp.Arrival = ArrivalPoisson
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	reqs := schedule(sp)
+	expect := sp.Rate * (sp.Duration + sp.Warmup).Seconds()
+	if f := float64(len(reqs)); f < 0.9*expect || f > 1.1*expect {
+		t.Fatalf("poisson arrivals: %d requests, want about %.0f", len(reqs), expect)
+	}
+	var gapSum time.Duration
+	prev := time.Duration(0)
+	for _, r := range reqs {
+		if r.at < prev {
+			t.Fatalf("arrival instants must be nondecreasing")
+		}
+		gapSum += r.at - prev
+		prev = r.at
+	}
+	meanGap := float64(gapSum) / float64(len(reqs)) / float64(time.Second)
+	if meanGap < 0.9/sp.Rate || meanGap > 1.1/sp.Rate {
+		t.Fatalf("mean inter-arrival gap %.3gs, want about %.3gs", meanGap, 1/sp.Rate)
+	}
+}
+
+// TestKeySkew pins the popularity shapes: Zipf concentrates reads on
+// rank-0 keys, uniform spreads them evenly.
+func TestKeySkew(t *testing.T) {
+	freq := func(skew float64) []int {
+		sp := baseSpec()
+		sp.Mix = Mix{OpRead: 1}
+		sp.KeySkew = skew
+		if err := sp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, sp.BaseKeys)
+		for _, r := range schedule(sp) {
+			counts[r.key]++
+		}
+		return counts
+	}
+	samples := int(baseSpec().Rate * (baseSpec().Duration + baseSpec().Warmup).Seconds())
+	mean := float64(samples) / float64(baseSpec().BaseKeys)
+
+	zipf := freq(1.5)
+	hottest := 0
+	for k, c := range zipf {
+		if c > zipf[hottest] {
+			hottest = k
+		}
+	}
+	if hottest != 0 {
+		t.Fatalf("zipf: hottest key is %d, want 0", hottest)
+	}
+	if float64(zipf[0]) < 3*mean {
+		t.Fatalf("zipf: key 0 drew %d, want well above the uniform mean %.0f", zipf[0], mean)
+	}
+
+	uniform := freq(0)
+	for k, c := range uniform {
+		if math.Abs(float64(c)-mean) > 6*math.Sqrt(mean) {
+			t.Fatalf("uniform: key %d drew %d, mean is %.0f", k, c, mean)
+		}
+	}
+}
+
+// TestTenantSpread: every tenant receives traffic under uniform
+// selection, and skewed selection favors tenant 0.
+func TestTenantSpread(t *testing.T) {
+	sp := baseSpec()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, sp.Tenants)
+	for _, r := range schedule(sp) {
+		counts[r.tenant]++
+	}
+	for tn, c := range counts {
+		if c == 0 {
+			t.Fatalf("tenant %d received no requests", tn)
+		}
+	}
+	sp.TenantSkew = 2
+	skewed := make([]int, sp.Tenants)
+	for _, r := range schedule(sp) {
+		skewed[r.tenant]++
+	}
+	if skewed[0] <= skewed[1] || skewed[0] <= skewed[2] {
+		t.Fatalf("tenant skew 2: tenant 0 drew %d, others %v", skewed[0], skewed[1:])
+	}
+}
+
+// TestFreshKeys: inserts and txn batches take ascending, non-overlapping
+// fresh keys per tenant starting at the base population, and KeyBound
+// covers exactly the highest assigned key.
+func TestFreshKeys(t *testing.T) {
+	sp := baseSpec()
+	sp.TxnSize = 3
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	next := make([]int, sp.Tenants)
+	for i := range next {
+		next[i] = sp.BaseKeys
+	}
+	high := sp.BaseKeys
+	for _, r := range schedule(sp) {
+		switch r.kind {
+		case OpRead, OpUpdate:
+			if r.key < 0 || r.key >= sp.BaseKeys {
+				t.Fatalf("read/update key %d outside the base population", r.key)
+			}
+		case OpInsert:
+			if r.key != next[r.tenant] {
+				t.Fatalf("insert key %d for tenant %d, want %d", r.key, r.tenant, next[r.tenant])
+			}
+			next[r.tenant]++
+		case OpTxn:
+			if r.key != next[r.tenant] || r.txnSize != sp.TxnSize {
+				t.Fatalf("txn key %d size %d for tenant %d, want %d size %d",
+					r.key, r.txnSize, r.tenant, next[r.tenant], sp.TxnSize)
+			}
+			next[r.tenant] += sp.TxnSize
+		}
+		for _, n := range next {
+			if n > high {
+				high = n
+			}
+		}
+	}
+	bound, err := KeyBound(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound != high {
+		t.Fatalf("KeyBound %d, want %d", bound, high)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("read=60, insert=25,update=10,txn=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Mix{OpRead: 60, OpInsert: 25, OpUpdate: 10, OpTxn: 5}
+	if m != want {
+		t.Fatalf("parsed %v, want %v", m, want)
+	}
+	if s := m.String(); s != "read=60,insert=25,update=10,txn=5" {
+		t.Fatalf("mix string %q", s)
+	}
+	for _, bad := range []string{"read", "read=x", "read=-1", "flush=3"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) should fail", bad)
+		}
+	}
+	if _, err := ParseArrival("poisson"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseArrival("bursty"); err == nil {
+		t.Fatal("ParseArrival should reject unknown processes")
+	}
+	if _, err := ParseOpKind("discover"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseOpKind("compact"); err == nil {
+		t.Fatal("ParseOpKind should reject unknown ops")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Spec){
+		func(sp *Spec) { sp.Rate = 0 },
+		func(sp *Spec) { sp.Duration = 0 },
+		func(sp *Spec) { sp.Warmup = -time.Second },
+		func(sp *Spec) { sp.Workers = -1 },
+		func(sp *Spec) { sp.BaseKeys = -1 },
+		func(sp *Spec) { sp.KeySkew = 0.5 },
+		func(sp *Spec) { sp.Tenants = -2 },
+		func(sp *Spec) { sp.TenantSkew = 1 },
+		func(sp *Spec) { sp.TxnSize = -1 },
+		func(sp *Spec) { sp.DiscoverMaxLHS = -1 },
+	}
+	for i, mutate := range bad {
+		sp := baseSpec()
+		mutate(&sp)
+		if err := sp.Validate(); err == nil {
+			t.Fatalf("bad spec %d validated", i)
+		}
+	}
+	sp := Spec{Rate: 100, Duration: time.Second}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Workers != 8 || sp.BaseKeys != 512 || sp.Tenants != 1 || sp.TxnSize != 4 || sp.DiscoverMaxLHS != 1 {
+		t.Fatalf("defaults not normalized: %+v", sp)
+	}
+	if sp.Mix.total() == 0 {
+		t.Fatal("default mix not applied")
+	}
+}
+
+func TestFormatCounts(t *testing.T) {
+	got := FormatCounts(map[string]int{"txn": 3, "read": 10, "insert": 4})
+	if got != "insert=4 read=10 txn=3" {
+		t.Fatalf("FormatCounts = %q", got)
+	}
+	if !strings.Contains(Mix{OpRead: 1}.String(), "read=1") {
+		t.Fatal("mix string missing read")
+	}
+}

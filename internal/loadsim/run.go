@@ -1,0 +1,431 @@
+// run.go is the open-loop measurement engine: a clocked injector walks
+// the precomputed schedule and enqueues each request at its arrival
+// instant whether or not earlier requests completed; a fixed worker
+// pool drains the queue; latency is completion minus SCHEDULED arrival,
+// so queueing delay behind a saturated target is measured, not hidden.
+// All measurement state is worker-private (per-worker histograms, one
+// per timeline second) and merged after the pool drains — the hot path
+// takes no locks beyond what the target itself does.
+package loadsim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Second is one per-second point of the latency trajectory, bucketed by
+// scheduled arrival second within the measured window.
+type Second struct {
+	// Sec is the second index (0 = first measured second).
+	Sec int `json:"sec"`
+	// Done counts completions of requests that arrived in this second;
+	// Errors the subset that failed (any non-ok outcome).
+	Done   int `json:"done"`
+	Errors int `json:"errors,omitempty"`
+	// Latency quantiles in nanoseconds.
+	P50Ns  int64 `json:"p50_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	P999Ns int64 `json:"p999_ns"`
+	MaxNs  int64 `json:"max_ns"`
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Spec Spec `json:"spec"`
+	// Offered is the scheduled request count (warmup included); Issued
+	// the per-kind breakdown — both exactly reproducible from the seed.
+	Offered int            `json:"offered"`
+	Issued  map[string]int `json:"issued"`
+	// Measured outcome counts (post-warmup arrivals only).
+	Done      int `json:"done"`
+	OK        int `json:"ok"`
+	Conflicts int `json:"conflicts,omitempty"`
+	Rejected  int `json:"rejected,omitempty"`
+	NoTarget  int `json:"no_target,omitempty"`
+	Errors    int `json:"errors,omitempty"`
+	// FirstError is the first unclassified failure, kept for diagnosis
+	// (classified outcomes — conflict/rejected/no-target — are expected
+	// under load and not reported here).
+	FirstError string `json:"first_error,omitempty"`
+	// OfferedRate is the spec's rate; AchievedRate is ok completions
+	// over the measured wall clock (first measured arrival to last
+	// measured completion) — the saturation signal.
+	OfferedRate  float64 `json:"offered_rate"`
+	AchievedRate float64 `json:"achieved_rate"`
+	// Elapsed is the whole run's wall clock, drain included.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Hist holds every measured latency; Timeline the per-second
+	// trajectory.
+	Hist     *Hist    `json:"-"`
+	Timeline []Second `json:"timeline,omitempty"`
+	// InsertedKeys and DeletedKeys are the fresh keys ACCEPTED by
+	// inserts/txns and deletes, per tenant, warmup included — the
+	// replayable state delta (final state = base ∪ inserted ∖ deleted).
+	InsertedKeys [][]int `json:"-"`
+	DeletedKeys  [][]int `json:"-"`
+}
+
+// workerState is one executor's private measurement state.
+type workerState struct {
+	hist     Hist
+	seconds  []*Hist
+	secDone  []int
+	secErr   []int
+	done     int
+	ok       int
+	conflict int
+	rejected int
+	noTarget int
+	errs     int
+	inserted [][]int
+	deleted  [][]int
+	lastDone time.Duration // completion instant of the last measured request
+	firstErr error
+}
+
+// Run executes sp against tgt and returns the merged measurements. The
+// run fails only on harness errors (session setup, unknown ops);
+// target-level failures are counted outcomes.
+func Run(sp Spec, tgt Target) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := schedule(sp)
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("loadsim: empty schedule (rate %v over %v)", sp.Rate, sp.Duration)
+	}
+	issued := make(map[string]int)
+	for _, r := range reqs {
+		issued[r.kind.String()]++
+	}
+	secs := int(sp.Duration/time.Second) + 1
+	rec, _ := tgt.(poolRecorder)
+
+	states := make([]*workerState, sp.Workers)
+	sessions := make([]Session, sp.Workers)
+	for w := range states {
+		s, err := tgt.Session(w)
+		if err != nil {
+			return nil, fmt.Errorf("loadsim: session %d: %w", w, err)
+		}
+		sessions[w] = s
+		ws := &workerState{
+			seconds:  make([]*Hist, secs),
+			secDone:  make([]int, secs),
+			secErr:   make([]int, secs),
+			inserted: make([][]int, sp.Tenants),
+			deleted:  make([][]int, sp.Tenants),
+		}
+		for i := range ws.seconds {
+			ws.seconds[i] = &Hist{}
+		}
+		states[w] = ws
+	}
+
+	ch := make(chan request, len(reqs))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < sp.Workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws, sess := states[w], sessions[w]
+			for r := range ch {
+				delKey, err := sess.Do(r)
+				now := time.Since(start)
+				// Key accounting is state, not measurement: always on.
+				if err == nil {
+					switch r.kind {
+					case OpInsert:
+						ws.inserted[r.tenant] = append(ws.inserted[r.tenant], r.key)
+						if rec != nil {
+							rec.recordInsert(r.tenant, r.key)
+						}
+					case OpTxn:
+						keys := make([]int, r.txnSize)
+						for i := range keys {
+							keys[i] = r.key + i
+						}
+						ws.inserted[r.tenant] = append(ws.inserted[r.tenant], keys...)
+						if rec != nil {
+							rec.recordInsert(r.tenant, keys...)
+						}
+					case OpDelete:
+						ws.deleted[r.tenant] = append(ws.deleted[r.tenant], delKey)
+					}
+				}
+				if r.at < sp.Warmup {
+					continue
+				}
+				lat := int64(now - r.at)
+				ws.hist.Record(lat)
+				sec := int((r.at - sp.Warmup) / time.Second)
+				ws.seconds[sec].Record(lat)
+				ws.secDone[sec]++
+				ws.done++
+				if now > ws.lastDone {
+					ws.lastDone = now
+				}
+				switch {
+				case err == nil:
+					ws.ok++
+				case errors.Is(err, ErrConflict):
+					ws.conflict++
+					ws.secErr[sec]++
+				case errors.Is(err, ErrRejected):
+					ws.rejected++
+					ws.secErr[sec]++
+				case errors.Is(err, ErrNoTarget):
+					ws.noTarget++
+					ws.secErr[sec]++
+				default:
+					ws.errs++
+					ws.secErr[sec]++
+					if ws.firstErr == nil {
+						ws.firstErr = err
+					}
+				}
+			}
+		}()
+	}
+
+	// The injector: release each request at its scheduled instant. The
+	// channel holds the whole schedule, so a saturated target can never
+	// push back on arrivals — that is the open-loop contract.
+	for _, r := range reqs {
+		if d := r.at - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		ch <- r
+	}
+	close(ch)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Spec:         sp,
+		Offered:      len(reqs),
+		Issued:       issued,
+		OfferedRate:  sp.Rate,
+		Elapsed:      elapsed,
+		Hist:         &Hist{},
+		InsertedKeys: make([][]int, sp.Tenants),
+		DeletedKeys:  make([][]int, sp.Tenants),
+	}
+	var lastDone time.Duration
+	perSec := make([]*Hist, secs)
+	for i := range perSec {
+		perSec[i] = &Hist{}
+	}
+	secDone := make([]int, secs)
+	secErr := make([]int, secs)
+	for _, ws := range states {
+		res.Hist.Merge(&ws.hist)
+		res.Done += ws.done
+		res.OK += ws.ok
+		res.Conflicts += ws.conflict
+		res.Rejected += ws.rejected
+		res.NoTarget += ws.noTarget
+		res.Errors += ws.errs
+		for i := range perSec {
+			perSec[i].Merge(ws.seconds[i])
+			secDone[i] += ws.secDone[i]
+			secErr[i] += ws.secErr[i]
+		}
+		for tn := range ws.inserted {
+			res.InsertedKeys[tn] = append(res.InsertedKeys[tn], ws.inserted[tn]...)
+			res.DeletedKeys[tn] = append(res.DeletedKeys[tn], ws.deleted[tn]...)
+		}
+		if ws.lastDone > lastDone {
+			lastDone = ws.lastDone
+		}
+		if ws.firstErr != nil && res.FirstError == "" {
+			res.FirstError = ws.firstErr.Error()
+		}
+	}
+	for tn := range res.InsertedKeys {
+		sort.Ints(res.InsertedKeys[tn])
+		sort.Ints(res.DeletedKeys[tn])
+	}
+	for i := range perSec {
+		if secDone[i] == 0 {
+			continue
+		}
+		res.Timeline = append(res.Timeline, Second{
+			Sec: i, Done: secDone[i], Errors: secErr[i],
+			P50Ns:  perSec[i].Quantile(0.50),
+			P99Ns:  perSec[i].Quantile(0.99),
+			P999Ns: perSec[i].Quantile(0.999),
+			MaxNs:  perSec[i].Max(),
+		})
+	}
+	if window := lastDone - sp.Warmup; window > 0 {
+		res.AchievedRate = float64(res.OK) / window.Seconds()
+	}
+	return res, nil
+}
+
+// RunClosed executes sp's schedule back-to-back on one session — the
+// closed-loop baseline: each request starts only when the previous one
+// returns, so the measured latency is pure service time and every
+// queueing effect is hidden (the coordinated-omission shape open-loop
+// measurement exists to avoid). Arrival instants and warmup are
+// ignored; the schedule contributes only the op/key/tenant sequence.
+// AchievedRate is therefore also the offered rate: the driver cannot
+// out-offer the target.
+func RunClosed(sp Spec, tgt Target) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := schedule(sp)
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("loadsim: empty schedule (rate %v over %v)", sp.Rate, sp.Duration)
+	}
+	issued := make(map[string]int)
+	for _, r := range reqs {
+		issued[r.kind.String()]++
+	}
+	sess, err := tgt.Session(0)
+	if err != nil {
+		return nil, fmt.Errorf("loadsim: session: %w", err)
+	}
+	rec, _ := tgt.(poolRecorder)
+	res := &Result{
+		Spec:         sp,
+		Offered:      len(reqs),
+		Issued:       issued,
+		OfferedRate:  sp.Rate,
+		Hist:         &Hist{},
+		InsertedKeys: make([][]int, sp.Tenants),
+		DeletedKeys:  make([][]int, sp.Tenants),
+	}
+	var firstErr error
+	start := time.Now()
+	for _, r := range reqs {
+		t0 := time.Now()
+		delKey, err := sess.Do(r)
+		res.Hist.Record(int64(time.Since(t0)))
+		res.Done++
+		if err == nil {
+			res.OK++
+			switch r.kind {
+			case OpInsert:
+				res.InsertedKeys[r.tenant] = append(res.InsertedKeys[r.tenant], r.key)
+				if rec != nil {
+					rec.recordInsert(r.tenant, r.key)
+				}
+			case OpTxn:
+				keys := make([]int, r.txnSize)
+				for i := range keys {
+					keys[i] = r.key + i
+				}
+				res.InsertedKeys[r.tenant] = append(res.InsertedKeys[r.tenant], keys...)
+				if rec != nil {
+					rec.recordInsert(r.tenant, keys...)
+				}
+			case OpDelete:
+				res.DeletedKeys[r.tenant] = append(res.DeletedKeys[r.tenant], delKey)
+			}
+			continue
+		}
+		switch {
+		case errors.Is(err, ErrConflict):
+			res.Conflicts++
+		case errors.Is(err, ErrRejected):
+			res.Rejected++
+		case errors.Is(err, ErrNoTarget):
+			res.NoTarget++
+		default:
+			res.Errors++
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	for tn := range res.InsertedKeys {
+		sort.Ints(res.InsertedKeys[tn])
+		sort.Ints(res.DeletedKeys[tn])
+	}
+	if firstErr != nil {
+		res.FirstError = firstErr.Error()
+	}
+	if res.Elapsed > 0 {
+		res.AchievedRate = float64(res.OK) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// ---- rate sweep ----
+
+// SweepPoint is one sweep step.
+type SweepPoint struct {
+	Rate   float64
+	Result *Result
+}
+
+// Sweep walks the offered rates in order, building a FRESH target for
+// each step (saturated runs leave backlogged state behind; reusing it
+// would let one step poison the next). It stops after the first step
+// whose achieved/offered utilization falls below stopBelow (0 disables
+// early stop), which is the saturation knee: beyond it the target
+// cannot absorb the offered load and achieved throughput has flattened.
+func Sweep(base Spec, rates []float64, stopBelow float64, fresh func(sp Spec) (Target, error)) ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, rate := range rates {
+		sp := base
+		sp.Rate = rate
+		tgt, err := fresh(sp)
+		if err != nil {
+			return points, err
+		}
+		res, err := Run(sp, tgt)
+		cerr := tgt.Close()
+		if err != nil {
+			return points, err
+		}
+		if cerr != nil {
+			return points, cerr
+		}
+		points = append(points, SweepPoint{Rate: rate, Result: res})
+		if stopBelow > 0 && res.AchievedRate < stopBelow*rate {
+			break
+		}
+	}
+	return points, nil
+}
+
+// Saturation returns the highest achieved rate across the sweep — the
+// measured capacity.
+func Saturation(points []SweepPoint) float64 {
+	best := 0.0
+	for _, p := range points {
+		if p.Result.AchievedRate > best {
+			best = p.Result.AchievedRate
+		}
+	}
+	return best
+}
+
+// WriteReport renders a run as the human table cmd/fdload prints.
+func (r *Result) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "spec: rate=%.0f/s duration=%s warmup=%s workers=%d arrival=%s mix=[%s] keys=%d skew=%.2f seed=%d\n",
+		r.Spec.Rate, r.Spec.Duration, r.Spec.Warmup, r.Spec.Workers, r.Spec.Arrival,
+		r.Spec.Mix, r.Spec.BaseKeys, r.Spec.KeySkew, r.Spec.Seed)
+	fmt.Fprintf(w, "issued: %s (offered %d)\n", FormatCounts(r.Issued), r.Offered)
+	fmt.Fprintf(w, "done=%d ok=%d conflicts=%d rejected=%d no-target=%d errors=%d\n",
+		r.Done, r.OK, r.Conflicts, r.Rejected, r.NoTarget, r.Errors)
+	fmt.Fprintf(w, "offered %.0f/s achieved %.0f/s (%.0f%% absorbed)\n",
+		r.OfferedRate, r.AchievedRate, 100*r.AchievedRate/r.OfferedRate)
+	fmt.Fprintf(w, "latency: %s mean=%s\n", r.Hist.Summary(), time.Duration(int64(r.Hist.Mean())))
+	for _, s := range r.Timeline {
+		fmt.Fprintf(w, "  t=%2ds done=%6d errs=%5d p50=%-12s p99=%-12s p999=%-12s max=%s\n",
+			s.Sec, s.Done, s.Errors, time.Duration(s.P50Ns), time.Duration(s.P99Ns),
+			time.Duration(s.P999Ns), time.Duration(s.MaxNs))
+	}
+}

@@ -1,0 +1,252 @@
+package loadsim
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"fdnull/internal/relation"
+	"fdnull/internal/store"
+	"fdnull/internal/workload"
+)
+
+// testSpec is small enough for -race but exercises every op kind, both
+// skews, and multiple tenants.
+func testSpec() Spec {
+	return Spec{
+		Seed:     7,
+		Rate:     600,
+		Duration: 700 * time.Millisecond,
+		Warmup:   200 * time.Millisecond,
+		Workers:  4,
+		Arrival:  ArrivalPoisson,
+		Mix:      Mix{OpRead: 40, OpInsert: 25, OpUpdate: 15, OpDelete: 10, OpTxn: 8, OpDiscover: 2},
+		BaseKeys: 64,
+		KeySkew:  1.3,
+		Tenants:  2,
+		TxnSize:  3,
+	}
+}
+
+// buildStores preloads one sharded store per tenant with the base key
+// population over a key domain wide enough for every scheduled fresh key.
+func buildStores(t *testing.T, sp Spec, shards int) ([]*store.Sharded, func(int) []string) {
+	t.Helper()
+	bound, err := KeyBound(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, fds, row := workload.KV(bound)
+	stores := make([]*store.Sharded, sp.Tenants)
+	for tn := range stores {
+		sh, err := store.NewSharded(s, fds, store.ShardedOptions{
+			Shards: shards, Key: fds[0].X,
+			Store: store.Options{Maintenance: store.MaintenanceIncremental},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < sp.BaseKeys; k++ {
+			if err := sh.InsertRow(row(k)...); err != nil {
+				t.Fatalf("preload tenant %d key %d: %v", tn, k, err)
+			}
+		}
+		stores[tn] = sh
+	}
+	return stores, row
+}
+
+func stateKeys(r *relation.Relation) []string {
+	keys := make([]string, 0, r.Len())
+	for _, tup := range r.Tuples() {
+		keys = append(keys, tup.String())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestRunStoreOracle runs the full mix open-loop against per-tenant
+// sharded stores, then replays base ∪ inserted ∖ deleted into fresh
+// unsharded stores and demands tuple-identical final states.
+func TestRunStoreOracle(t *testing.T) {
+	sp := testSpec()
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stores, row := buildStores(t, sp, 4)
+	res, err := Run(sp, NewStoreTarget(stores, row, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Errors > 0 {
+		t.Fatalf("%d unclassified errors, first: %s", res.Errors, res.FirstError)
+	}
+	measured := 0
+	for _, r := range schedule(sp) {
+		if r.at >= sp.Warmup {
+			measured++
+		}
+	}
+	if res.Done != measured {
+		t.Fatalf("done %d, want %d post-warmup arrivals", res.Done, measured)
+	}
+	if got := res.OK + res.Conflicts + res.Rejected + res.NoTarget + res.Errors; got != res.Done {
+		t.Fatalf("outcomes sum to %d, done is %d", got, res.Done)
+	}
+	if res.Hist.Count() != uint64(res.Done) {
+		t.Fatalf("histogram holds %d samples, want %d", res.Hist.Count(), res.Done)
+	}
+	if res.AchievedRate <= 0 || res.AchievedRate > sp.Rate*1.5 {
+		t.Fatalf("implausible achieved rate %.0f/s at offered %.0f/s", res.AchievedRate, sp.Rate)
+	}
+	if len(res.Timeline) == 0 {
+		t.Fatal("empty timeline")
+	}
+	timelineDone := 0
+	for _, s := range res.Timeline {
+		timelineDone += s.Done
+		if s.P50Ns > s.P99Ns || s.P99Ns > s.P999Ns || s.P999Ns > s.MaxNs {
+			t.Fatalf("second %d: quantiles not monotone: %+v", s.Sec, s)
+		}
+	}
+	if timelineDone != res.Done {
+		t.Fatalf("timeline sums to %d completions, want %d", timelineDone, res.Done)
+	}
+
+	// The oracle replay: the run's accepted state delta, applied to a
+	// fresh unsharded store, must reproduce each tenant's final state.
+	bound, err := KeyBound(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, fds, _ := workload.KV(bound)
+	for tn, sh := range stores {
+		deleted := make(map[int]bool, len(res.DeletedKeys[tn]))
+		for _, k := range res.DeletedKeys[tn] {
+			deleted[k] = true
+		}
+		oracle := store.New(s, fds, store.Options{Maintenance: store.MaintenanceIncremental})
+		for k := 0; k < sp.BaseKeys; k++ {
+			if err := oracle.InsertRow(row(k)...); err != nil {
+				t.Fatalf("oracle base key %d: %v", k, err)
+			}
+		}
+		for _, k := range res.InsertedKeys[tn] {
+			if deleted[k] {
+				continue
+			}
+			if err := oracle.InsertRow(row(k)...); err != nil {
+				t.Fatalf("oracle inserted key %d: %v", k, err)
+			}
+		}
+		want, got := stateKeys(oracle.Snapshot()), stateKeys(sh.Snapshot())
+		if len(want) != len(got) {
+			t.Fatalf("tenant %d: %d tuples, oracle has %d", tn, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("tenant %d: state diverged from the oracle at %s", tn, got[i])
+			}
+		}
+		if !sh.CheckWeak() {
+			t.Fatalf("tenant %d: final state violates the weak-convention invariant", tn)
+		}
+	}
+}
+
+// TestRunReproducibility pins the -rerun contract: same seed, fresh
+// stores — identical offered schedule and per-kind issued counts.
+func TestRunReproducibility(t *testing.T) {
+	sp := testSpec()
+	sp.Duration = 400 * time.Millisecond
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var results [2]*Result
+	for i := range results {
+		stores, row := buildStores(t, sp, 2)
+		res, err := Run(sp, NewStoreTarget(stores, row, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	if results[0].Offered != results[1].Offered {
+		t.Fatalf("offered %d vs %d across same-seed reruns", results[0].Offered, results[1].Offered)
+	}
+	if !reflect.DeepEqual(results[0].Issued, results[1].Issued) {
+		t.Fatalf("issued counts diverged: %v vs %v", results[0].Issued, results[1].Issued)
+	}
+	want, err := IssuedCounts(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0].Issued, want) {
+		t.Fatalf("run issued %v, IssuedCounts says %v", results[0].Issued, want)
+	}
+}
+
+// TestSweep checks the sweep plumbing: fresh target per step, points in
+// rate order, early stop honored, saturation is the max achieved rate.
+func TestSweep(t *testing.T) {
+	sp := testSpec()
+	sp.Duration = 300 * time.Millisecond
+	sp.Warmup = 100 * time.Millisecond
+	built := 0
+	points, err := Sweep(sp, []float64{200, 400}, 0, func(sp Spec) (Target, error) {
+		built++
+		stores, row := buildStores(t, sp, 2)
+		return NewStoreTarget(stores, row, 1), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || built != 2 {
+		t.Fatalf("%d points from %d targets, want 2 from 2", len(points), built)
+	}
+	for i, p := range points {
+		if p.Result.OfferedRate != p.Rate {
+			t.Fatalf("point %d: offered %v under swept rate %v", i, p.Result.OfferedRate, p.Rate)
+		}
+	}
+	if sat := Saturation(points); sat <= 0 {
+		t.Fatalf("saturation %.0f", sat)
+	}
+	// stopBelow above any achievable utilization halts after one step.
+	points, err = Sweep(sp, []float64{200, 400, 800}, 2.0, func(sp Spec) (Target, error) {
+		stores, row := buildStores(t, sp, 2)
+		return NewStoreTarget(stores, row, 1), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("early stop ignored: %d points", len(points))
+	}
+}
+
+// TestWriteReport smoke-checks the human rendering.
+func TestWriteReport(t *testing.T) {
+	sp := testSpec()
+	sp.Duration = 300 * time.Millisecond
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	stores, row := buildStores(t, sp, 2)
+	res, err := Run(sp, NewStoreTarget(stores, row, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	res.WriteReport(&sb)
+	out := sb.String()
+	for _, want := range []string{"offered", "achieved", "latency:", "t= 0s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

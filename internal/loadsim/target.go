@@ -1,0 +1,363 @@
+// target.go implements the two systems-under-load: the in-process
+// sharded store (direct API) and a live fdserve daemon over TCP. Both
+// speak the KV workload (internal/workload.KV): key k's row, match
+// tuple, update value, and selection predicate are all canonical
+// functions of k, so the two targets execute the same logical requests
+// and a run's accepted state is base ∪ inserted ∖ deleted regardless of
+// interleaving.
+package loadsim
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"fdnull/internal/discover"
+	"fdnull/internal/query"
+	"fdnull/internal/relation"
+	"fdnull/internal/store"
+	"fdnull/internal/value"
+)
+
+// Outcome sentinels. Sessions translate target-native failures into
+// these so the runner's classification is target-independent.
+var (
+	// ErrConflict is a first-committer-wins abort (open loop: counted,
+	// not retried).
+	ErrConflict = errors.New("loadsim: transaction conflict")
+	// ErrRejected is a constraint rejection.
+	ErrRejected = errors.New("loadsim: constraint rejection")
+	// ErrNoTarget is a delete that found nothing to delete (the
+	// inserted-key pool was empty or the row raced away).
+	ErrNoTarget = errors.New("loadsim: no target row")
+)
+
+// Target is a system under load. Sessions are worker-private (one
+// executor goroutine each, not safe for concurrent use); the Target
+// itself may carry shared state (the delete pool, connections).
+type Target interface {
+	// Session returns worker w's session.
+	Session(w int) (Session, error)
+	// Close releases target resources (connections; NOT the stores —
+	// the caller owns those and typically inspects them after the run).
+	Close() error
+}
+
+// Session executes one scheduled request. For successful deletes it
+// reports the key actually deleted (deletes draw from the pool of keys
+// this run inserted); every other outcome returns delKey -1.
+type Session interface {
+	Do(r request) (delKey int, err error)
+}
+
+// keyPool is the shared LIFO of keys accepted by inserts and not yet
+// consumed by deletes, per tenant.
+type keyPool struct {
+	mu   sync.Mutex
+	keys []int
+}
+
+func (p *keyPool) push(ks ...int) {
+	p.mu.Lock()
+	p.keys = append(p.keys, ks...)
+	p.mu.Unlock()
+}
+
+func (p *keyPool) pop() (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.keys) == 0 {
+		return -1, false
+	}
+	k := p.keys[len(p.keys)-1]
+	p.keys = p.keys[:len(p.keys)-1]
+	return k, true
+}
+
+// ---- in-process target ----
+
+// StoreTarget drives one in-process sharded store per tenant through
+// the direct API.
+type StoreTarget struct {
+	stores []*store.Sharded
+	row    func(int) []string
+	maxLHS int
+	pools  []keyPool
+}
+
+// NewStoreTarget wraps the tenants' stores (all over the workload.KV
+// scheme whose canonical row function is row). maxLHS bounds OpDiscover.
+func NewStoreTarget(stores []*store.Sharded, row func(int) []string, maxLHS int) *StoreTarget {
+	return &StoreTarget{
+		stores: stores,
+		row:    row,
+		maxLHS: maxLHS,
+		pools:  make([]keyPool, len(stores)),
+	}
+}
+
+// Session returns a session; in-process sessions are stateless views of
+// the target, so every worker shares the same underlying stores.
+func (t *StoreTarget) Session(int) (Session, error) { return (*storeSession)(t), nil }
+
+// Close is a no-op: the caller owns the stores.
+func (t *StoreTarget) Close() error { return nil }
+
+// matchTuple is key k's canonical committed tuple.
+func (t *StoreTarget) matchTuple(k int) relation.Tuple {
+	cells := t.row(k)
+	tup := make(relation.Tuple, len(cells))
+	for i, c := range cells {
+		tup[i] = value.NewConst(c)
+	}
+	return tup
+}
+
+type storeSession StoreTarget
+
+func (s *storeSession) Do(r request) (int, error) {
+	st := s.stores[r.tenant]
+	switch r.kind {
+	case OpRead:
+		p := query.Eq{Attr: 0, Const: s.row(r.key)[0]}
+		st.SelectTuples(p, query.Options{})
+		return -1, nil
+	case OpInsert:
+		return -1, classify(st.InsertRow(s.row(r.key)...))
+	case OpUpdate:
+		// Overwrite B with its canonical value: a semantic no-op that
+		// still pays match resolution, validation, and the version bump.
+		cells := s.row(r.key)
+		return -1, classify(st.UpdateTuple((*StoreTarget)(s).matchTuple(r.key), 2, value.NewConst(cells[2])))
+	case OpDelete:
+		k, ok := s.pools[r.tenant].pop()
+		if !ok {
+			return -1, ErrNoTarget
+		}
+		if err := st.DeleteTuple((*StoreTarget)(s).matchTuple(k)); err != nil {
+			return -1, classify(err)
+		}
+		return k, nil
+	case OpTxn:
+		tx := st.BeginTxn()
+		for i := 0; i < r.txnSize; i++ {
+			if err := tx.InsertRow(s.row(r.key + i)...); err != nil {
+				tx.Rollback()
+				return -1, classify(err)
+			}
+		}
+		return -1, classify(tx.Commit())
+	case OpDiscover:
+		_, err := discover.Run(st.Snapshot(), discover.Options{MaxLHS: s.maxLHS})
+		return -1, classify(err)
+	}
+	return -1, fmt.Errorf("loadsim: unknown op kind %d", r.kind)
+}
+
+// recordInsert registers accepted fresh keys with the delete pool.
+func (t *StoreTarget) recordInsert(tenant int, keys ...int) { t.pools[tenant].push(keys...) }
+
+// classify maps store errors onto the outcome sentinels.
+func classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, store.ErrTxnConflict):
+		return fmt.Errorf("%w: %v", ErrConflict, err)
+	case errors.Is(err, store.ErrInconsistent):
+		return fmt.Errorf("%w: %v", ErrRejected, err)
+	case strings.Contains(err.Error(), "no committed tuple"):
+		return fmt.Errorf("%w: %v", ErrNoTarget, err)
+	}
+	return err
+}
+
+// poolRecorder is the optional capability the runner uses to feed
+// accepted inserts back into a target's delete pool.
+type poolRecorder interface {
+	recordInsert(tenant int, keys ...int)
+}
+
+// ---- fdserve/TCP target ----
+
+// WireAuth is one tenant's wire credentials.
+type WireAuth struct {
+	Tenant string
+	Token  string
+}
+
+// WireTarget drives a live fdserve daemon over TCP: each worker session
+// holds one authenticated connection per tenant, so a run with W
+// workers and T tenants exercises W×T concurrent connections.
+type WireTarget struct {
+	addr   string
+	auths  []WireAuth
+	row    func(int) []string
+	maxLHS int
+	pools  []keyPool
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+// NewWireTarget targets the daemon at addr with one credential per
+// tenant (the spec's tenant indices address this slice).
+func NewWireTarget(addr string, auths []WireAuth, row func(int) []string, maxLHS int) *WireTarget {
+	return &WireTarget{
+		addr:   addr,
+		auths:  auths,
+		row:    row,
+		maxLHS: maxLHS,
+		pools:  make([]keyPool, len(auths)),
+	}
+}
+
+// wireConn is one authenticated line-protocol connection.
+type wireConn struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+	out  *bufio.Writer
+}
+
+// wireResp is the subset of the fdserve response the driver inspects.
+type wireResp struct {
+	OK       bool   `json:"ok"`
+	Error    string `json:"error"`
+	Conflict bool   `json:"conflict"`
+	Rejected bool   `json:"rejected"`
+	N        *int   `json:"n"`
+}
+
+func (t *WireTarget) dial(auth WireAuth) (*wireConn, error) {
+	conn, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	out := bufio.NewWriter(conn)
+	wc := &wireConn{conn: conn, sc: sc, enc: json.NewEncoder(out), out: out}
+	resp, err := wc.call(map[string]any{"op": "auth", "tenant": auth.Tenant, "token": auth.Token})
+	if err != nil {
+		conn.Close() // errcheck:ok abandoning a connection that failed auth
+		return nil, err
+	}
+	if !resp.OK {
+		conn.Close() // errcheck:ok abandoning a connection that failed auth
+		return nil, fmt.Errorf("loadsim: auth %s: %s", auth.Tenant, resp.Error)
+	}
+	t.mu.Lock()
+	t.conns = append(t.conns, conn)
+	t.mu.Unlock()
+	return wc, nil
+}
+
+func (c *wireConn) call(req map[string]any) (wireResp, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return wireResp{}, err
+	}
+	if err := c.out.Flush(); err != nil {
+		return wireResp{}, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return wireResp{}, err
+		}
+		return wireResp{}, errors.New("loadsim: connection closed by server")
+	}
+	var resp wireResp
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return wireResp{}, fmt.Errorf("loadsim: bad response %q: %w", c.sc.Text(), err)
+	}
+	return resp, nil
+}
+
+// Session dials and authenticates one connection per tenant for this
+// worker.
+func (t *WireTarget) Session(int) (Session, error) {
+	s := &wireSession{t: t, conns: make([]*wireConn, len(t.auths))}
+	for i, auth := range t.auths {
+		wc, err := t.dial(auth)
+		if err != nil {
+			return nil, err
+		}
+		s.conns[i] = wc
+	}
+	return s, nil
+}
+
+// Close closes every connection the target opened.
+func (t *WireTarget) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for _, c := range t.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	t.conns = nil
+	return first
+}
+
+func (t *WireTarget) recordInsert(tenant int, keys ...int) { t.pools[tenant].push(keys...) }
+
+type wireSession struct {
+	t     *WireTarget
+	conns []*wireConn
+}
+
+func (s *wireSession) Do(r request) (int, error) {
+	c := s.conns[r.tenant]
+	row := s.t.row
+	switch r.kind {
+	case OpRead:
+		return -1, s.done(c.call(map[string]any{"op": "query", "where": "K = " + row(r.key)[0]}))
+	case OpInsert:
+		return -1, s.done(c.call(map[string]any{"op": "insert", "row": row(r.key)}))
+	case OpUpdate:
+		cells := row(r.key)
+		return -1, s.done(c.call(map[string]any{
+			"op": "update", "match": cells, "attr": "B", "value": cells[2]}))
+	case OpDelete:
+		k, ok := s.t.pools[r.tenant].pop()
+		if !ok {
+			return -1, ErrNoTarget
+		}
+		if err := s.done(c.call(map[string]any{"op": "delete", "match": row(k)})); err != nil {
+			return -1, err
+		}
+		return k, nil
+	case OpTxn:
+		ops := make([]map[string]any, 0, r.txnSize)
+		for i := 0; i < r.txnSize; i++ {
+			ops = append(ops, map[string]any{"op": "insert", "row": row(r.key + i)})
+		}
+		return -1, s.done(c.call(map[string]any{"op": "txn", "ops": ops}))
+	case OpDiscover:
+		return -1, s.done(c.call(map[string]any{"op": "discover", "maxlhs": s.t.maxLHS}))
+	}
+	return -1, fmt.Errorf("loadsim: unknown op kind %d", r.kind)
+}
+
+// done folds a wire response into the outcome sentinels.
+func (s *wireSession) done(resp wireResp, err error) error {
+	switch {
+	case err != nil:
+		return err
+	case resp.OK:
+		return nil
+	case resp.Conflict:
+		return fmt.Errorf("%w: %s", ErrConflict, resp.Error)
+	case resp.Rejected:
+		return fmt.Errorf("%w: %s", ErrRejected, resp.Error)
+	case strings.Contains(resp.Error, "no committed tuple"):
+		return fmt.Errorf("%w: %s", ErrNoTarget, resp.Error)
+	}
+	return errors.New(resp.Error)
+}

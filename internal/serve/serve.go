@@ -1,4 +1,9 @@
-package main
+// Package serve is the fdserve daemon core: named, isolated,
+// constraint-maintained tenant stores behind a newline-delimited JSON
+// TCP protocol. cmd/fdserve is a thin flag-and-signal wrapper around
+// this package; fdbench and the load simulator boot it in-process to
+// drive a live daemon over real sockets.
+package serve
 
 import (
 	"bufio"
@@ -9,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -18,48 +24,52 @@ import (
 
 // ---- tenant configuration ----
 
-// domainSpec is one attribute domain: either an explicit value list or
+// DomainSpec is one attribute domain: either an explicit value list or
 // the {prefix1 … prefixN} integer family.
-type domainSpec struct {
+type DomainSpec struct {
 	Name   string   `json:"name"`
 	Values []string `json:"values,omitempty"`
 	Prefix string   `json:"prefix,omitempty"`
 	Size   int      `json:"size,omitempty"`
 }
 
-type attrSpec struct {
+// AttrSpec names one attribute and its domain.
+type AttrSpec struct {
 	Name   string     `json:"name"`
-	Domain domainSpec `json:"domain"`
+	Domain DomainSpec `json:"domain"`
 }
 
-type schemeSpec struct {
+// SchemeSpec is a declarative relation scheme.
+type SchemeSpec struct {
 	Name  string     `json:"name"`
-	Attrs []attrSpec `json:"attrs"`
+	Attrs []AttrSpec `json:"attrs"`
 }
 
-// tenantSpec is one named isolated store: its scheme, dependency set,
+// TenantSpec is one named isolated store: its scheme, dependency set,
 // shard layout, auth token, and optional durable directory.
-type tenantSpec struct {
+type TenantSpec struct {
 	Name        string     `json:"name"`
 	Token       string     `json:"token"`
 	Shards      int        `json:"shards,omitempty"` // default 1
 	Key         []string   `json:"key"`              // shard-key attribute names
-	Scheme      schemeSpec `json:"scheme"`
+	Scheme      SchemeSpec `json:"scheme"`
 	FDs         string     `json:"fds"`                   // "X -> Y; ..." syntax
 	Maintenance string     `json:"maintenance,omitempty"` // incremental | recheck
 	Dir         string     `json:"dir,omitempty"`         // durable when set
 }
 
-type serverConfig struct {
-	Tenants []tenantSpec `json:"tenants"`
+// Config is the daemon's tenant set.
+type Config struct {
+	Tenants []TenantSpec `json:"tenants"`
 }
 
-func loadConfig(path string) (*serverConfig, error) {
+// LoadConfig reads and strictly decodes a JSON config file.
+func LoadConfig(path string) (*Config, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var cfg serverConfig
+	var cfg Config
 	dec := json.NewDecoder(strings.NewReader(string(data)))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&cfg); err != nil {
@@ -71,7 +81,7 @@ func loadConfig(path string) (*serverConfig, error) {
 	return &cfg, nil
 }
 
-func buildDomain(sp domainSpec) (*fdnull.Domain, error) {
+func buildDomain(sp DomainSpec) (*fdnull.Domain, error) {
 	switch {
 	case len(sp.Values) > 0 && sp.Prefix != "":
 		return nil, fmt.Errorf("domain %s: values and prefix/size are mutually exclusive", sp.Name)
@@ -92,7 +102,7 @@ type tenant struct {
 	store  *fdnull.ShardedStore
 }
 
-func buildTenant(sp tenantSpec) (*tenant, error) {
+func buildTenant(sp TenantSpec) (*tenant, error) {
 	if sp.Name == "" {
 		return nil, errors.New("tenant without a name")
 	}
@@ -149,7 +159,8 @@ func buildTenant(sp tenantSpec) (*tenant, error) {
 // ---- wire protocol ----
 //
 // Newline-delimited JSON over TCP; one request per line, one response
-// per line. Every connection must authenticate first:
+// per line, lines capped at 1MB (an oversized request draws one error
+// response and a disconnect). Every connection must authenticate first:
 //
 //	{"op":"auth","tenant":"hr","token":"..."}
 //
@@ -164,8 +175,11 @@ func buildTenant(sp tenantSpec) (*tenant, error) {
 //	txn     ops=[{op,...}]       apply a write-set atomically (2PC when
 //	                             it spans shards)
 //	query   where="A = a1 & ..." three-valued selection; sure/maybe rows
+//	discover [maxlhs=k]          mine the minimal FD cover holding in a
+//	                             snapshot of the instance
 //	check                        weak+strong satisfiability of the union
-//	stats                        logical op counters and shard count
+//	stats                        logical op counters, shard count, and
+//	                             per-shard WAL health
 //	len                          total tuples
 //
 // Responses: {"ok":true,...} or {"ok":false,"error":"...",
@@ -190,24 +204,38 @@ type request struct {
 	Value  string   `json:"value,omitempty"`
 	Ops    []wireOp `json:"ops,omitempty"`
 	Where  string   `json:"where,omitempty"`
+	MaxLHS int      `json:"maxlhs,omitempty"`
+}
+
+// walHealth is one shard's durability state in a stats reply.
+type walHealth struct {
+	Shard         int    `json:"shard"`
+	Mode          string `json:"mode"`
+	SyncedSeq     uint64 `json:"synced_seq,omitempty"`
+	NextSeq       uint64 `json:"next_seq,omitempty"`
+	CheckpointSeq uint64 `json:"checkpoint_seq,omitempty"`
+	Degradations  uint64 `json:"degradations,omitempty"`
+	Err           string `json:"err,omitempty"`
 }
 
 type response struct {
-	OK       bool       `json:"ok"`
-	Error    string     `json:"error,omitempty"`
-	Conflict bool       `json:"conflict,omitempty"`
-	Rejected bool       `json:"rejected,omitempty"`
-	Tenant   string     `json:"tenant,omitempty"`
-	N        *int       `json:"n,omitempty"`
-	Sure     [][]string `json:"sure,omitempty"`
-	Maybe    [][]string `json:"maybe,omitempty"`
-	Weak     *bool      `json:"weak,omitempty"`
-	Strong   *bool      `json:"strong,omitempty"`
-	Inserts  int        `json:"inserts,omitempty"`
-	Updates  int        `json:"updates,omitempty"`
-	Deletes  int        `json:"deletes,omitempty"`
-	Rejects  int        `json:"rejects,omitempty"`
-	Shards   int        `json:"shards,omitempty"`
+	OK       bool        `json:"ok"`
+	Error    string      `json:"error,omitempty"`
+	Conflict bool        `json:"conflict,omitempty"`
+	Rejected bool        `json:"rejected,omitempty"`
+	Tenant   string      `json:"tenant,omitempty"`
+	N        *int        `json:"n,omitempty"`
+	Sure     [][]string  `json:"sure,omitempty"`
+	Maybe    [][]string  `json:"maybe,omitempty"`
+	FDs      []string    `json:"fds,omitempty"`
+	Weak     *bool       `json:"weak,omitempty"`
+	Strong   *bool       `json:"strong,omitempty"`
+	Inserts  int         `json:"inserts,omitempty"`
+	Updates  int         `json:"updates,omitempty"`
+	Deletes  int         `json:"deletes,omitempty"`
+	Rejects  int         `json:"rejects,omitempty"`
+	Shards   int         `json:"shards,omitempty"`
+	WAL      []walHealth `json:"wal,omitempty"`
 }
 
 func errResponse(err error) response {
@@ -315,7 +343,8 @@ func renderRows(ts []fdnull.Tuple) [][]string {
 
 // ---- server ----
 
-type server struct {
+// Server hosts the tenant stores and speaks the wire protocol.
+type Server struct {
 	tenants map[string]*tenant
 	ln      net.Listener
 
@@ -325,15 +354,16 @@ type server struct {
 	wg       sync.WaitGroup
 }
 
-func newServer(cfg *serverConfig) (*server, error) {
-	srv := &server{tenants: make(map[string]*tenant), conns: make(map[net.Conn]struct{})}
+// New builds every tenant store. On error no tenant is left open.
+func New(cfg *Config) (*Server, error) {
+	srv := &Server{tenants: make(map[string]*tenant), conns: make(map[net.Conn]struct{})}
 	for _, sp := range cfg.Tenants {
 		if _, dup := srv.tenants[sp.Name]; dup {
 			return nil, fmt.Errorf("duplicate tenant %q", sp.Name)
 		}
 		tn, err := buildTenant(sp)
 		if err != nil {
-			srv.closeTenants() // errcheck:ok abandoning a partially built tenant set
+			srv.CloseTenants() // errcheck:ok abandoning a partially built tenant set
 			return nil, err
 		}
 		srv.tenants[sp.Name] = tn
@@ -341,7 +371,8 @@ func newServer(cfg *serverConfig) (*server, error) {
 	return srv, nil
 }
 
-func (srv *server) listen(addr string) error {
+// Listen binds the TCP listener.
+func (srv *Server) Listen(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -350,11 +381,22 @@ func (srv *server) listen(addr string) error {
 	return nil
 }
 
-func (srv *server) addr() string { return srv.ln.Addr().String() }
+// Addr is the bound listen address (valid after Listen).
+func (srv *Server) Addr() string { return srv.ln.Addr().String() }
 
-// serve accepts until the listener closes (shutdown) and returns after
+// TenantInfo lists the tenants as "name (S=shards)", sorted.
+func (srv *Server) TenantInfo() []string {
+	names := make([]string, 0, len(srv.tenants))
+	for name, tn := range srv.tenants {
+		names = append(names, fmt.Sprintf("%s (S=%d)", name, tn.store.NumShards()))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Serve accepts until the listener closes (shutdown) and returns after
 // every accepted connection was registered.
-func (srv *server) serve() {
+func (srv *Server) Serve() {
 	for {
 		conn, err := srv.ln.Accept()
 		if err != nil {
@@ -382,10 +424,10 @@ func (srv *server) serve() {
 	}
 }
 
-// shutdown stops accepting, waits for in-flight connections up to the
+// Shutdown stops accepting, waits for in-flight connections up to the
 // context deadline, force-closes stragglers, and closes every tenant
 // store (checkpointing durable ones through their Close path).
-func (srv *server) shutdown(ctx context.Context) error {
+func (srv *Server) Shutdown(ctx context.Context) error {
 	srv.mu.Lock()
 	srv.draining = true
 	srv.mu.Unlock()
@@ -407,10 +449,12 @@ func (srv *server) shutdown(ctx context.Context) error {
 		srv.mu.Unlock()
 		<-done
 	}
-	return srv.closeTenants()
+	return srv.CloseTenants()
 }
 
-func (srv *server) closeTenants() error {
+// CloseTenants closes every tenant store without touching the listener
+// — the startup-failure path; Shutdown calls it on the normal one.
+func (srv *Server) CloseTenants() error {
 	var first error
 	for _, tn := range srv.tenants {
 		if err := tn.store.Close(); err != nil && first == nil {
@@ -421,11 +465,17 @@ func (srv *server) closeTenants() error {
 }
 
 // handle speaks the line protocol on one connection.
-func (srv *server) handle(conn net.Conn) {
+func (srv *Server) handle(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	out := bufio.NewWriter(conn)
 	enc := json.NewEncoder(out)
+	reply := func(resp response) bool {
+		if err := enc.Encode(resp); err != nil {
+			return false
+		}
+		return out.Flush() == nil
+	}
 	var bound *tenant
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -449,19 +499,22 @@ func (srv *server) handle(conn net.Conn) {
 		} else {
 			resp = srv.dispatch(bound, req)
 		}
-		if err := enc.Encode(resp); err != nil {
+		if !reply(resp) {
 			return
 		}
-		if err := out.Flush(); err != nil {
-			return
-		}
+	}
+	// A line beyond the 1MB cap poisons the scanner: the stream framing
+	// is lost, so send one terminal error and disconnect rather than
+	// leave the client waiting on a wedged connection.
+	if errors.Is(sc.Err(), bufio.ErrTooLong) {
+		reply(errResponse(errors.New("request line exceeds the 1MB cap")))
 	}
 }
 
 // authenticate binds a connection to a tenant. The token comparison is
 // constant-time; the tenant-existence probe is not hidden (names are
 // not secrets here).
-func (srv *server) authenticate(req request) (*tenant, error) {
+func (srv *Server) authenticate(req request) (*tenant, error) {
 	tn, ok := srv.tenants[req.Tenant]
 	if !ok {
 		return nil, fmt.Errorf("unknown tenant %q", req.Tenant)
@@ -475,7 +528,7 @@ func (srv *server) authenticate(req request) (*tenant, error) {
 func intp(n int) *int    { return &n }
 func boolp(b bool) *bool { return &b }
 
-func (srv *server) dispatch(tn *tenant, req request) response {
+func (srv *Server) dispatch(tn *tenant, req request) response {
 	switch req.Op {
 	case "ping":
 		return response{OK: true, Tenant: tn.name}
@@ -529,11 +582,38 @@ func (srv *server) dispatch(tn *tenant, req request) response {
 		}
 		sure, maybe := tn.store.SelectTuples(p, fdnull.QueryOptions{})
 		return response{OK: true, Sure: renderRows(sure), Maybe: renderRows(maybe)}
+	case "discover":
+		maxLHS := req.MaxLHS
+		if maxLHS <= 0 {
+			maxLHS = 1
+		}
+		fds, err := fdnull.DiscoverCover(tn.store.Snapshot(), fdnull.DiscoverOptions{MaxLHS: maxLHS})
+		if err != nil {
+			return errResponse(err)
+		}
+		strs := make([]string, len(fds))
+		for i, f := range fds {
+			strs[i] = f.Format(tn.scheme)
+		}
+		return response{OK: true, N: intp(len(fds)), FDs: strs}
 	case "check":
 		return response{OK: true, Weak: boolp(tn.store.CheckWeak()), Strong: boolp(tn.store.CheckStrong())}
 	case "stats":
 		ins, upd, del, rej := tn.store.Stats()
-		return response{OK: true, Inserts: ins, Updates: upd, Deletes: del, Rejects: rej, Shards: tn.store.NumShards()}
+		wal := make([]walHealth, 0, tn.store.NumShards())
+		for i, h := range tn.store.ShardHealth() {
+			w := walHealth{
+				Shard: i, Mode: h.Mode,
+				SyncedSeq: h.SyncedSeq, NextSeq: h.NextSeq, CheckpointSeq: h.CheckpointSeq,
+				Degradations: h.Degradations,
+			}
+			if h.Err != nil {
+				w.Err = h.Err.Error()
+			}
+			wal = append(wal, w)
+		}
+		return response{OK: true, Inserts: ins, Updates: upd, Deletes: del, Rejects: rej,
+			Shards: tn.store.NumShards(), WAL: wal}
 	case "len":
 		return response{OK: true, N: intp(tn.store.Len())}
 	default:

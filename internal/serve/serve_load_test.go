@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fdnull/internal/loadsim"
+	"fdnull/internal/workload"
+)
+
+// kvConfig builds a tenant set over the workload.KV scheme, one tenant
+// per entry in tokens, sized for bound keys.
+func kvConfig(tokens map[string]string, bound, shards int) *Config {
+	cfg := &Config{}
+	for name, token := range tokens {
+		cfg.Tenants = append(cfg.Tenants, TenantSpec{
+			Name: name, Token: token, Shards: shards, Key: []string{"K"},
+			Scheme: SchemeSpec{Name: "KV", Attrs: []AttrSpec{
+				{Name: "K", Domain: DomainSpec{Name: "key", Prefix: "k", Size: bound}},
+				{Name: "A", Domain: DomainSpec{Name: "alpha", Prefix: "a", Size: 64}},
+				{Name: "B", Domain: DomainSpec{Name: "beta", Prefix: "b", Size: 64}},
+			}},
+			FDs: "K -> A; K -> B",
+		})
+	}
+	return cfg
+}
+
+// TestServeOpenLoop drives a live daemon with the open-loop simulator's
+// wire target — the full op mix including discover, Poisson arrivals,
+// two tenants over concurrent authenticated connections — then verifies
+// the final state over the wire (len + check) against the run's
+// accepted key accounting.
+func TestServeOpenLoop(t *testing.T) {
+	sp := loadsim.Spec{
+		Seed:     11,
+		Rate:     400,
+		Duration: 600 * time.Millisecond,
+		Warmup:   150 * time.Millisecond,
+		Workers:  4,
+		Arrival:  loadsim.ArrivalPoisson,
+		Mix: loadsim.Mix{
+			loadsim.OpRead: 40, loadsim.OpInsert: 25, loadsim.OpUpdate: 15,
+			loadsim.OpDelete: 10, loadsim.OpTxn: 8, loadsim.OpDiscover: 2,
+		},
+		BaseKeys: 48,
+		KeySkew:  1.3,
+		Tenants:  2,
+		TxnSize:  3,
+	}
+	bound, err := loadsim.KeyBound(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, row := workload.KV(bound)
+
+	srv, err := New(kvConfig(map[string]string{"t0": "tok0", "t1": "tok1"}, bound, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}()
+
+	// Preload the base population over the wire.
+	auths := []loadsim.WireAuth{{Tenant: "t0", Token: "tok0"}, {Tenant: "t1", Token: "tok1"}}
+	for _, auth := range auths {
+		c := dialClient(t, srv.Addr())
+		c.mustOK(t, map[string]any{"op": "auth", "tenant": auth.Tenant, "token": auth.Token})
+		for k := 0; k < sp.BaseKeys; k++ {
+			c.mustOK(t, map[string]any{"op": "insert", "row": row(k)})
+		}
+		c.conn.Close() // errcheck:ok test client teardown
+	}
+
+	tgt := loadsim.NewWireTarget(srv.Addr(), auths, row, 1)
+	res, err := loadsim.Run(sp, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.Close(); err != nil {
+		t.Fatalf("close target: %v", err)
+	}
+	if res.Errors > 0 {
+		t.Fatalf("%d unclassified wire errors, first: %s", res.Errors, res.FirstError)
+	}
+	if got := res.OK + res.Conflicts + res.Rejected + res.NoTarget; got != res.Done {
+		t.Fatalf("outcomes sum to %d, done is %d", got, res.Done)
+	}
+	if res.OK == 0 {
+		t.Fatal("no request succeeded over the wire")
+	}
+
+	// Verify each tenant's final state over the wire: base ∪ inserted ∖
+	// deleted rows, still weakly satisfiable.
+	for tn, auth := range auths {
+		c := dialClient(t, srv.Addr())
+		c.mustOK(t, map[string]any{"op": "auth", "tenant": auth.Tenant, "token": auth.Token})
+		want := float64(sp.BaseKeys + len(res.InsertedKeys[tn]) - len(res.DeletedKeys[tn]))
+		if resp := c.mustOK(t, map[string]any{"op": "len"}); resp["n"] != want {
+			t.Fatalf("tenant %s: len %v over the wire, accounting says %v", auth.Tenant, resp["n"], want)
+		}
+		if resp := c.mustOK(t, map[string]any{"op": "check"}); resp["weak"] != true {
+			t.Fatalf("tenant %s: weak satisfiability lost under load", auth.Tenant)
+		}
+		c.conn.Close() // errcheck:ok test client teardown
+	}
+}

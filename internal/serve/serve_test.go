@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"bufio"
@@ -41,20 +41,20 @@ func writeTestConfig(t *testing.T, durableDir string) string {
 	return path
 }
 
-func startTestServer(t *testing.T, cfgPath string) *server {
+func startTestServer(t *testing.T, cfgPath string) *Server {
 	t.Helper()
-	cfg, err := loadConfig(cfgPath)
+	cfg, err := LoadConfig(cfgPath)
 	if err != nil {
-		t.Fatalf("loadConfig: %v", err)
+		t.Fatalf("LoadConfig: %v", err)
 	}
-	srv, err := newServer(cfg)
+	srv, err := New(cfg)
 	if err != nil {
-		t.Fatalf("newServer: %v", err)
+		t.Fatalf("New: %v", err)
 	}
-	if err := srv.listen("127.0.0.1:0"); err != nil {
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
 		t.Fatalf("listen: %v", err)
 	}
-	go srv.serve()
+	go srv.Serve()
 	return srv
 }
 
@@ -81,11 +81,18 @@ func (c *client) call(t *testing.T, req map[string]any) map[string]any {
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
 	}
-	if _, err := c.conn.Write(append(data, '\n')); err != nil {
+	return c.callRaw(t, string(data))
+}
+
+// callRaw sends one pre-encoded line, bypassing the JSON encoder so
+// tests can send malformed requests.
+func (c *client) callRaw(t *testing.T, line string) map[string]any {
+	t.Helper()
+	if _, err := c.conn.Write(append([]byte(line), '\n')); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	if !c.sc.Scan() {
-		t.Fatalf("connection closed mid-call (req %v): %v", req, c.sc.Err())
+		t.Fatalf("connection closed mid-call (req %s): %v", line, c.sc.Err())
 	}
 	var resp map[string]any
 	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
@@ -109,7 +116,7 @@ func (c *client) mustOK(t *testing.T, req map[string]any) map[string]any {
 // constraint invariant over the wire, then shut down cleanly.
 func TestServeSmoke(t *testing.T) {
 	srv := startTestServer(t, writeTestConfig(t, ""))
-	addr := srv.addr()
+	addr := srv.Addr()
 
 	// Auth gating: wrong token refused, ops before auth refused.
 	c := dialClient(t, addr)
@@ -174,13 +181,31 @@ func TestServeSmoke(t *testing.T) {
 	if resp := admin.mustOK(t, map[string]any{"op": "check"}); resp["weak"] != true {
 		t.Fatalf("weak satisfiability lost: %v", resp)
 	}
-	if resp := admin.mustOK(t, map[string]any{"op": "stats"}); resp["shards"] != float64(4) || resp["inserts"] != want {
-		t.Fatalf("stats over the wire: %v", resp)
+	stats := admin.mustOK(t, map[string]any{"op": "stats"})
+	if stats["shards"] != float64(4) || stats["inserts"] != want {
+		t.Fatalf("stats over the wire: %v", stats)
+	}
+	// In-memory tenant: WAL health present, every shard reports "memory".
+	wal, _ := stats["wal"].([]any)
+	if len(wal) != 4 {
+		t.Fatalf("stats wal entries: %d, want 4: %v", len(wal), stats)
+	}
+	for _, entry := range wal {
+		if m := entry.(map[string]any)["mode"]; m != "memory" {
+			t.Fatalf("in-memory shard reports WAL mode %v", m)
+		}
 	}
 	q := admin.mustOK(t, map[string]any{"op": "query", "where": "A = a1"})
 	sure, _ := q["sure"].([]any)
 	if len(sure) != txnsPer*3 {
 		t.Fatalf("query sure answers: %d, want %d", len(sure), txnsPer*3)
+	}
+
+	// Discovery over the wire: K functionally determines A and B in the
+	// inserted instance, so a maxlhs=1 cover must be non-empty.
+	d := admin.mustOK(t, map[string]any{"op": "discover", "maxlhs": 1})
+	if n, _ := d["n"].(float64); n < 1 {
+		t.Fatalf("wire discovery found no dependencies: %v", d)
 	}
 
 	// Constraint rejection surfaces as rejected=true: k1 already has a
@@ -208,7 +233,7 @@ func TestServeSmoke(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := srv.shutdown(ctx); err != nil {
+	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 	// The listener is gone after shutdown.
@@ -217,31 +242,146 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestServeProtocolErrors drives every protocol error path and proves
+// none of them wedges a connection or the server: malformed JSON, an
+// unknown op, a wrong token after a successful auth, and a request line
+// beyond the 1MB cap (one error reply, then disconnect).
+func TestServeProtocolErrors(t *testing.T) {
+	srv := startTestServer(t, writeTestConfig(t, ""))
+	addr := srv.Addr()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	}()
+
+	c := dialClient(t, addr)
+	defer c.conn.Close() // errcheck:ok test client teardown
+
+	// Malformed JSON draws a clean error, not a disconnect.
+	if resp := c.callRaw(t, `{"op": "auth", "tenant": `); resp["ok"] == true ||
+		!strings.Contains(resp["error"].(string), "bad request") {
+		t.Fatalf("malformed JSON: %v", resp)
+	}
+	// Not even JSON at all.
+	if resp := c.callRaw(t, `GET / HTTP/1.1`); resp["ok"] == true {
+		t.Fatalf("non-JSON line accepted: %v", resp)
+	}
+	// The connection still authenticates after garbage.
+	c.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
+
+	// Unknown op after auth: clean error, connection lives.
+	if resp := c.call(t, map[string]any{"op": "compact"}); resp["ok"] == true ||
+		!strings.Contains(resp["error"].(string), "unknown op") {
+		t.Fatalf("unknown op: %v", resp)
+	}
+
+	// A failed re-auth (wrong token) reports the error and leaves the
+	// existing binding intact.
+	if resp := c.call(t, map[string]any{"op": "auth", "tenant": "hr", "token": "wrong"}); resp["ok"] == true {
+		t.Fatalf("wrong token on re-auth accepted")
+	}
+	if resp := c.call(t, map[string]any{"op": "auth", "tenant": "hr"}); resp["ok"] == true {
+		t.Fatalf("missing token on re-auth accepted")
+	}
+	c.mustOK(t, map[string]any{"op": "ping"})
+
+	// Malformed payloads on real ops: wrong arity, bad attr, bad cells.
+	for _, req := range []map[string]any{
+		{"op": "insert", "row": []string{"k1"}},
+		{"op": "update", "match": []string{"k1", "a1", "b1"}, "attr": "Z", "value": "b2"},
+		{"op": "update", "match": []string{"k1", "-", "b1"}, "attr": "B", "value": "b2"},
+		{"op": "delete", "match": []string{"!", "a1", "b1"}},
+		{"op": "query", "where": "Z ="},
+		{"op": "txn", "ops": []map[string]any{{"op": "vacuum"}}},
+	} {
+		if resp := c.call(t, req); resp["ok"] == true {
+			t.Fatalf("malformed %v accepted", req)
+		}
+	}
+	c.mustOK(t, map[string]any{"op": "ping"})
+
+	// An oversized line (beyond the 1MB scanner cap) poisons the stream:
+	// the server sends one terminal error, then disconnects.
+	big := dialClient(t, addr)
+	defer big.conn.Close() // errcheck:ok test client teardown
+	big.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
+	line := append([]byte(`{"op":"ping","token":"`), make([]byte, 2<<20)...)
+	for i := range line[22:] {
+		line[22+i] = 'x'
+	}
+	line = append(line, []byte("\"}\n")...)
+	if _, err := big.conn.Write(line); err != nil {
+		t.Fatalf("write oversized line: %v", err)
+	}
+	if !big.sc.Scan() {
+		t.Fatalf("no reply to oversized line: %v", big.sc.Err())
+	}
+	var resp map[string]any
+	if err := json.Unmarshal(big.sc.Bytes(), &resp); err != nil {
+		t.Fatalf("bad oversized-line reply %q: %v", big.sc.Text(), err)
+	}
+	if resp["ok"] == true || !strings.Contains(resp["error"].(string), "1MB") {
+		t.Fatalf("oversized line reply: %v", resp)
+	}
+	// ... and then the disconnect.
+	if big.sc.Scan() {
+		t.Fatalf("connection still open after oversized line: %q", big.sc.Text())
+	}
+
+	// The server is not wedged: a fresh connection works.
+	after := dialClient(t, addr)
+	defer after.conn.Close() // errcheck:ok test client teardown
+	after.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
+	after.mustOK(t, map[string]any{"op": "ping"})
+}
+
 // TestServeDurableTenant proves a durable tenant's state survives a
 // daemon restart: insert over the wire, shut down (which checkpoints
 // through Close), boot a second server on the same directory, read the
-// rows back.
+// rows back. The stats reply's WAL health must show live sequence
+// numbers for the durable shards.
 func TestServeDurableTenant(t *testing.T) {
 	wal := t.TempDir()
 	cfgPath := writeTestConfig(t, wal)
 	srv := startTestServer(t, cfgPath)
 
-	c := dialClient(t, srv.addr())
+	c := dialClient(t, srv.Addr())
 	c.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
 	c.mustOK(t, map[string]any{"op": "txn", "ops": []map[string]any{
 		{"op": "insert", "row": []string{"k1", "a1", "-"}},
 		{"op": "insert", "row": []string{"k2", "a2", "b2"}},
 		{"op": "insert", "row": []string{"k3", "-", "b3"}},
 	}})
+	stats := c.mustOK(t, map[string]any{"op": "stats"})
+	entries, _ := stats["wal"].([]any)
+	if len(entries) != 4 {
+		t.Fatalf("durable tenant wal entries: %d, want 4", len(entries))
+	}
+	healthy, synced := 0, 0
+	for _, e := range entries {
+		h := e.(map[string]any)
+		if h["mode"] == "healthy" {
+			healthy++
+		}
+		if s, _ := h["synced_seq"].(float64); s > 0 {
+			synced++
+		}
+	}
+	if healthy != 4 || synced == 0 {
+		t.Fatalf("durable WAL health: %d healthy, %d with synced seqs: %v", healthy, synced, entries)
+	}
 	c.conn.Close() // errcheck:ok test client teardown
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if err := srv.shutdown(ctx); err != nil {
+	if err := srv.Shutdown(ctx); err != nil {
 		t.Fatalf("shutdown: %v", err)
 	}
 
 	re := startTestServer(t, cfgPath)
-	c2 := dialClient(t, re.addr())
+	c2 := dialClient(t, re.Addr())
 	defer c2.conn.Close() // errcheck:ok test client teardown
 	c2.mustOK(t, map[string]any{"op": "auth", "tenant": "hr", "token": "hr-secret"})
 	if resp := c2.mustOK(t, map[string]any{"op": "len"}); resp["n"] != float64(3) {
@@ -252,20 +392,32 @@ func TestServeDurableTenant(t *testing.T) {
 	}
 	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
-	if err := re.shutdown(ctx2); err != nil {
+	if err := re.Shutdown(ctx2); err != nil {
 		t.Fatalf("second shutdown: %v", err)
 	}
 }
 
-// TestRunFlagErrors pins the CLI entry's failure modes (missing config,
-// unreadable config) without booting a daemon.
-func TestRunFlagErrors(t *testing.T) {
-	var out, errb strings.Builder
-	if code := run(nil, &out, &errb); code != 1 || !strings.Contains(errb.String(), "-config is required") {
-		t.Fatalf("missing -config: code %d, stderr %q", code, errb.String())
+// TestLoadConfigErrors pins config rejection: unknown fields, no
+// tenants, missing file.
+func TestLoadConfigErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
 	}
-	errb.Reset()
-	if code := run([]string{"-config", "/nonexistent/tenants.json"}, &out, &errb); code != 1 {
-		t.Fatalf("unreadable config accepted: %d", code)
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing config accepted")
+	}
+	if _, err := LoadConfig(write("empty.json", `{"tenants": []}`)); err == nil {
+		t.Fatal("empty tenant list accepted")
+	}
+	if _, err := LoadConfig(write("unknown.json", `{"tenants": [], "extra": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := New(&Config{Tenants: []TenantSpec{{Name: ""}}}); err == nil {
+		t.Fatal("nameless tenant accepted")
 	}
 }

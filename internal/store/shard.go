@@ -398,6 +398,21 @@ func (s *Sharded) Checkpoint() error {
 	return first
 }
 
+// ShardHealth reports every shard's WAL health, indexed by shard.
+// Shards without a WAL (the in-memory variant) report Mode "memory"
+// with zero counters.
+func (s *Sharded) ShardHealth() []Health {
+	out := make([]Health, len(s.shards))
+	for i := range out {
+		if i < len(s.durs) && s.durs[i] != nil {
+			out[i] = s.durs[i].Health()
+		} else {
+			out[i] = Health{Mode: "memory"}
+		}
+	}
+	return out
+}
+
 // Close closes every durable shard (in-memory shards have nothing to
 // close). The store must not be used afterwards.
 func (s *Sharded) Close() error {

@@ -260,6 +260,37 @@ func TxnWriteSet(rng *rand.Rand, g, k int, nextUID *int) [][]string {
 	return rows
 }
 
+// KV returns the key-value serving scheme shared by the shard benchmark
+// (fdbench E22) and the open-loop load simulator (internal/loadsim): a
+// unique constant key K determining two payload attributes,
+//
+//	K  A  B    with  K -> A; K -> B
+//
+// sized for a key space of `keys` distinct K constants, plus the
+// canonical row function: row(k) is the one well-formed tuple for
+// 0-based key index k, so any subset of the key space has exactly one
+// consistent instance and a load run's final state is decided by WHICH
+// keys were accepted, never by op interleaving. K is the natural shard
+// key (it is every FD's LHS).
+func KV(keys int) (*schema.Scheme, []fd.FD, func(k int) []string) {
+	s := schema.MustNew("KV",
+		[]string{"K", "A", "B"},
+		[]*schema.Domain{
+			schema.IntDomain("key", "k", keys),
+			schema.IntDomain("alpha", "a", 64),
+			schema.IntDomain("beta", "b", 64),
+		})
+	fds := fd.MustParseSet(s, "K -> A; K -> B")
+	row := func(k int) []string {
+		return []string{
+			fmt.Sprintf("k%d", k+1),
+			fmt.Sprintf("a%d", k%64+1),
+			fmt.Sprintf("b%d", k%64+1),
+		}
+	}
+	return s, fds, row
+}
+
 // Employees generates an employee-style instance over the Figure 1.1
 // scheme shape with nEmp employees spread over nDept departments; null
 // density applies to the salary and contract columns (the "acquired

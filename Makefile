@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query bench-wal smoke-wal bench-faults smoke-faults bench-shard smoke-shard smoke-serve bench-load smoke-load smoke-fuzz errsweep lint fmt vet clean
+.PHONY: all build test race bench bench-discover smoke-discover bench-store smoke-store bench-txn smoke-txn bench-query smoke-query bench-wal smoke-wal bench-faults smoke-faults bench-shard smoke-shard smoke-serve bench-load smoke-load bench-plan smoke-plan smoke-fuzz errsweep lint fmt vet clean
 
 all: build test
 
@@ -130,6 +130,24 @@ smoke-load:
 	$(GO) test -race -short -run 'TestRunStoreOracle|TestRunReproducibility|TestSweep' ./internal/loadsim
 	$(GO) test -race -short -run 'TestServeOpenLoop' ./internal/serve
 	$(GO) test -race -short -run 'TestRerunReproducesOpCounts' ./cmd/fdload
+
+# The v2 query stack: E24 contrasts the algebraic planner (cost-based
+# sketch materialization over partition statistics) with the single-probe
+# planner on a multi-conjunct/∨ battery (>=5x bar at n=2000, three-engine
+# answer agreement), and the persistent union-find chase with the
+# whole-instance re-chase on commit streams (>=5x bar at n=10^4, full
+# state identity); the measurements are archived as BENCH_plan.json.
+bench-plan:
+	$(GO) run ./cmd/fdbench -exp E24 -json BENCH_plan.json
+
+# Short-mode v2-stack smoke: the E24 sweep's agreement self-checks in
+# quick mode, the null-aware join differentials (null-free route vs the
+# original relation's answers, null route vs the pad+chase+select
+# stack), the plan-time In dedupe regression, and the explain goldens.
+smoke-plan:
+	$(GO) test -short -run 'TestPlanSweep' ./cmd/fdbench
+	$(GO) test -short -run 'TestSelectJoined|TestInDedupeAtPlanTime' ./internal/query
+	$(GO) test -short -run 'TestQueryExplain' ./cmd/fdquery
 
 # Seed-corpus fuzz smoke: the relio parser, the predicate parser, and
 # the WAL record decoder must survive their corpora (use `go test -fuzz`

@@ -316,6 +316,44 @@ func TestBenchArtifactSchema(t *testing.T) {
 	}
 }
 
+// TestPlanSweep runs E24 in quick mode: battery A asserts three-engine
+// answer agreement on the ∨/multi-conjunct battery, battery B replays
+// the commit stream in lockstep against both chase strategies and
+// asserts full state identity (the 5x bars are asserted by full runs
+// only), and -json must emit the five records in the shared schema.
+func TestPlanSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench_plan.json")
+	var out, errOut strings.Builder
+	code := run([]string{"-quick", "-exp", "E24", "-json", jsonPath}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"Battery A", "v2 vs single", "Battery B", "persistent", "agree",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("-json artifact: %v", err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("-json artifact is not valid JSON: %v", err)
+	}
+	if len(records) != 5 {
+		t.Fatalf("expected 5 records (3 select + 2 chase), got %d", len(records))
+	}
+	for _, r := range records {
+		if r["experiment"] != "E24" || r["total_ns"].(float64) <= 0 ||
+			r["speedup"].(float64) <= 0 || r["date"] == "" {
+			t.Errorf("malformed record: %v", r)
+		}
+	}
+}
+
 // TestShardSweep runs E22 in quick mode: every shard count must match
 // the unsharded oracle's final state tuple-for-tuple and keep the weak
 // invariant (the 3x bar at S=8 is asserted by full runs only), and

@@ -6,17 +6,26 @@
 // Usage:
 //
 //	fdquery -where 'predicate' [-where 'predicate' ...] [-f file]
-//	        [-chase | -store] [-checkfds]
-//	        [-engine indexed|naive] [-workers N]
+//	        [-chase | -store] [-checkfds] [-explain]
+//	        [-engine indexed|naive|single] [-workers N]
 //	fdquery -where 'MS in (married, single) and D# = d1' -f emp.txt
 //
 // -where may repeat; the predicates are evaluated as one batch over one
 // instance, fanned across -workers goroutines (query.SelectAll).
 //
-// -engine selects the selection engine: "indexed" (the default) pushes
-// the most selective Eq/In/EqAttr conjunct into an X-partition index
-// probe and evaluates the residual predicate on the candidates only;
-// "naive" full-scans (the differential ground truth).
+// -engine selects the selection engine: "indexed" (the default)
+// compiles an algebraic plan — Eq/In/EqAttr probes intersected along
+// the ∧-spine, ∨ as a deduplicated union of sub-plans, residuals
+// ordered by estimated selectivity; "single" is the retained one-probe
+// planner (the v2 planner's differential oracle); "naive" full-scans
+// (the ground truth for both). With -checkfds, "single" checks the FDs
+// with the indexed evaluator (the eval package has no single-probe
+// engine).
+//
+// -explain prints, before each predicate's answers, the compiled plan:
+// the probe/intersect/union tree with estimated vs actual candidate
+// counts, and the residual conjunct evaluation order — or the full-scan
+// reason when nothing was plannable.
 //
 // With -chase the instance is first brought to its minimally incomplete
 // form under the file's FDs, so forced nulls are substituted before the
@@ -70,7 +79,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	doChase := fs.Bool("chase", false, "chase to the minimally incomplete instance first")
 	useStore := fs.Bool("store", false, "serve the queries from a guarded store snapshot (chase + NEC-shared marks + query cache)")
 	checkFDs := fs.Bool("checkfds", false, "print a per-FD satisfaction summary before the answers")
-	engineFlag := fs.String("engine", "indexed", "selection engine (and -checkfds evaluator): indexed or naive")
+	explain := fs.Bool("explain", false, "print each predicate's compiled plan before its answers")
+	engineFlag := fs.String("engine", "indexed", "selection engine (and -checkfds evaluator): indexed, naive or single")
 	workers := fs.Int("workers", 0, "worker pool size for the predicate batch (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -80,11 +90,20 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "fdquery: %v\n", err)
 		return 2
 	}
-	// The two engine enums share their flag spellings by design.
+	// The eval and query engine enums share the spellings "indexed" and
+	// "naive" by design; "single" exists only on the query side, so the
+	// FD check falls back to the indexed evaluator for it.
 	evalEngine, err := eval.ParseEngine(*engineFlag)
 	if err != nil {
-		fmt.Fprintf(stderr, "fdquery: %v\n", err)
-		return 2
+		if qEngine != query.EngineSingle {
+			fmt.Fprintf(stderr, "fdquery: %v\n", err)
+			return 2
+		}
+		evalEngine, err = eval.ParseEngine("indexed")
+		if err != nil {
+			fmt.Fprintf(stderr, "fdquery: %v\n", err)
+			return 2
+		}
 	}
 	if len(wheres) == 0 {
 		fmt.Fprintln(stderr, "fdquery: -where is required")
@@ -150,16 +169,30 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		preds[i] = p
 	}
 	opts := query.Options{Engine: qEngine, Workers: *workers}
-	var results []query.Result
+	var st *store.Store
 	if *useStore {
-		st, err := store.FromRelation(parsed.Scheme, parsed.FDs, r, store.Options{})
+		st, err = store.FromRelation(parsed.Scheme, parsed.FDs, r, store.Options{})
 		if err != nil {
 			fmt.Fprintf(stderr, "fdquery: -store: %v\n", err)
 			return 2
 		}
 		r = st.Snapshot() // print the normalized tuples the answers index
+	}
+	var results []query.Result
+	explains := make([]*query.Explain, len(preds))
+	switch {
+	case *explain:
+		// The explain path evaluates predicate by predicate so each report
+		// describes the plan that actually produced its answers (the store
+		// case runs over the normalized snapshot, bypassing the query
+		// cache — the answers are identical by the engines' agreement).
+		results = make([]query.Result, len(preds))
+		for i, p := range preds {
+			results[i], explains[i] = query.SelectExplain(r, p, opts)
+		}
+	case st != nil:
 		results = st.QueryAll(preds, opts)
-	} else {
+	default:
 		results = query.SelectAll(r, preds, opts)
 	}
 	for i, res := range results {
@@ -167,6 +200,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout)
 		}
 		fmt.Fprintf(stdout, "predicate: %s\n", preds[i])
+		if explains[i] != nil {
+			explains[i].Format(stdout)
+		}
 		fmt.Fprintf(stdout, "\ncertain answers (%d):\n", len(res.Sure))
 		for _, j := range res.Sure {
 			fmt.Fprintf(stdout, "  t%-3d %s\n", j+1, r.Tuple(j))

@@ -218,3 +218,132 @@ row x y
 		t.Errorf("error should mention -store: %s", errOut.String())
 	}
 }
+
+func TestQueryEngineSingle(t *testing.T) {
+	// The retained one-probe planner is a first-class engine and must
+	// print the same answers as the other two — including with -checkfds,
+	// where it borrows the indexed evaluator.
+	var want string
+	for i, engine := range []string{"indexed", "naive", "single"} {
+		var out, errOut strings.Builder
+		code := run([]string{"-engine", engine, "-checkfds", "-where", "MS = married and D# = d1"},
+			strings.NewReader(input), &out, &errOut)
+		if code != 0 {
+			t.Fatalf("engine %s: exit %d: %s", engine, code, errOut.String())
+		}
+		// The FD-satisfaction header names the evaluator, which differs by
+		// design; the answers from "predicate:" on must be identical.
+		_, answers, ok := strings.Cut(out.String(), "predicate:")
+		if !ok {
+			t.Fatalf("engine %s: no answers printed:\n%s", engine, out.String())
+		}
+		if i == 0 {
+			want = answers
+		} else if answers != want {
+			t.Errorf("engine %s disagrees:\n%s\nvs\n%s", engine, answers, want)
+		}
+	}
+}
+
+func TestQueryExplainGolden(t *testing.T) {
+	// The -explain report is deterministic: golden-match the whole output
+	// for an ∧ of two probes and for an ∨ of two arms.
+	var out, errOut strings.Builder
+	code := run([]string{"-explain",
+		"-where", "D# = d1 and MS = married",
+		"-where", "E# = e1 or MS = single"},
+		strings.NewReader(input), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	want := `predicate: (#1 = "d1" and #2 = "married")
+plan (indexed, 3 tuples): evaluated 2
+  intersect (est 2, got 2)
+    probe #1 = "d1" (est 2, got 2)
+    probe #2 = "married" (est 2, got 2)
+  residual order:
+    1. #1 = "d1" (est frac 0.67)
+    2. #2 = "married" (est frac 0.67)
+
+certain answers (1):
+  t1   (e1, d1, married)
+
+possible answers (1):
+  t2   (e2, d1, -1)
+
+predicate: (#0 = "e1" or #2 = "single")
+plan (indexed, 3 tuples): evaluated 3
+  union (est 3, got 3)
+    probe #0 = "e1" (est 1, got 1)
+    probe #2 = "single" (est 2, got 2)
+  residual order:
+    1. (#0 = "e1" or #2 = "single") (est frac 1.00)
+
+certain answers (2):
+  t1   (e1, d1, married)
+  t3   (e3, d2, single)
+
+possible answers (1):
+  t2   (e2, d1, -1)
+`
+	if got := out.String(); got != want {
+		t.Errorf("explain output drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestQueryExplainScanReasons(t *testing.T) {
+	// Unplannable predicates and the naive engine must report themselves
+	// as scans with the reason.
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-explain", "-engine", "naive", "-where", "MS = married"},
+			"  full scan: naive engine\n"},
+		{[]string{"-explain", "-where", "not(MS = married)"},
+			"  full scan: no plannable conjunct\n"},
+		{[]string{"-explain", "-engine", "single", "-where", "not(MS = married)"},
+			"  full scan: no indexable conjunct\n"},
+	}
+	for _, c := range cases {
+		var out, errOut strings.Builder
+		if code := run(c.args, strings.NewReader(input), &out, &errOut); code != 0 {
+			t.Fatalf("%v: exit %d: %s", c.args, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), c.want) {
+			t.Errorf("%v: want %q in output:\n%s", c.args, c.want, out.String())
+		}
+	}
+}
+
+func TestQueryExplainWithStore(t *testing.T) {
+	// -store -explain plans over the normalized snapshot; answers must
+	// match the plain -store run.
+	var plain, explained strings.Builder
+	var errOut strings.Builder
+	if code := run([]string{"-store", "-where", "D# = d1"}, strings.NewReader(input), &plain, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if code := run([]string{"-store", "-explain", "-where", "D# = d1"}, strings.NewReader(input), &explained, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	got := explained.String()
+	if !strings.Contains(got, "plan (indexed, 3 tuples)") {
+		t.Errorf("store explain should plan over the snapshot:\n%s", got)
+	}
+	// Strip the plan block; the rest must be the plain output.
+	var kept []string
+	for _, line := range strings.Split(got, "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		if strings.HasPrefix(line, "plan (") || (line != trimmed && (strings.HasPrefix(trimmed, "probe") ||
+			strings.HasPrefix(trimmed, "intersect") || strings.HasPrefix(trimmed, "union") ||
+			strings.HasPrefix(trimmed, "residual") || strings.HasPrefix(trimmed, "full scan") ||
+			(len(trimmed) > 1 && trimmed[0] >= '1' && trimmed[0] <= '9' && trimmed[1] == '.'))) {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if strings.Join(kept, "\n") != plain.String() {
+		t.Errorf("-store -explain answers drifted from -store:\n%s\nvs\n%s", got, plain.String())
+	}
+}

@@ -57,16 +57,22 @@ type QueryOptions = query.Options
 // QueryEngine selects the selection strategy.
 type QueryEngine = query.Engine
 
-// The selection engines: QueryIndexed (the default) pushes the most
-// selective Eq/In/EqAttr conjunct into an X-partition index probe and
-// evaluates the residual predicate on the candidates only; QueryNaive
-// full-scans (the differential ground truth).
+// The selection engines: QueryIndexed (the default) compiles an
+// algebraic plan over X-partition indexes — Eq/In/EqAttr probes
+// intersected along the ∧-spine by ascending cost estimate, ∨ evaluated
+// as a deduplicated union of sub-plans, residual conjuncts ordered by
+// estimated selectivity from IndexStats; QuerySingle pushes exactly one
+// conjunct into one probe (the previous planner, retained as the v2
+// planner's differential oracle); QueryNaive full-scans (the ground
+// truth both planners are tested against).
 const (
 	QueryIndexed = query.EngineIndexed
 	QueryNaive   = query.EngineNaive
+	QuerySingle  = query.EngineSingle
 )
 
-// ParseQueryEngine parses the -engine flag values "indexed" and "naive".
+// ParseQueryEngine parses the -engine flag values "indexed", "naive"
+// and "single".
 func ParseQueryEngine(s string) (QueryEngine, error) { return query.ParseEngine(s) }
 
 // Select evaluates a predicate three-valuedly on every tuple: Sure lists
@@ -92,6 +98,37 @@ func SelectAll(src QuerySource, preds []Pred, opts QueryOptions) []SelectResult 
 // not/and/or/in are reserved.
 func ParsePred(s *schema.Scheme, input string) (Pred, error) {
 	return query.ParsePred(s, input)
+}
+
+// QueryExplain is the plan report of one selection: the chosen probes,
+// intersections and union arms with estimated vs actual candidate
+// counts, the residual evaluation order, or the full-scan reason.
+// Format/String render it as the indented tree `fdquery -explain`
+// prints.
+type QueryExplain = query.Explain
+
+// QueryExplainNode mirrors one plan operator in a QueryExplain.
+type QueryExplainNode = query.ExplainNode
+
+// SelectExplain is SelectWith returning the plan report alongside the
+// answer; the report always describes what actually ran.
+func SelectExplain(src QuerySource, p Pred, opts QueryOptions) (SelectResult, *QueryExplain) {
+	return query.SelectExplain(src, p, opts)
+}
+
+// Joined is the outcome of a selection over a decomposed schema: the
+// recombined universal instance, the answer over it, and whether the
+// null-aware pad+chase route ran instead of the classical natural join.
+type Joined = query.Joined
+
+// SelectJoined evaluates p over the natural join of the fragments of a
+// lossless decomposition of universal — null-free fragments via a hash
+// natural join with per-fragment predicate pushdown, fragments with
+// nulls via PadToUniversal and the extended chase — without requiring
+// the caller to materialize the join first. components[i] lists the
+// universal attributes of fragments[i] in the fragment's column order.
+func SelectJoined(universal *schema.Scheme, fds []FD, fragments []*Relation, components []AttrSet, p Pred, opts QueryOptions) (*Joined, error) {
+	return query.SelectJoined(universal, fds, fragments, components, p, opts)
 }
 
 // ---- X-side substitutions (Section 4 conditions (1) and (2)) ----
@@ -133,6 +170,25 @@ const (
 // ParseMaintenance parses the -maintenance flag values "incremental"
 // and "recheck".
 func ParseMaintenance(s string) (StoreMaintenance, error) { return store.ParseMaintenance(s) }
+
+// ChaseStrategy selects how the recheck engine re-chases after a
+// mutation or commit.
+type ChaseStrategy = store.ChaseStrategy
+
+// The chase strategies: ChasePersistent (the default) keeps a
+// union-find chase closure across commits and touches only the classes
+// the new tuples join, rolling back in O(trail) on rejection; ChaseFull
+// clones and re-chases the whole tentative instance per commit (the
+// differential ground truth). The strategies agree verdict-for-verdict
+// and state-for-state.
+const (
+	ChasePersistent = store.ChasePersistent
+	ChaseFull       = store.ChaseFull
+)
+
+// ParseChaseStrategy parses the -chase flag values "persistent" and
+// "full".
+func ParseChaseStrategy(s string) (ChaseStrategy, error) { return store.ParseChaseStrategy(s) }
 
 // InconsistencyError is returned for mutations the dependencies forbid.
 // It wraps ErrInconsistent, so errors.Is(err, ErrInconsistent) matches.

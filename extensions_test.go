@@ -176,3 +176,62 @@ func TestPublicXSubstitutions(t *testing.T) {
 		t.Errorf("A = %v, want a2", got)
 	}
 }
+
+// TestPublicQueryV2 exercises the v2 query surface: both planners vs
+// the scan, the plan report, partition statistics, the decomposed-
+// schema selection, and the store's chase-strategy knob.
+func TestPublicQueryV2(t *testing.T) {
+	s := maritalScheme(t)
+	fds := fdnull.MustParseFDs(s, "E# -> D#,MS")
+	r := fdnull.MustFromRows(s,
+		[]string{"e1", "d1", "married"},
+		[]string{"e2", "d1", "single"},
+		[]string{"e3", "d2", "married"})
+	p := fdnull.OrPred{
+		P: fdnull.Eq{Attr: s.MustAttr("E#"), Const: "e1"},
+		Q: fdnull.Eq{Attr: s.MustAttr("D#"), Const: "d2"},
+	}
+	want := fdnull.Select(r, p)
+	for _, e := range []fdnull.QueryEngine{fdnull.QueryIndexed, fdnull.QuerySingle} {
+		if got := fdnull.SelectWith(r, p, fdnull.QueryOptions{Engine: e}); !got.Equal(want) {
+			t.Errorf("%s diverged from the scan: %v vs %v", e, got, want)
+		}
+	}
+	res, ex := fdnull.SelectExplain(r, p, fdnull.QueryOptions{})
+	if !res.Equal(want) || ex.Scan || !strings.Contains(ex.String(), "union") {
+		t.Errorf("explain: res=%v report=%v", res, ex)
+	}
+	if st := fdnull.IndexOn(r, s.MustSet("D#")).Stats(); st.Rows != 3 || st.Groups != 2 {
+		t.Errorf("IndexStats = %+v", st)
+	}
+
+	comps := []fdnull.AttrSet{s.MustSet("E#", "D#"), s.MustSet("E#", "MS")}
+	frags, err := fdnull.ProjectInstance(r, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := fdnull.SelectJoined(s, fds, frags, comps, p, fdnull.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pushdown pre-filters fragment rows the predicate falsifies, so the
+	// joined instance holds the answers only; the answer set must match.
+	if j.Chased || len(j.Res.Sure) != len(want.Sure) || len(j.Res.Maybe) != len(want.Maybe) {
+		t.Errorf("joined selection: chased=%v len=%d res=%v want=%v", j.Chased, j.Rel.Len(), j.Res, want)
+	}
+
+	if c, err := fdnull.ParseChaseStrategy("full"); err != nil || c != fdnull.ChaseFull {
+		t.Errorf("ParseChaseStrategy(full) = %v, %v", c, err)
+	}
+	st := fdnull.NewStore(s, fds, fdnull.StoreOptions{
+		Maintenance: fdnull.MaintenanceRecheck, Chase: fdnull.ChasePersistent})
+	if err := st.InsertRow("e1", "d1", "married"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.InsertRow("e1", "d2", "single"); err == nil {
+		t.Error("persistent chase must reject the E# -> D# violation")
+	}
+	if st.Len() != 1 || !st.CheckWeak() {
+		t.Errorf("store after rejection: len=%d", st.Len())
+	}
+}

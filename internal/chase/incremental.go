@@ -1,0 +1,491 @@
+// incremental.go implements the persistent (cross-commit) chase: the
+// same union-find over symbol classes as chase.go's one-shot chaser,
+// kept alive between commits so a k-row insert batch costs O(k·p +
+// touched classes) instead of the full O(|F|·n) re-chase.
+//
+// The structure exploits that the store's instance is always a chase
+// fixpoint between commits (minimally incomplete, nothing-free): the
+// surviving closure — interned symbols, class structure, per-FD
+// X-signature buckets — is exactly the state a fresh chase of the
+// committed instance would reach, so an insert batch only has to
+//
+//  1. intern the new rows' cells (tying explicit marks into their
+//     surviving classes),
+//  2. sign the new rows per FD and union Y-cells on bucket hits
+//     (NS-rules a and b, extended system), and
+//  3. drain the union queue to fixpoint, re-signing only the rows that
+//     hold a symbol whose class root changed.
+//
+// Completeness of step 3 rests on the signature-coarsening lemma:
+// unions only coarsen the class partition, so two rows with equal
+// X-signatures stay equal — a row's bucket key can only change when one
+// of its symbols' roots changes, and those rows are exactly the ones
+// re-signed. Confluence of the extended system (Theorem 4, Church–
+// Rosser) guarantees the incremental fixpoint equals the one-shot
+// chase's, which chase.go keeps providing as the differential oracle.
+//
+// Every mutation of an Append is trail-logged; Rollback restores the
+// pre-Append state bit for bit (union-by-rank without path compression
+// keeps find() mutation-free, so only unions, interning, occurrence and
+// signature writes are logged). Commit returns the cell substitutions
+// the closure forced — Maybe→Sure promotions the store applies in place
+// through SetCellDelta — and retires marks that stopped being their
+// class's canonical name, so a later explicit reuse of a substituted
+// mark interns fresh, exactly as a full chase of the substituted
+// instance would.
+package chase
+
+import (
+	"sort"
+	"strings"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+// CellSub is one substitution the closure forced: cell (Row, Attr) now
+// denotes Val (a constant, a canonical mark, or nothing).
+type CellSub struct {
+	Row  int
+	Attr schema.Attr
+	Val  value.V
+}
+
+// cellRef locates one cell of the instance.
+type cellRef struct {
+	row  int
+	attr schema.Attr
+}
+
+// Incremental is the persistent chaser. It is append-only: inserts go
+// through Append/Commit/Rollback; any other structural change to the
+// instance (delete, update, mark retirement from outside) invalidates
+// it and the owner must rebuild. Not safe for concurrent use.
+type Incremental struct {
+	fds    []fd.FD
+	xAttrs [][]schema.Attr // per FD, X.Attrs()
+	yAttrs [][]schema.Attr // per FD, Y.Attrs()
+	arity  int
+
+	constID map[string]int
+	markID  map[int]int
+	symbols []symbol
+
+	// union-find over symbol ids: union by rank, NO path compression
+	// (find must not mutate, so Rollback only undoes logged writes).
+	parent  []int
+	rank    []int
+	info    []classInfo
+	members [][]int // root → member symbol ids (valid at roots)
+
+	// occ[s] lists the cells interned with symbol s. Substitutions do
+	// not rewrite it: a substituted cell keeps denoting its original
+	// symbol, whose root tracks the cell's current value.
+	occ [][]cellRef
+
+	cells  [][]int          // row → attr → symbol id
+	rowSig [][]string       // FD index → row → current signature key
+	sigs   []map[string]int // FD index → signature key → representative row
+
+	consistent bool
+	buildSubs  []CellSub
+
+	tent *tentLog // non-nil while an Append is outstanding
+}
+
+// tentLog is the undo trail of one outstanding Append.
+type tentLog struct {
+	baseSyms  int
+	baseRows  int
+	newConsts []string
+	newMarks  []int
+	occAppend []int // symbol ids, one per occ append, in order
+	unions    []unionLog
+	sigWrites []sigWrite
+	rowSigSet []rowSigWrite
+	affected  map[int]struct{} // symbols in classes whose value changed
+}
+
+type unionLog struct {
+	ra, rb   int
+	rankA    int
+	infoA    classInfo
+	membersA int // len(members[ra]) before the merge
+}
+
+type sigWrite struct {
+	fi      int
+	key     string
+	prev    int
+	hadPrev bool
+}
+
+type rowSigWrite struct {
+	fi   int
+	row  int
+	prev string
+}
+
+// NewIncremental builds the persistent chaser over r's current rows.
+// When r is not a nothing-free chase fixpoint the build either turns
+// inconsistent or leaves pending substitutions; Consistent and
+// PendingSubs report it and the owner should not install the chaser.
+func NewIncremental(r *relation.Relation, fds []fd.FD) *Incremental {
+	inc := &Incremental{
+		fds:     fds,
+		arity:   r.Scheme().Arity(),
+		constID: map[string]int{},
+		markID:  map[int]int{},
+		sigs:    make([]map[string]int, len(fds)),
+		rowSig:  make([][]string, len(fds)),
+	}
+	for i, f := range fds {
+		inc.sigs[i] = map[string]int{}
+		inc.xAttrs = append(inc.xAttrs, f.X.Attrs())
+		inc.yAttrs = append(inc.yAttrs, f.Y.Attrs())
+	}
+	if !inc.Append(r.Tuples()) {
+		inc.Rollback()
+		inc.consistent = false
+		return inc
+	}
+	inc.buildSubs = inc.Commit()
+	inc.consistent = true
+	return inc
+}
+
+// Consistent reports whether the instance chased clean at build time.
+func (inc *Incremental) Consistent() bool { return inc.consistent }
+
+// PendingSubs returns the substitutions the build closure forced — non-
+// empty exactly when the input was not already a chase fixpoint.
+func (inc *Incremental) PendingSubs() []CellSub { return inc.buildSubs }
+
+// Rows returns the number of rows the chaser currently covers.
+func (inc *Incremental) Rows() int { return len(inc.cells) }
+
+// Append tentatively extends the chaser with ts (the rows appended to
+// the instance, in order) and drains the NS-rule closure. It returns
+// false when the closure poisons a class (the extended instance is
+// weakly unsatisfiable) or a row carries an input nothing; the caller
+// must then Rollback. On true, the caller chooses Commit or Rollback.
+func (inc *Incremental) Append(ts []relation.Tuple) bool {
+	if inc.tent != nil {
+		panic("chase: Append with an outstanding tentative append")
+	}
+	inc.tent = &tentLog{
+		baseSyms: len(inc.symbols),
+		baseRows: len(inc.cells),
+		affected: map[int]struct{}{},
+	}
+	var queue [][2]int
+	for _, t := range ts {
+		row := len(inc.cells)
+		cr := make([]int, inc.arity)
+		for a := 0; a < inc.arity; a++ {
+			v := t[a]
+			var id int
+			switch {
+			case v.IsConst():
+				id = inc.internConst(v.Const())
+			case v.IsNull():
+				id = inc.internMark(v.Mark())
+			default:
+				return false // input nothing: contradictory by construction
+			}
+			cr[a] = id
+			inc.occ[id] = append(inc.occ[id], cellRef{row: row, attr: schema.Attr(a)})
+			inc.tent.occAppend = append(inc.tent.occAppend, id)
+		}
+		inc.cells = append(inc.cells, cr)
+		for fi := range inc.fds {
+			inc.rowSig[fi] = append(inc.rowSig[fi], "")
+			queue = inc.signRow(fi, row, queue)
+		}
+	}
+	return inc.closure(queue)
+}
+
+// Commit finalizes the outstanding Append and returns the forced cell
+// substitutions, sorted by (row, attr): for every symbol in a class
+// whose canonical value changed, each cell interned with that symbol is
+// rewritten to the class value — unless the symbol still names it.
+// Marks that stopped being canonical are retired from the interning
+// table, so a later explicit occurrence of the same mark is a fresh
+// unknown (exactly what a full chase of the substituted instance would
+// see).
+func (inc *Incremental) Commit() []CellSub {
+	t := inc.tent
+	inc.tent = nil
+	var subs []CellSub
+	for sym := range t.affected {
+		val := inc.classValue(inc.find(sym))
+		s := inc.symbols[sym]
+		var own value.V
+		if s.isConst {
+			own = value.NewConst(s.c)
+		} else {
+			own = value.NewNull(s.mark)
+		}
+		if val.Identical(own) {
+			continue
+		}
+		for _, ref := range inc.occ[sym] {
+			subs = append(subs, CellSub{Row: ref.row, Attr: ref.attr, Val: val})
+		}
+		if !s.isConst {
+			// Retire the mark: it no longer names its class. Guarded so a
+			// mark retired earlier and since re-interned fresh keeps its
+			// new, live binding.
+			if id, ok := inc.markID[s.mark]; ok && id == sym {
+				delete(inc.markID, s.mark)
+			}
+		}
+	}
+	for _, u := range t.unions {
+		inc.members[u.rb] = nil // absorbed; the list lives on in members[ra]
+	}
+	sort.Slice(subs, func(i, j int) bool {
+		if subs[i].Row != subs[j].Row {
+			return subs[i].Row < subs[j].Row
+		}
+		return subs[i].Attr < subs[j].Attr
+	})
+	return subs
+}
+
+// Rollback undoes the outstanding Append bit for bit.
+func (inc *Incremental) Rollback() {
+	t := inc.tent
+	inc.tent = nil
+	if t == nil {
+		return
+	}
+	for i := len(t.sigWrites) - 1; i >= 0; i-- {
+		w := t.sigWrites[i]
+		if w.hadPrev {
+			inc.sigs[w.fi][w.key] = w.prev
+		} else {
+			delete(inc.sigs[w.fi], w.key)
+		}
+	}
+	for i := len(t.rowSigSet) - 1; i >= 0; i-- {
+		w := t.rowSigSet[i]
+		if w.row < len(inc.rowSig[w.fi]) {
+			inc.rowSig[w.fi][w.row] = w.prev
+		}
+	}
+	for i := len(t.unions) - 1; i >= 0; i-- {
+		u := t.unions[i]
+		inc.members[u.ra] = inc.members[u.ra][:u.membersA]
+		inc.info[u.ra] = u.infoA
+		inc.rank[u.ra] = u.rankA
+		inc.parent[u.rb] = u.rb
+	}
+	for i := len(t.occAppend) - 1; i >= 0; i-- {
+		s := t.occAppend[i]
+		inc.occ[s] = inc.occ[s][:len(inc.occ[s])-1]
+	}
+	inc.symbols = inc.symbols[:t.baseSyms]
+	inc.parent = inc.parent[:t.baseSyms]
+	inc.rank = inc.rank[:t.baseSyms]
+	inc.info = inc.info[:t.baseSyms]
+	inc.members = inc.members[:t.baseSyms]
+	inc.occ = inc.occ[:t.baseSyms]
+	for _, c := range t.newConsts {
+		delete(inc.constID, c)
+	}
+	for _, m := range t.newMarks {
+		delete(inc.markID, m)
+	}
+	for i := t.baseRows; i < len(inc.cells); i++ {
+		inc.cells[i] = nil
+	}
+	inc.cells = inc.cells[:t.baseRows]
+	for fi := range inc.rowSig {
+		inc.rowSig[fi] = inc.rowSig[fi][:t.baseRows]
+	}
+}
+
+// ---- internals ----
+
+func (inc *Incremental) internConst(c string) int {
+	if id, ok := inc.constID[c]; ok {
+		return id
+	}
+	id := inc.addSymbol(symbol{isConst: true, c: c}, classInfo{hasConst: true, c: c})
+	inc.constID[c] = id
+	inc.tent.newConsts = append(inc.tent.newConsts, c)
+	return id
+}
+
+func (inc *Incremental) internMark(m int) int {
+	if id, ok := inc.markID[m]; ok {
+		return id
+	}
+	id := inc.addSymbol(symbol{mark: m}, classInfo{minMark: m, hasMark: true})
+	inc.markID[m] = id
+	inc.tent.newMarks = append(inc.tent.newMarks, m)
+	return id
+}
+
+func (inc *Incremental) addSymbol(s symbol, ci classInfo) int {
+	id := len(inc.symbols)
+	inc.symbols = append(inc.symbols, s)
+	inc.parent = append(inc.parent, id)
+	inc.rank = append(inc.rank, 0)
+	inc.info = append(inc.info, ci)
+	inc.members = append(inc.members, []int{id})
+	inc.occ = append(inc.occ, nil)
+	return id
+}
+
+// find walks to the root without path compression — mutation-free so
+// Rollback never has to undo it.
+func (inc *Incremental) find(x int) int {
+	for inc.parent[x] != x {
+		x = inc.parent[x]
+	}
+	return x
+}
+
+// classValue is the canonical value of a root class: nothing when
+// poisoned, the constant when bound, else the minimal member mark.
+func (inc *Incremental) classValue(root int) value.V {
+	ci := inc.info[root]
+	switch {
+	case ci.poisoned:
+		return value.NewNothing()
+	case ci.hasConst:
+		return value.NewConst(ci.c)
+	default:
+		return value.NewNull(ci.minMark)
+	}
+}
+
+// sigKey renders row r's X-signature for FD fi under the current
+// classes (root ids, comma-separated — the chaser's bucket key). The
+// leading 's' keeps every key non-empty, so "" stays the "never signed"
+// sentinel even for an FD with an empty left-hand side.
+func (inc *Incremental) sigKey(fi, r int) string {
+	var b strings.Builder
+	b.WriteByte('s')
+	for _, a := range inc.xAttrs[fi] {
+		writeInt(&b, inc.find(inc.cells[r][a]))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func writeInt(b *strings.Builder, v int) {
+	if v >= 10 {
+		writeInt(b, v/10)
+	}
+	b.WriteByte(byte('0' + v%10))
+}
+
+// signRow (re)computes row r's signature for FD fi, updating the bucket
+// map and enqueueing Y-unions on a hit. Appends to queue and returns it.
+func (inc *Incremental) signRow(fi, r int, queue [][2]int) [][2]int {
+	old := inc.rowSig[fi][r]
+	key := inc.sigKey(fi, r)
+	if key == old {
+		return queue
+	}
+	if old != "" {
+		if rep, ok := inc.sigs[fi][old]; ok && rep == r {
+			inc.tent.sigWrites = append(inc.tent.sigWrites, sigWrite{fi: fi, key: old, prev: rep, hadPrev: true})
+			delete(inc.sigs[fi], old)
+		}
+	}
+	inc.tent.rowSigSet = append(inc.tent.rowSigSet, rowSigWrite{fi: fi, row: r, prev: old})
+	inc.rowSig[fi][r] = key
+	if rep, ok := inc.sigs[fi][key]; ok {
+		for _, a := range inc.yAttrs[fi] {
+			queue = append(queue, [2]int{inc.cells[rep][a], inc.cells[r][a]})
+		}
+	} else {
+		inc.tent.sigWrites = append(inc.tent.sigWrites, sigWrite{fi: fi, key: key, hadPrev: false})
+		inc.sigs[fi][key] = r
+	}
+	return queue
+}
+
+// closure drains the union queue to fixpoint: each merge re-signs the
+// rows holding a symbol whose root changed (the absorbed class's
+// members), which can enqueue further unions. Returns false the moment
+// a class poisons — the caller must Rollback.
+func (inc *Incremental) closure(queue [][2]int) bool {
+	var dirty []int
+	for qi := 0; qi < len(queue); qi++ {
+		ra, rb := inc.find(queue[qi][0]), inc.find(queue[qi][1])
+		if ra == rb {
+			continue
+		}
+		if inc.rank[ra] < inc.rank[rb] {
+			ra, rb = rb, ra
+		}
+		valA := inc.classValue(ra)
+		valB := inc.classValue(rb)
+		inc.tent.unions = append(inc.tent.unions, unionLog{
+			ra: ra, rb: rb, rankA: inc.rank[ra], infoA: inc.info[ra], membersA: len(inc.members[ra]),
+		})
+		inc.parent[rb] = ra
+		if inc.rank[ra] == inc.rank[rb] {
+			inc.rank[ra]++
+		}
+		ia, ib := &inc.info[ra], inc.info[rb]
+		if ib.poisoned {
+			ia.poisoned = true
+		}
+		if ib.hasConst {
+			if ia.hasConst && ia.c != ib.c {
+				ia.poisoned = true
+			} else {
+				ia.hasConst = true
+				ia.c = ib.c
+			}
+		}
+		if ib.hasMark && (!ia.hasMark || ib.minMark < ia.minMark) {
+			ia.hasMark = true
+			ia.minMark = ib.minMark
+		}
+		if ia.poisoned {
+			return false
+		}
+		newVal := inc.classValue(ra)
+		if !newVal.Identical(valA) {
+			for _, s := range inc.members[ra] {
+				inc.tent.affected[s] = struct{}{}
+			}
+		}
+		if !newVal.Identical(valB) {
+			for _, s := range inc.members[rb] {
+				inc.tent.affected[s] = struct{}{}
+			}
+		}
+		// Rows holding an absorbed-class symbol are the only ones whose
+		// signatures can have changed.
+		dirty = dirty[:0]
+		for _, s := range inc.members[rb] {
+			for _, ref := range inc.occ[s] {
+				dirty = append(dirty, ref.row)
+			}
+		}
+		inc.members[ra] = append(inc.members[ra], inc.members[rb]...)
+		sort.Ints(dirty)
+		prev := -1
+		for _, r := range dirty {
+			if r == prev {
+				continue
+			}
+			prev = r
+			for fi := range inc.fds {
+				queue = inc.signRow(fi, r, queue)
+			}
+		}
+	}
+	return true
+}

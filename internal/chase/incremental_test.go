@@ -1,0 +1,236 @@
+package chase
+
+import (
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/fd"
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+)
+
+// applySubs materializes a Commit's substitutions in place.
+func applySubs(r *relation.Relation, subs []CellSub) {
+	for _, s := range subs {
+		r.SetCellDelta(s.Row, s.Attr, s.Val)
+	}
+}
+
+func TestIncrementalPromotesAcrossCommits(t *testing.T) {
+	// A null stored in one commit is promoted by a later commit's insert:
+	// the surviving closure ties the new row into the old class.
+	s := abcScheme()
+	fds := fd.MustParseSet(s, "A -> B")
+	r := relation.MustFromRows(s, []string{"v1", "-1", "v1"})
+	inc := NewIncremental(r, fds)
+	if !inc.Consistent() || len(inc.PendingSubs()) != 0 {
+		t.Fatalf("fixpoint input: consistent=%v pending=%v", inc.Consistent(), inc.PendingSubs())
+	}
+	row, err := r.ParseRow("v1", "v2", "v3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.InsertDelta(row); err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Append([]relation.Tuple{r.Tuple(1)}) {
+		t.Fatal("consistent append reported inconsistent")
+	}
+	subs := inc.Commit()
+	if len(subs) != 1 || subs[0].Row != 0 || subs[0].Attr != 1 ||
+		!subs[0].Val.IsConst() || subs[0].Val.Const() != "v2" {
+		t.Fatalf("want one sub t0.B := v2, got %v", subs)
+	}
+	applySubs(r, subs)
+	want, err := Run(r, fds, Options{Mode: Extended, Engine: Congruence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(r, want.Relation) {
+		t.Fatalf("substituted instance is not a fixpoint:\n%s\nwant:\n%s", r, want.Relation)
+	}
+}
+
+func TestIncrementalRetiredMarkInternsFresh(t *testing.T) {
+	// After ⊥1 is substituted away, an explicit later occurrence of "-1"
+	// is a fresh unknown — exactly what a full chase of the substituted
+	// instance would see.
+	s := abcScheme()
+	fds := fd.MustParseSet(s, "A -> B")
+	r := relation.MustFromRows(s, []string{"v1", "-1", "v1"})
+	inc := NewIncremental(r, fds)
+	mustAppendRows(t, r, inc, [][]string{{"v1", "v2", "v2"}}) // promotes ⊥1 := v2
+	// Reused mark on an unrelated A-group: no rule fires, no subs.
+	subs := mustAppendRows(t, r, inc, [][]string{{"v3", "-1", "v3"}})
+	if len(subs) != 0 {
+		t.Fatalf("fresh unknown must not be substituted, got %v", subs)
+	}
+	// Binding the reused mark's new class must not touch the old class.
+	subs = mustAppendRows(t, r, inc, [][]string{{"v3", "v4", "v1"}})
+	if len(subs) != 1 || subs[0].Row != 2 || !subs[0].Val.IsConst() || subs[0].Val.Const() != "v4" {
+		t.Fatalf("want one sub t2.B := v4, got %v", subs)
+	}
+	want, err := Run(r, fds, Options{Mode: Extended, Engine: Congruence})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relation.Equal(r, want.Relation) {
+		t.Fatalf("state diverged from the one-shot chase:\n%s\nwant:\n%s", r, want.Relation)
+	}
+}
+
+// mustAppendRows inserts rows, appends them to the chaser, asserts
+// consistency, commits, and applies the substitutions.
+func mustAppendRows(t *testing.T, r *relation.Relation, inc *Incremental, rows [][]string) []CellSub {
+	t.Helper()
+	base := r.Len()
+	for _, cells := range rows {
+		row, err := r.ParseRow(cells...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.InsertDelta(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ts []relation.Tuple
+	for i := base; i < r.Len(); i++ {
+		ts = append(ts, r.Tuple(i))
+	}
+	if !inc.Append(ts) {
+		t.Fatalf("consistent append reported inconsistent: %v", rows)
+	}
+	subs := inc.Commit()
+	applySubs(r, subs)
+	return subs
+}
+
+func TestIncrementalRollbackRestores(t *testing.T) {
+	// A rejected batch must leave the closure bit-for-bit intact: the next
+	// (accepted) batch behaves exactly like a fresh chaser's would.
+	s := abcScheme()
+	fds := fd.MustParseSet(s, "A -> B")
+	r := relation.MustFromRows(s, []string{"v1", "-1", "v1"}, []string{"v2", "v3", "-2"})
+	inc := NewIncremental(r, fds)
+	// v1's group already has ⊥1; binding it to v2 AND v3 poisons.
+	bad := []relation.Tuple{
+		mustParse(t, r, "v1", "v2", "v4"),
+		mustParse(t, r, "v1", "v3", "v4"),
+	}
+	base := r.Len()
+	for _, row := range bad {
+		if _, err := r.InsertDelta(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inc.Append([]relation.Tuple{r.Tuple(base), r.Tuple(base + 1)}) {
+		t.Fatal("poisoning append reported consistent")
+	}
+	inc.Rollback()
+	for i := r.Len() - 1; i >= base; i-- {
+		r.DeleteDelta(i)
+	}
+	// The surviving closure must still promote through the old class.
+	subs := mustAppendRows(t, r, inc, [][]string{{"v1", "v2", "v3"}})
+	if len(subs) != 1 || subs[0].Row != 0 || !subs[0].Val.IsConst() || subs[0].Val.Const() != "v2" {
+		t.Fatalf("post-rollback promotion: want t0.B := v2, got %v", subs)
+	}
+}
+
+func mustParse(t *testing.T, r *relation.Relation, cells ...string) relation.Tuple {
+	t.Helper()
+	row, err := r.ParseRow(cells...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return row
+}
+
+// TestIncrementalAgreesWithOneShot_Random is the persistent chaser's
+// differential test: random insert batches — constants, fresh nulls,
+// explicit (and sometimes retired) marks — are appended commit by commit,
+// and after every accepted commit the substituted instance must equal the
+// one-shot extended chase of the same rows, verdict for verdict. Rejected
+// batches are rolled back and the loop continues on the same closure, so
+// a rollback that corrupted state would surface in a later step.
+func TestIncrementalAgreesWithOneShot_Random(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	dom := schema.IntDomain("d", "v", 4)
+	s := schema.Uniform("R", []string{"A", "B", "C", "D"}, dom)
+	for trial := 0; trial < 40; trial++ {
+		var fds []fd.FD
+		nf := 1 + rng.Intn(3)
+		for i := 0; i < nf; i++ {
+			x := schema.AttrSet(rng.Intn(15) + 1)
+			y := schema.AttrSet(rng.Intn(15) + 1).Diff(x)
+			if y.Empty() {
+				continue
+			}
+			fds = append(fds, fd.New(x, y))
+		}
+		if len(fds) == 0 {
+			continue
+		}
+		rel := relation.New(s)
+		inc := NewIncremental(rel, fds)
+		for step := 0; step < 12; step++ {
+			// One batch of 1..3 rows; cells are constants, fresh nulls, or
+			// explicit small marks (which over many steps hit both live and
+			// retired classes).
+			oracle := rel.Clone()
+			base := rel.Len()
+			nrows := 1 + rng.Intn(3)
+			for i := 0; i < nrows; i++ {
+				cells := make([]string, 4)
+				for j := range cells {
+					switch rng.Intn(6) {
+					case 0:
+						cells[j] = "-"
+					case 1:
+						cells[j] = "-" + string(rune('1'+rng.Intn(5)))
+					default:
+						cells[j] = dom.Values[rng.Intn(dom.Size())]
+					}
+				}
+				// Apply to both from identical states: errors (dup, domain)
+				// strike identically and the row is skipped on both sides.
+				if err := oracle.InsertRow(cells...); err != nil {
+					continue
+				}
+				if err := rel.InsertRow(cells...); err != nil {
+					t.Fatalf("trial %d step %d: oracle accepted %v but live rejected: %v", trial, step, cells, err)
+				}
+			}
+			if rel.Len() == base {
+				continue
+			}
+			var ts []relation.Tuple
+			for i := base; i < rel.Len(); i++ {
+				ts = append(ts, rel.Tuple(i))
+			}
+			res, err := Run(oracle, fds, Options{Mode: Extended, Engine: Congruence})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok := inc.Append(ts)
+			if ok != res.Consistent {
+				t.Fatalf("trial %d step %d: incremental verdict %v, one-shot %v", trial, step, ok, res.Consistent)
+			}
+			if !ok {
+				inc.Rollback()
+				for i := rel.Len() - 1; i >= base; i-- {
+					rel.DeleteDelta(i)
+				}
+				continue
+			}
+			applySubs(rel, inc.Commit())
+			if !relation.Equal(rel, res.Relation) {
+				t.Fatalf("trial %d step %d: states diverge\nincremental:\n%s\none-shot:\n%s",
+					trial, step, rel, res.Relation)
+			}
+			if inc.Rows() != rel.Len() {
+				t.Fatalf("trial %d step %d: chaser covers %d rows, instance has %d", trial, step, inc.Rows(), rel.Len())
+			}
+		}
+	}
+}

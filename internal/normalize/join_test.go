@@ -53,6 +53,50 @@ func TestNaturalJoinValidation(t *testing.T) {
 	if _, err := NaturalJoin(s, pf, partial); err == nil {
 		t.Error("uncovered attributes must be reported")
 	}
+	// Nothing-bearing fragments are as unjoinable as null-bearing ones.
+	withNothing := relation.MustFromRows(r.Scheme(), []string{"e1", "s1", "d1", "!"})
+	bf, _ := ProjectInstance(withNothing, comps)
+	if _, err := NaturalJoin(s, bf, comps); err == nil {
+		t.Error("nothing-bearing fragments must be rejected")
+	}
+}
+
+// TestNaturalJoinEdgeCases pins the join's set semantics at the
+// boundaries: an empty fragment annihilates the join, and dangling
+// tuples (no partner on the shared attributes) silently disappear.
+func TestNaturalJoinEdgeCases(t *testing.T) {
+	s, _ := employee()
+	comps := []schema.AttrSet{s.MustSet("E#", "SL", "D#"), s.MustSet("D#", "CT")}
+	r := relation.MustFromRows(s,
+		[]string{"e1", "s1", "d1", "full"},
+		[]string{"e2", "s2", "d2", "part"})
+	frags, err := ProjectInstance(r, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty fragment: ∅ ⋈ anything = ∅, not an error.
+	empty := relation.New(frags[1].Scheme())
+	j, err := NaturalJoin(s, []*relation.Relation{frags[0], empty}, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Errorf("join with an empty fragment must be empty, got\n%s", j)
+	}
+
+	// Dangling tuples: a department with no employees contributes nothing.
+	dangling := relation.MustFromRows(frags[1].Scheme(),
+		[]string{"d1", "full"},
+		[]string{"d9", "temp"})
+	j, err = NaturalJoin(s, []*relation.Relation{frags[0], dangling}, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := relation.MustFromRows(s, []string{"e1", "s1", "d1", "full"})
+	if !relation.Equal(j, want) {
+		t.Errorf("dangling tuples must drop out:\n%s\nwant:\n%s", j, want)
+	}
 }
 
 // TestLosslessAgreesWithInstances ties the tableau-chase criterion to its

@@ -205,6 +205,34 @@ func (p *Partition) Support() int {
 	return n
 }
 
+// Stats summarizes a stripped partition's shape the way
+// relation.IndexStats summarizes an X-partition index: support size,
+// class count, sidecar sizes, and largest-class skew. Unlike the index
+// statistics these are always exact — partitions are immutable.
+type Stats struct {
+	Support  int // tuples in stripped classes (size ≥ 2)
+	Classes  int // stripped class count
+	Nulls    int // strong-convention wildcard sidecar size
+	Nothing  int // nothing sidecar size
+	MaxClass int // largest stripped class size (0 when no classes)
+}
+
+// Stats returns the partition's shape statistics.
+func (p *Partition) Stats() Stats {
+	s := Stats{
+		Classes: len(p.classes),
+		Nulls:   len(p.nulls),
+		Nothing: len(p.nothing),
+	}
+	for _, c := range p.classes {
+		s.Support += len(c)
+		if len(c) > s.MaxClass {
+			s.MaxClass = len(c)
+		}
+	}
+	return s
+}
+
 // NullRows returns the strong convention's wildcard sidecar: tuples with
 // a null (and no nothing) on the set, ascending. Empty under the weak
 // convention, where null marks are ordinary key symbols.

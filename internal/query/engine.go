@@ -2,13 +2,15 @@
 //
 // The naive Select full-scans the source per predicate: O(n) Eval calls
 // whatever the predicate's selectivity. The indexed engine (plan.go)
-// pushes the most selective Eq/In/EqAttr conjunct into a probe of the
-// source's X-partition index (relation.Index): only the probed group
-// plus the null sidecar can evaluate non-false, so the residual
-// predicate runs on those candidates alone. SelectAll fans a batch of
-// predicates over a bounded worker pool, mirroring eval.CheckAll.
+// compiles an algebraic plan over the source's X-partition indexes —
+// Eq/In/EqAttr probes intersected along the ∧-spine, ∨ evaluated as a
+// deduplicated union of sub-plans, residual conjuncts ordered by
+// estimated selectivity — so the full predicate runs on the plan's
+// candidates alone. EngineSingle keeps the PR 5 one-probe planner
+// (plan_single.go) as the differential oracle. SelectAll fans a batch
+// of predicates over a bounded worker pool, mirroring eval.CheckAll.
 //
-// Both engines return identical Results (ascending tuple order);
+// All engines return identical Results (ascending tuple order);
 // differential_test.go asserts it on randomized workloads including
 // shared marks and `!` cells, with per-tuple EvalBrute as the oracle.
 package query
@@ -27,34 +29,47 @@ import (
 type Engine int
 
 const (
-	// EngineIndexed plans index probes for indexable conjuncts (the
-	// default), falling back to the scan when the predicate offers none.
+	// EngineIndexed compiles algebraic plans — probe/intersect/union
+	// over X-partition indexes, statistics-ordered residuals (plan.go) —
+	// falling back to the scan when the predicate offers no plannable
+	// structure. The default.
 	EngineIndexed Engine = iota
 	// EngineNaive always evaluates by the full scan; kept as the ground
-	// truth the planner is differentially tested against.
+	// truth both planners are differentially tested against.
 	EngineNaive
+	// EngineSingle is the PR 5 single-probe planner (plan_single.go):
+	// one cheapest indexable conjunct pushed into one probe. Retained as
+	// the v2 planner's differential oracle and fdbench baseline.
+	EngineSingle
 )
 
-// String returns the flag spelling of the engine.
+// String returns the flag spelling of the engine. The rendering is part
+// of the store's query-cache key, so the three engines must render
+// distinctly.
 func (e Engine) String() string {
 	switch e {
 	case EngineIndexed:
 		return "indexed"
 	case EngineNaive:
 		return "naive"
+	case EngineSingle:
+		return "single"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
 
-// ParseEngine parses the -engine flag values "indexed" and "naive".
+// ParseEngine parses the -engine flag values "indexed", "naive" and
+// "single".
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "indexed":
 		return EngineIndexed, nil
 	case "naive":
 		return EngineNaive, nil
+	case "single":
+		return EngineSingle, nil
 	}
-	return 0, fmt.Errorf("query: unknown engine %q (want indexed or naive)", s)
+	return 0, fmt.Errorf("query: unknown engine %q (want indexed, naive or single)", s)
 }
 
 // Indexer is the optional capability of a Source the planner needs:
@@ -78,27 +93,44 @@ type Options struct {
 	Workers int
 }
 
-// SelectWith evaluates one predicate with the chosen engine. The indexed
-// engine requires the source to be an Indexer and the predicate to carry
-// at least one indexable conjunct; otherwise it degrades to the scan, so
-// the verdicts are engine-independent by construction.
+// SelectWith evaluates one predicate with the chosen engine. The two
+// planning engines require the source to be an Indexer and the
+// predicate to carry plannable structure; otherwise they degrade to the
+// scan, so the verdicts are engine-independent by construction.
 //
 // A bare relation.View also degrades to the scan: its IndexOn rebuilds
 // per call, so planning over it would pay one O(n) build per conjunct
 // just to probe once — strictly worse than the single O(n) scan. Views
-// get the planner only through an amortizing Indexer wrapper (the
+// get the planners only through an amortizing Indexer wrapper (the
 // store's version-keyed snapshot-index cache).
 func SelectWith(src Source, p Pred, opts Options) Result {
-	if opts.Engine == EngineIndexed {
-		if ix, ok := src.(Indexer); ok {
-			if _, bare := src.(relation.View); !bare {
-				if pl, ok := planFor(src, ix, p); ok {
-					return pl.run(src, p)
-				}
+	if ix, ok := plannerSource(src, opts.Engine); ok {
+		switch opts.Engine {
+		case EngineIndexed:
+			return PlanPred(src, ix, p).Run(src)
+		case EngineSingle:
+			if pl, ok := planFor(src, ix, p); ok {
+				return pl.run(src, p)
 			}
 		}
 	}
 	return Select(src, p)
+}
+
+// plannerSource reports whether the engine plans at all and the source
+// supports it (an Indexer that is not a bare, non-amortizing View).
+func plannerSource(src Source, e Engine) (Indexer, bool) {
+	if e != EngineIndexed && e != EngineSingle {
+		return nil, false
+	}
+	ix, ok := src.(Indexer)
+	if !ok {
+		return nil, false
+	}
+	if _, bare := src.(relation.View); bare {
+		return nil, false
+	}
+	return ix, true
 }
 
 // SelectAll evaluates every predicate of the batch over one source,

@@ -49,6 +49,16 @@ func FuzzParsePred(f *testing.F) {
 		"A = not",
 		"A in (and, or)",
 		"NOT A = x AND B IN (y)",
+		// ∨-heavy and multi-conjunct shapes: the v2 planner's union and
+		// intersection paths (the single-probe planner scans these).
+		"A = x and B = y and C in (x, y) or D# = d1",
+		"(A = x or B = y) and (C = x or MS = single)",
+		"A = x or A = y or A = married and not B = x",
+		"(A = x and B = y) or (C = d1 and D# = d2) or MS in (married)",
+		"A = B and B = C and C = D# or not (A = x or B = y)",
+		"A in (x, y) and A in (y, married) and A in (y)",
+		"not (A = x and B = y) or not (C in (x) or D# = d1)",
+		"(A = x or (B = y and (C = married or D# = d1))) and MS = single",
 	} {
 		f.Add(seed)
 	}
@@ -60,6 +70,12 @@ func FuzzParsePred(f *testing.F) {
 		{value.NewConst("x"), value.NewConst("y"), value.NewConst("married"), value.NewConst("d1"), value.NewConst("single")},
 		{value.NewNull(1), value.NewNull(1), value.NewNull(2), value.NewConst("d2"), value.NewNull(3)},
 		{value.NewNothing(), value.NewConst("x"), value.NewNull(4), value.NewNothing(), value.NewConst("married")},
+	}
+	// The same rows as a relation, so accepted predicates also fuzz the
+	// planners differentially against the naive scan.
+	r := relation.New(s)
+	for _, row := range rows {
+		r.InsertUnchecked(row)
 	}
 	f.Fuzz(func(t *testing.T, input string) {
 		p, err := ParsePred(s, input)
@@ -76,6 +92,13 @@ func FuzzParsePred(f *testing.F) {
 			v := p.Eval(s, row)
 			if v != tvl.True && v != tvl.False && v != tvl.Unknown {
 				t.Fatalf("predicate %q returned a non-truth value %v", input, v)
+			}
+		}
+		want := Select(r, p)
+		for _, e := range []Engine{EngineIndexed, EngineSingle} {
+			if got := SelectWith(r, p, Options{Engine: e}); !got.Equal(want) {
+				t.Fatalf("predicate %q: %s engine diverged from the scan: %v vs %v",
+					input, e, got, want)
 			}
 		}
 	})

@@ -1,0 +1,147 @@
+// plan_single.go is the PR 5 single-probe planner, retained verbatim as
+// EngineSingle: the differential oracle (and fdbench baseline) for the
+// algebraic v2 planner in plan.go.
+//
+// A conjunct of the predicate's ∧-spine that is an atom restricts where
+// the whole formula can be non-false: strong-Kleene ∧ is the truth-order
+// meet, so any tuple on which the conjunct is false makes the whole
+// predicate false and drops out of both answer lists. This planner
+// picks the *one* ∧-spine atom whose candidate set — the tuples on
+// which the atom can evaluate true or unknown — is smallest, reads that
+// set off the source's X-partition index, and evaluates the full
+// predicate only on those candidates:
+//
+//   - attr = c    probes the {attr} index for the group keyed c, plus
+//     the null sidecar (a null can complete to c);
+//   - attr ∈ S    probes one group per distinct value of S, plus the
+//     null sidecar;
+//   - attr1 = attr2 walks the groups of the {attr1, attr2} index keeping
+//     those whose two constants agree (all rows of a group share the
+//     projection), plus the null sidecar.
+//
+// Tuples in the nothing sidecar are contradictory on the probed set and
+// false for every predicate by the package convention, so no plan ever
+// visits them; contradictions *off* the probed set land in ordinary
+// groups and are dropped by the evaluation guard. Atoms under ¬ or ∨ are
+// never pushed down (¬(A=c) is satisfied exactly off the group the index
+// would return), and a predicate with no indexable conjunct falls back
+// to the scan.
+package query
+
+import (
+	"slices"
+
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/tvl"
+	"fdnull/internal/value"
+)
+
+// plan is a chosen candidate set: row-index groups (shared with the
+// index — never mutated) whose union is a superset of every tuple the
+// predicate can answer.
+type plan struct {
+	groups [][]int
+	cost   int
+}
+
+// planFor picks the cheapest indexable conjunct of p, or reports ok =
+// false when p offers none and the caller must scan.
+func planFor(src Source, ix Indexer, p Pred) (plan, bool) {
+	s := src.Scheme()
+	best, found := plan{}, false
+	consider := func(c plan) {
+		if !found || c.cost < best.cost {
+			best, found = c, true
+		}
+	}
+	for _, leaf := range conjuncts(p, nil) {
+		switch a := leaf.(type) {
+		case Eq:
+			consider(planEq(s, ix, a.Attr, []string{a.Const}))
+		case In:
+			// Duplicate values would enlist the same group twice.
+			vals := slices.Clone(a.Values)
+			slices.Sort(vals)
+			consider(planEq(s, ix, a.Attr, slices.Compact(vals)))
+		case EqAttr:
+			if a.A == a.B {
+				continue // true on every non-contradictory tuple; no probe
+			}
+			consider(planEqAttr(src, ix, a))
+		}
+	}
+	return best, found
+}
+
+// planEq builds the candidate set of attr ∈ vals (attr = c is the
+// singleton case): the groups keyed by each value plus the null sidecar.
+// Values outside the attribute's domain still probe — the group is
+// simply absent — so the plan never assumes domain validation the
+// source's tuples might not have had.
+func planEq(s *schema.Scheme, ix Indexer, attr schema.Attr, vals []string) plan {
+	idx := ix.IndexOn(schema.NewAttrSet(attr))
+	probe := make(relation.Tuple, s.Arity())
+	var pl plan
+	for _, c := range vals {
+		probe[attr] = value.NewConst(c)
+		if rows, ok := idx.Probe(probe); ok && len(rows) > 0 {
+			pl.groups = append(pl.groups, rows)
+			pl.cost += len(rows)
+		}
+	}
+	return pl.withNulls(idx)
+}
+
+// planEqAttr builds the candidate set of attr1 = attr2: the groups of
+// the pair index whose two constants agree (every row of a group shares
+// the constant projection, so the first row decides), plus the null
+// sidecar.
+func planEqAttr(src Source, ix Indexer, a EqAttr) plan {
+	idx := ix.IndexOn(schema.NewAttrSet(a.A, a.B))
+	var pl plan
+	idx.ForEachGroup(func(rows []int) bool {
+		t := src.Tuple(rows[0])
+		if t[a.A].Const() == t[a.B].Const() {
+			pl.groups = append(pl.groups, rows)
+			pl.cost += len(rows)
+		}
+		return true
+	})
+	return pl.withNulls(idx)
+}
+
+// withNulls adds the index's null sidecar to the plan: a null on the
+// probed set can complete into (or away from) any constant, so those
+// tuples are always candidates.
+func (pl plan) withNulls(idx *relation.Index) plan {
+	if rows := idx.NullRows(); len(rows) > 0 {
+		pl.groups = append(pl.groups, rows)
+		pl.cost += len(rows)
+	}
+	return pl
+}
+
+// run evaluates the full predicate on the plan's candidates and returns
+// the answer partition in ascending tuple order — the groups are
+// pairwise disjoint (distinct index groups, plus a sidecar no group
+// contains), so one sort of the union suffices and no tuple is ever
+// evaluated twice.
+func (pl plan) run(src Source, p Pred) Result {
+	rows := make([]int, 0, pl.cost)
+	for _, g := range pl.groups {
+		rows = append(rows, g...)
+	}
+	slices.Sort(rows)
+	s := src.Scheme()
+	var res Result
+	for _, i := range rows {
+		switch EvalTuple(s, src.Tuple(i), p) {
+		case tvl.True:
+			res.Sure = append(res.Sure, i)
+		case tvl.Unknown:
+			res.Maybe = append(res.Maybe, i)
+		}
+	}
+	return res
+}

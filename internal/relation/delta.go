@@ -307,7 +307,8 @@ func (ix *Index) locate(get getter) (int, string) {
 	return locGroup, b.String()
 }
 
-// addRow appends row i to the slot its projection selects.
+// addRow appends row i to the slot its projection selects, keeping the
+// partition statistics exact (maxGroup grows with the touched group).
 func (ix *Index) addRow(i int, get getter) {
 	switch kind, key := ix.locate(get); kind {
 	case locNothing:
@@ -315,12 +316,20 @@ func (ix *Index) addRow(i int, get getter) {
 	case locNulls:
 		ix.nulls = append(ix.nulls, i)
 	default:
-		ix.groups[key] = append(ix.groups[key], i)
+		g := append(ix.groups[key], i)
+		ix.groups[key] = g
+		ix.groupRows++
+		if len(g) > ix.maxGroup {
+			ix.maxGroup = len(g)
+		}
 	}
 }
 
 // removeRow removes row i from the slot its projection selects, deleting
-// groups that become empty so GroupCount stays exact.
+// groups that become empty so GroupCount stays exact. groupRows stays
+// exact; maxGroup is left as an upper bound (shrinking the once-largest
+// group would need a rescan to re-derive, and the planner only uses it
+// as a skew hint).
 func (ix *Index) removeRow(i int, get getter) {
 	switch kind, key := ix.locate(get); kind {
 	case locNothing:
@@ -334,6 +343,7 @@ func (ix *Index) removeRow(i int, get getter) {
 		} else {
 			ix.groups[key] = rows
 		}
+		ix.groupRows--
 	}
 }
 

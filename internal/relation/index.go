@@ -37,6 +37,56 @@ type Index struct {
 	nulls   []int            // tuples with ≥1 null (and no nothing) on set
 	nothing []int            // tuples with ≥1 inconsistent element on set
 	version uint64           // relation version the index was built at
+
+	// Partition statistics, maintained alongside the groups so planners
+	// can cost probes without touching the data. groupRows counts the
+	// rows living in constant groups (excluding both sidecars) and is
+	// exact; maxGroup tracks the largest group size ever reached and is
+	// exact for freshly built indexes but only an upper bound after
+	// delta deletions shrink the once-largest group (a skew *hint*, never
+	// a correctness input).
+	groupRows int
+	maxGroup  int
+}
+
+// IndexStats is the planner-facing summary of an index's partition
+// shape: how many rows hash into constant groups, across how many
+// distinct groups, how large the sidecars are, and how skewed the
+// largest group is. Rows, Groups, Nulls and Nothing are exact;
+// MaxGroup is exact on freshly built indexes and an upper bound on
+// delta-maintained ones (see Index). All figures describe the indexed
+// instance at the index's version.
+type IndexStats struct {
+	Rows     int // rows in constant groups (excludes sidecars)
+	Groups   int // distinct constant projections
+	Nulls    int // null-sidecar size
+	Nothing  int // nothing-sidecar size
+	MaxGroup int // largest group size (upper bound after deletes)
+}
+
+// AvgGroup returns the expected size of one constant group, rounded up
+// — the planner's estimate for a uniform-random Eq probe. Zero when the
+// index has no constant groups.
+func (s IndexStats) AvgGroup() int {
+	if s.Groups == 0 {
+		return 0
+	}
+	return (s.Rows + s.Groups - 1) / s.Groups
+}
+
+// Stats returns the index's partition statistics.
+func (ix *Index) Stats() IndexStats {
+	mg := ix.maxGroup
+	if mg > ix.groupRows {
+		mg = ix.groupRows
+	}
+	return IndexStats{
+		Rows:     ix.groupRows,
+		Groups:   len(ix.groups),
+		Nulls:    len(ix.nulls),
+		Nothing:  len(ix.nothing),
+		MaxGroup: mg,
+	}
 }
 
 // BuildIndex partitions r's tuples by their projection on set.
@@ -63,7 +113,12 @@ func buildIndex(tuples []Tuple, version uint64, set schema.AttrSet) *Index {
 			b.Reset()
 			writeKey(&b, t, ix.attrs)
 			k := b.String()
-			ix.groups[k] = append(ix.groups[k], i)
+			g := append(ix.groups[k], i)
+			ix.groups[k] = g
+			ix.groupRows++
+			if len(g) > ix.maxGroup {
+				ix.maxGroup = len(g)
+			}
 		}
 	}
 	return ix

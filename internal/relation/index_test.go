@@ -175,3 +175,85 @@ func TestIndexConcurrentReaders(t *testing.T) {
 		<-done
 	}
 }
+
+// TestIndexStats pins the statistics contract on a hand-built instance:
+// Rows/Groups/Nulls/Nothing are exact, MaxGroup is the largest group,
+// and AvgGroup rounds up (zero without groups).
+func TestIndexStats(t *testing.T) {
+	s := indexTestScheme()
+	r := MustFromRows(s,
+		[]string{"v1", "v1", "v1"},
+		[]string{"v1", "v2", "v1"},
+		[]string{"v1", "v3", "v1"},
+		[]string{"v2", "v1", "v1"},
+		[]string{"-", "v1", "v1"},
+		[]string{"!", "v1", "v1"},
+	)
+	st := BuildIndex(r, schema.NewAttrSet(0)).Stats()
+	want := IndexStats{Rows: 4, Groups: 2, Nulls: 1, Nothing: 1, MaxGroup: 3}
+	if st != want {
+		t.Errorf("Stats() = %+v, want %+v", st, want)
+	}
+	if st.AvgGroup() != 2 { // ceil(4/2)
+		t.Errorf("AvgGroup() = %d, want 2", st.AvgGroup())
+	}
+	empty := BuildIndex(New(s), schema.NewAttrSet(0)).Stats()
+	if empty != (IndexStats{}) || empty.AvgGroup() != 0 {
+		t.Errorf("empty stats = %+v, AvgGroup = %d", empty, empty.AvgGroup())
+	}
+}
+
+// TestIndexStatsDeltaMaintained checks the delta-mutation contract on
+// random workloads: after any interleaving of InsertDelta, DeleteDelta
+// and SetCellDelta, the cached index's Rows, Groups, Nulls and Nothing
+// equal a fresh rebuild's (exact), while MaxGroup is an upper bound —
+// at least the rebuild's true maximum, never above Rows.
+func TestIndexStatsDeltaMaintained(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	s := indexTestScheme()
+	for trial := 0; trial < 40; trial++ {
+		r := randomIndexInstance(rng, s, 30)
+		set := schema.NewAttrSet(schema.Attr(rng.Intn(3)), schema.Attr(rng.Intn(3)))
+		r.IndexOn(set) // cache it so the deltas maintain it
+		for op := 0; op < 25; op++ {
+			switch k := rng.Intn(3); {
+			case k == 0 || r.Len() == 0:
+				tup := make(Tuple, s.Arity())
+				for a := range tup {
+					if rng.Intn(4) == 0 {
+						tup[a] = r.FreshNull()
+					} else {
+						tup[a] = value.NewConst(s.Domain(schema.Attr(a)).Values[rng.Intn(6)])
+					}
+				}
+				if r.FindIdentical(tup) >= 0 {
+					continue // duplicate draw; try another op
+				}
+				if _, err := r.InsertDelta(tup); err != nil {
+					t.Fatal(err)
+				}
+			case k == 1:
+				r.DeleteDelta(rng.Intn(r.Len()))
+			default:
+				i, a := rng.Intn(r.Len()), schema.Attr(rng.Intn(3))
+				v := value.NewConst(s.Domain(a).Values[rng.Intn(6)])
+				mod := append(Tuple(nil), r.Tuple(i)...)
+				mod[a] = v
+				if r.FindIdentical(mod) >= 0 {
+					continue // would duplicate an existing tuple
+				}
+				r.SetCellDelta(i, a, v)
+			}
+			got := r.IndexOn(set).Stats()
+			fresh := BuildIndex(r, set).Stats()
+			if got.Rows != fresh.Rows || got.Groups != fresh.Groups ||
+				got.Nulls != fresh.Nulls || got.Nothing != fresh.Nothing {
+				t.Fatalf("trial %d op %d: delta stats %+v diverged from rebuild %+v", trial, op, got, fresh)
+			}
+			if got.MaxGroup < fresh.MaxGroup || got.MaxGroup > got.Rows {
+				t.Fatalf("trial %d op %d: MaxGroup %d out of bounds (true max %d, rows %d)",
+					trial, op, got.MaxGroup, fresh.MaxGroup, got.Rows)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// chase.go wires the persistent union-find chaser (chase.Incremental)
+// into the recheck engine: under ChasePersistent, an insert-only
+// write-set is appended to the surviving chase closure — interning just
+// the new rows' cells and draining unions from the classes they touch —
+// instead of re-chasing the whole instance, so a k-row commit against an
+// n-row store costs O(k·p + touched classes) instead of O(|F|·n).
+//
+// The closure is keyed to the relation's version counter: it is valid
+// exactly while nothing mutated the instance outside this fast path.
+// Updates, deletes, X-rule runs, and full-chase commits all move the
+// version, and the closure is rebuilt lazily on the next insert (one
+// O(n·p) pass, amortized over the insert run that follows). ChaseFull
+// disables the fast path entirely and is the per-commit differential
+// oracle chase_history_test.go replays randomized histories against.
+//
+// The fast path is accept-side only, like the incremental maintenance
+// engine's: any rejection — structural error, nothing-bearing row, a
+// poisoned class — rolls the closure and the instance back bit for bit
+// and declines, so the caller's untouched full-chase path re-derives the
+// identical error, witness, and counter bookkeeping.
+package store
+
+import (
+	"fdnull/internal/chase"
+	"fdnull/internal/relation"
+)
+
+// persistentMode reports whether mutations may take the persistent-chase
+// fast path: the recheck engine without the X-rules (which re-scan the
+// whole instance) under the ChasePersistent strategy.
+func (st *Store) persistentMode() bool {
+	return st.opts.Maintenance == MaintenanceRecheck &&
+		!st.opts.ApplyXRules &&
+		st.opts.Chase == ChasePersistent
+}
+
+// ensureChaser returns the persistent chaser for the current instance,
+// rebuilding it when the version moved since it was installed. It
+// returns nil when the chaser cannot be installed — the instance is not
+// a clean fixpoint, which the store invariant rules out but the build
+// detects defensively.
+func (st *Store) ensureChaser() *chase.Incremental {
+	if st.chaser != nil && st.chaserVer == st.rel.Version() {
+		return st.chaser
+	}
+	inc := chase.NewIncremental(st.rel, st.fds)
+	if !inc.Consistent() || len(inc.PendingSubs()) > 0 {
+		return nil
+	}
+	st.chaser = inc
+	st.chaserVer = st.rel.Version()
+	return inc
+}
+
+// prepareTxnChase stages an insert-only write-set through the persistent
+// chaser, stopping short of the point of no return like the other
+// preparers. ok = false means the fast path declined — wrong mode, a
+// non-insert op, a structural or constraint rejection — with the store
+// restored bit for bit, so the caller's full-chase path re-derives the
+// identical outcome. On ok = true the returned preparedTxn's apply
+// materializes the closure's forced substitutions (Maybe→Sure
+// promotions) in place through SetCellDelta and re-keys the chaser to
+// the new version; discard rolls closure and instance back and re-keys
+// the chaser to the restored state, so it stays warm across aborts.
+func (st *Store) prepareTxnChase(ops []txnOp) (*preparedTxn, bool) {
+	if !st.persistentMode() || len(ops) == 0 {
+		return nil, false
+	}
+	for _, op := range ops {
+		if op.kind != txnInsert {
+			return nil, false
+		}
+	}
+	inc := st.ensureChaser()
+	if inc == nil {
+		return nil, false
+	}
+	preMark := st.rel.NextMark()
+	first := st.rel.Len()
+	// unwind restores instance, allocator, and chaser key after the
+	// structural inserts (all at the tail, so popping last-to-first
+	// restores the original order exactly).
+	unwind := func() {
+		for i := st.rel.Len() - 1; i >= first; i-- {
+			st.rel.DeleteDelta(i)
+		}
+		st.rel.SetNextMark(preMark)
+		// The instance is back to the chaser's state; re-key it to the
+		// moved version so the closure stays warm.
+		st.chaserVer = st.rel.Version()
+	}
+	ts := make([]relation.Tuple, 0, len(ops))
+	for _, op := range ops {
+		t := op.t
+		if t == nil {
+			var err error
+			t, err = st.rel.ParseRow(op.row...)
+			if err != nil {
+				st.rel.SetNextMark(preMark)
+				return nil, false
+			}
+		}
+		if t.HasNothingOn(st.scheme.All()) {
+			// Never completable; the oracle derives the identical rejection.
+			st.rel.SetNextMark(preMark)
+			return nil, false
+		}
+		// Keep the allocator's noteMark effect in staging order, exactly
+		// as the oracle's op-by-op application allocates (a later "-" cell
+		// must parse above any explicit "-k" an earlier op carried).
+		for _, v := range t {
+			if v.IsNull() && v.Mark() >= st.rel.NextMark() {
+				st.rel.SetNextMark(v.Mark() + 1)
+			}
+		}
+		ts = append(ts, t)
+	}
+	if _, _, err := st.rel.InsertDeltaBatch(ts); err != nil {
+		st.rel.SetNextMark(preMark)
+		st.chaserVer = st.rel.Version() // batch unwound itself; re-key
+		return nil, false
+	}
+	appended := make([]relation.Tuple, len(ts))
+	for i := range ts {
+		appended[i] = st.rel.Tuple(first + i)
+	}
+	if !inc.Append(appended) {
+		inc.Rollback()
+		unwind()
+		return nil, false
+	}
+	return &preparedTxn{
+		st:      st,
+		ops:     ops,
+		preMark: preMark,
+		apply: func() {
+			for _, sub := range inc.Commit() {
+				st.rel.SetCellDelta(sub.Row, sub.Attr, sub.Val)
+			}
+			st.chaserVer = st.rel.Version()
+			st.invalidateInc() // the mark index described the pre-commit cells
+			st.inserts += len(ops)
+		},
+		discard: func() {
+			inc.Rollback()
+			unwind()
+		},
+	}, true
+}

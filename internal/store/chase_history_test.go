@@ -1,0 +1,184 @@
+package store
+
+// chase_history_test.go is the persistent chaser's lockstep harness: two
+// recheck-engine stores that differ only in their chase strategy —
+// ChasePersistent (the union-find closure kept across commits) vs
+// ChaseFull (one whole-instance chase per commit, the oracle) — replay
+// the same randomized history of single inserts, transactional insert
+// batches, updates, and deletes. After every step the strategies must
+// agree on the verdict (identical error text), the counters, the stored
+// instance *including tuple order* (the fast path appends in place, the
+// oracle rebuilds; both must preserve order), and the fresh-mark
+// allocator watermark. Updates and deletes invalidate the closure, so
+// the history also exercises the lazy rebuild.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fdnull/internal/relation"
+	"fdnull/internal/schema"
+	"fdnull/internal/value"
+)
+
+func assertChaseAgreement(t *testing.T, step int, op string, errP, errF error, per, full *Store) {
+	t.Helper()
+	if (errP == nil) != (errF == nil) {
+		t.Fatalf("step %d (%s): verdicts diverged: persistent=%v full=%v", step, op, errP, errF)
+	}
+	if errP != nil && errP.Error() != errF.Error() {
+		t.Fatalf("step %d (%s): error text diverged:\n persistent: %v\n full:       %v", step, op, errP, errF)
+	}
+	i1, u1, d1, r1 := per.Stats()
+	i2, u2, d2, r2 := full.Stats()
+	if i1 != i2 || u1 != u2 || d1 != d2 || r1 != r2 {
+		t.Fatalf("step %d (%s): stats diverged: persistent=(%d,%d,%d,%d) full=(%d,%d,%d,%d)",
+			step, op, i1, u1, d1, r1, i2, u2, d2, r2)
+	}
+	if per.NextMark() != full.NextMark() {
+		t.Fatalf("step %d (%s): allocators diverged: persistent=%d full=%d",
+			step, op, per.NextMark(), full.NextMark())
+	}
+	// Exact order-sensitive identity: both strategies append inserts at
+	// the tail and substitute in place (or rebuild preserving order).
+	n := per.Len()
+	if n != full.Len() {
+		t.Fatalf("step %d (%s): lengths diverged: persistent=%d full=%d", step, op, n, full.Len())
+	}
+	for i := 0; i < n; i++ {
+		if !tupleIdentical(per.TupleView(i), full.TupleView(i)) {
+			t.Fatalf("step %d (%s): tuple %d diverged:\npersistent: %s\nfull:       %s\nstates:\n%s\nvs\n%s",
+				step, op, i, per.TupleView(i), full.TupleView(i), per.Snapshot(), full.Snapshot())
+		}
+	}
+}
+
+func tupleIdentical(a, b relation.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Identical(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func runChaseHistory(t *testing.T, ws histScheme, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	per := New(ws.s, ws.fds, Options{Maintenance: MaintenanceRecheck, Chase: ChasePersistent})
+	full := New(ws.s, ws.fds, Options{Maintenance: MaintenanceRecheck, Chase: ChaseFull})
+	if !per.persistentMode() || full.persistentMode() {
+		t.Fatal("chase-strategy selection is broken")
+	}
+	randCell := func(a schema.Attr) string {
+		d := ws.s.Domain(a)
+		switch rng.Intn(16) {
+		case 0, 1:
+			return "-" // fresh null
+		case 2, 3:
+			return fmt.Sprintf("-%d", 1+rng.Intn(6)) // marked null: live and retired classes
+		case 4:
+			return "!" // nothing: the fast path must decline, both must reject
+		default:
+			return d.Values[rng.Intn(d.Size())]
+		}
+	}
+	randRow := func() []string {
+		row := make([]string, ws.s.Arity())
+		for a := range row {
+			row[a] = randCell(schema.Attr(a))
+		}
+		return row
+	}
+	for step := 0; step < steps; step++ {
+		var op string
+		var errP, errF error
+		switch {
+		case per.Len() == 0 || rng.Intn(10) < 4:
+			op = "insert"
+			row := randRow()
+			errP = per.InsertRow(row...)
+			errF = full.InsertRow(row...)
+		case rng.Intn(10) < 3:
+			op = "txn"
+			txP, txF := per.Begin(), full.Begin()
+			k := 1 + rng.Intn(5)
+			for i := 0; i < k; i++ {
+				row := randRow()
+				if e1, e2 := txP.InsertRow(row...), txF.InsertRow(row...); (e1 == nil) != (e2 == nil) {
+					t.Fatalf("step %d: staging diverged: %v vs %v", step, e1, e2)
+				}
+			}
+			errP = txP.Commit()
+			errF = txF.Commit()
+		case rng.Intn(10) < 6:
+			op = "update"
+			ti := rng.Intn(per.Len())
+			a := schema.Attr(rng.Intn(ws.s.Arity()))
+			var v value.V
+			if rng.Intn(4) == 0 {
+				vp, vf := per.FreshNull(), full.FreshNull()
+				if !vp.Identical(vf) {
+					t.Fatalf("step %d: fresh-null allocators diverged: %s vs %s", step, vp, vf)
+				}
+				v = vp
+			} else {
+				d := ws.s.Domain(a)
+				v = value.NewConst(d.Values[rng.Intn(d.Size())])
+			}
+			errP = per.Update(ti, a, v)
+			errF = full.Update(ti, a, v)
+		default:
+			op = "delete"
+			ti := rng.Intn(per.Len())
+			errP = per.Delete(ti)
+			errF = full.Delete(ti)
+		}
+		assertChaseAgreement(t, step, op, errP, errF, per, full)
+		if !per.CheckWeak() {
+			t.Fatalf("step %d: persistent store broke the weak invariant:\n%s", step, per.Snapshot())
+		}
+	}
+	_, _, _, rej := per.Stats()
+	if rej == 0 {
+		t.Logf("chase history %s/seed=%d rejected nothing; widen the doom window if this repeats", ws.name, seed)
+	}
+}
+
+// TestChaseStrategyDifferential replays randomized histories against the
+// persistent and full chase strategies of the recheck engine over the
+// same workload shapes as the maintenance-engine harness. `go test
+// -short` runs a reduced matrix as the CI smoke.
+func TestChaseStrategyDifferential(t *testing.T) {
+	seeds := []int64{1, 2, 5, 13, 20260807}
+	steps := 140
+	if testing.Short() {
+		seeds = seeds[:2]
+		steps = 60
+	}
+	for _, ws := range histSchemes() {
+		for _, seed := range seeds {
+			ws, seed := ws, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", ws.name, seed), func(t *testing.T) {
+				t.Parallel()
+				runChaseHistory(t, ws, seed, steps)
+			})
+		}
+	}
+}
+
+// TestParseChaseStrategy pins the flag spellings.
+func TestParseChaseStrategy(t *testing.T) {
+	for _, c := range []ChaseStrategy{ChasePersistent, ChaseFull} {
+		got, err := ParseChaseStrategy(c.String())
+		if err != nil || got != c {
+			t.Fatalf("round trip %v: got %v, %v", c, got, err)
+		}
+	}
+	if _, err := ParseChaseStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy must not parse")
+	}
+}
